@@ -1,0 +1,42 @@
+//! Compiler throughput: the cost of each pipeline stage on real
+//! workloads (the ablation the partitioning algorithms themselves incur).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpa_partition::{partition_advanced, partition_basic, BlockFreq, CostParams};
+
+fn optimized(src: &str) -> fpa_ir::Module {
+    let mut m = fpa_frontend::compile(src).expect("compile");
+    fpa_ir::opt::optimize(&mut m);
+    for f in &mut m.funcs {
+        fpa_ir::opt::split_webs(f);
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let w = fpa_workloads::by_name("gcc").expect("gcc workload");
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    g.bench_function("frontend+opt/gcc", |b| b.iter(|| optimized(w.source)));
+
+    let m = optimized(w.source);
+    g.bench_function("partition-basic/gcc", |b| b.iter(|| partition_basic(&m)));
+
+    let (_, profile) = fpa_ir::Interp::new(&m).run().expect("profile");
+    let freq = BlockFreq::from_profile(&m, &profile);
+    g.bench_function("partition-advanced/gcc", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            partition_advanced(&mut m2, &freq, &CostParams::default())
+        })
+    });
+
+    let assignment = partition_basic(&m);
+    g.bench_function("codegen/gcc", |b| {
+        b.iter(|| fpa_codegen::compile_module(&m, &assignment))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared helpers for the per-figure benchmark harnesses.
+
+use fpa_harness::experiments::build_all;
+use fpa_harness::pipeline::CompiledWorkload;
+
+/// Builds the full integer suite once (cached per bench binary).
+#[must_use]
+pub fn compiled_integer_suite() -> Vec<CompiledWorkload> {
+    build_all(&fpa_workloads::integer()).expect("pipeline")
+}
+
+/// Builds one workload by name.
+#[must_use]
+pub fn compiled(name: &str) -> CompiledWorkload {
+    let w = fpa_workloads::by_name(name).expect("known workload");
+    fpa_harness::pipeline::build(&w, &fpa_partition::CostParams::default()).expect("pipeline")
+}

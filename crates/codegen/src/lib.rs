@@ -1,0 +1,19 @@
+//! # fpa-codegen
+//!
+//! Machine-code generation for partitioned IR: linear-scan register
+//! allocation over both register files ([`regalloc`]), instruction
+//! selection keyed on the partition assignment, stack frames and the
+//! calling convention, and whole-module assembly ([`compile_module`]).
+//!
+//! The same entry point compiles **conventional** binaries — pass
+//! [`fpa_partition::Assignment::conventional`] — and **partitioned** ones
+//! (from the basic or advanced scheme), so simulator comparisons hold
+//! everything else equal.
+
+pub mod lower;
+pub mod peephole;
+pub mod regalloc;
+
+pub use lower::{compile_module, line_points, LinePoints};
+pub use peephole::peephole;
+pub use regalloc::{allocate, Allocation, Location};

@@ -1,0 +1,370 @@
+//! Linear-scan register allocation over the two register files.
+//!
+//! Each file's allocatable pool is split MIPS-style into **caller-saved**
+//! temporaries and **callee-saved** registers. Values whose live interval
+//! crosses a call site must take callee-saved registers (preserved by the
+//! callee's prologue); everything else prefers caller-saved temporaries,
+//! which are never saved or restored anywhere. Leaf-ish code therefore
+//! pays no save/restore traffic — important here, because save/restore
+//! loads and stores compete for the load/store port that the paper's
+//! partitioning results hinge on.
+//!
+//! Intervals are conservative contiguous ranges derived from dataflow
+//! liveness, so loop-carried values stay allocated across their loop.
+
+use crate::lower::line_points;
+use fpa_isa::{FpReg, IntReg, Reg, Subsystem};
+use fpa_ir::{Cfg, Function, Inst, Liveness, VReg};
+use std::collections::HashSet;
+
+/// Where a virtual register lives after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// An architectural register.
+    Reg(Reg),
+    /// A spill slot index (8 bytes each, frame-relative).
+    Slot(u32),
+}
+
+/// The allocation result for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    locs: Vec<Location>,
+    /// Number of spill slots used.
+    pub num_slots: u32,
+    /// Callee-saved architectural registers handed out (the save set).
+    pub used_callee_saved: Vec<Reg>,
+    /// Whether the function contains any call.
+    pub makes_calls: bool,
+}
+
+impl Allocation {
+    /// The location of `v`.
+    #[must_use]
+    pub fn loc(&self, v: VReg) -> Location {
+        self.locs[v.index()]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    v: VReg,
+    start: u32,
+    end: u32,
+    home: Subsystem,
+    crosses_call: bool,
+}
+
+/// Computes live intervals and runs linear scan.
+///
+/// `home` gives each virtual register's file (from the partition
+/// assignment). Returns the allocation.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn allocate(func: &Function, home: &[Subsystem]) -> Allocation {
+    let cfg = Cfg::new(func);
+    let live = Liveness::new(func, &cfg);
+    let points = line_points(func);
+
+    let nv = func.num_vregs();
+    let mut start = vec![u32::MAX; nv];
+    let mut end = vec![0u32; nv];
+    let touch = |v: VReg, p: u32, start: &mut Vec<u32>, end: &mut Vec<u32>| {
+        start[v.index()] = start[v.index()].min(p);
+        end[v.index()] = end[v.index()].max(p);
+    };
+
+    let mut call_points: Vec<u32> = Vec::new();
+    for &p in &func.params {
+        touch(p, 0, &mut start, &mut end);
+    }
+    for b in func.block_ids() {
+        let (bstart, bend) = points.block_range(b);
+        for i in 0..func.num_vregs() {
+            let v = VReg::new(i as u32);
+            if live.live_in(b, v) {
+                touch(v, bstart, &mut start, &mut end);
+            }
+            if live.live_out(b, v) {
+                touch(v, bend, &mut start, &mut end);
+            }
+        }
+        let mut p = bstart;
+        for inst in &func.block(b).insts {
+            for u in inst.uses() {
+                touch(u, p, &mut start, &mut end);
+            }
+            if let Some(d) = inst.dst() {
+                touch(d, p, &mut start, &mut end);
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                call_points.push(p);
+            }
+            p += 1;
+        }
+        for u in func.block(b).term.uses() {
+            touch(u, p, &mut start, &mut end);
+        }
+    }
+    let makes_calls = !call_points.is_empty();
+
+    let crosses = |s: u32, e: u32| call_points.iter().any(|&c| s < c && c < e);
+    let mut intervals: Vec<Interval> = (0..nv)
+        .filter(|&i| start[i] != u32::MAX)
+        .map(|i| Interval {
+            v: VReg::new(i as u32),
+            start: start[i],
+            end: end[i],
+            home: home[i],
+            crosses_call: crosses(start[i], end[i]),
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.v.index()));
+
+    let callee_set: HashSet<Reg> = IntReg::callee_saved()
+        .into_iter()
+        .map(Reg::Int)
+        .chain(FpReg::callee_saved().into_iter().map(Reg::Fp))
+        .collect();
+
+    let mut locs = vec![Location::Slot(u32::MAX); nv];
+    let mut num_slots = 0u32;
+    let mut used_callee: HashSet<Reg> = HashSet::new();
+
+    for pool_home in [Subsystem::Int, Subsystem::Fp] {
+        let (mut free_caller, mut free_callee): (Vec<Reg>, Vec<Reg>) = match pool_home {
+            Subsystem::Int => (
+                IntReg::caller_saved().into_iter().map(Reg::Int).rev().collect(),
+                IntReg::callee_saved().into_iter().map(Reg::Int).rev().collect(),
+            ),
+            Subsystem::Fp => (
+                FpReg::caller_saved().into_iter().map(Reg::Fp).rev().collect(),
+                FpReg::callee_saved().into_iter().map(Reg::Fp).rev().collect(),
+            ),
+        };
+        let mut active: Vec<Interval> = Vec::new();
+        for iv in intervals.iter().filter(|iv| iv.home == pool_home) {
+            // Expire old intervals, returning registers to their sub-pool.
+            let mut still_active = Vec::with_capacity(active.len());
+            for a in active.drain(..) {
+                if a.end < iv.start {
+                    if let Location::Reg(r) = locs[a.v.index()] {
+                        if callee_set.contains(&r) {
+                            free_callee.push(r);
+                        } else {
+                            free_caller.push(r);
+                        }
+                    }
+                } else {
+                    still_active.push(a);
+                }
+            }
+            active = still_active;
+
+            let pick = if iv.crosses_call {
+                free_callee.pop()
+            } else {
+                free_caller.pop().or_else(|| free_callee.pop())
+            };
+            if let Some(r) = pick {
+                locs[iv.v.index()] = Location::Reg(r);
+                if callee_set.contains(&r) {
+                    used_callee.insert(r);
+                }
+                active.push(*iv);
+                continue;
+            }
+            // Spill: steal from the active interval that ends last among
+            // those whose register this interval could legally occupy.
+            let victim = active
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| {
+                    let Location::Reg(r) = locs[a.v.index()] else { return false };
+                    !iv.crosses_call || callee_set.contains(&r)
+                })
+                .max_by_key(|(_, a)| a.end)
+                .map(|(i, _)| i);
+            match victim {
+                Some(vi) if active[vi].end > iv.end => {
+                    let victim_iv = active[vi];
+                    let Location::Reg(r) = locs[victim_iv.v.index()] else {
+                        unreachable!("filtered to register-resident intervals")
+                    };
+                    locs[victim_iv.v.index()] = Location::Slot(num_slots);
+                    num_slots += 1;
+                    locs[iv.v.index()] = Location::Reg(r);
+                    active[vi] = *iv;
+                }
+                _ => {
+                    locs[iv.v.index()] = Location::Slot(num_slots);
+                    num_slots += 1;
+                }
+            }
+        }
+    }
+
+    let mut used_callee_saved: Vec<Reg> = used_callee.into_iter().collect();
+    used_callee_saved.sort();
+    Allocation { locs, num_slots, used_callee_saved, makes_calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_ir::{BinOp, FuncId, FunctionBuilder, Ty};
+
+    fn int_homes(func: &Function) -> Vec<Subsystem> {
+        (0..func.num_vregs()).map(|_| Subsystem::Int).collect()
+    }
+
+    #[test]
+    fn leaf_functions_use_only_caller_saved() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.bin_imm(BinOp::Add, p, 1);
+        let y = b.bin_imm(BinOp::Add, x, 2);
+        b.ret(Some(y));
+        let f = b.finish();
+        let a = allocate(&f, &int_homes(&f));
+        assert_eq!(a.num_slots, 0);
+        assert!(!a.makes_calls);
+        assert!(
+            a.used_callee_saved.is_empty(),
+            "a leaf with 3 values needs no callee-saved registers: {:?}",
+            a.used_callee_saved
+        );
+    }
+
+    #[test]
+    fn call_crossing_values_get_callee_saved_registers() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.bin_imm(BinOp::Add, p, 1); // live across the call
+        let _r = b.call(FuncId::new(0), vec![p], Some(Ty::Int));
+        let y = b.bin(BinOp::Add, x, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        let a = allocate(&f, &int_homes(&f));
+        assert!(a.makes_calls);
+        let Location::Reg(Reg::Int(r)) = a.loc(x) else {
+            panic!("x should be in a register")
+        };
+        assert!(
+            IntReg::callee_saved().contains(&r),
+            "call-crossing value must be callee-saved, got {r}"
+        );
+        assert!(a.used_callee_saved.contains(&Reg::Int(r)));
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_registers() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let mut prev = b.li(0);
+        for i in 0..50 {
+            prev = b.bin_imm(BinOp::Add, prev, i);
+        }
+        b.ret(Some(prev));
+        let f = b.finish();
+        let a = allocate(&f, &int_homes(&f));
+        assert_eq!(a.num_slots, 0, "chained temporaries must reuse registers");
+    }
+
+    #[test]
+    fn pressure_forces_spills() {
+        // 30 values all live simultaneously exceed the 20-register pool.
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let vals: Vec<_> = (0..30).map(|i| b.li(i)).collect();
+        let mut acc = b.li(0);
+        for v in vals {
+            acc = b.bin(BinOp::Add, acc, v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let a = allocate(&f, &int_homes(&f));
+        assert!(a.num_slots > 0, "30 overlapping values cannot fit in 20 regs");
+        assert!(a.num_slots <= 12);
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Double));
+        let e = b.block();
+        b.switch_to(e);
+        let i = b.li(1);
+        let _i2 = b.bin_imm(BinOp::Add, i, 1);
+        let d = b.lid(1.0);
+        let d2 = b.bin(BinOp::FAdd, d, d);
+        b.ret(Some(d2));
+        let f = b.finish();
+        let homes: Vec<Subsystem> = (0..f.num_vregs())
+            .map(|i| match f.vreg_ty(VReg::new(i as u32)) {
+                Ty::Int => Subsystem::Int,
+                Ty::Double => Subsystem::Fp,
+            })
+            .collect();
+        let a = allocate(&f, &homes);
+        assert!(matches!(a.loc(d), Location::Reg(Reg::Fp(_))));
+        assert!(matches!(a.loc(i), Location::Reg(Reg::Int(_))));
+    }
+
+    #[test]
+    fn loop_carried_value_keeps_its_register() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 10);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let a = allocate(&f, &int_homes(&f));
+        assert!(matches!(a.loc(i), Location::Reg(_)));
+    }
+
+    #[test]
+    fn many_call_crossing_values_spill_rather_than_take_caller_saved() {
+        // 14 values live across a call: 12 callee-saved regs + 2 spills;
+        // none may sit in a caller-saved register.
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let vals: Vec<_> = (0..14).map(|i| b.li(i)).collect();
+        let _ = b.call(FuncId::new(0), vec![], Some(Ty::Int));
+        let mut acc = b.li(0);
+        for v in &vals {
+            acc = b.bin(BinOp::Add, acc, *v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let a = allocate(&f, &int_homes(&f));
+        for v in &vals {
+            match a.loc(*v) {
+                Location::Reg(Reg::Int(r)) => {
+                    assert!(IntReg::callee_saved().contains(&r), "{r} is caller-saved");
+                }
+                Location::Slot(_) => {}
+                Location::Reg(Reg::Fp(_)) => panic!("wrong file"),
+            }
+        }
+        assert!(a.num_slots >= 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! # fpa — Exploiting Idle Floating-Point Resources for Integer Execution
+//!
+//! A from-scratch reproduction of Sastry, Palacharla & Smith (PLDI 1998):
+//! compiler algorithms that offload integer computation to an augmented
+//! floating-point subsystem, plus everything needed to evaluate them — a
+//! small C-like language (`zinc`), an optimizing compiler, the two
+//! partitioning schemes, a machine-code backend, and functional and
+//! cycle-level out-of-order simulators for the paper's 4-way and 8-way
+//! machines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fpa::{compile, Scheme};
+//! use fpa::sim::{run_functional, simulate, MachineConfig};
+//!
+//! let src = "
+//!     int a[64];
+//!     int main() {
+//!         int i;
+//!         int x = 7;
+//!         int sum = 0;
+//!         for (i = 0; i < 64; i = i + 1) {
+//!             // A running value chain disjoint from addressing: the
+//!             // partitioner offloads it to the FP subsystem.
+//!             x = (x ^ 25) + 3;
+//!             a[i] = x;
+//!         }
+//!         for (i = 0; i < 64; i = i + 1) { sum = sum + a[i]; }
+//!         print(sum);
+//!         return 0;
+//!     }
+//! ";
+//! let conventional = compile(src, Scheme::Conventional).unwrap();
+//! let advanced = compile(src, Scheme::Advanced).unwrap();
+//!
+//! // Same observable behaviour...
+//! let a = run_functional(&conventional, 10_000_000).unwrap();
+//! let b = run_functional(&advanced, 10_000_000).unwrap();
+//! assert_eq!(a.output, b.output);
+//!
+//! // ...but the advanced build runs integer work on the FP subsystem.
+//! assert_eq!(a.augmented, 0);
+//! assert!(b.augmented > 0);
+//!
+//! // Cycle-level timing on the paper's 4-way machine:
+//! let t = simulate(&advanced, &MachineConfig::four_way(true), 10_000_000).unwrap();
+//! assert_eq!(t.output, a.output);
+//! ```
+//!
+//! The sub-crates are re-exported under short names: [`isa`], [`ir`],
+//! [`frontend`], [`rdg`], [`partition`], [`codegen`], [`sim`],
+//! [`workloads`], [`harness`].
+
+pub use fpa_codegen as codegen;
+pub use fpa_frontend as frontend;
+pub use fpa_harness as harness;
+pub use fpa_ir as ir;
+pub use fpa_isa as isa;
+pub use fpa_partition as partition;
+pub use fpa_rdg as rdg;
+pub use fpa_sim as sim;
+pub use fpa_workloads as workloads;
+
+use fpa_partition::{Assignment, BlockFreq, CostParams};
+use std::fmt;
+
+/// Which code-partitioning scheme to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// No offloading: integer code stays in the integer subsystem.
+    Conventional,
+    /// The paper's basic scheme (§5): no new instructions.
+    Basic,
+    /// The paper's advanced scheme (§6): profile-driven copies and
+    /// duplication (profiled with the built-in interpreter).
+    Advanced,
+}
+
+/// A front-to-back compilation failure.
+#[derive(Debug)]
+pub enum Error {
+    /// The source failed to compile.
+    Compile(fpa_frontend::CompileError),
+    /// The profiling run failed (advanced scheme only).
+    Profile(fpa_ir::InterpError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => e.fmt(f),
+            Error::Profile(e) => write!(f, "profiling run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compiles `zinc` source to a machine program under the given scheme.
+///
+/// Runs the full pipeline: parse → lower → optimize → split webs →
+/// (profile →) partition → register-allocate → emit.
+///
+/// # Errors
+///
+/// Returns [`Error::Compile`] for language errors and [`Error::Profile`]
+/// when the advanced scheme's profiling interpretation faults.
+pub fn compile(src: &str, scheme: Scheme) -> Result<fpa_isa::Program, Error> {
+    let mut module = fpa_frontend::compile(src).map_err(Error::Compile)?;
+    fpa_ir::opt::optimize(&mut module);
+    for f in &mut module.funcs {
+        fpa_ir::opt::split_webs(f);
+    }
+    let assignment = match scheme {
+        Scheme::Conventional => Assignment::conventional(&module),
+        Scheme::Basic => fpa_partition::partition_basic(&module),
+        Scheme::Advanced => {
+            let (_, profile) =
+                fpa_ir::Interp::new(&module).run().map_err(Error::Profile)?;
+            let freq = BlockFreq::from_profile(&module, &profile);
+            fpa_partition::partition_advanced(&mut module, &freq, &CostParams::default())
+        }
+    };
+    Ok(fpa_codegen::compile_module(&module, &assignment))
+}

@@ -1,0 +1,260 @@
+//! Abstract syntax tree for the `zinc` language.
+
+use crate::token::Pos;
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit float.
+    Double,
+}
+
+/// Array element kinds (adds `byte` for compact tables and string-like
+/// buffers; bytes widen to `int` on load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemTy {
+    /// 32-bit integer elements.
+    Int,
+    /// 64-bit float elements.
+    Double,
+    /// Unsigned byte elements.
+    Byte,
+}
+
+impl ElemTy {
+    /// Element size in bytes.
+    #[must_use]
+    pub fn size(self) -> u32 {
+        match self {
+            ElemTy::Byte => 1,
+            ElemTy::Int => 4,
+            ElemTy::Double => 8,
+        }
+    }
+
+    /// The scalar type an element has after loading.
+    #[must_use]
+    pub fn scalar(self) -> ScalarTy {
+        match self {
+            ElemTy::Double => ScalarTy::Double,
+            _ => ScalarTy::Int,
+        }
+    }
+}
+
+/// Binary operators (surface syntax level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `^`
+    BitXor,
+    /// `|`
+    BitOr,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i32, Pos),
+    /// Double literal.
+    Double(f64, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>, Pos),
+    /// `&name` or `&name[index]` — address of a global/array slot.
+    AddrOf(String, Option<Box<Expr>>, Pos),
+    /// Unary operation: `-e` or `!e`.
+    Unary(UnaryKind, Box<Expr>, Pos),
+    /// Binary operation.
+    Binary(BinKind, Box<Expr>, Box<Expr>, Pos),
+    /// Function call.
+    Call(String, Vec<Expr>, Pos),
+    /// Cast: `(int) e` or `(double) e`.
+    Cast(ScalarTy, Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// The expression's source position.
+    #[must_use]
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Double(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::AddrOf(_, _, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::Cast(_, _, p) => *p,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` is 1 when `e == 0`).
+    Not,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String, Pos),
+    /// Array element.
+    Index(String, Box<Expr>, Pos),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lv = e;`
+    Assign(LValue, Expr),
+    /// Expression statement (must be a call).
+    Expr(Expr),
+    /// `if (cond) then_ else else_`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body` — init/step are assignments.
+    For(Option<Box<Stmt>>, Expr, Option<Box<Stmt>>, Vec<Stmt>),
+    /// `return e?;`
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `print(e);`
+    Print(Expr),
+    /// `printc(e);`
+    PrintChar(Expr),
+    /// `printd(e);`
+    PrintDouble(Expr),
+}
+
+/// A local declaration: `int x;` / `int x = e;` / `int buf[N];`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declaration shape.
+    pub kind: DeclKind,
+    /// Optional scalar initializer.
+    pub init: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The shape of a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclKind {
+    /// A scalar of the given type.
+    Scalar(ScalarTy),
+    /// An array with element type and length.
+    Array(ElemTy, u32),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Scalar parameter type, or an array view (`int a[]`).
+    pub ty: ParamTy,
+}
+
+/// Parameter types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamTy {
+    /// Scalar by value.
+    Scalar(ScalarTy),
+    /// Array by reference (an address; indexing uses the element type).
+    Array(ElemTy),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (`None` = void).
+    pub ret: Option<ScalarTy>,
+    /// Leading local declarations.
+    pub locals: Vec<LocalDecl>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Global name.
+    pub name: String,
+    /// Declaration shape.
+    pub kind: DeclKind,
+    /// Constant initializers (one for scalars, element list for arrays).
+    pub init: Vec<InitVal>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A constant initializer value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitVal {
+    /// Integer constant.
+    Int(i32),
+    /// Double constant.
+    Double(f64),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Global variables, in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions, in declaration order.
+    pub funcs: Vec<FuncDef>,
+}

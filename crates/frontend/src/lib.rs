@@ -1,0 +1,41 @@
+//! # fpa-frontend
+//!
+//! The `zinc` language front end: lexer, parser, semantic checks, and
+//! lowering to the `fpa-ir` intermediate representation.
+//!
+//! `zinc` is a small C subset designed so that its lowered IR has the same
+//! slice structure the paper's partitioning algorithms operate on: scalar
+//! `int`/`double` values, global and function-static arrays (`int`,
+//! `double`, `byte` elements), functions with scalar and array parameters,
+//! C control flow (`if`/`else`, `while`, `for`, `break`, `continue`), the
+//! usual operator set, and `print`/`printc`/`printd` for observable output.
+//!
+//! The only deliberate departures from C:
+//!
+//! * local arrays have *function-static* storage (they lower to uniquely
+//!   named globals);
+//! * `double` narrows to `int` only through an explicit `(int)` cast;
+//! * no pointers beyond array parameters and `&name[index]` addresses.
+//!
+//! ```
+//! let module = fpa_frontend::compile("
+//!     int main() {
+//!         int i;
+//!         int sum = 0;
+//!         for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+//!         print(sum);
+//!         return 0;
+//!     }
+//! ").unwrap();
+//! let (out, _) = fpa_ir::Interp::new(&module).run().unwrap();
+//! assert_eq!(out.output, "55\n");
+//! ```
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use lower::{compile, lower, CompileError, LowerError};
+pub use parser::{parse, ParseError};
+pub use token::{lex, LexError, Pos, Token};

@@ -1,0 +1,685 @@
+//! Recursive-descent parser for the `zinc` language.
+//!
+//! Grammar sketch (C subset):
+//!
+//! ```text
+//! program   := (global | func)*
+//! global    := type IDENT ("[" INT "]")? ("=" init)? ";"
+//! func      := (type | "void") IDENT "(" params ")" "{" local* stmt* "}"
+//! local     := type IDENT ("[" INT "]")? ("=" expr)? ";"
+//! stmt      := assign ";" | call ";" | "if" … | "while" … | "for" …
+//!            | "return" expr? ";" | "break" ";" | "continue" ";"
+//!            | "print"/"printc"/"printd" "(" expr ")" ";" | "{" stmt* "}"
+//! expr      := C expression grammar with ||, &&, |, ^, &, ==/!=,
+//!              relational, shifts, additive, multiplicative, unary,
+//!              casts, calls, indexing, &name[...]
+//! ```
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Pos, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { pos: e.pos, message: e.message }
+    }
+}
+
+/// Parses a `zinc` translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic problem found.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<(Token, Pos)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].0
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].0
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.here(), message: message.into() })
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{t}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn scalar_ty(&mut self) -> Result<ScalarTy, ParseError> {
+        match self.bump() {
+            Token::KwInt => Ok(ScalarTy::Int),
+            Token::KwDouble => Ok(ScalarTy::Double),
+            other => self.err(format!("expected type, found `{other}`")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while *self.peek() != Token::Eof {
+            // Lookahead: type IDENT "(" => function; otherwise global.
+            let is_void = *self.peek() == Token::KwVoid;
+            let save = self.pos;
+            if is_void {
+                self.bump();
+                let name = self.ident()?;
+                let f = self.func_def(name, None)?;
+                prog.funcs.push(f);
+                continue;
+            }
+            let elem = self.elem_ty()?;
+            let name = self.ident()?;
+            if *self.peek() == Token::LParen {
+                let ret = match elem {
+                    ElemTy::Int => ScalarTy::Int,
+                    ElemTy::Double => ScalarTy::Double,
+                    ElemTy::Byte => {
+                        self.pos = save;
+                        return self.err("functions cannot return `byte`");
+                    }
+                };
+                let f = self.func_def(name, Some(ret))?;
+                prog.funcs.push(f);
+            } else {
+                let g = self.global_tail(elem, name)?;
+                prog.globals.push(g);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn elem_ty(&mut self) -> Result<ElemTy, ParseError> {
+        match self.bump() {
+            Token::KwInt => Ok(ElemTy::Int),
+            Token::KwDouble => Ok(ElemTy::Double),
+            Token::KwByte => Ok(ElemTy::Byte),
+            other => self.err(format!("expected type, found `{other}`")),
+        }
+    }
+
+    fn global_tail(&mut self, elem: ElemTy, name: String) -> Result<GlobalDecl, ParseError> {
+        let pos = self.here();
+        let kind = if *self.peek() == Token::LBracket {
+            self.bump();
+            let len = match self.bump() {
+                Token::Int(v) if v > 0 => v as u32,
+                other => return self.err(format!("expected array length, found `{other}`")),
+            };
+            self.expect(&Token::RBracket)?;
+            DeclKind::Array(elem, len)
+        } else {
+            match elem {
+                ElemTy::Byte => return self.err("`byte` is only valid as an array element type"),
+                ElemTy::Int => DeclKind::Scalar(ScalarTy::Int),
+                ElemTy::Double => DeclKind::Scalar(ScalarTy::Double),
+            }
+        };
+        let mut init = Vec::new();
+        if *self.peek() == Token::Assign {
+            self.bump();
+            if *self.peek() == Token::LBrace {
+                self.bump();
+                loop {
+                    init.push(self.init_val()?);
+                    if *self.peek() == Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+            } else {
+                init.push(self.init_val()?);
+            }
+        }
+        self.expect(&Token::Semi)?;
+        Ok(GlobalDecl { name, kind, init, pos })
+    }
+
+    fn init_val(&mut self) -> Result<InitVal, ParseError> {
+        let neg = if *self.peek() == Token::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Token::Int(v) => Ok(InitVal::Int(if neg { v.wrapping_neg() } else { v })),
+            Token::Double(v) => Ok(InitVal::Double(if neg { -v } else { v })),
+            other => self.err(format!("expected constant initializer, found `{other}`")),
+        }
+    }
+
+    fn func_def(&mut self, name: String, ret: Option<ScalarTy>) -> Result<FuncDef, ParseError> {
+        let pos = self.here();
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Token::RParen {
+            loop {
+                let elem = self.elem_ty()?;
+                let pname = self.ident()?;
+                let ty = if *self.peek() == Token::LBracket {
+                    self.bump();
+                    self.expect(&Token::RBracket)?;
+                    ParamTy::Array(elem)
+                } else {
+                    match elem {
+                        ElemTy::Byte => {
+                            return self.err("`byte` parameters must be arrays (`byte p[]`)")
+                        }
+                        ElemTy::Int => ParamTy::Scalar(ScalarTy::Int),
+                        ElemTy::Double => ParamTy::Scalar(ScalarTy::Double),
+                    }
+                };
+                params.push(Param { name: pname, ty });
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::LBrace)?;
+        // Leading local declarations.
+        let mut locals = Vec::new();
+        while matches!(self.peek(), Token::KwInt | Token::KwDouble | Token::KwByte) {
+            let dpos = self.here();
+            let elem = self.elem_ty()?;
+            let lname = self.ident()?;
+            let kind = if *self.peek() == Token::LBracket {
+                self.bump();
+                let len = match self.bump() {
+                    Token::Int(v) if v > 0 => v as u32,
+                    other => {
+                        return self.err(format!("expected array length, found `{other}`"))
+                    }
+                };
+                self.expect(&Token::RBracket)?;
+                DeclKind::Array(elem, len)
+            } else {
+                match elem {
+                    ElemTy::Byte => {
+                        return self.err("`byte` is only valid as an array element type")
+                    }
+                    ElemTy::Int => DeclKind::Scalar(ScalarTy::Int),
+                    ElemTy::Double => DeclKind::Scalar(ScalarTy::Double),
+                }
+            };
+            let init = if *self.peek() == Token::Assign {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&Token::Semi)?;
+            locals.push(LocalDecl { name: lname, kind, init, pos: dpos });
+        }
+        let mut body = Vec::new();
+        while *self.peek() != Token::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(FuncDef { name, params, ret, locals, body, pos })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == Token::LBrace {
+            self.bump();
+            let mut stmts = Vec::new();
+            while *self.peek() != Token::RBrace {
+                stmts.push(self.stmt()?);
+            }
+            self.expect(&Token::RBrace)?;
+            Ok(stmts)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Token::KwIf => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let then_ = self.block()?;
+                let else_ = if *self.peek() == Token::KwElse {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_, else_))
+            }
+            Token::KwWhile => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Token::KwFor => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let init = if *self.peek() == Token::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&Token::Semi)?;
+                let cond = if *self.peek() == Token::Semi {
+                    Expr::Int(1, pos)
+                } else {
+                    self.expr()?
+                };
+                self.expect(&Token::Semi)?;
+                let step = if *self.peek() == Token::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For(init, cond, step, body))
+            }
+            Token::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Token::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Return(value, pos))
+            }
+            Token::KwBreak => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Token::KwContinue => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Token::KwPrint | Token::KwPrintc | Token::KwPrintd => {
+                let kw = self.bump();
+                self.expect(&Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::Semi)?;
+                Ok(match kw {
+                    Token::KwPrint => Stmt::Print(e),
+                    Token::KwPrintc => Stmt::PrintChar(e),
+                    _ => Stmt::PrintDouble(e),
+                })
+            }
+            Token::LBrace => {
+                // Anonymous block: flatten.
+                let stmts = self.block()?;
+                Ok(Stmt::If(Expr::Int(1, pos), stmts, Vec::new()))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Token::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment or call, without the trailing semicolon (shared between
+    /// expression statements and `for` clauses).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.here();
+        if let Token::Ident(name) = self.peek().clone() {
+            match self.peek2().clone() {
+                Token::Assign => {
+                    self.bump();
+                    self.bump();
+                    let e = self.expr()?;
+                    return Ok(Stmt::Assign(LValue::Var(name, pos), e));
+                }
+                Token::LBracket => {
+                    // Could be `a[i] = e` (assignment) — parse the index and
+                    // check for `=`; otherwise it was an expression.
+                    let save = self.pos;
+                    self.bump();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    if *self.peek() == Token::Assign {
+                        self.bump();
+                        let e = self.expr()?;
+                        return Ok(Stmt::Assign(LValue::Index(name, Box::new(idx), pos), e));
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        let e = self.expr()?;
+        if matches!(e, Expr::Call(..)) {
+            Ok(Stmt::Expr(e))
+        } else {
+            self.err("expression statement must be a call or assignment")
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence-climbing for binary operators.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (kind, prec) = match self.peek() {
+                Token::PipePipe => (BinKind::LogOr, 1),
+                Token::AmpAmp => (BinKind::LogAnd, 2),
+                Token::Pipe => (BinKind::BitOr, 3),
+                Token::Caret => (BinKind::BitXor, 4),
+                Token::Amp => (BinKind::BitAnd, 5),
+                Token::EqEq => (BinKind::Eq, 6),
+                Token::Ne => (BinKind::Ne, 6),
+                Token::Lt => (BinKind::Lt, 7),
+                Token::Le => (BinKind::Le, 7),
+                Token::Gt => (BinKind::Gt, 7),
+                Token::Ge => (BinKind::Ge, 7),
+                Token::Shl => (BinKind::Shl, 8),
+                Token::Shr => (BinKind::Shr, 8),
+                Token::Plus => (BinKind::Add, 9),
+                Token::Minus => (BinKind::Sub, 9),
+                Token::Star => (BinKind::Mul, 10),
+                Token::Slash => (BinKind::Div, 10),
+                Token::Percent => (BinKind::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.here();
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary(kind, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Token::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnaryKind::Neg, Box::new(e), pos))
+            }
+            Token::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnaryKind::Not, Box::new(e), pos))
+            }
+            Token::Amp => {
+                self.bump();
+                let name = self.ident()?;
+                let idx = if *self.peek() == Token::LBracket {
+                    self.bump();
+                    let i = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    Some(Box::new(i))
+                } else {
+                    None
+                };
+                Ok(Expr::AddrOf(name, idx, pos))
+            }
+            Token::LParen
+                if matches!(self.peek2(), Token::KwInt | Token::KwDouble) =>
+            {
+                self.bump();
+                let ty = self.scalar_ty()?;
+                self.expect(&Token::RParen)?;
+                let e = self.unary_expr()?;
+                Ok(Expr::Cast(ty, Box::new(e), pos))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.here();
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::Int(v, pos)),
+            Token::Double(v) => Ok(Expr::Double(v, pos)),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => match self.peek().clone() {
+                Token::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Token::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Token::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Call(name, args, pos))
+                }
+                Token::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx), pos))
+                }
+                _ => Ok(Expr::Var(name, pos)),
+            },
+            other => {
+                Err(ParseError { pos, message: format!("unexpected token `{other}`") })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_and_function() {
+        let src = "
+            int table[10];
+            int x = 3;
+            double pi = 3.5;
+            byte buf[256];
+            int add(int a, int b) {
+                return a + b;
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.globals[0].kind, DeclKind::Array(ElemTy::Int, 10));
+        assert_eq!(p.globals[1].init, vec![InitVal::Int(3)]);
+        assert_eq!(p.globals[3].kind, DeclKind::Array(ElemTy::Byte, 256));
+        assert_eq!(p.funcs[0].params.len(), 2);
+        assert_eq!(p.funcs[0].ret, Some(ScalarTy::Int));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "
+            void main() {
+                int i;
+                int acc;
+                acc = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { acc = acc + i; } else { continue; }
+                    while (acc > 100) { acc = acc - 100; break; }
+                }
+                print(acc);
+            }
+        ";
+        let p = parse(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.locals.len(), 2);
+        assert!(matches!(f.body[1], Stmt::For(..)));
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        // a | b & c  parses as  a | (b & c)
+        let p = parse("int f(int a, int b, int c) { return a | b & c; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinKind::BitOr, _, rhs, _)), _) => {
+                assert!(matches!(**rhs, Expr::Binary(BinKind::BitAnd, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // a + b << c  parses as  (a + b) << c  (C-style: shift is LOWER)
+        let p = parse("int f(int a, int b, int c) { return a + b << c; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinKind::Shl, lhs, _, _)), _) => {
+                assert!(matches!(**lhs, Expr::Binary(BinKind::Add, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_assignment_and_index_expr() {
+        let p = parse("int a[4]; void main() { a[1] = a[0] + 1; }").unwrap();
+        assert!(matches!(&p.funcs[0].body[0], Stmt::Assign(LValue::Index(..), _)));
+    }
+
+    #[test]
+    fn parses_casts_and_addr_of() {
+        let p = parse(
+            "double d; int a[4];
+             void main() { int x; x = (int) d + a[0]; d = (double) x; print(&a[2]); }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn parses_array_params() {
+        let p = parse("int sum(int a[], int n) { return a[n]; }").unwrap();
+        assert_eq!(p.funcs[0].params[0].ty, ParamTy::Array(ElemTy::Int));
+        assert_eq!(p.funcs[0].params[1].ty, ParamTy::Scalar(ScalarTy::Int));
+    }
+
+    #[test]
+    fn parses_call_statement() {
+        let p = parse("void g() { } void main() { g(); }").unwrap();
+        assert!(matches!(&p.funcs[1].body[0], Stmt::Expr(Expr::Call(..))));
+    }
+
+    #[test]
+    fn rejects_non_call_expression_statement() {
+        let e = parse("void main() { 1 + 2; }").unwrap_err();
+        assert!(e.message.contains("must be a call"));
+    }
+
+    #[test]
+    fn rejects_byte_scalar() {
+        assert!(parse("byte b;").is_err());
+        assert!(parse("void f(byte b) { }").is_err());
+    }
+
+    #[test]
+    fn for_with_empty_clauses() {
+        let p = parse("void main() { int i; for (;;) { break; } }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::For(init, cond, step, _) => {
+                assert!(init.is_none());
+                assert!(matches!(cond, Expr::Int(1, _)));
+                assert!(step.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_arrays_parse() {
+        let p = parse("void main() { int tmp[8]; tmp[0] = 1; }").unwrap();
+        assert_eq!(p.funcs[0].locals[0].kind, DeclKind::Array(ElemTy::Int, 8));
+    }
+
+    #[test]
+    fn logical_operators_parse() {
+        let p = parse("int f(int a, int b) { if (a && b || !a) { return 1; } return 0; }");
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("void main() { int x x; }").unwrap_err();
+        assert_eq!(e.pos.line, 1);
+    }
+}

@@ -1,0 +1,494 @@
+//! Lexical analysis for the `zinc` language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Integer literal (decimal, hex `0x…`, or character `'a'`).
+    Int(i32),
+    /// Double literal (contains `.`).
+    Double(f64),
+    /// Identifier or keyword-candidate.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `double`
+    KwDouble,
+    /// `byte`
+    KwByte,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `print`
+    KwPrint,
+    /// `printc`
+    KwPrintc,
+    /// `printd`
+    KwPrintd,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&`
+    Amp,
+    /// `^`
+    Caret,
+    /// `|`
+    Pipe,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Double(v) => write!(f, "{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            other => {
+                let s = match other {
+                    Token::KwInt => "int",
+                    Token::KwDouble => "double",
+                    Token::KwByte => "byte",
+                    Token::KwVoid => "void",
+                    Token::KwIf => "if",
+                    Token::KwElse => "else",
+                    Token::KwWhile => "while",
+                    Token::KwFor => "for",
+                    Token::KwReturn => "return",
+                    Token::KwBreak => "break",
+                    Token::KwContinue => "continue",
+                    Token::KwPrint => "print",
+                    Token::KwPrintc => "printc",
+                    Token::KwPrintd => "printd",
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::LBrace => "{",
+                    Token::RBrace => "}",
+                    Token::LBracket => "[",
+                    Token::RBracket => "]",
+                    Token::Semi => ";",
+                    Token::Comma => ",",
+                    Token::Assign => "=",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::Percent => "%",
+                    Token::Shl => "<<",
+                    Token::Shr => ">>",
+                    Token::Lt => "<",
+                    Token::Le => "<=",
+                    Token::Gt => ">",
+                    Token::Ge => ">=",
+                    Token::EqEq => "==",
+                    Token::Ne => "!=",
+                    Token::Amp => "&",
+                    Token::Caret => "^",
+                    Token::Pipe => "|",
+                    Token::AmpAmp => "&&",
+                    Token::PipePipe => "||",
+                    Token::Bang => "!",
+                    Token::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `zinc` source. Comments are `//` to end of line and `/* */`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { pos, message: "unterminated comment".into() });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                    bump!();
+                    bump!();
+                    let hs = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        bump!();
+                    }
+                    if hs == i {
+                        return Err(LexError { pos, message: "empty hex literal".into() });
+                    }
+                    let text = &src[hs..i];
+                    let v = u32::from_str_radix(text, 16)
+                        .map_err(|_| LexError { pos, message: format!("bad hex literal {text}") })?;
+                    out.push((Token::Int(v as i32), pos));
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                    if i < bytes.len() && bytes[i] == b'.' {
+                        bump!();
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            bump!();
+                        }
+                        let text = &src[start..i];
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| LexError { pos, message: format!("bad double {text}") })?;
+                        out.push((Token::Double(v), pos));
+                    } else {
+                        let text = &src[start..i];
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| LexError { pos, message: format!("bad int {text}") })?;
+                        if v > i64::from(u32::MAX) {
+                            return Err(LexError { pos, message: format!("int too large {text}") });
+                        }
+                        out.push((Token::Int(v as i32), pos));
+                    }
+                }
+            }
+            b'\'' => {
+                // Character literal: 'a' or '\n', '\t', '\\', '\'', '\0'.
+                bump!();
+                if i >= bytes.len() {
+                    return Err(LexError { pos, message: "unterminated char literal".into() });
+                }
+                let v = if bytes[i] == b'\\' {
+                    bump!();
+                    if i >= bytes.len() {
+                        return Err(LexError { pos, message: "unterminated escape".into() });
+                    }
+                    let e = bytes[i];
+                    bump!();
+                    match e {
+                        b'n' => 10,
+                        b't' => 9,
+                        b'0' => 0,
+                        b'\\' => i32::from(b'\\'),
+                        b'\'' => i32::from(b'\''),
+                        other => {
+                            return Err(LexError {
+                                pos,
+                                message: format!("unknown escape \\{}", other as char),
+                            })
+                        }
+                    }
+                } else {
+                    let v = i32::from(bytes[i]);
+                    bump!();
+                    v
+                };
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(LexError { pos, message: "unterminated char literal".into() });
+                }
+                bump!();
+                out.push((Token::Int(v), pos));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let tok = match text {
+                    "int" => Token::KwInt,
+                    "double" => Token::KwDouble,
+                    "byte" => Token::KwByte,
+                    "void" => Token::KwVoid,
+                    "if" => Token::KwIf,
+                    "else" => Token::KwElse,
+                    "while" => Token::KwWhile,
+                    "for" => Token::KwFor,
+                    "return" => Token::KwReturn,
+                    "break" => Token::KwBreak,
+                    "continue" => Token::KwContinue,
+                    "print" => Token::KwPrint,
+                    "printc" => Token::KwPrintc,
+                    "printd" => Token::KwPrintd,
+                    _ => Token::Ident(text.to_owned()),
+                };
+                out.push((tok, pos));
+            }
+            _ => {
+                // Operators and punctuation.
+                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let (tok, len) = match two {
+                    b"<<" => (Token::Shl, 2),
+                    b">>" => (Token::Shr, 2),
+                    b"<=" => (Token::Le, 2),
+                    b">=" => (Token::Ge, 2),
+                    b"==" => (Token::EqEq, 2),
+                    b"!=" => (Token::Ne, 2),
+                    b"&&" => (Token::AmpAmp, 2),
+                    b"||" => (Token::PipePipe, 2),
+                    _ => match c {
+                        b'(' => (Token::LParen, 1),
+                        b')' => (Token::RParen, 1),
+                        b'{' => (Token::LBrace, 1),
+                        b'}' => (Token::RBrace, 1),
+                        b'[' => (Token::LBracket, 1),
+                        b']' => (Token::RBracket, 1),
+                        b';' => (Token::Semi, 1),
+                        b',' => (Token::Comma, 1),
+                        b'=' => (Token::Assign, 1),
+                        b'+' => (Token::Plus, 1),
+                        b'-' => (Token::Minus, 1),
+                        b'*' => (Token::Star, 1),
+                        b'/' => (Token::Slash, 1),
+                        b'%' => (Token::Percent, 1),
+                        b'<' => (Token::Lt, 1),
+                        b'>' => (Token::Gt, 1),
+                        b'&' => (Token::Amp, 1),
+                        b'^' => (Token::Caret, 1),
+                        b'|' => (Token::Pipe, 1),
+                        b'!' => (Token::Bang, 1),
+                        other => {
+                            return Err(LexError {
+                                pos,
+                                message: format!("unexpected character {:?}", other as char),
+                            })
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                out.push((tok, pos));
+            }
+        }
+    }
+    out.push((Token::Eof, Pos { line, col }));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("int x; while whi"),
+            vec![
+                Token::KwInt,
+                Token::Ident("x".into()),
+                Token::Semi,
+                Token::KwWhile,
+                Token::Ident("whi".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42 0x2A 1.5 0.25"), vec![
+            Token::Int(42),
+            Token::Int(42),
+            Token::Double(1.5),
+            Token::Double(0.25),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_char_literals() {
+        assert_eq!(toks(r"'a' '\n' '\0' '\\'"), vec![
+            Token::Int(97),
+            Token::Int(10),
+            Token::Int(0),
+            Token::Int(92),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(toks("<< <= < == = != ! && & || |"), vec![
+            Token::Shl,
+            Token::Le,
+            Token::Lt,
+            Token::EqEq,
+            Token::Assign,
+            Token::Ne,
+            Token::Bang,
+            Token::AmpAmp,
+            Token::Amp,
+            Token::PipePipe,
+            Token::Pipe,
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(toks("1 // c\n 2 /* x\ny */ 3"), vec![
+            Token::Int(1),
+            Token::Int(2),
+            Token::Int(3),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let t = lex("a\n  b").unwrap();
+        assert_eq!(t[0].1, Pos { line: 1, col: 1 });
+        assert_eq!(t[1].1, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"));
+        assert_eq!(e.pos.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn hex_max_values() {
+        assert_eq!(toks("0xFFFFFFFF"), vec![Token::Int(-1), Token::Eof]);
+    }
+}

@@ -1,0 +1,112 @@
+//! `fpa-cc` — the command-line compiler driver.
+//!
+//! ```text
+//! fpa-cc program.zc                      # compile (advanced) and run
+//! fpa-cc program.zc --scheme basic      # choose a partitioning scheme
+//! fpa-cc program.zc --emit ir           # dump optimized IR
+//! fpa-cc program.zc --emit asm          # dump annotated disassembly
+//! fpa-cc program.zc --emit stats        # offload / timing statistics
+//! ```
+
+use fpa_partition::{Assignment, BlockFreq, CostParams};
+use fpa_sim::{run_functional, simulate, MachineConfig};
+
+enum Scheme {
+    Conventional,
+    Basic,
+    Advanced,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fpa-cc <file.zc> [--scheme conventional|basic|advanced] [--emit run|ir|asm|stats]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut scheme = Scheme::Advanced;
+    let mut emit = "run".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" => match it.next().map(String::as_str) {
+                Some("conventional") => scheme = Scheme::Conventional,
+                Some("basic") => scheme = Scheme::Basic,
+                Some("advanced") => scheme = Scheme::Advanced,
+                _ => usage(),
+            },
+            "--emit" => match it.next() {
+                Some(e) => emit = e.clone(),
+                None => usage(),
+            },
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("fpa-cc: cannot read {path}: {e}");
+        std::process::exit(1)
+    });
+
+    // Front end + optimizer.
+    let mut module = match fpa_frontend::compile(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("fpa-cc: {e}");
+            std::process::exit(1)
+        }
+    };
+    fpa_ir::opt::optimize(&mut module);
+    for f in &mut module.funcs {
+        fpa_ir::opt::split_webs(f);
+    }
+
+    if emit == "ir" {
+        print!("{}", fpa_ir::display::module_to_string(&module));
+        return;
+    }
+
+    // Partition.
+    let assignment = match scheme {
+        Scheme::Conventional => Assignment::conventional(&module),
+        Scheme::Basic => fpa_partition::partition_basic(&module),
+        Scheme::Advanced => {
+            let (_, profile) = fpa_ir::Interp::new(&module).run().unwrap_or_else(|e| {
+                eprintln!("fpa-cc: profiling run failed: {e}");
+                std::process::exit(1)
+            });
+            let freq = BlockFreq::from_profile(&module, &profile);
+            fpa_partition::partition_advanced(&mut module, &freq, &CostParams::default())
+        }
+    };
+    let prog = fpa_codegen::compile_module(&module, &assignment);
+
+    match emit.as_str() {
+        "asm" => print!("{}", prog.disasm()),
+        "stats" => {
+            let f = run_functional(&prog, 5_000_000_000).expect("functional run");
+            let t = simulate(&prog, &MachineConfig::four_way(true), 5_000_000_000)
+                .expect("timing run");
+            println!("static instructions : {}", prog.static_size());
+            println!("dynamic instructions: {}", f.total);
+            println!("FP-subsystem ops    : {} ({:.1}%)", f.fp_subsystem, f.fp_fraction() * 100.0);
+            println!("augmented (*A) ops  : {}", f.augmented);
+            println!("inter-file copies   : {}", f.copies);
+            println!("loads / stores      : {} / {}", f.loads, f.stores);
+            println!("cycles (4-way aug)  : {}", t.cycles);
+            println!("IPC                 : {:.2}", t.ipc());
+            println!("branch accuracy     : {:.2}%", t.branch_accuracy() * 100.0);
+        }
+        "run" => {
+            let f = run_functional(&prog, 5_000_000_000).unwrap_or_else(|e| {
+                eprintln!("fpa-cc: {e}");
+                std::process::exit(1)
+            });
+            print!("{}", f.output);
+            std::process::exit(f.exit_code & 0xFF);
+        }
+        _ => usage(),
+    }
+}

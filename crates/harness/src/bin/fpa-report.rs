@@ -1,0 +1,59 @@
+//! Command-line experiment runner: regenerates the paper's tables and
+//! figures. Usage: `fpa-report [table1|table2|fig8|fig9|fig10|overheads|fp|all]`.
+
+use fpa_harness::experiments::{
+    build_all, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way, fp_programs, overheads,
+};
+use fpa_harness::report;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let needs_builds = matches!(what.as_str(), "fig8" | "fig9" | "fig10" | "overheads" | "all");
+
+    if matches!(what.as_str(), "table1" | "all") {
+        println!("{}", report::table1());
+    }
+    if matches!(what.as_str(), "table2" | "all") {
+        println!("{}", report::table2());
+    }
+    if needs_builds {
+        eprintln!("building 8 integer workloads (conventional/basic/advanced)...");
+        let compiled = build_all(&fpa_workloads::integer()).unwrap_or_else(|e| {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        });
+        if matches!(what.as_str(), "fig8" | "all") {
+            let rows = fig8_partition_size(&compiled).expect("fig8");
+            println!("{}", report::fig8(&rows));
+        }
+        if matches!(what.as_str(), "fig9" | "all") {
+            eprintln!("timing-simulating on the 4-way machine...");
+            let rows = fig9_speedup_4way(&compiled).expect("fig9");
+            println!("{}", report::speedup("Figure 9: Speedups on a 4-way machine", &rows));
+        }
+        if matches!(what.as_str(), "fig10" | "all") {
+            eprintln!("timing-simulating on the 8-way machine...");
+            let rows = fig10_speedup_8way(&compiled).expect("fig10");
+            println!("{}", report::speedup("Figure 10: Speedups on an 8-way machine", &rows));
+        }
+        if matches!(what.as_str(), "overheads" | "all") {
+            let rows = overheads(&compiled).expect("overheads");
+            println!("{}", report::overheads(&rows));
+        }
+    }
+    if matches!(what.as_str(), "ablation") {
+        eprintln!("sweeping cost-model constants on gcc and m88ksim...");
+        let rows = fpa_harness::experiments::ablate_cost_params(&["gcc", "m88ksim"])
+            .expect("ablation");
+        println!("{}", fpa_harness::report::ablation(&rows));
+    }
+    if matches!(what.as_str(), "fp" | "all") {
+        eprintln!("building floating-point programs (section 7.5)...");
+        let (sizes, speed) = fp_programs().expect("fp programs");
+        println!("{}", report::fig8(&sizes));
+        println!(
+            "{}",
+            report::speedup("Section 7.5: FP programs on the 4-way machine", &speed)
+        );
+    }
+}

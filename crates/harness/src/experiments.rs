@@ -1,0 +1,272 @@
+//! The paper's experiments, one function per table/figure.
+
+use crate::pipeline::{build, BuildError, CompiledWorkload};
+use fpa_partition::CostParams;
+use fpa_sim::{run_functional, simulate, MachineConfig};
+use fpa_workloads::Workload;
+
+/// Functional-simulation fuel (instructions).
+pub const FUNC_FUEL: u64 = 200_000_000;
+/// Timing-simulation fuel (cycles).
+pub const TIMING_FUEL: u64 = 200_000_000;
+
+/// One bar pair of Figure 8.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Percent of dynamic instructions in the FP subsystem, basic scheme.
+    pub basic_pct: f64,
+    /// Percent of dynamic instructions in the FP subsystem, advanced.
+    pub advanced_pct: f64,
+}
+
+/// One bar (pair) of Figures 9/10.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Percent speedup of the basic-scheme binary over conventional.
+    pub basic_pct: f64,
+    /// Percent speedup of the advanced-scheme binary over conventional.
+    pub advanced_pct: f64,
+    /// Conventional cycles (for reference).
+    pub conventional_cycles: u64,
+    /// Fraction of cycles the INT subsystem idled while FPa was busy
+    /// (advanced build — §7.3's load-imbalance indicator).
+    pub int_idle_fp_busy_frac: f64,
+}
+
+/// One row of the §7.2 overhead discussion.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Percent increase in dynamic instructions (advanced vs conventional).
+    pub dynamic_increase_pct: f64,
+    /// Percent of dynamic instructions that are copies (advanced).
+    pub copy_pct: f64,
+    /// Percent increase in static code size (advanced vs conventional).
+    pub static_increase_pct: f64,
+    /// Percent change in dynamic loads (advanced vs conventional) —
+    /// §6.6's register-pressure discussion.
+    pub load_change_pct: f64,
+    /// I-cache miss rates (conventional, advanced) on the 4-way machine —
+    /// §7.2 reports "very little change in instruction cache hit rates".
+    pub icache_miss_rates: (f64, f64),
+}
+
+fn pct(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new / old - 1.0) * 100.0
+    }
+}
+
+/// Builds every workload in `set` (propagating the first failure).
+///
+/// # Errors
+///
+/// Returns the first pipeline failure.
+pub fn build_all(set: &[Workload]) -> Result<Vec<CompiledWorkload>, BuildError> {
+    set.iter().map(|w| build(w, &CostParams::default())).collect()
+}
+
+/// Figure 8: the size of the FPa partition as a percentage of dynamic
+/// instructions, per workload, basic vs advanced.
+///
+/// # Errors
+///
+/// Returns the first simulation failure as a boxed error.
+pub fn fig8_partition_size(
+    compiled: &[CompiledWorkload],
+) -> Result<Vec<Fig8Row>, fpa_sim::ExecError> {
+    compiled
+        .iter()
+        .map(|c| {
+            let basic = run_functional(&c.basic, FUNC_FUEL)?;
+            let adv = run_functional(&c.advanced, FUNC_FUEL)?;
+            Ok(Fig8Row {
+                name: c.name,
+                basic_pct: basic.fp_fraction() * 100.0,
+                advanced_pct: adv.fp_fraction() * 100.0,
+            })
+        })
+        .collect()
+}
+
+fn speedups(
+    compiled: &[CompiledWorkload],
+    conv_cfg: &MachineConfig,
+    aug_cfg: &MachineConfig,
+) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
+    compiled
+        .iter()
+        .map(|c| {
+            let conv = simulate(&c.conventional, conv_cfg, TIMING_FUEL)?;
+            let basic = simulate(&c.basic, aug_cfg, TIMING_FUEL)?;
+            let adv = simulate(&c.advanced, aug_cfg, TIMING_FUEL)?;
+            debug_assert_eq!(conv.output, basic.output);
+            debug_assert_eq!(conv.output, adv.output);
+            Ok(SpeedupRow {
+                name: c.name,
+                basic_pct: pct(conv.cycles as f64, basic.cycles as f64),
+                advanced_pct: pct(conv.cycles as f64, adv.cycles as f64),
+                conventional_cycles: conv.cycles,
+                int_idle_fp_busy_frac: adv.int_idle_fp_busy as f64 / adv.cycles as f64,
+            })
+        })
+        .collect()
+}
+
+/// Figure 9: percent speedup on the 4-way (2 int + 2 fp) machine.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn fig9_speedup_4way(
+    compiled: &[CompiledWorkload],
+) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
+    speedups(
+        compiled,
+        &MachineConfig::four_way(false),
+        &MachineConfig::four_way(true),
+    )
+}
+
+/// Figure 10: percent speedup on the 8-way (4 int + 4 fp) machine.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn fig10_speedup_8way(
+    compiled: &[CompiledWorkload],
+) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
+    speedups(
+        compiled,
+        &MachineConfig::eight_way(false),
+        &MachineConfig::eight_way(true),
+    )
+}
+
+/// §7.2: instruction overheads of the advanced scheme.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn overheads(compiled: &[CompiledWorkload]) -> Result<Vec<OverheadRow>, fpa_sim::ExecError> {
+    let cfg = MachineConfig::four_way(true);
+    compiled
+        .iter()
+        .map(|c| {
+            let conv = run_functional(&c.conventional, FUNC_FUEL)?;
+            let adv = run_functional(&c.advanced, FUNC_FUEL)?;
+            let tc = simulate(&c.conventional, &cfg, TIMING_FUEL)?;
+            let ta = simulate(&c.advanced, &cfg, TIMING_FUEL)?;
+            let miss_rate = |(a, m): (u64, u64)| if a == 0 { 0.0 } else { m as f64 / a as f64 };
+            Ok(OverheadRow {
+                name: c.name,
+                dynamic_increase_pct: pct(adv.total as f64, conv.total as f64),
+                copy_pct: adv.copies as f64 / adv.total as f64 * 100.0,
+                static_increase_pct: pct(c.static_sizes.2 as f64, c.static_sizes.0 as f64),
+                load_change_pct: pct(adv.loads as f64, conv.loads as f64),
+                icache_miss_rates: (miss_rate(tc.icache), miss_rate(ta.icache)),
+            })
+        })
+        .collect()
+}
+
+/// §7.5: the floating-point programs, reported like Figure 8 + Figure 9
+/// on the 4-way machine.
+///
+/// # Errors
+///
+/// Returns the first pipeline or simulation failure.
+pub fn fp_programs() -> Result<(Vec<Fig8Row>, Vec<SpeedupRow>), Box<dyn std::error::Error>> {
+    let compiled = build_all(&fpa_workloads::floating())?;
+    let sizes = fig8_partition_size(&compiled)?;
+    let speed = fig9_speedup_4way(&compiled)?;
+    Ok((sizes, speed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap smoke test over two workloads; the full sweep lives in the
+    /// workspace integration tests and benches.
+    #[test]
+    fn fig8_and_fig9_shapes_on_two_workloads() {
+        let set: Vec<_> = ["m88ksim", "li"]
+            .iter()
+            .map(|n| fpa_workloads::by_name(n).unwrap())
+            .collect();
+        let compiled = build_all(&set).unwrap();
+        let f8 = fig8_partition_size(&compiled).unwrap();
+        assert_eq!(f8.len(), 2);
+        for row in &f8 {
+            assert!(row.advanced_pct >= row.basic_pct - 1e-9, "{row:?}");
+            assert!(row.advanced_pct < 60.0, "{row:?}");
+        }
+        let f9 = fig9_speedup_4way(&compiled).unwrap();
+        // m88ksim-analogue should speed up; nothing should slow down
+        // catastrophically.
+        for row in &f9 {
+            assert!(row.advanced_pct > -5.0, "{row:?}");
+        }
+        let m88 = f9.iter().find(|r| r.name == "m88ksim").unwrap();
+        assert!(m88.advanced_pct > 0.5, "m88ksim should gain: {m88:?}");
+    }
+}
+
+/// One point of the cost-model ablation (§6.1's empirical calibration).
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// The copy overhead constant used.
+    pub o_copy: f64,
+    /// The duplication overhead constant used.
+    pub o_dupl: f64,
+    /// Percent of dynamic instructions in the FP subsystem.
+    pub offload_pct: f64,
+    /// Percent speedup over conventional on the 4-way machine.
+    pub speedup_pct: f64,
+}
+
+/// Sweeps the cost-model constants over the paper's empirical ranges
+/// (`o_copy` in 3..=6, `o_dupl` in {1.5, 3}) for the given workloads —
+/// the experiment behind §6.1's "determined empirically" sentence.
+///
+/// # Errors
+///
+/// Returns the first pipeline or simulation failure.
+pub fn ablate_cost_params(
+    names: &[&'static str],
+) -> Result<Vec<AblationRow>, Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    let conv_cfg = MachineConfig::four_way(false);
+    let aug_cfg = MachineConfig::four_way(true);
+    for name in names {
+        let w = fpa_workloads::by_name(name).ok_or("unknown workload")?;
+        let conv = build(&w, &CostParams::default())?;
+        let base = simulate(&conv.conventional, &conv_cfg, TIMING_FUEL)?;
+        for o_copy in [3.0, 4.0, 5.0, 6.0] {
+            for o_dupl in [1.5, 3.0f64.min(o_copy - 0.5)] {
+                let params = CostParams { o_copy, o_dupl, balance_cap: None };
+                let c = build(&w, &params)?;
+                let f = run_functional(&c.advanced, FUNC_FUEL)?;
+                let t = simulate(&c.advanced, &aug_cfg, TIMING_FUEL)?;
+                rows.push(AblationRow {
+                    name: w.name,
+                    o_copy,
+                    o_dupl,
+                    offload_pct: f.fp_fraction() * 100.0,
+                    speedup_pct: (base.cycles as f64 / t.cycles as f64 - 1.0) * 100.0,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}

@@ -1,0 +1,29 @@
+//! # fpa-harness
+//!
+//! End-to-end experiment driver: compiles every workload three ways
+//! (conventional, basic scheme, advanced scheme), runs functional and
+//! timing simulation, and regenerates each table and figure of the paper
+//! (see DESIGN.md for the experiment index).
+//!
+//! The `fpa-report` binary prints any experiment:
+//!
+//! ```text
+//! fpa-report table1   # machine parameters
+//! fpa-report table2   # workloads
+//! fpa-report fig8     # FPa partition sizes (basic vs advanced)
+//! fpa-report fig9     # 4-way speedups
+//! fpa-report fig10    # 8-way speedups
+//! fpa-report overheads
+//! fpa-report fp       # section 7.5, floating-point programs
+//! fpa-report all
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use experiments::{
+    ablate_cost_params, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way,
+    fp_programs, overheads, AblationRow, Fig8Row, OverheadRow, SpeedupRow,
+};
+pub use pipeline::{build, BuildError, CompiledWorkload};

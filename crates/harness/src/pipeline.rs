@@ -1,0 +1,144 @@
+//! The compile→profile→partition→codegen pipeline, run three ways per
+//! workload.
+
+use fpa_codegen::compile_module;
+use fpa_isa::Program;
+use fpa_partition::{partition_advanced, partition_basic, Assignment, BlockFreq, CostParams};
+use fpa_workloads::Workload;
+use fpa_ir::{Interp, Module, Profile};
+use std::fmt;
+
+/// A pipeline failure.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The workload failed to compile.
+    Compile(fpa_frontend::CompileError),
+    /// The profiling interpreter run failed.
+    Profile(fpa_ir::InterpError),
+    /// Generated IR failed verification.
+    Verify(fpa_ir::VerifyError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compile: {e}"),
+            BuildError::Profile(e) => write!(f, "profile: {e}"),
+            BuildError::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A workload compiled under all three regimes.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// The workload name.
+    pub name: &'static str,
+    /// Conventional binary (no offloading).
+    pub conventional: Program,
+    /// Basic-scheme binary.
+    pub basic: Program,
+    /// Advanced-scheme binary.
+    pub advanced: Program,
+    /// Interpreter profile of the optimized module (feeds the cost model).
+    pub profile: Profile,
+    /// Golden observable output (from the IR interpreter).
+    pub golden_output: String,
+    /// Golden exit code.
+    pub golden_exit: i32,
+    /// Static instruction counts (conventional, basic, advanced).
+    pub static_sizes: (usize, usize, usize),
+}
+
+/// Runs the frontend and optimizer, producing the module every build
+/// shares.
+fn optimized_module(source: &str) -> Result<Module, BuildError> {
+    let mut m = fpa_frontend::compile(source).map_err(BuildError::Compile)?;
+    fpa_ir::opt::optimize(&mut m);
+    for f in &mut m.funcs {
+        fpa_ir::opt::split_webs(f);
+    }
+    fpa_ir::verify::verify_module(&m).map_err(BuildError::Verify)?;
+    Ok(m)
+}
+
+/// Compiles `workload` conventionally and under both partitioning
+/// schemes, using an interpreter profile for the advanced cost model
+/// (exactly the paper's methodology, §6.1/§7.1).
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] if any stage fails.
+pub fn build(workload: &Workload, params: &CostParams) -> Result<CompiledWorkload, BuildError> {
+    let m = optimized_module(workload.source)?;
+    let (golden, profile) = Interp::new(&m).run().map_err(BuildError::Profile)?;
+
+    let conventional = compile_module(&m, &Assignment::conventional(&m));
+    let basic_assignment = partition_basic(&m);
+    let basic = compile_module(&m, &basic_assignment);
+
+    // The advanced scheme transforms the module; rebuild from source so
+    // the conventional/basic binaries stay untouched.
+    let mut m2 = optimized_module(workload.source)?;
+    let freq = BlockFreq::from_profile(&m2, &profile);
+    let adv_assignment = partition_advanced(&mut m2, &freq, params);
+    fpa_ir::verify::verify_module(&m2).map_err(BuildError::Verify)?;
+    let advanced = compile_module(&m2, &adv_assignment);
+
+    Ok(CompiledWorkload {
+        name: workload.name,
+        static_sizes: (
+            conventional.static_size(),
+            basic.static_size(),
+            advanced.static_size(),
+        ),
+        conventional,
+        basic,
+        advanced,
+        profile,
+        golden_output: golden.output,
+        golden_exit: golden.exit_code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_sim::run_functional;
+
+    const FUEL: u64 = 100_000_000;
+
+    #[test]
+    fn all_three_builds_of_compress_agree_with_golden() {
+        let w = fpa_workloads::by_name("compress").unwrap();
+        let c = build(&w, &CostParams::default()).unwrap();
+        for (tag, prog) in [
+            ("conventional", &c.conventional),
+            ("basic", &c.basic),
+            ("advanced", &c.advanced),
+        ] {
+            let r = run_functional(prog, FUEL).unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert_eq!(r.output, c.golden_output, "{tag} output diverged");
+            assert_eq!(r.exit_code, c.golden_exit, "{tag} exit diverged");
+        }
+    }
+
+    #[test]
+    fn basic_offload_is_between_conventional_and_advanced() {
+        let w = fpa_workloads::by_name("m88ksim").unwrap();
+        let c = build(&w, &CostParams::default()).unwrap();
+        let conv = run_functional(&c.conventional, FUEL).unwrap();
+        let basic = run_functional(&c.basic, FUEL).unwrap();
+        let adv = run_functional(&c.advanced, FUEL).unwrap();
+        assert_eq!(conv.augmented, 0);
+        assert!(basic.augmented > 0, "basic should offload something on m88ksim");
+        assert!(
+            adv.fp_fraction() >= basic.fp_fraction(),
+            "advanced ({:.3}) should be >= basic ({:.3})",
+            adv.fp_fraction(),
+            basic.fp_fraction()
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Convenience builder for IR functions.
+
+use crate::func::{BlockId, FuncId, Function, InstId, VReg};
+use crate::inst::{BinOp, CvtKind, Inst, MemWidth, Terminator};
+use crate::types::Ty;
+
+/// Incremental builder for a [`Function`].
+///
+/// Blocks are created unterminated and must each receive exactly one
+/// terminator ([`FunctionBuilder::br`], [`FunctionBuilder::jump`],
+/// [`FunctionBuilder::ret`]) before [`FunctionBuilder::finish`].
+///
+/// ```
+/// use fpa_ir::{FunctionBuilder, BinOp, Ty};
+/// let mut b = FunctionBuilder::new("add2", Some(Ty::Int));
+/// let x = b.param(Ty::Int);
+/// let entry = b.block();
+/// b.switch_to(entry);
+/// let two = b.li(2);
+/// let sum = b.bin(BinOp::Add, x, two);
+/// b.ret(Some(sum));
+/// let f = b.finish();
+/// assert_eq!(f.name, "add2");
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: Option<BlockId>,
+    terminated: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ret_ty: Option<Ty>) -> FunctionBuilder {
+        FunctionBuilder { func: Function::new(name, ret_ty), cur: None, terminated: Vec::new() }
+    }
+
+    /// Declares a formal parameter.
+    pub fn param(&mut self, ty: Ty) -> VReg {
+        let v = self.func.new_vreg(ty);
+        self.func.params.push(v);
+        v
+    }
+
+    /// Mints a fresh virtual register.
+    pub fn vreg(&mut self, ty: Ty) -> VReg {
+        self.func.new_vreg(ty)
+    }
+
+    /// Creates a new (unterminated) block.
+    pub fn block(&mut self) -> BlockId {
+        // Temporary placeholder terminator; must be overwritten.
+        let b = self.func.new_block(Terminator::Jump { target: BlockId::ENTRY });
+        self.terminated.push(false);
+        b
+    }
+
+    /// Makes `b` the insertion point.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = Some(b);
+    }
+
+    /// The current insertion block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is selected.
+    #[must_use]
+    pub fn current(&self) -> BlockId {
+        self.cur.expect("no current block")
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let b = self.current();
+        assert!(!self.terminated[b.index()], "appending to terminated block {b}");
+        self.func.block_mut(b).insts.push(inst);
+    }
+
+    /// `dst = imm`.
+    pub fn li(&mut self, imm: i32) -> VReg {
+        let dst = self.func.new_vreg(Ty::Int);
+        let id = self.func.new_inst_id();
+        self.push(Inst::Li { id, dst, imm });
+        dst
+    }
+
+    /// `dst = val` (double constant).
+    pub fn lid(&mut self, val: f64) -> VReg {
+        let dst = self.func.new_vreg(Ty::Double);
+        let id = self.func.new_inst_id();
+        self.push(Inst::LiD { id, dst, val });
+        dst
+    }
+
+    /// `dst = op(lhs, rhs)`.
+    pub fn bin(&mut self, op: BinOp, lhs: VReg, rhs: VReg) -> VReg {
+        let dst = self.func.new_vreg(op.result_ty());
+        let id = self.func.new_inst_id();
+        self.push(Inst::Bin { id, dst, op, lhs, rhs });
+        dst
+    }
+
+    /// `dst = op(lhs, imm)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` has no immediate form.
+    pub fn bin_imm(&mut self, op: BinOp, lhs: VReg, imm: i32) -> VReg {
+        assert!(op.has_imm_form(), "{op} has no immediate form");
+        let dst = self.func.new_vreg(op.result_ty());
+        let id = self.func.new_inst_id();
+        self.push(Inst::BinImm { id, dst, op, lhs, imm });
+        dst
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, src: VReg) -> VReg {
+        let ty = self.func.vreg_ty(src);
+        let dst = self.func.new_vreg(ty);
+        let id = self.func.new_inst_id();
+        self.push(Inst::Move { id, dst, src });
+        dst
+    }
+
+    /// Moves `src` into the existing register `dst` (for loop-carried
+    /// variables in non-SSA form).
+    pub fn mov_to(&mut self, dst: VReg, src: VReg) {
+        let id = self.func.new_inst_id();
+        self.push(Inst::Move { id, dst, src });
+    }
+
+    /// `dst = address_of(globals[global])`.
+    pub fn la(&mut self, global: u32) -> VReg {
+        let dst = self.func.new_vreg(Ty::Int);
+        let id = self.func.new_inst_id();
+        self.push(Inst::La { id, dst, global });
+        dst
+    }
+
+    /// Numeric conversion.
+    pub fn cvt(&mut self, src: VReg, kind: CvtKind) -> VReg {
+        let ty = match kind {
+            CvtKind::IntToDouble => Ty::Double,
+            CvtKind::DoubleToInt => Ty::Int,
+        };
+        let dst = self.func.new_vreg(ty);
+        let id = self.func.new_inst_id();
+        self.push(Inst::Cvt { id, dst, src, kind });
+        dst
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, base: VReg, offset: i32, width: MemWidth) -> VReg {
+        let dst = self.func.new_vreg(width.value_ty());
+        let id = self.func.new_inst_id();
+        self.push(Inst::Load { id, dst, base, offset, width });
+        dst
+    }
+
+    /// `mem[base + offset] = value`.
+    pub fn store(&mut self, value: VReg, base: VReg, offset: i32, width: MemWidth) {
+        let id = self.func.new_inst_id();
+        self.push(Inst::Store { id, value, base, offset, width });
+    }
+
+    /// Calls `callee`; returns the result register if `ret_ty` is given.
+    pub fn call(&mut self, callee: FuncId, args: Vec<VReg>, ret_ty: Option<Ty>) -> Option<VReg> {
+        let dst = ret_ty.map(|ty| self.func.new_vreg(ty));
+        let id = self.func.new_inst_id();
+        self.push(Inst::Call { id, callee, args, dst });
+        dst
+    }
+
+    /// Prints an integer.
+    pub fn print(&mut self, src: VReg) {
+        let id = self.func.new_inst_id();
+        self.push(Inst::Print { id, src });
+    }
+
+    /// Prints a character.
+    pub fn print_char(&mut self, src: VReg) {
+        let id = self.func.new_inst_id();
+        self.push(Inst::PrintChar { id, src });
+    }
+
+    /// Prints a double.
+    pub fn print_double(&mut self, src: VReg) {
+        let id = self.func.new_inst_id();
+        self.push(Inst::PrintDouble { id, src });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let b = self.current();
+        assert!(!self.terminated[b.index()], "block {b} already terminated");
+        self.func.block_mut(b).term = term;
+        self.terminated[b.index()] = true;
+        self.cur = None;
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: VReg, nonzero: BlockId, zero: BlockId) {
+        let id = self.func.new_inst_id();
+        self.terminate(Terminator::Br { id, cond, nonzero, zero });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump { target });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        let id = self.func.new_inst_id();
+        self.terminate(Terminator::Ret { id, value });
+    }
+
+    /// Read-only access to the function under construction.
+    #[must_use]
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is unterminated.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        for (i, t) in self.terminated.iter().enumerate() {
+            assert!(*t, "block bb{i} was never terminated");
+        }
+        self.func
+    }
+
+    /// Returns the id the *next* created instruction would get; useful in
+    /// tests that need to refer to instructions by id.
+    #[must_use]
+    pub fn peek_inst_id(&self) -> InstId {
+        InstId::new(self.func.inst_id_bound() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_function() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let one = b.li(1);
+        let s = b.bin(BinOp::Add, p, one);
+        b.ret(Some(s));
+        let f = b.finish();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.block(BlockId::ENTRY).insts.len(), 2);
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        let t = b.block();
+        let z = b.block();
+        let join = b.block();
+        b.switch_to(e);
+        b.br(p, t, z);
+        let r = b.func().params[0];
+        b.switch_to(t);
+        let a = b.li(1);
+        b.mov_to(r, a);
+        b.jump(join);
+        b.switch_to(z);
+        let c = b.li(2);
+        b.mov_to(r, c);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(Some(p));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.block(e).term.successors(), vec![t, z]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn finish_rejects_unterminated_block() {
+        let mut b = FunctionBuilder::new("f", None);
+        let _e = b.block();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn cannot_double_terminate() {
+        let mut b = FunctionBuilder::new("f", None);
+        let e = b.block();
+        b.switch_to(e);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no immediate form")]
+    fn bin_imm_validates_op() {
+        let mut b = FunctionBuilder::new("f", None);
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.li(1);
+        let _ = b.bin_imm(BinOp::Mul, x, 2);
+    }
+}

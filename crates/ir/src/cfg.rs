@@ -1,0 +1,371 @@
+//! Control-flow graph utilities: predecessors/successors, reverse postorder,
+//! dominators, and natural-loop analysis.
+//!
+//! Loop nesting depth feeds the paper's probabilistic execution-count
+//! estimate for unprofiled blocks (`n_B = p_B * 5^(d_B)`, §6.1).
+
+use crate::func::{BlockId, Function};
+
+/// Predecessor/successor adjacency for a function's blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    #[must_use]
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.block(b).term.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        // Depth-first postorder from the entry block.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+        if n > 0 {
+            visited[BlockId::ENTRY.index()] = true;
+        }
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b.index()].len() {
+                let s = succs[b.index()][*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { preds, succs, rpo: post, rpo_index }
+    }
+
+    /// Predecessors of `b`.
+    #[must_use]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    #[must_use]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first). Unreachable blocks are
+    /// absent.
+    #[must_use]
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes dominators over `cfg`.
+    #[must_use]
+    pub fn new(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, rpo_index: vec![] };
+        }
+        idom[BlockId::ENTRY.index()] = Some(BlockId::ENTRY);
+        let rpo_index = (0..n)
+            .map(|i| {
+                cfg.rpo()
+                    .iter()
+                    .position(|b| b.index() == i)
+                    .unwrap_or(usize::MAX)
+            })
+            .collect::<Vec<_>>();
+        let intersect = |idom: &Vec<Option<BlockId>>, mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b || b != BlockId::ENTRY => {
+                if b == BlockId::ENTRY {
+                    None
+                } else {
+                    Some(d)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index.get(b.index()).copied() == Some(usize::MAX) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Natural loops and per-block loop-nesting depth.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Each natural loop: `(header, body)` with `body` including the header.
+    pub loops: Vec<(BlockId, Vec<BlockId>)>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Finds all natural loops (back edges whose target dominates the
+    /// source) and the nesting depth of every block.
+    #[must_use]
+    pub fn new(func: &Function, cfg: &Cfg, dom: &DomTree) -> LoopInfo {
+        let n = func.blocks.len();
+        let mut loops = Vec::new();
+        for b in func.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    // Back edge b -> s; natural loop = s plus all blocks that
+                    // reach b without passing through s.
+                    let mut body = vec![s];
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if body.contains(&x) {
+                            continue;
+                        }
+                        body.push(x);
+                        for &p in cfg.preds(x) {
+                            stack.push(p);
+                        }
+                    }
+                    body.sort_unstable();
+                    loops.push((s, body));
+                }
+            }
+        }
+        // Merge loops with the same header (multiple back edges).
+        loops.sort_by_key(|(h, _)| *h);
+        let mut merged: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (h, body) in loops {
+            match merged.last_mut() {
+                Some((mh, mbody)) if *mh == h => {
+                    for b in body {
+                        if !mbody.contains(&b) {
+                            mbody.push(b);
+                        }
+                    }
+                    mbody.sort_unstable();
+                }
+                _ => merged.push((h, body)),
+            }
+        }
+        let mut depth = vec![0u32; n];
+        for (_, body) in &merged {
+            for b in body {
+                depth[b.index()] += 1;
+            }
+        }
+        LoopInfo { loops: merged, depth }
+    }
+
+    /// Loop-nesting depth of `b` (0 = not in any loop).
+    #[must_use]
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    /// entry -> header; header -> body | exit; body -> header.
+    fn simple_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param(Ty::Int);
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        b.jump(header);
+        b.switch_to(header);
+        b.br(p, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let header = BlockId::new(1);
+        assert_eq!(cfg.succs(BlockId::ENTRY), &[header]);
+        assert_eq!(cfg.preds(header).len(), 2);
+        assert_eq!(cfg.rpo()[0], BlockId::ENTRY);
+        assert!(cfg.is_reachable(BlockId::new(3)));
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let header = BlockId::new(1);
+        let body = BlockId::new(2);
+        let exit = BlockId::new(3);
+        assert!(dom.dominates(BlockId::ENTRY, exit));
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(BlockId::ENTRY), None);
+    }
+
+    #[test]
+    fn loop_detection_and_depth() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let li = LoopInfo::new(&f, &cfg, &dom);
+        assert_eq!(li.loops.len(), 1);
+        let (h, body) = &li.loops[0];
+        assert_eq!(*h, BlockId::new(1));
+        assert!(body.contains(&BlockId::new(2)));
+        assert!(!body.contains(&BlockId::new(3)));
+        assert_eq!(li.depth(BlockId::ENTRY), 0);
+        assert_eq!(li.depth(BlockId::new(1)), 1);
+        assert_eq!(li.depth(BlockId::new(2)), 1);
+        assert_eq!(li.depth(BlockId::new(3)), 0);
+    }
+
+    /// Nested loops: outer header bb1, inner header bb2.
+    #[test]
+    fn nested_loop_depth() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param(Ty::Int);
+        let entry = b.block();
+        let outer = b.block();
+        let inner = b.block();
+        let innerbody = b.block();
+        let outerlatch = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        b.jump(outer);
+        b.switch_to(outer);
+        b.br(p, inner, exit);
+        b.switch_to(inner);
+        b.br(p, innerbody, outerlatch);
+        b.switch_to(innerbody);
+        b.jump(inner);
+        b.switch_to(outerlatch);
+        b.jump(outer);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let li = LoopInfo::new(&f, &cfg, &dom);
+        assert_eq!(li.loops.len(), 2);
+        assert_eq!(li.depth(BlockId::new(3)), 2); // inner body
+        assert_eq!(li.depth(BlockId::new(2)), 2); // inner header
+        assert_eq!(li.depth(BlockId::new(4)), 1); // outer latch
+        assert_eq!(li.depth(BlockId::new(5)), 0);
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut b = FunctionBuilder::new("f", None);
+        let entry = b.block();
+        let dead = b.block();
+        b.switch_to(entry);
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+        let dom = DomTree::new(&f, &cfg);
+        assert!(!dom.dominates(entry, dead));
+    }
+}

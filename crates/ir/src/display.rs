@@ -1,0 +1,125 @@
+//! Human-readable printing of IR.
+
+use crate::func::{Function, Module};
+use crate::inst::{CvtKind, Inst, Terminator};
+use std::fmt::Write as _;
+
+/// Pretty-prints one instruction.
+#[must_use]
+pub fn inst_to_string(inst: &Inst, module: Option<&Module>) -> String {
+    use Inst::*;
+    match inst {
+        Bin { dst, op, lhs, rhs, .. } => format!("{dst} = {op} {lhs}, {rhs}"),
+        BinImm { dst, op, lhs, imm, .. } => format!("{dst} = {op} {lhs}, #{imm}"),
+        Li { dst, imm, .. } => format!("{dst} = li #{imm}"),
+        LiD { dst, val, .. } => format!("{dst} = lid #{val}"),
+        Move { dst, src, .. } => format!("{dst} = {src}"),
+        La { dst, global, .. } => {
+            let name = module
+                .and_then(|m| m.globals.get(*global as usize))
+                .map_or_else(|| format!("g{global}"), |g| g.name.clone());
+            format!("{dst} = la &{name}")
+        }
+        Cvt { dst, src, kind, .. } => {
+            let k = match kind {
+                CvtKind::IntToDouble => "i2d",
+                CvtKind::DoubleToInt => "d2i",
+            };
+            format!("{dst} = {k} {src}")
+        }
+        Load { dst, base, offset, width, .. } => {
+            format!("{dst} = load.{:?} [{base}+{offset}]", width)
+        }
+        Store { value, base, offset, width, .. } => {
+            format!("store.{:?} [{base}+{offset}] = {value}", width)
+        }
+        Call { callee, args, dst, .. } => {
+            let name = module.map_or_else(|| callee.to_string(), |m| m.func(*callee).name.clone());
+            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            match dst {
+                Some(d) => format!("{d} = call {name}({args})"),
+                None => format!("call {name}({args})"),
+            }
+        }
+        Print { src, .. } => format!("print {src}"),
+        PrintChar { src, .. } => format!("printc {src}"),
+        PrintDouble { src, .. } => format!("printd {src}"),
+        Copy { dst, src, .. } => format!("{dst} = copy {src}"),
+    }
+}
+
+/// Pretty-prints a whole function.
+#[must_use]
+pub fn func_to_string(func: &Function, module: Option<&Module>) -> String {
+    let mut s = String::new();
+    let params = func
+        .params
+        .iter()
+        .map(|p| format!("{p}: {}", func.vreg_ty(*p)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = func.ret_ty.map_or_else(|| "void".to_owned(), |t| t.to_string());
+    let _ = writeln!(s, "fn {}({params}) -> {ret} {{", func.name);
+    for b in func.block_ids() {
+        let _ = writeln!(s, "{b}:");
+        for inst in &func.block(b).insts {
+            let _ = writeln!(s, "    {}", inst_to_string(inst, module));
+        }
+        let term = match &func.block(b).term {
+            Terminator::Jump { target } => format!("jump {target}"),
+            Terminator::Br { cond, nonzero, zero, .. } => {
+                format!("br {cond} ? {nonzero} : {zero}")
+            }
+            Terminator::Ret { value: Some(v), .. } => format!("ret {v}"),
+            Terminator::Ret { value: None, .. } => "ret".to_owned(),
+        };
+        let _ = writeln!(s, "    {term}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Pretty-prints a whole module.
+#[must_use]
+pub fn module_to_string(module: &Module) -> String {
+    let mut s = String::new();
+    for g in &module.globals {
+        let _ = writeln!(s, "global {}: {} bytes @ {:#x}", g.name, g.size, g.addr);
+    }
+    for f in &module.funcs {
+        s.push('\n');
+        s.push_str(&func_to_string(f, Some(module)));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, MemWidth};
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_function() {
+        let mut m = Module::new();
+        let g = m.add_global("table", 16, vec![]);
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let base = b.la(g);
+        let x = b.load(base, 4, MemWidth::Word);
+        let y = b.bin(BinOp::Add, x, p);
+        b.store(y, base, 0, MemWidth::Word);
+        b.ret(Some(y));
+        let f = b.finish();
+        m.funcs.push(f);
+        let text = module_to_string(&m);
+        assert!(text.contains("fn f(v0: int) -> int"));
+        assert!(text.contains("la &table"));
+        assert!(text.contains("load.Word"));
+        assert!(text.contains("store.Word"));
+        assert!(text.contains("ret v3"));
+    }
+}

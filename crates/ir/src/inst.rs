@@ -1,0 +1,596 @@
+//! IR instructions and block terminators.
+
+use crate::func::{BlockId, FuncId, InstId, VReg};
+use crate::types::Ty;
+use std::fmt;
+
+/// Binary operators.
+///
+/// The integer subset mirrors the target ISA. `Mul`, `Div` and `Rem` can
+/// only execute in the INT subsystem (the paper excludes integer
+/// multiply/divide from the augmented hardware); everything else in the
+/// integer subset has an `*A` counterpart and is eligible for offloading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer add (wrapping).
+    Add,
+    /// Integer subtract (wrapping).
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise nor.
+    Nor,
+    /// Shift left logical (`rhs & 31`).
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Signed set-less-than (result 0/1).
+    Slt,
+    /// Unsigned set-less-than (result 0/1).
+    Sltu,
+    /// Integer multiply (INT subsystem only).
+    Mul,
+    /// Integer divide (INT subsystem only).
+    Div,
+    /// Integer remainder (INT subsystem only).
+    Rem,
+    /// Double add.
+    FAdd,
+    /// Double subtract.
+    FSub,
+    /// Double multiply.
+    FMul,
+    /// Double divide.
+    FDiv,
+    /// Double compare equal (integer 0/1 result).
+    FCeq,
+    /// Double compare less-than (integer 0/1 result).
+    FClt,
+    /// Double compare less-or-equal (integer 0/1 result).
+    FCle,
+}
+
+impl BinOp {
+    /// Type of the operands.
+    #[must_use]
+    pub fn operand_ty(self) -> Ty {
+        use BinOp::*;
+        match self {
+            FAdd | FSub | FMul | FDiv | FCeq | FClt | FCle => Ty::Double,
+            _ => Ty::Int,
+        }
+    }
+
+    /// Type of the result.
+    #[must_use]
+    pub fn result_ty(self) -> Ty {
+        use BinOp::*;
+        match self {
+            FAdd | FSub | FMul | FDiv => Ty::Double,
+            _ => Ty::Int,
+        }
+    }
+
+    /// Whether the augmented FP subsystem can execute this operator on
+    /// integer data (everything but multiply/divide/remainder and `nor`,
+    /// which have no `*A` opcodes; the double operators natively belong to
+    /// the FP subsystem anyway).
+    #[must_use]
+    pub fn fpa_supported(self) -> bool {
+        !matches!(self, BinOp::Mul | BinOp::Div | BinOp::Rem | BinOp::Nor)
+    }
+
+    /// Whether an immediate (register–constant) form exists in the ISA.
+    #[must_use]
+    pub fn has_imm_form(self) -> bool {
+        use BinOp::*;
+        matches!(self, Add | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu)
+    }
+
+    /// Whether the operator is commutative.
+    #[must_use]
+    pub fn commutative(self) -> bool {
+        use BinOp::*;
+        matches!(self, Add | And | Or | Xor | Nor | Mul | FAdd | FMul | FCeq)
+    }
+
+    /// The operator's mnemonic used by the pretty-printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "add", Sub => "sub", And => "and", Or => "or", Xor => "xor",
+            Nor => "nor", Sll => "sll", Srl => "srl", Sra => "sra",
+            Slt => "slt", Sltu => "sltu", Mul => "mul", Div => "div",
+            Rem => "rem", FAdd => "fadd", FSub => "fsub", FMul => "fmul",
+            FDiv => "fdiv", FCeq => "fceq", FClt => "fclt", FCle => "fcle",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Numeric conversion kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CvtKind {
+    /// Integer word to double.
+    IntToDouble,
+    /// Double to integer word (truncating).
+    DoubleToInt,
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// Sign-extending byte access.
+    Byte,
+    /// Zero-extending byte access.
+    ByteU,
+    /// 32-bit word (integer).
+    Word,
+    /// 64-bit double.
+    Dword,
+}
+
+impl MemWidth {
+    /// The register type the access produces/consumes.
+    #[must_use]
+    pub fn value_ty(self) -> Ty {
+        match self {
+            MemWidth::Dword => Ty::Double,
+            _ => Ty::Int,
+        }
+    }
+
+    /// Bytes touched in memory.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte | MemWidth::ByteU => 1,
+            MemWidth::Word => 4,
+            MemWidth::Dword => 8,
+        }
+    }
+}
+
+/// A non-terminator IR instruction.
+///
+/// Every instruction carries a function-unique [`InstId`]; the register
+/// dependence graph and the partition assignment are keyed on these ids, so
+/// transformation passes preserve ids when they move instructions and mint
+/// fresh ids when they create them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = op(lhs, rhs)`.
+    Bin {
+        /// Unique id.
+        id: InstId,
+        /// Destination.
+        dst: VReg,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// `dst = op(lhs, imm)` — integer operators with an immediate form.
+    BinImm {
+        /// Unique id.
+        id: InstId,
+        /// Destination.
+        dst: VReg,
+        /// Operator (must satisfy [`BinOp::has_imm_form`]).
+        op: BinOp,
+        /// Left operand.
+        lhs: VReg,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// `dst = imm` (integer constant).
+    Li {
+        /// Unique id.
+        id: InstId,
+        /// Destination.
+        dst: VReg,
+        /// The constant.
+        imm: i32,
+    },
+    /// `dst = val` (double constant).
+    LiD {
+        /// Unique id.
+        id: InstId,
+        /// Destination.
+        dst: VReg,
+        /// The constant.
+        val: f64,
+    },
+    /// `dst = src` (same-type move).
+    Move {
+        /// Unique id.
+        id: InstId,
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+    },
+    /// `dst = address_of(global)`.
+    La {
+        /// Unique id.
+        id: InstId,
+        /// Destination (integer/address).
+        dst: VReg,
+        /// Index into [`crate::Module::globals`].
+        global: u32,
+    },
+    /// Numeric conversion.
+    Cvt {
+        /// Unique id.
+        id: InstId,
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+        /// Conversion kind.
+        kind: CvtKind,
+    },
+    /// `dst = mem[base + offset]`.
+    Load {
+        /// Unique id.
+        id: InstId,
+        /// Destination (type per [`MemWidth::value_ty`]).
+        dst: VReg,
+        /// Base address (integer).
+        base: VReg,
+        /// Constant byte offset.
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `mem[base + offset] = value`.
+    Store {
+        /// Unique id.
+        id: InstId,
+        /// The value stored.
+        value: VReg,
+        /// Base address (integer).
+        base: VReg,
+        /// Constant byte offset.
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Direct call. Integer arguments and results use INT registers per the
+    /// calling convention, which is why the partitioner pins them (paper §4).
+    Call {
+        /// Unique id.
+        id: InstId,
+        /// Callee.
+        callee: FuncId,
+        /// Actual arguments.
+        args: Vec<VReg>,
+        /// Return-value destination, if the result is used.
+        dst: Option<VReg>,
+    },
+    /// Print an integer and a newline (observable output).
+    Print {
+        /// Unique id.
+        id: InstId,
+        /// The integer printed.
+        src: VReg,
+    },
+    /// Print one character (low byte).
+    PrintChar {
+        /// Unique id.
+        id: InstId,
+        /// The character printed.
+        src: VReg,
+    },
+    /// Print a double and a newline.
+    PrintDouble {
+        /// Unique id.
+        id: InstId,
+        /// The double printed.
+        src: VReg,
+    },
+    /// Cross-partition copy inserted by the advanced partitioning scheme
+    /// (`cp_to_fpa` / `cp_to_int`; direction is determined by the partition
+    /// homes of `src` and `dst`).
+    Copy {
+        /// Unique id.
+        id: InstId,
+        /// Destination (other partition).
+        dst: VReg,
+        /// Source.
+        src: VReg,
+    },
+}
+
+impl Inst {
+    /// The instruction's unique id.
+    #[must_use]
+    pub fn id(&self) -> InstId {
+        use Inst::*;
+        match self {
+            Bin { id, .. } | BinImm { id, .. } | Li { id, .. } | LiD { id, .. }
+            | Move { id, .. } | La { id, .. } | Cvt { id, .. } | Load { id, .. }
+            | Store { id, .. } | Call { id, .. } | Print { id, .. }
+            | PrintChar { id, .. } | PrintDouble { id, .. } | Copy { id, .. } => *id,
+        }
+    }
+
+    /// The register defined, if any.
+    #[must_use]
+    pub fn dst(&self) -> Option<VReg> {
+        use Inst::*;
+        match self {
+            Bin { dst, .. } | BinImm { dst, .. } | Li { dst, .. }
+            | LiD { dst, .. } | Move { dst, .. } | La { dst, .. }
+            | Cvt { dst, .. } | Load { dst, .. } | Copy { dst, .. } => Some(*dst),
+            Call { dst, .. } => *dst,
+            Store { .. } | Print { .. } | PrintChar { .. } | PrintDouble { .. } => None,
+        }
+    }
+
+    /// The registers read by this instruction, in operand order.
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        use Inst::*;
+        match self {
+            Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            BinImm { lhs, .. } => vec![*lhs],
+            Li { .. } | LiD { .. } | La { .. } => vec![],
+            Move { src, .. } | Cvt { src, .. } | Copy { src, .. } => vec![*src],
+            Load { base, .. } => vec![*base],
+            Store { value, base, .. } => vec![*value, *base],
+            Call { args, .. } => args.clone(),
+            Print { src, .. } | PrintChar { src, .. } | PrintDouble { src, .. } => vec![*src],
+        }
+    }
+
+    /// Applies `f` to every used register in place (for renaming passes).
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut VReg)) {
+        use Inst::*;
+        match self {
+            Bin { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            BinImm { lhs, .. } => f(lhs),
+            Li { .. } | LiD { .. } | La { .. } => {}
+            Move { src, .. } | Cvt { src, .. } | Copy { src, .. } => f(src),
+            Load { base, .. } => f(base),
+            Store { value, base, .. } => {
+                f(value);
+                f(base);
+            }
+            Call { args, .. } => args.iter_mut().for_each(f),
+            Print { src, .. } | PrintChar { src, .. } | PrintDouble { src, .. } => f(src),
+        }
+    }
+
+    /// Replaces the defined register (for renaming passes).
+    pub fn set_dst(&mut self, new: VReg) {
+        use Inst::*;
+        match self {
+            Bin { dst, .. } | BinImm { dst, .. } | Li { dst, .. }
+            | LiD { dst, .. } | Move { dst, .. } | La { dst, .. }
+            | Cvt { dst, .. } | Load { dst, .. } | Copy { dst, .. } => *dst = new,
+            Call { dst, .. } => *dst = Some(new),
+            Store { .. } | Print { .. } | PrintChar { .. } | PrintDouble { .. } => {
+                panic!("instruction has no destination")
+            }
+        }
+    }
+
+    /// Whether this instruction has side effects beyond its destination
+    /// register (memory writes, calls, output) and therefore must not be
+    /// removed by dead-code elimination.
+    #[must_use]
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::Call { .. }
+                | Inst::Print { .. }
+                | Inst::PrintChar { .. }
+                | Inst::PrintDouble { .. }
+        )
+    }
+}
+
+/// The closing instruction of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional transfer.
+    Jump {
+        /// Successor block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch on `cond != 0`.
+    Br {
+        /// Unique id (branches are RDG nodes: the *branch slice* feeds here).
+        id: InstId,
+        /// The tested register.
+        cond: VReg,
+        /// Successor when `cond != 0`.
+        nonzero: BlockId,
+        /// Successor when `cond == 0`.
+        zero: BlockId,
+    },
+    /// Function return.
+    Ret {
+        /// Unique id (return values form the *return-value slice*).
+        id: InstId,
+        /// The returned value, if the function returns one.
+        value: Option<VReg>,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump { target } => vec![*target],
+            Terminator::Br { nonzero, zero, .. } => vec![*nonzero, *zero],
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Terminator::Jump { .. } => vec![],
+            Terminator::Br { cond, .. } => vec![*cond],
+            Terminator::Ret { value, .. } => value.iter().copied().collect(),
+        }
+    }
+
+    /// Applies `f` to every used register in place.
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut VReg)) {
+        match self {
+            Terminator::Jump { .. } => {}
+            Terminator::Br { cond, .. } => f(cond),
+            Terminator::Ret { value, .. } => {
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// The terminator's id, if it is an RDG-relevant node (branch/return).
+    #[must_use]
+    pub fn id(&self) -> Option<InstId> {
+        match self {
+            Terminator::Jump { .. } => None,
+            Terminator::Br { id, .. } | Terminator::Ret { id, .. } => Some(*id),
+        }
+    }
+
+    /// Redirects every successor edge equal to `from` to `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jump { target } => {
+                if *target == from {
+                    *target = to;
+                }
+            }
+            Terminator::Br { nonzero, zero, .. } => {
+                if *nonzero == from {
+                    *nonzero = to;
+                }
+                if *zero == from {
+                    *zero = to;
+                }
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BlockId, InstId, VReg};
+
+    fn v(n: u32) -> VReg {
+        VReg::new(n)
+    }
+
+    #[test]
+    fn binop_metadata() {
+        assert_eq!(BinOp::Add.operand_ty(), Ty::Int);
+        assert_eq!(BinOp::FAdd.result_ty(), Ty::Double);
+        assert_eq!(BinOp::FClt.result_ty(), Ty::Int);
+        assert!(BinOp::Add.fpa_supported());
+        assert!(!BinOp::Mul.fpa_supported());
+        assert!(!BinOp::Div.fpa_supported());
+        assert!(!BinOp::Rem.fpa_supported());
+        assert!(BinOp::Sltu.has_imm_form());
+        assert!(!BinOp::Nor.has_imm_form());
+        assert!(BinOp::Add.commutative());
+        assert!(!BinOp::Sub.commutative());
+    }
+
+    #[test]
+    fn inst_accessors() {
+        let i = Inst::Bin { id: InstId::new(0), dst: v(2), op: BinOp::Add, lhs: v(0), rhs: v(1) };
+        assert_eq!(i.dst(), Some(v(2)));
+        assert_eq!(i.uses(), vec![v(0), v(1)]);
+        assert!(!i.has_side_effects());
+
+        let s = Inst::Store {
+            id: InstId::new(1),
+            value: v(2),
+            base: v(3),
+            offset: 4,
+            width: MemWidth::Word,
+        };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.uses(), vec![v(2), v(3)]);
+        assert!(s.has_side_effects());
+    }
+
+    #[test]
+    fn rename_uses() {
+        let mut i = Inst::Bin { id: InstId::new(0), dst: v(2), op: BinOp::Add, lhs: v(0), rhs: v(0) };
+        i.for_each_use_mut(|u| *u = v(9));
+        assert_eq!(i.uses(), vec![v(9), v(9)]);
+        i.set_dst(v(7));
+        assert_eq!(i.dst(), Some(v(7)));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let br = Terminator::Br {
+            id: InstId::new(0),
+            cond: v(1),
+            nonzero: BlockId::new(1),
+            zero: BlockId::new(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(br.uses(), vec![v(1)]);
+        assert!(br.id().is_some());
+
+        let jump = Terminator::Jump { target: BlockId::new(3) };
+        assert!(jump.uses().is_empty());
+        assert!(jump.id().is_none());
+
+        let ret = Terminator::Ret { id: InstId::new(1), value: None };
+        assert!(ret.successors().is_empty());
+    }
+
+    #[test]
+    fn terminator_retarget() {
+        let mut br = Terminator::Br {
+            id: InstId::new(0),
+            cond: v(1),
+            nonzero: BlockId::new(1),
+            zero: BlockId::new(2),
+        };
+        br.retarget(BlockId::new(2), BlockId::new(5));
+        assert_eq!(br.successors(), vec![BlockId::new(1), BlockId::new(5)]);
+    }
+
+    #[test]
+    fn mem_width() {
+        assert_eq!(MemWidth::Byte.value_ty(), Ty::Int);
+        assert_eq!(MemWidth::Dword.value_ty(), Ty::Double);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+        assert_eq!(MemWidth::ByteU.bytes(), 1);
+        assert_eq!(MemWidth::Dword.bytes(), 8);
+    }
+}

@@ -1,0 +1,628 @@
+//! Reference interpreter for IR modules.
+//!
+//! Serves two purposes:
+//!
+//! 1. **Golden semantic model** — differential tests execute a module here
+//!    and compare observable output against the machine-level functional
+//!    simulation of compiled (and partitioned) code.
+//! 2. **Basic-block profiler** — the advanced partitioning scheme's cost
+//!    model needs execution counts `n_B` per basic block (paper §6.1, which
+//!    used "basic-block execution profiles"). [`Interp::run`] returns a
+//!    [`Profile`] with exactly those counts.
+
+use crate::func::{BlockId, FuncId, Function, Module, VReg};
+use crate::inst::{BinOp, CvtKind, Inst, MemWidth, Terminator};
+use crate::types::{Ty, Value};
+use std::fmt;
+
+/// Execution-count profile: `counts[func][block]`.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    counts: Vec<Vec<u64>>,
+}
+
+impl Profile {
+    /// Creates an all-zero profile shaped like `module`.
+    #[must_use]
+    pub fn new(module: &Module) -> Profile {
+        Profile { counts: module.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect() }
+    }
+
+    /// Execution count of block `b` in function `f`.
+    #[must_use]
+    pub fn count(&self, f: FuncId, b: BlockId) -> u64 {
+        self.counts
+            .get(f.index())
+            .and_then(|c| c.get(b.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether function `f` was ever entered.
+    #[must_use]
+    pub fn covered(&self, f: FuncId) -> bool {
+        self.counts.get(f.index()).is_some_and(|c| c.iter().any(|&n| n > 0))
+    }
+
+    fn bump(&mut self, f: FuncId, b: BlockId) {
+        self.counts[f.index()][b.index()] += 1;
+    }
+}
+
+/// Why interpretation stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// `main` is missing from the module.
+    MissingMain,
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// Function where the fault occurred.
+        func: String,
+    },
+    /// A memory access fell outside the data segment.
+    BadAddress {
+        /// The faulting byte address.
+        addr: u32,
+        /// Function where the fault occurred.
+        func: String,
+    },
+    /// The dynamic-instruction budget was exhausted (probable infinite loop).
+    OutOfFuel,
+    /// The call stack exceeded the recursion limit.
+    StackOverflow,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::MissingMain => f.write_str("module has no `main` function"),
+            InterpError::DivByZero { func } => write!(f, "division by zero in `{func}`"),
+            InterpError::BadAddress { addr, func } => {
+                write!(f, "bad address {addr:#x} in `{func}`")
+            }
+            InterpError::OutOfFuel => f.write_str("dynamic-instruction budget exhausted"),
+            InterpError::StackOverflow => f.write_str("call stack exceeded recursion limit"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The observable result of running a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// `main`'s return value (0 if `main` is void).
+    pub exit_code: i32,
+    /// Everything printed, in order.
+    pub output: String,
+    /// Dynamic IR instructions executed (branch/return terminators count).
+    pub dynamic_insts: u64,
+    /// Final contents of the data segment (for memory-equivalence checks).
+    pub memory: Vec<u8>,
+}
+
+/// The interpreter.
+///
+/// ```
+/// use fpa_ir::{FunctionBuilder, Interp, Module, Ty};
+/// let mut m = Module::new();
+/// let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+/// let e = b.block();
+/// b.switch_to(e);
+/// let v = b.li(42);
+/// b.print(v);
+/// b.ret(Some(v));
+/// m.funcs.push(b.finish());
+/// m.assign_addresses();
+/// let (outcome, _profile) = Interp::new(&m).run().unwrap();
+/// assert_eq!(outcome.exit_code, 42);
+/// assert_eq!(outcome.output, "42\n");
+/// ```
+#[derive(Debug)]
+pub struct Interp<'m> {
+    module: &'m Module,
+    mem: Vec<u8>,
+    mem_base: u32,
+    output: String,
+    fuel: u64,
+    executed: u64,
+    steps: u64,
+    depth_limit: usize,
+    profile: Profile,
+}
+
+impl<'m> Interp<'m> {
+    /// Default dynamic-instruction budget.
+    pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+
+    /// Creates an interpreter for `module` (whose addresses must already be
+    /// assigned via [`Module::assign_addresses`]).
+    #[must_use]
+    pub fn new(module: &'m Module) -> Interp<'m> {
+        let end = module
+            .globals
+            .iter()
+            .map(|g| g.addr + g.size)
+            .max()
+            .unwrap_or(Module::DATA_BASE);
+        let mem_base = Module::DATA_BASE;
+        let mut mem = vec![0u8; (end - mem_base) as usize];
+        for g in &module.globals {
+            let off = (g.addr - mem_base) as usize;
+            mem[off..off + g.init.len()].copy_from_slice(&g.init);
+        }
+        Interp {
+            module,
+            mem,
+            mem_base,
+            output: String::new(),
+            fuel: Self::DEFAULT_FUEL,
+            executed: 0,
+            steps: 0,
+            depth_limit: 4096,
+            profile: Profile::new(module),
+        }
+    }
+
+    /// Overrides the dynamic-instruction budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Interp<'m> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `main` with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on missing `main`, division by zero,
+    /// out-of-range memory access, fuel exhaustion, or stack overflow.
+    pub fn run(mut self) -> Result<(ExecOutcome, Profile), InterpError> {
+        let main = self.module.func_id("main").ok_or(InterpError::MissingMain)?;
+        let ret = self.exec_function(main, &[], 0)?;
+        let exit_code = match ret {
+            Some(Value::Int(v)) => v,
+            _ => 0,
+        };
+        Ok((
+            ExecOutcome {
+                exit_code,
+                output: self.output,
+                dynamic_insts: self.executed,
+                memory: self.mem,
+            },
+            self.profile,
+        ))
+    }
+
+    fn charge(&mut self) -> Result<(), InterpError> {
+        self.executed += 1;
+        self.step()
+    }
+
+    /// Charges one unit of progress without counting an instruction —
+    /// block transitions are charged so that even jump-only loops (which
+    /// execute no instructions) exhaust the budget.
+    fn step(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            Err(InterpError::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn read_mem(&self, func: &Function, addr: u32, width: MemWidth) -> Result<Value, InterpError> {
+        let n = width.bytes();
+        let lo = addr.wrapping_sub(self.mem_base) as usize;
+        if addr < self.mem_base || lo + n as usize > self.mem.len() {
+            return Err(InterpError::BadAddress { addr, func: func.name.clone() });
+        }
+        Ok(match width {
+            MemWidth::Byte => Value::Int(i32::from(self.mem[lo] as i8)),
+            MemWidth::ByteU => Value::Int(i32::from(self.mem[lo])),
+            MemWidth::Word => {
+                Value::Int(i32::from_le_bytes(self.mem[lo..lo + 4].try_into().unwrap()))
+            }
+            MemWidth::Dword => {
+                Value::Double(f64::from_le_bytes(self.mem[lo..lo + 8].try_into().unwrap()))
+            }
+        })
+    }
+
+    fn write_mem(
+        &mut self,
+        func: &Function,
+        addr: u32,
+        width: MemWidth,
+        v: Value,
+    ) -> Result<(), InterpError> {
+        let n = width.bytes();
+        let lo = addr.wrapping_sub(self.mem_base) as usize;
+        if addr < self.mem_base || lo + n as usize > self.mem.len() {
+            return Err(InterpError::BadAddress { addr, func: func.name.clone() });
+        }
+        match width {
+            MemWidth::Byte | MemWidth::ByteU => self.mem[lo] = v.as_int() as u8,
+            MemWidth::Word => {
+                self.mem[lo..lo + 4].copy_from_slice(&v.as_int().to_le_bytes());
+            }
+            MemWidth::Dword => {
+                self.mem[lo..lo + 8].copy_from_slice(&v.as_double().to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_function(
+        &mut self,
+        fid: FuncId,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Option<Value>, InterpError> {
+        if depth >= self.depth_limit {
+            return Err(InterpError::StackOverflow);
+        }
+        let func = self.module.func(fid);
+        // Registers start zeroed per their type, like machine registers.
+        let mut regs: Vec<Value> = (0..func.num_vregs())
+            .map(|i| match func.vreg_ty(VReg::new(i as u32)) {
+                Ty::Int => Value::Int(0),
+                Ty::Double => Value::Double(0.0),
+            })
+            .collect();
+        for (p, a) in func.params.iter().zip(args) {
+            regs[p.index()] = *a;
+        }
+        let mut block = BlockId::ENTRY;
+        loop {
+            self.step()?;
+            self.profile.bump(fid, block);
+            for inst in &func.block(block).insts {
+                self.charge()?;
+                match inst {
+                    Inst::Bin { dst, op, lhs, rhs, .. } => {
+                        let l = regs[lhs.index()];
+                        let r = regs[rhs.index()];
+                        regs[dst.index()] = eval_bin(*op, l, r)
+                            .ok_or_else(|| InterpError::DivByZero { func: func.name.clone() })?;
+                    }
+                    Inst::BinImm { dst, op, lhs, imm, .. } => {
+                        let l = regs[lhs.index()];
+                        regs[dst.index()] = eval_bin(*op, l, Value::Int(*imm))
+                            .ok_or_else(|| InterpError::DivByZero { func: func.name.clone() })?;
+                    }
+                    Inst::Li { dst, imm, .. } => regs[dst.index()] = Value::Int(*imm),
+                    Inst::LiD { dst, val, .. } => regs[dst.index()] = Value::Double(*val),
+                    Inst::Move { dst, src, .. } | Inst::Copy { dst, src, .. } => {
+                        regs[dst.index()] = regs[src.index()];
+                    }
+                    Inst::La { dst, global, .. } => {
+                        regs[dst.index()] =
+                            Value::Int(self.module.globals[*global as usize].addr as i32);
+                    }
+                    Inst::Cvt { dst, src, kind, .. } => {
+                        regs[dst.index()] = match kind {
+                            CvtKind::IntToDouble => {
+                                Value::Double(f64::from(regs[src.index()].as_int()))
+                            }
+                            CvtKind::DoubleToInt => {
+                                Value::Int(regs[src.index()].as_double() as i32)
+                            }
+                        };
+                    }
+                    Inst::Load { dst, base, offset, width, .. } => {
+                        let addr = (regs[base.index()].as_int().wrapping_add(*offset)) as u32;
+                        regs[dst.index()] = self.read_mem(func, addr, *width)?;
+                    }
+                    Inst::Store { value, base, offset, width, .. } => {
+                        let addr = (regs[base.index()].as_int().wrapping_add(*offset)) as u32;
+                        let v = regs[value.index()];
+                        self.write_mem(func, addr, *width, v)?;
+                    }
+                    Inst::Call { callee, args, dst, .. } => {
+                        let argv: Vec<Value> = args.iter().map(|a| regs[a.index()]).collect();
+                        let r = self.exec_function(*callee, &argv, depth + 1)?;
+                        if let Some(d) = dst {
+                            regs[d.index()] = r.expect("verified: callee returns a value");
+                        }
+                    }
+                    Inst::Print { src, .. } => {
+                        self.output.push_str(&fpa_isa::hostio::fmt_int(regs[src.index()].as_int()));
+                    }
+                    Inst::PrintChar { src, .. } => {
+                        self.output
+                            .push_str(&fpa_isa::hostio::fmt_char(regs[src.index()].as_int()));
+                    }
+                    Inst::PrintDouble { src, .. } => {
+                        self.output
+                            .push_str(&fpa_isa::hostio::fmt_double(regs[src.index()].as_double()));
+                    }
+                }
+            }
+            match &func.block(block).term {
+                Terminator::Jump { target } => block = *target,
+                Terminator::Br { cond, nonzero, zero, .. } => {
+                    self.charge()?;
+                    block = if regs[cond.index()].as_int() != 0 { *nonzero } else { *zero };
+                }
+                Terminator::Ret { value, .. } => {
+                    self.charge()?;
+                    return Ok(value.map(|v| regs[v.index()]));
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a binary operator; `None` signals division by zero.
+fn eval_bin(op: BinOp, l: Value, r: Value) -> Option<Value> {
+    use BinOp::*;
+    Some(match op {
+        Add => Value::Int(l.as_int().wrapping_add(r.as_int())),
+        Sub => Value::Int(l.as_int().wrapping_sub(r.as_int())),
+        And => Value::Int(l.as_int() & r.as_int()),
+        Or => Value::Int(l.as_int() | r.as_int()),
+        Xor => Value::Int(l.as_int() ^ r.as_int()),
+        Nor => Value::Int(!(l.as_int() | r.as_int())),
+        Sll => Value::Int(l.as_int().wrapping_shl(r.as_int() as u32 & 31)),
+        Srl => Value::Int(((l.as_int() as u32).wrapping_shr(r.as_int() as u32 & 31)) as i32),
+        Sra => Value::Int(l.as_int().wrapping_shr(r.as_int() as u32 & 31)),
+        Slt => Value::Int(i32::from(l.as_int() < r.as_int())),
+        Sltu => Value::Int(i32::from((l.as_int() as u32) < (r.as_int() as u32))),
+        Mul => Value::Int(l.as_int().wrapping_mul(r.as_int())),
+        Div => {
+            if r.as_int() == 0 {
+                return None;
+            }
+            Value::Int(l.as_int().wrapping_div(r.as_int()))
+        }
+        Rem => {
+            if r.as_int() == 0 {
+                return None;
+            }
+            Value::Int(l.as_int().wrapping_rem(r.as_int()))
+        }
+        FAdd => Value::Double(l.as_double() + r.as_double()),
+        FSub => Value::Double(l.as_double() - r.as_double()),
+        FMul => Value::Double(l.as_double() * r.as_double()),
+        FDiv => Value::Double(l.as_double() / r.as_double()),
+        FCeq => Value::Int(i32::from(l.as_double() == r.as_double())),
+        FClt => Value::Int(i32::from(l.as_double() < r.as_double())),
+        FCle => Value::Int(i32::from(l.as_double() <= r.as_double())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Module;
+
+    fn run(m: &Module) -> (ExecOutcome, Profile) {
+        Interp::new(m).run().expect("interp failed")
+    }
+
+    /// sum 0..10 through a loop, print, return.
+    fn loop_module() -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        let sum = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let cond = b.bin_imm(BinOp::Slt, i, 10);
+        b.br(cond, body, exit);
+        b.switch_to(body);
+        let s2 = b.bin(BinOp::Add, sum, i);
+        b.mov_to(sum, s2);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.print(sum);
+        b.ret(Some(sum));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        m
+    }
+
+    #[test]
+    fn loop_sums_and_profiles() {
+        let m = loop_module();
+        let (out, prof) = run(&m);
+        assert_eq!(out.exit_code, 45);
+        assert_eq!(out.output, "45\n");
+        let f = m.func_id("main").unwrap();
+        assert_eq!(prof.count(f, BlockId::new(0)), 1);
+        assert_eq!(prof.count(f, BlockId::new(1)), 11); // header: 10 iters + exit test
+        assert_eq!(prof.count(f, BlockId::new(2)), 10);
+        assert_eq!(prof.count(f, BlockId::new(3)), 1);
+        assert!(prof.covered(f));
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut m = Module::new();
+        let g = m.add_global("cell", 8, vec![]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let base = b.la(g);
+        let x = b.li(-7);
+        b.store(x, base, 0, MemWidth::Word);
+        let y = b.load(base, 0, MemWidth::Word);
+        b.print(y);
+        b.ret(Some(y));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let (out, _) = run(&m);
+        assert_eq!(out.exit_code, -7);
+        assert_eq!(out.output, "-7\n");
+        // The word is visible in the final memory image.
+        let addr = (m.globals[0].addr - Module::DATA_BASE) as usize;
+        assert_eq!(
+            i32::from_le_bytes(out.memory[addr..addr + 4].try_into().unwrap()),
+            -7
+        );
+    }
+
+    #[test]
+    fn byte_accesses_sign_and_zero_extend() {
+        let mut m = Module::new();
+        let g = m.add_global("b", 1, vec![0xFF]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let base = b.la(g);
+        let s = b.load(base, 0, MemWidth::Byte);
+        let u = b.load(base, 0, MemWidth::ByteU);
+        b.print(s);
+        b.print(u);
+        let r = b.li(0);
+        b.ret(Some(r));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let (out, _) = run(&m);
+        assert_eq!(out.output, "-1\n255\n");
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut m = Module::new();
+        let mut cb = FunctionBuilder::new("double_it", Some(Ty::Int));
+        let p = cb.param(Ty::Int);
+        let e = cb.block();
+        cb.switch_to(e);
+        let two = cb.li(2);
+        let r = cb.bin(BinOp::Mul, p, two);
+        cb.ret(Some(r));
+        m.funcs.push(cb.finish());
+
+        let callee = m.func_id("double_it").unwrap();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.li(21);
+        let y = b.call(callee, vec![x], Some(Ty::Int)).unwrap();
+        b.print(y);
+        b.ret(Some(y));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let (out, prof) = run(&m);
+        assert_eq!(out.exit_code, 42);
+        assert!(prof.covered(callee));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.li(1);
+        let z = b.li(0);
+        let d = b.bin(BinOp::Div, x, z);
+        b.ret(Some(d));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let err = Interp::new(&m).run().unwrap_err();
+        assert!(matches!(err, InterpError::DivByZero { .. }));
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loops() {
+        // A jump-only self-loop executes zero instructions per iteration;
+        // block transitions are charged, so it still exhausts the budget.
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", None);
+        let e = b.block();
+        b.switch_to(e);
+        b.jump(e);
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let err = Interp::new(&m).with_fuel(1000).run().unwrap_err();
+        assert_eq!(err, InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn fuel_limits_branch_loops() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", None);
+        let e = b.block();
+        b.switch_to(e);
+        let one = b.li(1);
+        b.br(one, e, e);
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let err = Interp::new(&m).with_fuel(1000).run().unwrap_err();
+        assert_eq!(err, InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn bad_address_reported() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let bad = b.li(4); // below DATA_BASE
+        let v = b.load(bad, 0, MemWidth::Word);
+        b.ret(Some(v));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let err = Interp::new(&m).run().unwrap_err();
+        assert!(matches!(err, InterpError::BadAddress { addr: 4, .. }));
+    }
+
+    #[test]
+    fn missing_main_reported() {
+        let m = Module::new();
+        assert_eq!(Interp::new(&m).run().unwrap_err(), InterpError::MissingMain);
+    }
+
+    #[test]
+    fn double_arithmetic_and_print() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.lid(1.5);
+        let c = b.lid(2.25);
+        let s = b.bin(BinOp::FAdd, a, c);
+        b.print_double(s);
+        let lt = b.bin(BinOp::FClt, a, c);
+        b.print(lt);
+        let r = b.li(0);
+        b.ret(Some(r));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let (out, _) = run(&m);
+        assert_eq!(out.output, "3.750000\n1\n");
+    }
+
+    #[test]
+    fn eval_bin_corner_cases() {
+        assert_eq!(
+            eval_bin(BinOp::Add, Value::Int(i32::MAX), Value::Int(1)).unwrap(),
+            Value::Int(i32::MIN)
+        );
+        assert_eq!(eval_bin(BinOp::Sll, Value::Int(1), Value::Int(33)).unwrap(), Value::Int(2));
+        assert_eq!(
+            eval_bin(BinOp::Srl, Value::Int(-1), Value::Int(28)).unwrap(),
+            Value::Int(0xF)
+        );
+        assert_eq!(eval_bin(BinOp::Sra, Value::Int(-8), Value::Int(2)).unwrap(), Value::Int(-2));
+        assert_eq!(eval_bin(BinOp::Sltu, Value::Int(-1), Value::Int(1)).unwrap(), Value::Int(0));
+        assert_eq!(eval_bin(BinOp::Div, Value::Int(5), Value::Int(0)), None);
+        assert_eq!(
+            eval_bin(BinOp::Div, Value::Int(i32::MIN), Value::Int(-1)).unwrap(),
+            Value::Int(i32::MIN)
+        );
+        assert_eq!(eval_bin(BinOp::Nor, Value::Int(0), Value::Int(0)).unwrap(), Value::Int(-1));
+    }
+}

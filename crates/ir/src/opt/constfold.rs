@@ -1,0 +1,247 @@
+//! Local constant folding and algebraic simplification.
+
+use crate::func::{Function, VReg};
+use crate::inst::{BinOp, Inst};
+use std::collections::HashMap;
+
+/// Folds constants block-locally and strength-reduces multiplications by
+/// powers of two into shifts (important for the partitioner: `Mul` is
+/// pinned to INT, `Sll` is offloadable).
+///
+/// Returns whether anything changed.
+pub fn const_fold(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..func.blocks.len() {
+        // Known constants, valid until the register is redefined.
+        let mut known: HashMap<VReg, i32> = HashMap::new();
+        let block = &mut func.blocks[bi];
+        for inst in &mut block.insts {
+            let mut replacement: Option<Inst> = None;
+            match inst {
+                Inst::Li { dst, imm, .. } => {
+                    known.remove(dst);
+                    known.insert(*dst, *imm);
+                    continue;
+                }
+                Inst::Bin { id, dst, op, lhs, rhs } => {
+                    let lk = known.get(lhs).copied();
+                    let rk = known.get(rhs).copied();
+                    if let (Some(l), Some(r)) = (lk, rk) {
+                        if let Some(v) = fold(*op, l, r) {
+                            replacement = Some(Inst::Li { id: *id, dst: *dst, imm: v });
+                        }
+                    } else if let Some(r) = rk {
+                        // Bin with constant rhs -> immediate form / shift.
+                        if *op == BinOp::Mul {
+                            if let Some(sh) = power_of_two(r) {
+                                replacement = Some(Inst::BinImm {
+                                    id: *id,
+                                    dst: *dst,
+                                    op: BinOp::Sll,
+                                    lhs: *lhs,
+                                    imm: sh,
+                                });
+                            }
+                        } else if op.has_imm_form() {
+                            replacement = Some(Inst::BinImm {
+                                id: *id,
+                                dst: *dst,
+                                op: *op,
+                                lhs: *lhs,
+                                imm: r,
+                            });
+                        }
+                    } else if let Some(l) = lk {
+                        if op.commutative() && op.has_imm_form() {
+                            replacement = Some(Inst::BinImm {
+                                id: *id,
+                                dst: *dst,
+                                op: *op,
+                                lhs: *rhs,
+                                imm: l,
+                            });
+                        } else if *op == BinOp::Mul {
+                            if let Some(sh) = power_of_two(l) {
+                                replacement = Some(Inst::BinImm {
+                                    id: *id,
+                                    dst: *dst,
+                                    op: BinOp::Sll,
+                                    lhs: *rhs,
+                                    imm: sh,
+                                });
+                            }
+                        }
+                    }
+                }
+                Inst::BinImm { id, dst, op, lhs, imm } => {
+                    if let Some(l) = known.get(lhs).copied() {
+                        if let Some(v) = fold(*op, l, *imm) {
+                            replacement = Some(Inst::Li { id: *id, dst: *dst, imm: v });
+                        }
+                    } else if identity(*op, *imm) {
+                        replacement = Some(Inst::Move { id: *id, dst: *dst, src: *lhs });
+                    }
+                }
+                Inst::Move { dst, src, .. } => {
+                    let val = known.get(src).copied();
+                    known.remove(dst);
+                    if let Some(v) = val {
+                        known.insert(*dst, v);
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(r) = replacement {
+                *inst = r;
+                changed = true;
+            }
+            // Update the constant environment.
+            if let Some(d) = inst.dst() {
+                known.remove(&d);
+                if let Inst::Li { imm, .. } = inst {
+                    known.insert(d, *imm);
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// `x op 0 == x`-style identities for immediate forms.
+fn identity(op: BinOp, imm: i32) -> bool {
+    use BinOp::*;
+    matches!((op, imm), (Add | Or | Xor | Sll | Srl | Sra, 0))
+}
+
+fn power_of_two(v: i32) -> Option<i32> {
+    if v > 0 && (v & (v - 1)) == 0 {
+        Some(v.trailing_zeros() as i32)
+    } else {
+        None
+    }
+}
+
+fn fold(op: BinOp, l: i32, r: i32) -> Option<i32> {
+    use BinOp::*;
+    Some(match op {
+        Add => l.wrapping_add(r),
+        Sub => l.wrapping_sub(r),
+        And => l & r,
+        Or => l | r,
+        Xor => l ^ r,
+        Nor => !(l | r),
+        Sll => l.wrapping_shl(r as u32 & 31),
+        Srl => ((l as u32).wrapping_shr(r as u32 & 31)) as i32,
+        Sra => l.wrapping_shr(r as u32 & 31),
+        Slt => i32::from(l < r),
+        Sltu => i32::from((l as u32) < (r as u32)),
+        Mul => l.wrapping_mul(r),
+        Div if r != 0 => l.wrapping_div(r),
+        Rem if r != 0 => l.wrapping_rem(r),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn folds_constant_expression() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.li(6);
+        let y = b.li(7);
+        let p = b.bin(BinOp::Mul, x, y);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        assert!(const_fold(&mut f));
+        let folded = &f.blocks[0].insts[2];
+        assert!(matches!(folded, Inst::Li { imm: 42, .. }));
+    }
+
+    #[test]
+    fn strength_reduces_mul_by_power_of_two() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let four = b.li(4);
+        let scaled = b.bin(BinOp::Mul, p, four);
+        b.ret(Some(scaled));
+        let mut f = b.finish();
+        assert!(const_fold(&mut f));
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::BinImm { op: BinOp::Sll, imm: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn converts_constant_rhs_to_immediate_form() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let c = b.li(3);
+        let s = b.bin(BinOp::Add, p, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(const_fold(&mut f));
+        assert!(matches!(&f.blocks[0].insts[1], Inst::BinImm { op: BinOp::Add, imm: 3, .. }));
+    }
+
+    #[test]
+    fn commutes_constant_lhs() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let c = b.li(3);
+        let s = b.bin(BinOp::Add, c, p);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(const_fold(&mut f));
+        assert!(matches!(&f.blocks[0].insts[1], Inst::BinImm { op: BinOp::Add, imm: 3, .. }));
+    }
+
+    #[test]
+    fn removes_additive_identity() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let s = b.bin_imm(BinOp::Add, p, 0);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(const_fold(&mut f));
+        assert!(matches!(&f.blocks[0].insts[0], Inst::Move { .. }));
+    }
+
+    #[test]
+    fn redefinition_invalidates_constants() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.li(1);
+        b.mov_to(x, p); // x is no longer the constant 1
+        let s = b.bin(BinOp::Add, x, x);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        const_fold(&mut f);
+        // The add must not have been folded to a constant.
+        assert!(matches!(&f.blocks[0].insts[2], Inst::Bin { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        assert_eq!(fold(BinOp::Div, 1, 0), None);
+        assert_eq!(fold(BinOp::Rem, 1, 0), None);
+        assert_eq!(fold(BinOp::Div, 7, 2), Some(3));
+    }
+}

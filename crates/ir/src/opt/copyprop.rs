@@ -1,0 +1,157 @@
+//! Local copy propagation.
+
+use crate::func::{Function, VReg};
+use crate::inst::Inst;
+use std::collections::HashMap;
+
+/// Replaces uses of a moved value with its source within a basic block
+/// (while both registers remain unredefined). Returns whether anything
+/// changed.
+pub fn copy_propagate(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..func.blocks.len() {
+        // copy_of[d] = s  when `d = move s` is valid here.
+        let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
+        let block = &mut func.blocks[bi];
+        for inst in &mut block.insts {
+            // Rewrite uses through valid copies.
+            inst.for_each_use_mut(|u| {
+                if let Some(&s) = copy_of.get(u) {
+                    *u = s;
+                    changed = true;
+                }
+            });
+            // Kill facts invalidated by the definition.
+            if let Some(d) = inst.dst() {
+                copy_of.remove(&d);
+                copy_of.retain(|_, s| *s != d);
+            }
+            // Record new copy facts (Move only; Copy is a partition-boundary
+            // instruction whose operands live in different subsystems and
+            // must not be collapsed).
+            if let Inst::Move { dst, src, .. } = inst {
+                if dst != src {
+                    copy_of.insert(*dst, *src);
+                }
+            }
+        }
+        // Terminator uses.
+        let mut term = block.term.clone();
+        term.for_each_use_mut(|u| {
+            if let Some(&s) = copy_of.get(u) {
+                *u = s;
+                changed = true;
+            }
+        });
+        block.term = term;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Ty;
+
+    #[test]
+    fn propagates_through_block() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let c = b.mov(p);
+        let s = b.bin(BinOp::Add, c, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(copy_propagate(&mut f));
+        match &f.blocks[0].insts[1] {
+            Inst::Bin { lhs, rhs, .. } => {
+                assert_eq!(*lhs, p);
+                assert_eq!(*rhs, p);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redefinition_of_source_kills_fact() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let c = b.mov(p);
+        let one = b.li(1);
+        b.mov_to(p, one); // p redefined: c = old p, must NOT propagate
+        let s = b.bin(BinOp::Add, c, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        copy_propagate(&mut f);
+        match &f.blocks[0].insts[3] {
+            Inst::Bin { lhs, rhs, .. } => {
+                assert_eq!(*lhs, c);
+                assert_eq!(*rhs, c);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redefinition_of_dest_kills_fact() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let c = b.mov(p);
+        b.mov_to(c, q); // c now holds q
+        let s = b.bin(BinOp::Add, c, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        copy_propagate(&mut f);
+        match &f.blocks[0].insts[2] {
+            Inst::Bin { lhs, rhs, .. } => {
+                assert_eq!(*lhs, q, "should follow the latest copy");
+                assert_eq!(*rhs, q);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagates_into_terminator() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let c = b.mov(p);
+        b.ret(Some(c));
+        let mut f = b.finish();
+        assert!(copy_propagate(&mut f));
+        match f.blocks[0].term {
+            crate::inst::Terminator::Ret { value: Some(v), .. } => assert_eq!(v, p),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn does_not_propagate_partition_copies() {
+        use crate::func::InstId;
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let s = b.bin(BinOp::Add, p, p);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        // Manually splice a partition Copy before the add.
+        let d = f.new_vreg(Ty::Int);
+        let id = InstId::new(900);
+        f.blocks[0].insts.insert(0, Inst::Copy { id, dst: d, src: p });
+        let before = f.clone();
+        copy_propagate(&mut f);
+        // Nothing referenced d, so the function is unchanged.
+        assert_eq!(f.blocks[0].insts, before.blocks[0].insts);
+    }
+}

@@ -1,0 +1,180 @@
+//! Local common-subexpression elimination.
+
+use crate::func::{Function, VReg};
+use crate::inst::{BinOp, CvtKind, Inst};
+use std::collections::HashMap;
+
+/// Hashable key for a pure expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(BinOp, VReg, VReg),
+    BinImm(BinOp, VReg, i32),
+    Li(i32),
+    LiD(u64),
+    La(u32),
+    Cvt(CvtKind, VReg),
+}
+
+fn key_of(inst: &Inst) -> Option<ExprKey> {
+    match inst {
+        Inst::Bin { op, lhs, rhs, .. } => {
+            // Normalize commutative operand order.
+            if op.commutative() && rhs < lhs {
+                Some(ExprKey::Bin(*op, *rhs, *lhs))
+            } else {
+                Some(ExprKey::Bin(*op, *lhs, *rhs))
+            }
+        }
+        Inst::BinImm { op, lhs, imm, .. } => Some(ExprKey::BinImm(*op, *lhs, *imm)),
+        Inst::Li { imm, .. } => Some(ExprKey::Li(*imm)),
+        Inst::LiD { val, .. } => Some(ExprKey::LiD(val.to_bits())),
+        Inst::La { global, .. } => Some(ExprKey::La(*global)),
+        Inst::Cvt { kind, src, .. } => Some(ExprKey::Cvt(*kind, *src)),
+        _ => None,
+    }
+}
+
+fn operands_of(key: &ExprKey) -> Vec<VReg> {
+    match key {
+        ExprKey::Bin(_, a, b) => vec![*a, *b],
+        ExprKey::BinImm(_, a, _) | ExprKey::Cvt(_, a) => vec![*a],
+        _ => vec![],
+    }
+}
+
+/// Rewrites repeated pure computations within a block into moves from the
+/// first occurrence. Division is excluded (it can trap, so re-ordering
+/// facts around it is left to DCE).
+///
+/// Returns whether anything changed.
+pub fn local_cse(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..func.blocks.len() {
+        let mut available: HashMap<ExprKey, VReg> = HashMap::new();
+        let block = &mut func.blocks[bi];
+        for inst in &mut block.insts {
+            let key = key_of(inst);
+            if let Some(k) = key {
+                if !matches!(k, ExprKey::Bin(BinOp::Div | BinOp::Rem, ..)) {
+                    if let Some(&prev) = available.get(&k) {
+                        let (id, dst) = (inst.id(), inst.dst().expect("pure insts define"));
+                        if prev != dst {
+                            *inst = Inst::Move { id, dst, src: prev };
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if let Some(d) = inst.dst() {
+                // The def invalidates every expression mentioning d and every
+                // expression whose cached result register is d.
+                available.retain(|k, result| *result != d && !operands_of(k).contains(&d));
+                if let Some(k) = key_of(inst) {
+                    // (Re-key: `inst` may have become a Move, which has none.)
+                    available.insert(k, d);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn eliminates_repeated_expression() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.bin(BinOp::Add, p, q);
+        let c = b.bin(BinOp::Add, p, q);
+        let s = b.bin(BinOp::Xor, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(local_cse(&mut f));
+        assert!(matches!(&f.blocks[0].insts[1], Inst::Move { src, .. } if *src == a));
+    }
+
+    #[test]
+    fn commutative_operands_normalize() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.bin(BinOp::Add, p, q);
+        let c = b.bin(BinOp::Add, q, p);
+        let s = b.bin(BinOp::Xor, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(local_cse(&mut f));
+        assert!(matches!(&f.blocks[0].insts[1], Inst::Move { .. }));
+    }
+
+    #[test]
+    fn noncommutative_order_respected() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.bin(BinOp::Sub, p, q);
+        let c = b.bin(BinOp::Sub, q, p);
+        let s = b.bin(BinOp::Xor, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(!local_cse(&mut f));
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.bin(BinOp::Add, p, q);
+        b.mov_to(p, a); // p redefined
+        let c = b.bin(BinOp::Add, p, q); // NOT the same value
+        let s = b.bin(BinOp::Xor, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(!local_cse(&mut f));
+        assert!(matches!(&f.blocks[0].insts[2], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn division_not_cse_d() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.bin(BinOp::Div, p, q);
+        let c = b.bin(BinOp::Div, p, q);
+        let s = b.bin(BinOp::Xor, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(!local_cse(&mut f));
+    }
+
+    #[test]
+    fn la_and_li_are_cse_d() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let a = b.li(5);
+        let c = b.li(5);
+        let s = b.bin(BinOp::Add, a, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(local_cse(&mut f));
+        assert!(matches!(&f.blocks[0].insts[1], Inst::Move { .. }));
+    }
+}

@@ -1,0 +1,116 @@
+//! Dead-code elimination.
+
+use crate::dataflow::BitSet;
+use crate::func::Function;
+
+/// Removes pure instructions whose results are never used anywhere in the
+/// function, iterating to a fixpoint. Returns whether anything changed.
+pub fn dead_code_elim(func: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let nv = func.num_vregs();
+        let mut used = BitSet::new(nv);
+        for (_, inst) in func.insts() {
+            for u in inst.uses() {
+                used.insert(u.index());
+            }
+        }
+        for b in func.block_ids() {
+            for u in func.block(b).term.uses() {
+                used.insert(u.index());
+            }
+        }
+        let mut removed_any = false;
+        for block in &mut func.blocks {
+            let before = block.insts.len();
+            block.insts.retain(|inst| {
+                if inst.has_side_effects() {
+                    return true;
+                }
+                match inst.dst() {
+                    Some(d) => used.contains(d.index()),
+                    None => true,
+                }
+            });
+            removed_any |= block.insts.len() != before;
+        }
+        if !removed_any {
+            return changed;
+        }
+        changed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Inst, MemWidth};
+    use crate::types::Ty;
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        let d1 = b.li(1); // dead (only feeds d2)
+        let d2 = b.bin(BinOp::Add, d1, d1); // dead
+        let _ = d2;
+        let live = b.bin_imm(BinOp::Add, p, 1);
+        b.ret(Some(live));
+        let mut f = b.finish();
+        assert!(dead_code_elim(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        assert!(matches!(&f.blocks[0].insts[0], Inst::BinImm { .. }));
+    }
+
+    #[test]
+    fn keeps_side_effecting_instructions() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        b.store(p, p, 0, MemWidth::Word); // kept: side effect
+        b.print(p); // kept
+        let dead = b.li(5);
+        let _ = dead;
+        b.ret(Some(p));
+        let mut f = b.finish();
+        assert!(dead_code_elim(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_values_used_by_terminator() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let v = b.li(3);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(!dead_code_elim(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn keeps_calls_even_if_result_unused() {
+        use crate::func::{FuncId, InstId, VReg};
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        let d = f.new_vreg(Ty::Int);
+        f.blocks[0].insts.push(Inst::Call {
+            id: InstId::new(800),
+            callee: FuncId::new(0),
+            args: vec![],
+            dst: Some(d),
+        });
+        assert!(!dead_code_elim(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        let _ = VReg::new(0);
+    }
+}

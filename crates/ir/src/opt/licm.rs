@@ -1,0 +1,295 @@
+//! Loop-invariant code motion.
+
+use crate::cfg::{Cfg, DomTree, LoopInfo};
+use crate::dataflow::Liveness;
+use crate::func::{BlockId, Function, VReg};
+use crate::inst::{BinOp, Inst, Terminator};
+use std::collections::HashMap;
+
+/// Hoists loop-invariant pure instructions into a freshly created
+/// preheader block. Returns whether anything changed.
+///
+/// An instruction is hoistable when, for the containing natural loop:
+///
+/// * it is pure (no loads/stores/calls/IO) and cannot trap (`div`/`rem`
+///   excluded);
+/// * none of its operands is defined anywhere inside the loop;
+/// * its destination has exactly one definition inside the loop (itself)
+///   and is **not live-in at the loop header** — so a zero-trip execution
+///   cannot observe the hoisted value where the original program saw an
+///   older one.
+pub fn loop_invariant_motion(func: &mut Function) -> bool {
+    let mut changed = false;
+    // Each outer iteration hoists for at most one loop, then re-analyzes
+    // (preheader insertion invalidates block-indexed analyses).
+    loop {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(func, &cfg);
+        let loops = LoopInfo::new(func, &cfg, &dom);
+        let lv = Liveness::new(func, &cfg);
+        let mut hoisted_this_round = false;
+        for (header, body) in loops.loops.clone() {
+            if header == BlockId::ENTRY {
+                continue; // cannot create a block before the entry
+            }
+            let in_loop = |b: BlockId| body.contains(&b);
+            // Count definitions of each vreg inside the loop.
+            let mut defs_in_loop: HashMap<VReg, u32> = HashMap::new();
+            for &b in &body {
+                for inst in &func.block(b).insts {
+                    if let Some(d) = inst.dst() {
+                        *defs_in_loop.entry(d).or_insert(0) += 1;
+                    }
+                }
+            }
+            // Find candidates, chasing chains: a hoist can enable another.
+            let mut to_hoist: Vec<(BlockId, usize)> = Vec::new();
+            let mut hoisted_dsts: Vec<VReg> = Vec::new();
+            loop {
+                let mut found = None;
+                'scan: for &b in &body {
+                    for (i, inst) in func.block(b).insts.iter().enumerate() {
+                        if to_hoist.contains(&(b, i)) {
+                            continue;
+                        }
+                        if !is_pure_nontrapping(inst) {
+                            continue;
+                        }
+                        let Some(d) = inst.dst() else { continue };
+                        if defs_in_loop.get(&d).copied().unwrap_or(0) != 1 {
+                            continue;
+                        }
+                        if lv.live_in(header, d) {
+                            continue;
+                        }
+                        let invariant_operands = inst.uses().iter().all(|u| {
+                            defs_in_loop.get(u).copied().unwrap_or(0) == 0
+                                || hoisted_dsts.contains(u)
+                        });
+                        if invariant_operands {
+                            found = Some((b, i, d));
+                            break 'scan;
+                        }
+                    }
+                }
+                match found {
+                    Some((b, i, d)) => {
+                        to_hoist.push((b, i));
+                        hoisted_dsts.push(d);
+                        // Treat as no longer defined in the loop.
+                        defs_in_loop.insert(d, 0);
+                    }
+                    None => break,
+                }
+            }
+            if to_hoist.is_empty() {
+                continue;
+            }
+            // Create the preheader and retarget outside predecessors.
+            let outside_preds: Vec<BlockId> =
+                cfg.preds(header).iter().copied().filter(|p| !in_loop(*p)).collect();
+            if outside_preds.is_empty() {
+                continue;
+            }
+            let pre = func.new_block(Terminator::Jump { target: header });
+            for p in outside_preds {
+                func.block_mut(p).term.retarget(header, pre);
+            }
+            // Extract in discovery order (dependency-consistent), removing
+            // from the tail first within each block to keep indices valid.
+            let mut extracted: Vec<(usize, Inst)> = Vec::new();
+            let mut by_block: HashMap<BlockId, Vec<(usize, usize)>> = HashMap::new();
+            for (order, &(b, i)) in to_hoist.iter().enumerate() {
+                by_block.entry(b).or_default().push((i, order));
+            }
+            for (b, mut idxs) in by_block {
+                idxs.sort_by(|a, b| b.0.cmp(&a.0)); // descending index
+                for (i, order) in idxs {
+                    let inst = func.block_mut(b).insts.remove(i);
+                    extracted.push((order, inst));
+                }
+            }
+            extracted.sort_by_key(|(order, _)| *order);
+            for (_, inst) in extracted {
+                func.block_mut(pre).insts.push(inst);
+            }
+            changed = true;
+            hoisted_this_round = true;
+            break; // re-analyze from scratch
+        }
+        if !hoisted_this_round {
+            return changed;
+        }
+    }
+}
+
+fn is_pure_nontrapping(inst: &Inst) -> bool {
+    match inst {
+        Inst::Bin { op, .. } => !matches!(op, BinOp::Div | BinOp::Rem),
+        Inst::BinImm { .. }
+        | Inst::Li { .. }
+        | Inst::LiD { .. }
+        | Inst::La { .. }
+        | Inst::Cvt { .. }
+        | Inst::Move { .. } => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Module;
+    use crate::inst::MemWidth;
+    use crate::interp::Interp;
+    use crate::types::Ty;
+    use crate::verify::verify_module;
+
+    /// while (i < n) { base = la g; t = base + 40; store i -> [t]; i++ }
+    fn invariant_loop() -> Module {
+        let mut m = Module::new();
+        let g = m.add_global("g", 64, vec![]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 5);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let base = b.la(g);
+        let t = b.bin_imm(BinOp::Add, base, 40);
+        b.store(i, t, 0, MemWidth::Word);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        m
+    }
+
+    #[test]
+    fn hoists_invariant_address_chain() {
+        let mut m = invariant_loop();
+        let (before, _) = Interp::new(&m).run().unwrap();
+        assert!(loop_invariant_motion(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        let (after, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(before.output, after.output);
+        assert_eq!(before.memory, after.memory);
+        assert!(after.dynamic_insts < before.dynamic_insts, "la+add should leave the loop");
+        // A preheader was appended.
+        assert_eq!(m.funcs[0].blocks.len(), 5);
+        assert_eq!(m.funcs[0].blocks[4].insts.len(), 2);
+    }
+
+    #[test]
+    fn does_not_hoist_variant_computation() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        let acc = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 5);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let sq = b.bin(BinOp::Add, i, i); // variant: uses i
+        let a2 = b.bin(BinOp::Add, acc, sq);
+        b.mov_to(acc, a2);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.print(acc);
+        b.ret(Some(acc));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let blocks_before = m.funcs[0].blocks.len();
+        assert!(!loop_invariant_motion(&mut m.funcs[0]));
+        assert_eq!(m.funcs[0].blocks.len(), blocks_before);
+    }
+
+    #[test]
+    fn zero_trip_loop_safe() {
+        // Loop body never executes; hoisting must not change the value
+        // returned (d is not live-in at the header, so hoisting is allowed
+        // and harmless; this test pins the semantics).
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let zero = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        b.br(zero, body, exit); // never taken
+        b.switch_to(body);
+        let h = b.li(99);
+        b.print(h);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(zero));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        let (before, _) = Interp::new(&m).run().unwrap();
+        loop_invariant_motion(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        let (after, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(before.output, after.output);
+        assert_eq!(before.exit_code, after.exit_code);
+    }
+
+    #[test]
+    fn does_not_hoist_loads_or_divs() {
+        let mut m = Module::new();
+        let g = m.add_global("g", 8, vec![]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        let base0 = b.la(g);
+        let base = b.mov(base0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 3);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let x = b.load(base, 0, MemWidth::Word); // must stay (memory dep)
+        let one = b.li(1);
+        let q = b.bin(BinOp::Div, x, one); // div: may trap, stays
+        b.store(q, base, 0, MemWidth::Word);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        loop_invariant_motion(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        // The load and div remain in the body (block 2).
+        let body_insts = &m.funcs[0].blocks[2].insts;
+        assert!(body_insts.iter().any(|i| matches!(i, Inst::Load { .. })));
+        assert!(body_insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Div, .. })));
+    }
+}

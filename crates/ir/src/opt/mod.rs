@@ -1,0 +1,113 @@
+//! Machine-independent optimization passes.
+//!
+//! The paper performs code partitioning "after all the initial
+//! machine-independent optimizations are complete" (§7.1, gcc `-O3`-class:
+//! common-subexpression elimination, loop-invariant removal, jump
+//! optimizations). This module provides the equivalent pipeline:
+//! constant folding, local copy propagation, local CSE, loop-invariant
+//! code motion, and dead-code elimination.
+
+mod constfold;
+mod copyprop;
+mod cse;
+mod dce;
+mod licm;
+mod simplify_cfg;
+mod webs;
+
+pub use constfold::const_fold;
+pub use copyprop::copy_propagate;
+pub use cse::local_cse;
+pub use dce::dead_code_elim;
+pub use licm::loop_invariant_motion;
+pub use simplify_cfg::simplify_cfg;
+pub use webs::split_webs;
+
+use crate::func::Module;
+
+/// Runs the full optimization pipeline to a fixpoint (bounded).
+///
+/// Returns the number of pipeline iterations performed.
+pub fn optimize(module: &mut Module) -> usize {
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for f in &mut module.funcs {
+            changed |= simplify_cfg(f);
+            changed |= const_fold(f);
+            changed |= copy_propagate(f);
+            changed |= local_cse(f);
+            changed |= loop_invariant_motion(f);
+            changed |= dead_code_elim(f);
+        }
+        if !changed || iterations >= 8 {
+            return iterations;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Module;
+    use crate::inst::BinOp;
+    use crate::interp::Interp;
+    use crate::types::Ty;
+    use crate::verify::verify_module;
+
+    /// The pipeline must preserve semantics on a program exercising every
+    /// pass: constants, copies, redundant exprs, loop invariants, dead code.
+    #[test]
+    fn pipeline_preserves_semantics() {
+        let mut m = Module::new();
+        let g = m.add_global("data", 40, vec![]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        let acc = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let cond = b.bin_imm(BinOp::Slt, i, 10);
+        b.br(cond, body, exit);
+        b.switch_to(body);
+        // Loop-invariant address computation + redundant subexpression.
+        let base = b.la(g);
+        let four = b.li(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let addr = b.bin(BinOp::Add, base, off);
+        let addr2 = b.bin(BinOp::Add, base, off); // CSE target
+        b.store(i, addr, 0, crate::inst::MemWidth::Word);
+        let x = b.load(addr2, 0, crate::inst::MemWidth::Word);
+        let dead = b.bin(BinOp::Add, x, x); // dead
+        let _ = dead;
+        let copy = b.mov(x); // copy-prop target
+        let acc2 = b.bin(BinOp::Add, acc, copy);
+        b.mov_to(acc, acc2);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.print(acc);
+        b.ret(Some(acc));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+
+        let (before, _) = Interp::new(&m).run().unwrap();
+        let before_size: usize = m.funcs.iter().map(crate::func::Function::static_size).sum();
+        optimize(&mut m);
+        verify_module(&m).unwrap();
+        let (after, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(before.output, after.output);
+        assert_eq!(before.exit_code, after.exit_code);
+        assert_eq!(before.memory, after.memory);
+        let after_size: usize = m.funcs.iter().map(crate::func::Function::static_size).sum();
+        assert!(after_size < before_size, "pipeline should shrink the program");
+        assert!(after.dynamic_insts < before.dynamic_insts);
+    }
+}

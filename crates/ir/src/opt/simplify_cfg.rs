@@ -1,0 +1,257 @@
+//! Control-flow simplification: jump threading through empty blocks,
+//! branch-to-jump collapsing, and unreachable-block removal.
+//!
+//! The frontend's structured lowering produces empty forwarding blocks
+//! (loop steps, join points) and unreachable blocks after `return`;
+//! without this pass they survive into the binary as `j`-chains that
+//! waste fetch slots and I-cache space.
+
+use crate::cfg::Cfg;
+use crate::func::{Block, BlockId, Function};
+use crate::inst::Terminator;
+
+/// Runs jump threading and unreachable-block pruning to a fixpoint.
+/// Returns whether anything changed.
+pub fn simplify_cfg(func: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+        local |= thread_jumps(func);
+        local |= prune_unreachable(func);
+        if !local {
+            return changed;
+        }
+        changed = true;
+    }
+}
+
+/// The ultimate destination of `b`, following empty jump-only blocks
+/// (cycle-guarded).
+fn resolve(func: &Function, mut b: BlockId) -> BlockId {
+    let mut hops = 0;
+    while hops < func.blocks.len() {
+        let blk = func.block(b);
+        if !blk.insts.is_empty() {
+            return b;
+        }
+        match blk.term {
+            Terminator::Jump { target } if target != b => {
+                b = target;
+                hops += 1;
+            }
+            _ => return b,
+        }
+    }
+    b
+}
+
+/// Retargets every edge through chains of empty jump-only blocks, and
+/// collapses conditional branches whose arms coincide.
+fn thread_jumps(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..func.blocks.len() {
+        let term = func.blocks[bi].term.clone();
+        let new = match term {
+            Terminator::Jump { target } => {
+                let t = resolve(func, target);
+                if t != target {
+                    changed = true;
+                    Some(Terminator::Jump { target: t })
+                } else {
+                    None
+                }
+            }
+            Terminator::Br { id, cond, nonzero, zero } => {
+                let nz = resolve(func, nonzero);
+                let z = resolve(func, zero);
+                if nz == z {
+                    // Both arms reach the same block: the branch decides
+                    // nothing (the condition computation stays; DCE will
+                    // clean it if otherwise unused).
+                    changed = true;
+                    Some(Terminator::Jump { target: nz })
+                } else if nz != nonzero || z != zero {
+                    changed = true;
+                    Some(Terminator::Br { id, cond, nonzero: nz, zero: z })
+                } else {
+                    None
+                }
+            }
+            Terminator::Ret { .. } => None,
+        };
+        if let Some(t) = new {
+            func.blocks[bi].term = t;
+        }
+    }
+    changed
+}
+
+/// Removes unreachable blocks, remapping block ids.
+fn prune_unreachable(func: &mut Function) -> bool {
+    let cfg = Cfg::new(func);
+    let reachable: Vec<bool> = func.block_ids().map(|b| cfg.is_reachable(b)).collect();
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    // Build the id remapping.
+    let mut remap = vec![BlockId::ENTRY; func.blocks.len()];
+    let mut kept: Vec<Block> = Vec::new();
+    for (i, blk) in std::mem::take(&mut func.blocks).into_iter().enumerate() {
+        if reachable[i] {
+            remap[i] = BlockId::new(kept.len() as u32);
+            kept.push(blk);
+        }
+    }
+    for blk in &mut kept {
+        match &mut blk.term {
+            Terminator::Jump { target } => *target = remap[target.index()],
+            Terminator::Br { nonzero, zero, .. } => {
+                *nonzero = remap[nonzero.index()];
+                *zero = remap[zero.index()];
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+    func.blocks = kept;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Module;
+    use crate::inst::BinOp;
+    use crate::interp::Interp;
+    use crate::types::Ty;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn threads_through_empty_blocks() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let hop1 = b.block();
+        let hop2 = b.block();
+        let end = b.block();
+        b.switch_to(entry);
+        b.jump(hop1);
+        b.switch_to(hop1);
+        b.jump(hop2);
+        b.switch_to(hop2);
+        b.jump(end);
+        b.switch_to(end);
+        let v = b.li(9);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(simplify_cfg(&mut f));
+        // Entry jumps straight to the value block; the hops are gone.
+        assert_eq!(f.blocks.len(), 2);
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+        let (out, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(out.exit_code, 9);
+    }
+
+    #[test]
+    fn removes_code_after_return() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let dead = b.block();
+        b.switch_to(entry);
+        let v = b.li(3);
+        b.ret(Some(v));
+        b.switch_to(dead);
+        let w = b.li(99);
+        b.print(w);
+        b.ret(Some(w));
+        let mut f = b.finish();
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn collapses_branch_with_identical_arms() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let left = b.block();
+        let right = b.block();
+        let join = b.block();
+        b.switch_to(entry);
+        let c = b.li(1);
+        b.br(c, left, right);
+        b.switch_to(left);
+        b.jump(join);
+        b.switch_to(right);
+        b.jump(join);
+        b.switch_to(join);
+        let v = b.li(5);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert!(simplify_cfg(&mut f));
+        assert!(matches!(f.blocks[0].term, Terminator::Jump { .. }));
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+        let (out, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(out.exit_code, 5);
+    }
+
+    #[test]
+    fn preserves_loops() {
+        // A loop header that jumps to itself through a latch must survive.
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let latch = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 5);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(latch);
+        b.switch_to(latch);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        simplify_cfg(&mut f);
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+        let (out, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(out.exit_code, 5);
+        // The empty latch threads away.
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn self_loop_does_not_hang() {
+        let mut b = FunctionBuilder::new("main", None);
+        let entry = b.block();
+        let spin = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let c = b.li(0);
+        b.br(c, spin, exit);
+        b.switch_to(spin);
+        b.jump(spin); // empty self-loop
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        simplify_cfg(&mut f); // must terminate
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+    }
+}

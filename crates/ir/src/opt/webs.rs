@@ -1,0 +1,271 @@
+//! Web splitting: renames independent def-use webs of a virtual register
+//! apart, so that each register names exactly one value web.
+//!
+//! The partitioner assigns *registers* to register files; a register whose
+//! unrelated live ranges could land on different sides of the INT/FPa split
+//! would have no consistent home. After this pass, all definitions of a
+//! register mutually reach common uses (transitively), which also makes
+//! every web a connected subgraph of the register dependence graph.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{DefPoint, DefUse, ReachingDefs};
+use crate::func::{Function, InstId, VReg};
+use std::collections::HashMap;
+
+/// Union-find.
+struct Uf {
+    parent: Vec<usize>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Splits multi-web registers into one register per web. Returns whether
+/// anything changed.
+pub fn split_webs(func: &mut Function) -> bool {
+    let cfg = Cfg::new(func);
+    let rd = ReachingDefs::new(func, &cfg);
+    let du = DefUse::new(func, &rd);
+
+    // One union-find element per definition point.
+    let mut def_ids: HashMap<(DefPoint, VReg), usize> = HashMap::new();
+    let mut defs: Vec<(DefPoint, VReg)> = Vec::new();
+    for i in 0..rd.num_defs() {
+        let (dp, v) = rd.def(i);
+        def_ids.insert((dp, v), defs.len());
+        defs.push((dp, v));
+    }
+    let mut uf = Uf::new(defs.len());
+
+    // Each use unions all its reaching defs.
+    for ((_, v), dps) in &du.reaching {
+        let mut first: Option<usize> = None;
+        for dp in dps {
+            let id = def_ids[&(*dp, *v)];
+            match first {
+                None => first = Some(id),
+                Some(f) => uf.union(f, id),
+            }
+        }
+    }
+
+    // Group defs of each vreg by web root; assign replacement vregs.
+    // The web containing the parameter (if any) or the first def keeps the
+    // original register.
+    let mut web_vreg: HashMap<(VReg, usize), VReg> = HashMap::new();
+    let mut changed = false;
+    let mut keeper: HashMap<VReg, usize> = HashMap::new();
+    for i in 0..defs.len() {
+        let (dp, v) = defs[i];
+        let root = uf.find(i);
+        if matches!(dp, DefPoint::Param(_)) {
+            keeper.insert(v, root);
+        } else {
+            keeper.entry(v).or_insert(root);
+        }
+    }
+    let mut replacement_for_def: HashMap<(DefPoint, VReg), VReg> = HashMap::new();
+    for i in 0..defs.len() {
+        let (dp, v) = defs[i];
+        let root = uf.find(i);
+        let new = if keeper[&v] == root {
+            v
+        } else {
+            *web_vreg.entry((v, root)).or_insert_with(|| {
+                changed = true;
+                func.new_vreg(func.vreg_ty(v))
+            })
+        };
+        replacement_for_def.insert((dp, v), new);
+    }
+    if !changed {
+        return false;
+    }
+
+    // Rewrite definitions.
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            if let Some(d) = inst.dst() {
+                let key = (DefPoint::Inst(inst.id()), d);
+                if let Some(&new) = replacement_for_def.get(&key) {
+                    if new != d {
+                        inst.set_dst(new);
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite uses according to their reaching web.
+    let use_replacement = |user: InstId, v: VReg| -> Option<VReg> {
+        let dps = du.reaching.get(&(user, v))?;
+        let dp = dps.first()?;
+        replacement_for_def.get(&(*dp, v)).copied()
+    };
+    for bi in 0..func.blocks.len() {
+        let block = &mut func.blocks[bi];
+        for inst in &mut block.insts {
+            let id = inst.id();
+            inst.for_each_use_mut(|u| {
+                if let Some(new) = use_replacement(id, *u) {
+                    *u = new;
+                }
+            });
+        }
+        if let Some(tid) = block.term.id() {
+            let mut term = block.term.clone();
+            term.for_each_use_mut(|u| {
+                if let Some(new) = use_replacement(tid, *u) {
+                    *u = new;
+                }
+            });
+            block.term = term;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Module;
+    use crate::inst::BinOp;
+    use crate::interp::Interp;
+    use crate::types::Ty;
+    use crate::verify::verify_module;
+
+    /// t is reused for two unrelated values; they must split apart.
+    #[test]
+    fn splits_unrelated_reuse() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let t = b.li(1);
+        let a = b.bin_imm(BinOp::Add, t, 10); // first web: t=1
+        let fresh = b.li(2);
+        b.mov_to(t, fresh); // second web: t=2
+        let c = b.bin_imm(BinOp::Add, t, 20);
+        let s = b.bin(BinOp::Add, a, c);
+        b.print(s);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert!(split_webs(&mut f));
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+        let (out, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(out.output, "33\n");
+        // The two webs now use different destination registers.
+        let f = &m.funcs[0];
+        let li1_dst = f.blocks[0].insts[0].dst().unwrap();
+        let mov_dst = f.blocks[0].insts[3].dst().unwrap();
+        assert_ne!(li1_dst, mov_dst);
+    }
+
+    /// A loop-carried variable is ONE web (defs reach a common use) and
+    /// must not be split.
+    #[test]
+    fn keeps_loop_carried_web_together() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 5);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.print(i);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        assert!(!split_webs(&mut f), "single web must not change");
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        let (out, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(out.output, "5\n");
+    }
+
+    /// Diamond writes to the same variable on both arms; single use at the
+    /// join keeps it one web.
+    #[test]
+    fn diamond_is_one_web() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let e = b.block();
+        let t = b.block();
+        let z = b.block();
+        let join = b.block();
+        b.switch_to(e);
+        let r = b.li(0);
+        b.br(p, t, z);
+        b.switch_to(t);
+        let one = b.li(1);
+        b.mov_to(r, one);
+        b.jump(join);
+        b.switch_to(z);
+        let two = b.li(2);
+        b.mov_to(r, two);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        // r's defs (entry li, both moves) all reach the ret use: one web
+        // except... the entry li is killed on both paths, so it forms its
+        // own (dead) web and may split.
+        let _ = split_webs(&mut f);
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+    }
+
+    /// Semantics preserved on a function mixing params and locals.
+    #[test]
+    fn preserves_semantics_with_params() {
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let x = b.li(7);
+        let y = b.bin_imm(BinOp::Sll, x, 1);
+        b.mov_to(x, y); // x reused, connected web (x's li def feeds y)
+        let z = b.bin_imm(BinOp::Add, x, 1);
+        b.print(z);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        split_webs(&mut f);
+        let mut m = Module::new();
+        m.funcs.push(f);
+        m.assign_addresses();
+        verify_module(&m).unwrap();
+        let (out, _) = Interp::new(&m).run().unwrap();
+        assert_eq!(out.output, "15\n");
+    }
+}

@@ -1,0 +1,299 @@
+//! Structural and type verification of IR modules.
+
+use crate::func::{Function, Module};
+use crate::inst::{CvtKind, Inst, Terminator};
+use crate::types::Ty;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the error was found.
+    pub func: String,
+    /// A description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// Checks: block targets in range, operand/result types, immediate-form
+/// validity, call signatures, global indices, and unique instruction ids.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for f in &module.funcs {
+        verify_function(f, module)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function against its module.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyError> {
+    let err = |m: String| {
+        Err(VerifyError { func: func.name.clone(), message: m })
+    };
+    if func.blocks.is_empty() {
+        return err("function has no blocks".into());
+    }
+    let mut seen_ids = std::collections::HashSet::new();
+    let nb = func.blocks.len() as u32;
+    for b in func.block_ids() {
+        for inst in &func.block(b).insts {
+            if !seen_ids.insert(inst.id()) {
+                return err(format!("duplicate instruction id {}", inst.id()));
+            }
+            match inst {
+                Inst::Bin { op, lhs, rhs, dst, .. } => {
+                    if func.vreg_ty(*lhs) != op.operand_ty() || func.vreg_ty(*rhs) != op.operand_ty()
+                    {
+                        return err(format!("{op} operand type mismatch at {}", inst.id()));
+                    }
+                    if func.vreg_ty(*dst) != op.result_ty() {
+                        return err(format!("{op} result type mismatch at {}", inst.id()));
+                    }
+                }
+                Inst::BinImm { op, lhs, dst, .. } => {
+                    if !op.has_imm_form() {
+                        return err(format!("{op} has no immediate form at {}", inst.id()));
+                    }
+                    if func.vreg_ty(*lhs) != Ty::Int || func.vreg_ty(*dst) != Ty::Int {
+                        return err(format!("{op} immediate form must be int at {}", inst.id()));
+                    }
+                }
+                Inst::Li { dst, .. } => {
+                    if func.vreg_ty(*dst) != Ty::Int {
+                        return err(format!("li into non-int at {}", inst.id()));
+                    }
+                }
+                Inst::LiD { dst, .. } => {
+                    if func.vreg_ty(*dst) != Ty::Double {
+                        return err(format!("lid into non-double at {}", inst.id()));
+                    }
+                }
+                Inst::Move { dst, src, .. } => {
+                    if func.vreg_ty(*dst) != func.vreg_ty(*src) {
+                        return err(format!("move type mismatch at {}", inst.id()));
+                    }
+                }
+                Inst::La { dst, global, .. } => {
+                    if func.vreg_ty(*dst) != Ty::Int {
+                        return err(format!("la into non-int at {}", inst.id()));
+                    }
+                    if *global as usize >= module.globals.len() {
+                        return err(format!("la references missing global {global}"));
+                    }
+                }
+                Inst::Cvt { dst, src, kind, .. } => {
+                    let (from, to) = match kind {
+                        CvtKind::IntToDouble => (Ty::Int, Ty::Double),
+                        CvtKind::DoubleToInt => (Ty::Double, Ty::Int),
+                    };
+                    if func.vreg_ty(*src) != from || func.vreg_ty(*dst) != to {
+                        return err(format!("cvt type mismatch at {}", inst.id()));
+                    }
+                }
+                Inst::Load { dst, base, width, .. } => {
+                    if func.vreg_ty(*base) != Ty::Int {
+                        return err(format!("load base must be int at {}", inst.id()));
+                    }
+                    if func.vreg_ty(*dst) != width.value_ty() {
+                        return err(format!("load width/type mismatch at {}", inst.id()));
+                    }
+                }
+                Inst::Store { value, base, width, .. } => {
+                    if func.vreg_ty(*base) != Ty::Int {
+                        return err(format!("store base must be int at {}", inst.id()));
+                    }
+                    if func.vreg_ty(*value) != width.value_ty() {
+                        return err(format!("store width/type mismatch at {}", inst.id()));
+                    }
+                }
+                Inst::Call { callee, args, dst, .. } => {
+                    let Some(cf) = module.funcs.get(callee.index()) else {
+                        return err(format!("call to missing function {callee}"));
+                    };
+                    if cf.params.len() != args.len() {
+                        return err(format!(
+                            "call to `{}` with {} args, expected {}",
+                            cf.name,
+                            args.len(),
+                            cf.params.len()
+                        ));
+                    }
+                    for (a, p) in args.iter().zip(&cf.params) {
+                        if func.vreg_ty(*a) != cf.vreg_ty(*p) {
+                            return err(format!("call arg type mismatch calling `{}`", cf.name));
+                        }
+                    }
+                    match (dst, cf.ret_ty) {
+                        (Some(d), Some(rt)) => {
+                            if func.vreg_ty(*d) != rt {
+                                return err(format!("call result type mismatch at {}", inst.id()));
+                            }
+                        }
+                        (Some(_), None) => {
+                            return err(format!("call captures void result at {}", inst.id()));
+                        }
+                        _ => {}
+                    }
+                }
+                Inst::Print { src, .. } | Inst::PrintChar { src, .. } => {
+                    if func.vreg_ty(*src) != Ty::Int {
+                        return err(format!("print of non-int at {}", inst.id()));
+                    }
+                }
+                Inst::PrintDouble { src, .. } => {
+                    if func.vreg_ty(*src) != Ty::Double {
+                        return err(format!("printd of non-double at {}", inst.id()));
+                    }
+                }
+                Inst::Copy { dst, src, .. } => {
+                    if func.vreg_ty(*dst) != func.vreg_ty(*src) {
+                        return err(format!("copy type mismatch at {}", inst.id()));
+                    }
+                }
+            }
+        }
+        match &func.block(b).term {
+            Terminator::Jump { target } => {
+                if target.index() as u32 >= nb {
+                    return err(format!("jump to missing block {target}"));
+                }
+            }
+            Terminator::Br { id, cond, nonzero, zero } => {
+                if !seen_ids.insert(*id) {
+                    return err(format!("duplicate instruction id {id}"));
+                }
+                if func.vreg_ty(*cond) != Ty::Int {
+                    return err("branch condition must be int".into());
+                }
+                if nonzero.index() as u32 >= nb || zero.index() as u32 >= nb {
+                    return err("branch to missing block".into());
+                }
+            }
+            Terminator::Ret { id, value } => {
+                if !seen_ids.insert(*id) {
+                    return err(format!("duplicate instruction id {id}"));
+                }
+                match (value, func.ret_ty) {
+                    (Some(v), Some(rt)) => {
+                        if func.vreg_ty(*v) != rt {
+                            return err("return value type mismatch".into());
+                        }
+                    }
+                    (Some(_), None) => return err("returning value from void function".into()),
+                    (None, Some(_)) => return err("missing return value".into()),
+                    (None, None) => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::{BlockId, InstId};
+    use crate::inst::{BinOp, MemWidth};
+
+    fn ok_module() -> Module {
+        let mut m = Module::new();
+        let g = m.add_global("g", 8, vec![]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let e = b.block();
+        b.switch_to(e);
+        let base = b.la(g);
+        let x = b.load(base, 0, MemWidth::Word);
+        let y = b.bin_imm(BinOp::Add, x, 1);
+        b.store(y, base, 0, MemWidth::Word);
+        b.ret(Some(y));
+        m.funcs.push(b.finish());
+        m
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        assert!(verify_module(&ok_module()).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut m = ok_module();
+        m.funcs[0].block_mut(BlockId::ENTRY).term = Terminator::Jump { target: BlockId::new(9) };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("missing block"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut m = ok_module();
+        // Make a Bin with a double operand where int is expected.
+        let f = &mut m.funcs[0];
+        let d = f.new_vreg(Ty::Double);
+        let i = f.new_vreg(Ty::Int);
+        let id = f.new_inst_id();
+        f.block_mut(BlockId::ENTRY)
+            .insts
+            .push(Inst::Bin { id, dst: i, op: BinOp::Add, lhs: d, rhs: d });
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let mut m = ok_module();
+        let f = &mut m.funcs[0];
+        let v = f.new_vreg(Ty::Int);
+        f.block_mut(BlockId::ENTRY)
+            .insts
+            .push(Inst::Li { id: InstId::new(0), dst: v, imm: 0 });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = ok_module();
+        let mut b = FunctionBuilder::new("callee", None);
+        let _p = b.param(Ty::Int);
+        let e = b.block();
+        b.switch_to(e);
+        b.ret(None);
+        m.funcs.push(b.finish());
+        let callee = m.func_id("callee").unwrap();
+        let f = &mut m.funcs[0];
+        let id = f.new_inst_id();
+        f.block_mut(BlockId::ENTRY).insts.push(Inst::Call {
+            id,
+            callee,
+            args: vec![],
+            dst: None,
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("0 args, expected 1"));
+    }
+
+    #[test]
+    fn rejects_missing_return_value() {
+        let mut m = ok_module();
+        m.funcs[0].block_mut(BlockId::ENTRY).term =
+            Terminator::Ret { id: InstId::new(500), value: None };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("missing return value"));
+    }
+}

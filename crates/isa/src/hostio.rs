@@ -1,0 +1,37 @@
+//! Canonical formatting of observable program output.
+//!
+//! Both the IR interpreter (`fpa-ir`) and the machine simulators
+//! (`fpa-sim`) format `print` output through these helpers, so differential
+//! tests can compare output byte-for-byte.
+
+/// Formats an integer print: the decimal value followed by a newline.
+#[must_use]
+pub fn fmt_int(v: i32) -> String {
+    format!("{v}\n")
+}
+
+/// Formats a character print: the low byte as one character.
+#[must_use]
+pub fn fmt_char(v: i32) -> String {
+    char::from(v as u8).to_string()
+}
+
+/// Formats a double print: six fractional digits and a newline.
+#[must_use]
+pub fn fmt_double(v: f64) -> String {
+    format!("{v:.6}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_int(-3), "-3\n");
+        assert_eq!(fmt_char(65), "A");
+        assert_eq!(fmt_char(0x141), "A"); // low byte only
+        assert_eq!(fmt_double(1.5), "1.500000\n");
+        assert_eq!(fmt_double(-0.25), "-0.250000\n");
+    }
+}

@@ -1,0 +1,47 @@
+//! # fpa-isa
+//!
+//! The target instruction set for the PLDI 1998 reproduction of
+//! *"Exploiting Idle Floating-Point Resources for Integer Execution"*.
+//!
+//! The ISA is a MIPS-flavoured load/store architecture (the paper used the
+//! SimpleScalar ISA, itself MIPS-derived) extended with **22 new opcodes**
+//! that perform simple integer operations *on floating-point registers*.
+//! These are the `*A` opcodes ("A" for *augmented*; the paper writes them
+//! with an `,a` / `,c` suffix): they let the otherwise idle floating-point
+//! subsystem execute offloaded integer computation.
+//!
+//! Design points carried over from the paper:
+//!
+//! * Only the integer subsystem can address memory. Loads and stores always
+//!   compute their address on the INT side; the *data* may be delivered to or
+//!   taken from either register file ([`Op::Lwf`] / [`Op::Swf`], the analogue
+//!   of `l.s`/`s.s` holding integer data).
+//! * Integer multiply and divide are **not** available on the FP side — the
+//!   paper excludes them to keep the hardware cost minimal.
+//! * Explicit inter-file copy instructions [`Op::CpToFpa`] and
+//!   [`Op::CpToInt`] exist (MIPS `mtc1`/`mfc1` analogues); they are not
+//!   counted among the 22 new opcodes, exactly as in the paper.
+//!
+//! The crate defines registers ([`IntReg`], [`FpReg`]), opcodes ([`Op`]),
+//! machine instructions ([`Inst`]), whole programs ([`Program`]), and a
+//! disassembler (`Inst::disasm`).
+
+pub mod hostio;
+pub mod inst;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use inst::Inst;
+pub use op::{FuClass, Op, Subsystem};
+pub use program::{DataItem, Program, Symbol, SymbolKind};
+pub use reg::{FpReg, IntReg, Reg};
+
+/// Number of architectural integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Bytes per machine word (integer registers are 32-bit).
+pub const WORD_BYTES: u32 = 4;
+/// Bytes per double-precision floating-point value.
+pub const DOUBLE_BYTES: u32 = 8;

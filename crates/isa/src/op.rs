@@ -1,0 +1,482 @@
+//! Opcodes and their static properties.
+//!
+//! Opcodes are split across the two subsystems of Figure 1 in the paper:
+//!
+//! * **INT** — the conventional integer subsystem. It owns *all* memory
+//!   operations (only the INT cluster can address memory) plus integer
+//!   arithmetic, multiply/divide, control flow, inter-file copies, and the
+//!   host-call pseudo-ops used for observable output.
+//! * **FP / FPa** — the floating-point subsystem: true floating-point
+//!   arithmetic plus the paper's **22 new opcodes** (`*A`) that execute
+//!   simple integer operations on floating-point registers.
+
+use std::fmt;
+
+/// Which subsystem an instruction *executes* in.
+///
+/// Note that floating-point loads and stores ([`Op::Lwf`], [`Op::Ld`], …)
+/// are `Int` here: as the paper explains, they issue from the integer
+/// instruction buffers and compute their address in the INT load/store unit;
+/// only the *data* touches the FP register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subsystem {
+    /// The integer subsystem.
+    Int,
+    /// The (augmented) floating-point subsystem.
+    Fp,
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subsystem::Int => f.write_str("INT"),
+            Subsystem::Fp => f.write_str("FPa"),
+        }
+    }
+}
+
+/// Functional-unit class, determining issue port and latency (Table 1:
+/// "6 cycle mul, 12 cycle div, 1 cycle for the rest").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU op (INT subsystem).
+    IntAlu,
+    /// Integer multiply, 6 cycles (INT subsystem only).
+    IntMul,
+    /// Integer divide/remainder, 12 cycles (INT subsystem only).
+    IntDiv,
+    /// Address generation + cache access on a load/store port.
+    Mem,
+    /// Single-cycle FP-subsystem op (all `*A` opcodes, FP add/sub/compare).
+    FpAlu,
+    /// Floating-point multiply, 6 cycles.
+    FpMul,
+    /// Floating-point divide, 12 cycles.
+    FpDiv,
+}
+
+impl FuClass {
+    /// Execution latency in cycles per Table 1.
+    #[must_use]
+    pub fn latency(self) -> u32 {
+        match self {
+            FuClass::IntAlu | FuClass::FpAlu => 1,
+            FuClass::IntMul | FuClass::FpMul => 6,
+            FuClass::IntDiv | FuClass::FpDiv => 12,
+            // Address generation takes one cycle; the cache access that
+            // follows is modelled separately by the timing simulator.
+            FuClass::Mem => 1,
+        }
+    }
+}
+
+/// A machine opcode.
+///
+/// Naming follows MIPS (`Addi` = add immediate, …). Opcodes suffixed `A`
+/// are the paper's new instructions: integer operations executed by the
+/// floating-point subsystem on floating-point registers. There are exactly
+/// 22 of them (checked by a unit test), matching the paper's opcode budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    // ---- INT subsystem: three-register ALU ----------------------------
+    /// `rd = rs + rt` (wrapping).
+    Add,
+    /// `rd = rs - rt` (wrapping).
+    Sub,
+    /// `rd = rs & rt`.
+    And,
+    /// `rd = rs | rt`.
+    Or,
+    /// `rd = rs ^ rt`.
+    Xor,
+    /// `rd = !(rs | rt)`.
+    Nor,
+    /// `rd = (rs < rt) as i32` (signed).
+    Slt,
+    /// `rd = (rs < rt) as i32` (unsigned).
+    Sltu,
+    /// `rd = rs << (rt & 31)`.
+    Sll,
+    /// `rd = (rs as u32) >> (rt & 31)`.
+    Srl,
+    /// `rd = rs >> (rt & 31)` (arithmetic).
+    Sra,
+
+    // ---- INT subsystem: immediate ALU ----------------------------------
+    /// `rd = rs + imm`.
+    Addi,
+    /// `rd = rs & imm`.
+    Andi,
+    /// `rd = rs | imm`.
+    Ori,
+    /// `rd = rs ^ imm`.
+    Xori,
+    /// `rd = (rs < imm) as i32` (signed).
+    Slti,
+    /// `rd = ((rs as u32) < imm as u32) as i32` (unsigned).
+    Sltiu,
+    /// `rd = rs << imm`.
+    Slli,
+    /// `rd = (rs as u32) >> imm`.
+    Srli,
+    /// `rd = rs >> imm` (arithmetic).
+    Srai,
+    /// `rd = imm` (32-bit immediate; pseudo for `lui`+`ori`).
+    Li,
+    /// `rd = rs` (integer move).
+    Move,
+
+    // ---- INT subsystem: multiply/divide (never offloaded) --------------
+    /// `rd = rs * rt` (wrapping). INT only, per the paper.
+    Mul,
+    /// `rd = rs / rt` (signed, trapping on zero). INT only.
+    Div,
+    /// `rd = rs % rt` (signed, trapping on zero). INT only.
+    Rem,
+
+    // ---- Memory (always issue on the INT load/store unit) --------------
+    /// Load word into an integer register: `rd = mem32[rs + imm]`.
+    Lw,
+    /// Load byte (sign-extended) into an integer register.
+    Lb,
+    /// Load byte (zero-extended) into an integer register.
+    Lbu,
+    /// Store word from an integer register: `mem32[rs + imm] = rt`.
+    Sw,
+    /// Store low byte from an integer register.
+    Sb,
+    /// Load word into a **floating-point** register (integer data; the
+    /// paper's `l.s`-with-integer-payload idiom): `fd = mem32[rs + imm]`.
+    Lwf,
+    /// Store word from a **floating-point** register: `mem32[rs+imm] = ft`.
+    Swf,
+    /// Load a 64-bit double into a floating-point register.
+    Ld,
+    /// Store a 64-bit double from a floating-point register.
+    Sd,
+
+    // ---- Control flow (fetch is shared; branches resolve in their
+    //      producing subsystem) ------------------------------------------
+    /// Branch if `rs == 0`.
+    Beqz,
+    /// Branch if `rs != 0`.
+    Bnez,
+    /// Branch if `rs == rt`.
+    Beq,
+    /// Branch if `rs != rt`.
+    Bne,
+    /// Unconditional jump.
+    J,
+    /// Jump and link (call): `$31 = return pc`.
+    Jal,
+    /// Jump register (return): `pc = rs`.
+    Jr,
+    /// Jump and link register (indirect call).
+    Jalr,
+
+    // ---- Inter-file copies (MIPS mtc1/mfc1 analogues; not among the 22)
+    /// Copy integer register to floating-point register: `fd = rs`.
+    CpToFpa,
+    /// Copy floating-point register to integer register: `rd = fs`.
+    CpToInt,
+
+    // ---- True floating-point arithmetic (FP subsystem) ------------------
+    /// `fd = fs + ft` (f64).
+    FaddD,
+    /// `fd = fs - ft` (f64).
+    FsubD,
+    /// `fd = fs * ft` (f64).
+    FmulD,
+    /// `fd = fs / ft` (f64).
+    FdivD,
+    /// `fd = -fs` (f64).
+    FnegD,
+    /// `fd = fs` (FP move of a double).
+    FmovD,
+    /// Convert integer word (in an FP register) to double.
+    CvtDW,
+    /// Convert double to integer word (truncating), result in an FP register.
+    CvtWD,
+    /// `fd = (fs == ft) as i32` — compare doubles, integer result in FP reg.
+    CeqD,
+    /// `fd = (fs < ft) as i32`.
+    CltD,
+    /// `fd = (fs <= ft) as i32`.
+    CleD,
+
+    // ---- The 22 new opcodes: integer execution in the FP subsystem ------
+    /// `fd = fs + ft` (integer, FP registers).
+    AddA,
+    /// `fd = fs - ft` (integer).
+    SubA,
+    /// `fd = fs & ft`.
+    AndA,
+    /// `fd = fs | ft`.
+    OrA,
+    /// `fd = fs ^ ft`.
+    XorA,
+    /// `fd = (fs < ft) as i32` (signed).
+    SltA,
+    /// `fd = (fs < ft) as i32` (unsigned).
+    SltuA,
+    /// `fd = fs << (ft & 31)`.
+    SllA,
+    /// `fd = (fs as u32) >> (ft & 31)`.
+    SrlA,
+    /// `fd = fs >> (ft & 31)` (arithmetic).
+    SraA,
+    /// `fd = fs + imm`.
+    AddiA,
+    /// `fd = fs & imm`.
+    AndiA,
+    /// `fd = fs | imm`.
+    OriA,
+    /// `fd = fs ^ imm`.
+    XoriA,
+    /// `fd = (fs < imm) as i32` (signed).
+    SltiA,
+    /// `fd = ((fs as u32) < imm as u32) as i32` (unsigned).
+    SltiuA,
+    /// `fd = fs << imm`.
+    SlliA,
+    /// `fd = (fs as u32) >> imm`.
+    SrliA,
+    /// `fd = fs >> imm` (arithmetic).
+    SraiA,
+    /// `fd = imm` (integer immediate into FP register).
+    LiA,
+    /// Branch if `fs == 0` (integer compare in the FP subsystem).
+    BeqzA,
+    /// Branch if `fs != 0`.
+    BnezA,
+
+    // ---- Host-call pseudo-ops (observable output; INT subsystem) -------
+    /// Print the integer in `rs` followed by a newline.
+    Print,
+    /// Print the low byte of `rs` as a character.
+    PrintChar,
+    /// Print the double in `fs`.
+    PrintFp,
+    /// Stop the machine; `rs` is the exit code.
+    Halt,
+}
+
+impl Op {
+    /// All opcodes, for exhaustive metadata tests.
+    pub const ALL: &'static [Op] = &[
+        Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Nor, Op::Slt, Op::Sltu,
+        Op::Sll, Op::Srl, Op::Sra, Op::Addi, Op::Andi, Op::Ori, Op::Xori,
+        Op::Slti, Op::Sltiu, Op::Slli, Op::Srli, Op::Srai, Op::Li, Op::Move, Op::Mul,
+        Op::Div, Op::Rem, Op::Lw, Op::Lb, Op::Lbu, Op::Sw, Op::Sb, Op::Lwf,
+        Op::Swf, Op::Ld, Op::Sd, Op::Beqz, Op::Bnez, Op::Beq, Op::Bne, Op::J,
+        Op::Jal, Op::Jr, Op::Jalr, Op::CpToFpa, Op::CpToInt, Op::FaddD,
+        Op::FsubD, Op::FmulD, Op::FdivD, Op::FnegD, Op::FmovD, Op::CvtDW,
+        Op::CvtWD, Op::CeqD, Op::CltD, Op::CleD, Op::AddA, Op::SubA, Op::AndA,
+        Op::OrA, Op::XorA, Op::SltA, Op::SltuA, Op::SllA, Op::SrlA, Op::SraA,
+        Op::AddiA, Op::AndiA, Op::OriA, Op::XoriA, Op::SltiA, Op::SltiuA, Op::SlliA,
+        Op::SrliA, Op::SraiA, Op::LiA, Op::BeqzA, Op::BnezA,
+        Op::Print, Op::PrintChar, Op::PrintFp, Op::Halt,
+    ];
+
+    /// The subsystem whose issue window and functional units execute this
+    /// opcode. Memory operations and inter-file copies are `Int`.
+    #[must_use]
+    pub fn subsystem(self) -> Subsystem {
+        use Op::*;
+        match self {
+            FaddD | FsubD | FmulD | FdivD | FnegD | FmovD | CvtDW | CvtWD
+            | CeqD | CltD | CleD | AddA | SubA | AndA | OrA | XorA | SltA
+            | SltuA | SllA | SrlA | SraA | AddiA | AndiA | OriA | XoriA
+            | SltiA | SltiuA | SlliA | SrliA | SraiA | LiA | BeqzA | BnezA => Subsystem::Fp,
+            _ => Subsystem::Int,
+        }
+    }
+
+    /// Whether this opcode is one of the paper's 22 new (augmented) opcodes.
+    #[must_use]
+    pub fn is_augmented(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            AddA | SubA | AndA | OrA | XorA | SltA | SltuA | SllA | SrlA
+                | SraA | AddiA | AndiA | OriA | XoriA | SltiA | SltiuA | SlliA
+                | SrliA | SraiA | LiA | BeqzA | BnezA
+        )
+    }
+
+    /// Functional-unit class (issue port + latency).
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        use Op::*;
+        match self {
+            Mul => FuClass::IntMul,
+            Div | Rem => FuClass::IntDiv,
+            Lw | Lb | Lbu | Sw | Sb | Lwf | Swf | Ld | Sd => FuClass::Mem,
+            FmulD => FuClass::FpMul,
+            FdivD => FuClass::FpDiv,
+            op if op.subsystem() == Subsystem::Fp => FuClass::FpAlu,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// Whether this is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::Beqz | Op::Bnez | Op::Beq | Op::Bne | Op::BeqzA | Op::BnezA)
+    }
+
+    /// Whether this is any control-transfer instruction.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        self.is_cond_branch() || matches!(self, Op::J | Op::Jal | Op::Jr | Op::Jalr | Op::Halt)
+    }
+
+    /// Whether this is a memory load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Lw | Op::Lb | Op::Lbu | Op::Lwf | Op::Ld)
+    }
+
+    /// Whether this is a memory store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Sw | Op::Sb | Op::Swf | Op::Sd)
+    }
+
+    /// Bytes moved by a load or store, or `None` for non-memory ops.
+    #[must_use]
+    pub fn mem_bytes(self) -> Option<u32> {
+        match self {
+            Op::Lw | Op::Sw | Op::Lwf | Op::Swf => Some(4),
+            Op::Lb | Op::Lbu | Op::Sb => Some(1),
+            Op::Ld | Op::Sd => Some(8),
+            _ => None,
+        }
+    }
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "addu", Sub => "subu", And => "and", Or => "or",
+            Xor => "xor", Nor => "nor", Slt => "slt", Sltu => "sltu",
+            Sll => "sllv", Srl => "srlv", Sra => "srav", Addi => "addiu",
+            Andi => "andi", Ori => "ori", Xori => "xori", Slti => "slti",
+            Sltiu => "sltiu", Slli => "sll", Srli => "srl", Srai => "sra", Li => "li",
+            Move => "move", Mul => "mul", Div => "div", Rem => "rem",
+            Lw => "lw", Lb => "lb", Lbu => "lbu", Sw => "sw", Sb => "sb",
+            Lwf => "l.w", Swf => "s.w", Ld => "l.d", Sd => "s.d",
+            Beqz => "beqz", Bnez => "bnez", Beq => "beq", Bne => "bne",
+            J => "j", Jal => "jal", Jr => "jr", Jalr => "jalr",
+            CpToFpa => "cp_to_fpa", CpToInt => "cp_to_int",
+            FaddD => "add.d", FsubD => "sub.d", FmulD => "mul.d",
+            FdivD => "div.d", FnegD => "neg.d", FmovD => "mov.d",
+            CvtDW => "cvt.d.w", CvtWD => "cvt.w.d", CeqD => "c.eq.d",
+            CltD => "c.lt.d", CleD => "c.le.d",
+            AddA => "addu,a", SubA => "subu,a", AndA => "and,a",
+            OrA => "or,a", XorA => "xor,a", SltA => "slt,a",
+            SltuA => "sltu,a", SllA => "sllv,a", SrlA => "srlv,a",
+            SraA => "srav,a", AddiA => "addiu,a", AndiA => "andi,a",
+            OriA => "ori,a", XoriA => "xori,a", SltiA => "slti,a", SltiuA => "sltiu,a",
+            SlliA => "sll,a", SrliA => "srl,a", SraiA => "sra,a",
+            LiA => "li,a", BeqzA => "beqz,a",
+            BnezA => "bnez,a", Print => "print", PrintChar => "printc",
+            PrintFp => "print.d", Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_22_augmented_opcodes() {
+        let n = Op::ALL.iter().filter(|op| op.is_augmented()).count();
+        assert_eq!(n, 22, "the paper's opcode budget is exactly 22");
+    }
+
+    #[test]
+    fn augmented_opcodes_execute_in_fp_subsystem() {
+        for op in Op::ALL {
+            if op.is_augmented() {
+                assert_eq!(op.subsystem(), Subsystem::Fp, "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_ops_are_int_subsystem() {
+        for op in Op::ALL {
+            if op.is_load() || op.is_store() {
+                assert_eq!(op.subsystem(), Subsystem::Int, "{op} must issue on INT");
+                assert_eq!(op.fu_class(), FuClass::Mem);
+                assert!(op.mem_bytes().is_some());
+            } else {
+                assert_eq!(op.mem_bytes(), None, "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_fp_subsystem_mul_div_for_integers() {
+        // The paper excludes integer multiply/divide from the FP subsystem.
+        for op in [Op::Mul, Op::Div, Op::Rem] {
+            assert_eq!(op.subsystem(), Subsystem::Int);
+            assert!(!op.is_augmented());
+        }
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(Op::Mul.fu_class().latency(), 6);
+        assert_eq!(Op::Div.fu_class().latency(), 12);
+        assert_eq!(Op::Rem.fu_class().latency(), 12);
+        assert_eq!(Op::FmulD.fu_class().latency(), 6);
+        assert_eq!(Op::FdivD.fu_class().latency(), 12);
+        assert_eq!(Op::Add.fu_class().latency(), 1);
+        assert_eq!(Op::AddA.fu_class().latency(), 1);
+        assert_eq!(Op::FaddD.fu_class().latency(), 1);
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Op::Beqz.is_cond_branch());
+        assert!(Op::BnezA.is_cond_branch());
+        assert!(!Op::J.is_cond_branch());
+        assert!(Op::J.is_control());
+        assert!(Op::Jal.is_control());
+        assert!(Op::Halt.is_control());
+        assert!(!Op::Add.is_control());
+    }
+
+    #[test]
+    fn fpa_branches_resolve_in_fp_subsystem() {
+        assert_eq!(Op::BeqzA.subsystem(), Subsystem::Fp);
+        assert_eq!(Op::BnezA.subsystem(), Subsystem::Fp);
+        assert_eq!(Op::Beqz.subsystem(), Subsystem::Int);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Op::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn copies_execute_on_int_side() {
+        assert_eq!(Op::CpToFpa.subsystem(), Subsystem::Int);
+        assert_eq!(Op::CpToInt.subsystem(), Subsystem::Int);
+        assert!(!Op::CpToFpa.is_augmented());
+        assert!(!Op::CpToInt.is_augmented());
+    }
+}

@@ -1,0 +1,176 @@
+//! Basic-block execution frequencies for the cost model.
+//!
+//! The paper obtains `n_B` from basic-block execution profiles; for
+//! functions not covered by the profile it uses the probabilistic estimate
+//! `n_B = p_B * 5^(d_B)` where `p_B` is the block's execution probability
+//! (both branch directions assumed equally likely) and `d_B` its loop
+//! nesting depth (§6.1).
+
+use fpa_ir::{BlockId, Cfg, DomTree, FuncId, Function, LoopInfo, Module, Profile};
+
+/// Per-block frequencies for every function in a module.
+#[derive(Debug, Clone)]
+pub struct BlockFreq {
+    counts: Vec<Vec<f64>>,
+}
+
+impl BlockFreq {
+    /// Builds frequencies from an interpreter profile, falling back to the
+    /// probabilistic estimate for functions the profile never entered.
+    #[must_use]
+    pub fn from_profile(module: &Module, profile: &Profile) -> BlockFreq {
+        let counts = module
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let fid = FuncId::new(i as u32);
+                if profile.covered(fid) {
+                    f.block_ids().map(|b| profile.count(fid, b) as f64).collect()
+                } else {
+                    Self::estimate(f)
+                }
+            })
+            .collect();
+        BlockFreq { counts }
+    }
+
+    /// Builds purely probabilistic frequencies (no profile at all).
+    #[must_use]
+    pub fn estimated(module: &Module) -> BlockFreq {
+        BlockFreq { counts: module.funcs.iter().map(Self::estimate).collect() }
+    }
+
+    /// The paper's estimate `n_B = p_B * 5^(d_B)` for one function.
+    ///
+    /// `p_B` is propagated along forward edges only (back edges ignored),
+    /// splitting evenly at branches and summing at joins.
+    #[must_use]
+    pub fn estimate(func: &Function) -> Vec<f64> {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(func, &cfg);
+        let li = LoopInfo::new(func, &cfg, &dom);
+        let n = func.blocks.len();
+        let mut p = vec![0.0f64; n];
+        if n == 0 {
+            return p;
+        }
+        p[BlockId::ENTRY.index()] = 1.0;
+        // rpo order; an edge u->v is "forward" when rpo(u) < rpo(v).
+        let rpo = cfg.rpo();
+        let rpo_pos: Vec<usize> = {
+            let mut v = vec![usize::MAX; n];
+            for (i, b) in rpo.iter().enumerate() {
+                v[b.index()] = i;
+            }
+            v
+        };
+        for &b in rpo.iter().skip(1) {
+            let mut prob = 0.0;
+            for &u in cfg.preds(b) {
+                if rpo_pos[u.index()] < rpo_pos[b.index()] {
+                    let fanout = cfg.succs(u).len().max(1) as f64;
+                    prob += p[u.index()] / fanout;
+                }
+            }
+            p[b.index()] = prob;
+        }
+        func.block_ids()
+            .map(|b| {
+                let d = li.depth(b);
+                p[b.index()] * 5f64.powi(d as i32)
+            })
+            .collect()
+    }
+
+    /// The frequency of block `b` in function `f`.
+    #[must_use]
+    pub fn get(&self, f: FuncId, b: BlockId) -> f64 {
+        self.counts[f.index()][b.index()]
+    }
+
+    /// The whole frequency vector of function `f`.
+    #[must_use]
+    pub fn of_func(&self, f: FuncId) -> &[f64] {
+        &self.counts[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_ir::{BinOp, FunctionBuilder, Interp, Ty};
+
+    fn loop_module() -> Module {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 7);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        m.funcs.push(b.finish());
+        // An uncovered helper: gets estimated frequencies.
+        let mut h = FunctionBuilder::new("helper", None);
+        let p = h.param(Ty::Int);
+        let e = h.block();
+        let t = h.block();
+        let z = h.block();
+        h.switch_to(e);
+        h.br(p, t, z);
+        h.switch_to(t);
+        h.ret(None);
+        h.switch_to(z);
+        h.ret(None);
+        m.funcs.push(h.finish());
+        m.assign_addresses();
+        m
+    }
+
+    #[test]
+    fn profile_counts_used_when_covered() {
+        let m = loop_module();
+        let (_, profile) = Interp::new(&m).run().unwrap();
+        let bf = BlockFreq::from_profile(&m, &profile);
+        let main = FuncId::new(0);
+        assert_eq!(bf.get(main, BlockId::new(0)), 1.0);
+        assert_eq!(bf.get(main, BlockId::new(1)), 8.0); // 7 iterations + exit test
+        assert_eq!(bf.get(main, BlockId::new(2)), 7.0);
+        assert_eq!(bf.get(main, BlockId::new(3)), 1.0);
+    }
+
+    #[test]
+    fn estimate_used_for_uncovered_functions() {
+        let m = loop_module();
+        let (_, profile) = Interp::new(&m).run().unwrap();
+        let bf = BlockFreq::from_profile(&m, &profile);
+        let helper = FuncId::new(1);
+        // helper: entry prob 1, each branch arm 0.5, depth 0.
+        assert_eq!(bf.get(helper, BlockId::new(0)), 1.0);
+        assert_eq!(bf.get(helper, BlockId::new(1)), 0.5);
+        assert_eq!(bf.get(helper, BlockId::new(2)), 0.5);
+    }
+
+    #[test]
+    fn estimate_weights_loops_by_5_to_the_depth() {
+        let m = loop_module();
+        let est = BlockFreq::estimate(&m.funcs[0]);
+        // entry prob 1 depth 0; header/body in a depth-1 loop.
+        assert_eq!(est[0], 1.0);
+        assert!(est[1] > 1.0, "loop header weighted by 5^1: {}", est[1]);
+        assert!(est[2] > 1.0);
+        // exit: probability mass that leaves the loop, depth 0.
+        assert!(est[3] <= 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # fpa-partition
+//!
+//! The paper's two compiler code-partitioning schemes, which assign integer
+//! computation to the augmented floating-point subsystem (FPa):
+//!
+//! * [`basic::partition_basic`] — §5's *basic scheme*: no new instructions;
+//!   connected components of the undirected register dependence graph that
+//!   contain no load/store-address, call, or return nodes move to FPa
+//!   wholesale, communicating only through existing loads and stores.
+//! * [`advanced::partition_advanced`] — §6's *advanced scheme*: inserts
+//!   `cp_to_fpa` copies and duplicates cheap instructions to sever more of
+//!   the graph, guided by a profile-driven cost model
+//!   (`Profit = Benefit − Overhead` with per-copy overhead `o_copy` and
+//!   per-duplicate overhead `o_dupl`, empirically best in `[3,6]` and
+//!   `[1.5,3]` respectively — Section 6.1).
+//!
+//! Both produce an [`Assignment`] consumed by `fpa-codegen`: a subsystem
+//! per instruction plus a home register file per virtual register.
+//! Execution frequencies come from an interpreter [`fpa_ir::Profile`] or,
+//! for uncovered functions, the paper's probabilistic estimate
+//! `n_B = p_B * 5^d_B` ([`freq::BlockFreq`]).
+
+pub mod advanced;
+pub mod assignment;
+pub mod basic;
+pub mod freq;
+pub mod stats;
+
+pub use advanced::{partition_advanced, CostParams};
+pub use assignment::{Assignment, FuncAssignment};
+pub use basic::partition_basic;
+pub use freq::BlockFreq;
+pub use stats::PartitionStats;

@@ -1,0 +1,138 @@
+//! IR-level partition statistics (quick estimates; the authoritative
+//! Figure 8 numbers come from machine-level retired-instruction counts in
+//! `fpa-sim`).
+
+use crate::assignment::Assignment;
+use crate::freq::BlockFreq;
+use fpa_isa::Subsystem;
+use fpa_ir::{FuncId, Inst, Module, Terminator};
+
+/// Estimated dynamic-instruction accounting for a partitioned module.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartitionStats {
+    /// Weighted instructions assigned to the FP subsystem (offloaded
+    /// integer work plus native FP work).
+    pub fp_weight: f64,
+    /// Weighted instructions on the INT side.
+    pub int_weight: f64,
+    /// Weighted copy instructions (`cp_to_fpa`/`cp_to_int`) present in the
+    /// IR (advanced scheme only).
+    pub copy_weight: f64,
+    /// Static instruction count.
+    pub static_insts: usize,
+    /// Static copy-instruction count.
+    pub static_copies: usize,
+}
+
+impl PartitionStats {
+    /// Fraction of weighted instructions on the FP side.
+    #[must_use]
+    pub fn fp_fraction(&self) -> f64 {
+        let total = self.fp_weight + self.int_weight;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.fp_weight / total
+        }
+    }
+
+    /// Computes statistics for `module` under `assignment` with block
+    /// frequencies `freq`.
+    #[must_use]
+    pub fn compute(module: &Module, assignment: &Assignment, freq: &BlockFreq) -> PartitionStats {
+        let mut s = PartitionStats::default();
+        for (fi, func) in module.funcs.iter().enumerate() {
+            let fid = FuncId::new(fi as u32);
+            let fa = &assignment.funcs[fi];
+            for b in func.block_ids() {
+                let w = freq.get(fid, b);
+                for inst in &func.block(b).insts {
+                    s.static_insts += 1;
+                    let side = fa.side(inst.id());
+                    // Loads/stores execute on the INT load/store unit no
+                    // matter where their value lives.
+                    let executes_fp = side == Subsystem::Fp
+                        && !matches!(inst, Inst::Load { .. } | Inst::Store { .. });
+                    if executes_fp {
+                        s.fp_weight += w;
+                    } else {
+                        s.int_weight += w;
+                    }
+                    if matches!(inst, Inst::Copy { .. }) {
+                        s.static_copies += 1;
+                        s.copy_weight += w;
+                    }
+                }
+                match &func.block(b).term {
+                    Terminator::Br { id, .. } => {
+                        s.static_insts += 1;
+                        if fa.side(*id) == Subsystem::Fp {
+                            s.fp_weight += w;
+                        } else {
+                            s.int_weight += w;
+                        }
+                    }
+                    Terminator::Ret { .. } => {
+                        s.static_insts += 1;
+                        s.int_weight += w;
+                    }
+                    Terminator::Jump { .. } => {}
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::partition_basic;
+    use fpa_ir::Interp;
+
+    #[test]
+    fn stats_sum_and_fraction() {
+        let m = fpa_frontend_fixture();
+        let (_, profile) = Interp::new(&m).run().unwrap();
+        let freq = BlockFreq::from_profile(&m, &profile);
+        let a = partition_basic(&m);
+        let s = PartitionStats::compute(&m, &a, &freq);
+        assert!(s.static_insts > 0);
+        assert!(s.fp_fraction() >= 0.0 && s.fp_fraction() <= 1.0);
+        assert_eq!(s.static_copies, 0, "basic scheme adds no copies");
+    }
+
+    /// Small hand-built module: loop writing squares through memory.
+    fn fpa_frontend_fixture() -> Module {
+        use fpa_ir::{BinOp, FunctionBuilder, MemWidth, Ty};
+        let mut m = Module::new();
+        let g = m.add_global("data", 256, vec![]);
+        let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+        let entry = b.block();
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.switch_to(entry);
+        let i = b.li(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin_imm(BinOp::Slt, i, 10);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let base = b.la(g);
+        let off = b.bin_imm(BinOp::Sll, i, 2);
+        let addr = b.bin(BinOp::Add, base, off);
+        let v = b.load(addr, 0, MemWidth::Word);
+        let w = b.bin_imm(BinOp::Add, v, 1);
+        b.store(w, addr, 0, MemWidth::Word);
+        let i2 = b.bin_imm(BinOp::Add, i, 1);
+        b.mov_to(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        let z = b.li(0);
+        b.ret(Some(z));
+        m.funcs.push(b.finish());
+        m.assign_addresses();
+        m
+    }
+}

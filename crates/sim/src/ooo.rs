@@ -1,0 +1,678 @@
+//! Cycle-based out-of-order timing simulation.
+//!
+//! Pipeline model (SimpleScalar `sim-outorder`-class, per the paper §7.1):
+//!
+//! * **Fetch** — up to `fetch_width` instructions per cycle through the
+//!   I-cache, stopping at taken control transfers and cache-line ends.
+//!   Conditional branches are predicted with gshare; unconditional
+//!   transfers are perfect (Table 1). Fetch is *oracle-driven*: the
+//!   architectural machine executes at fetch, so only correct-path
+//!   instructions enter the window, and a misprediction is modelled as a
+//!   fetch stall until the branch resolves (plus redirect). This is the
+//!   standard timing-directed simplification; window/issue/FU dynamics —
+//!   the effects the paper studies — are modelled in full.
+//! * **Dispatch** — up to `decode_width` per cycle into the reorder buffer
+//!   and the INT or FP issue window, bounded by window capacity and
+//!   physical registers. Loads, stores, and inter-file copies dispatch to
+//!   the INT window (only INT addresses memory); `*A` opcodes and FP
+//!   arithmetic dispatch to the FP window.
+//! * **Issue** — oldest-first, out of order, up to the per-subsystem
+//!   functional units, the load/store ports, and the total issue width.
+//!   A load issues only when all prior store addresses are known (i.e.
+//!   every older store has issued), with store-to-load forwarding.
+//! * **Retire** — in order, up to `retire_width` per cycle.
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::exec::{ExecError, Machine, Step};
+use crate::predictor::Gshare;
+use fpa_isa::{FuClass, Op, Program, Reg, Subsystem};
+use std::collections::{HashMap, VecDeque};
+
+/// The outcome of a timing simulation.
+#[derive(Debug, Clone)]
+pub struct TimingResult {
+    /// Total cycles until the halt instruction retired.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// `main`'s exit code.
+    pub exit_code: i32,
+    /// Observable output (must equal the functional run).
+    pub output: String,
+    /// Instructions issued to the INT subsystem.
+    pub int_issued: u64,
+    /// Instructions issued to the FP subsystem.
+    pub fp_issued: u64,
+    /// Retired instructions using the 22 augmented opcodes.
+    pub augmented_retired: u64,
+    /// Cycles where the INT subsystem issued nothing while FP issued
+    /// (the paper's §7.3 load-imbalance indicator).
+    pub int_idle_fp_busy: u64,
+    /// Conditional-branch predictions.
+    pub branch_predictions: u64,
+    /// Conditional-branch mispredictions.
+    pub branch_mispredictions: u64,
+    /// I-cache accesses/misses.
+    pub icache: (u64, u64),
+    /// D-cache accesses/misses.
+    pub dcache: (u64, u64),
+}
+
+impl TimingResult {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch prediction accuracy.
+    #[must_use]
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branch_predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.branch_mispredictions as f64 / self.branch_predictions as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TimingResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cycles               {:>12}", self.cycles)?;
+        writeln!(f, "retired instructions {:>12}", self.retired)?;
+        writeln!(f, "IPC                  {:>12.3}", self.ipc())?;
+        writeln!(
+            f,
+            "issued (int / fp)    {:>12} / {} ({:.1}% fp)",
+            self.int_issued,
+            self.fp_issued,
+            if self.retired == 0 { 0.0 } else { self.fp_issued as f64 / self.retired as f64 * 100.0 }
+        )?;
+        writeln!(f, "augmented retired    {:>12}", self.augmented_retired)?;
+        writeln!(
+            f,
+            "branch accuracy      {:>11.2}% ({} / {})",
+            self.branch_accuracy() * 100.0,
+            self.branch_mispredictions,
+            self.branch_predictions
+        )?;
+        writeln!(
+            f,
+            "icache (acc/miss)    {:>12} / {}",
+            self.icache.0, self.icache.1
+        )?;
+        writeln!(
+            f,
+            "dcache (acc/miss)    {:>12} / {}",
+            self.dcache.0, self.dcache.1
+        )?;
+        write!(
+            f,
+            "int idle, fp busy    {:>12} cycles",
+            self.int_idle_fp_busy
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    op: Op,
+    subsystem: Subsystem,
+    srcs: Vec<u64>,
+    dest: Option<Reg>,
+    issued: bool,
+    done_at: u64,
+    addr: Option<u32>,
+    latency_hint: u32,
+    halt: Option<i32>,
+    resolves_fetch: bool,
+}
+
+const NOT_DONE: u64 = u64::MAX;
+
+/// Runs `program` on the configured machine for at most `max_cycles`.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] from the architectural oracle (bad memory
+/// access, division by zero) or [`ExecError::OutOfFuel`] when the cycle
+/// budget is exhausted.
+#[allow(clippy::too_many_lines)]
+pub fn simulate(
+    program: &Program,
+    config: &MachineConfig,
+    max_cycles: u64,
+) -> Result<TimingResult, ExecError> {
+    let mut oracle = Machine::new(program);
+    let mut icache = Cache::new(config.icache);
+    let mut dcache = Cache::new(config.dcache);
+    let mut gshare = Gshare::new(config.gshare_bits);
+
+    let mut rob: VecDeque<Entry> = VecDeque::new();
+    let mut fetch_queue: VecDeque<Entry> = VecDeque::new();
+    let fetch_queue_cap = config.fetch_width as usize;
+
+    let mut rename: HashMap<Reg, u64> = HashMap::new();
+    let mut next_seq = 0u64;
+    let mut fetch_pc = program.entry;
+    let mut fetch_stall_until = 0u64;
+    let mut fetch_halted = false;
+    let mut exit_code = 0i32;
+
+    let mut int_window_used = 0u32;
+    let mut fp_window_used = 0u32;
+    let mut int_phys_free = config.int_phys - 32;
+    let mut fp_phys_free = config.fp_phys - 32;
+
+    // In-flight stores: (seq, addr, bytes, issued).
+    let mut store_queue: VecDeque<(u64, u32, u32, bool)> = VecDeque::new();
+
+    let mut retired = 0u64;
+    let mut int_issued = 0u64;
+    let mut fp_issued = 0u64;
+    let mut augmented_retired = 0u64;
+    let mut int_idle_fp_busy = 0u64;
+
+    let issue_width = config.decode_width; // Table 1: "up to 4 ops/cycle"
+
+    let mut cycle = 0u64;
+    loop {
+        if cycle >= max_cycles {
+            return Err(ExecError::OutOfFuel);
+        }
+
+        // ---- Retire ------------------------------------------------------
+        let mut retired_this_cycle = 0;
+        while retired_this_cycle < config.retire_width {
+            let Some(front) = rob.front() else { break };
+            if !front.issued || front.done_at > cycle {
+                break;
+            }
+            let e = rob.pop_front().expect("checked");
+            retired += 1;
+            retired_this_cycle += 1;
+            if e.op.is_augmented() {
+                augmented_retired += 1;
+            }
+            match e.dest {
+                Some(Reg::Int(_)) => int_phys_free += 1,
+                Some(Reg::Fp(_)) => fp_phys_free += 1,
+                None => {}
+            }
+            while store_queue.front().is_some_and(|s| s.0 <= e.seq) {
+                store_queue.pop_front();
+            }
+            if let Some(code) = e.halt {
+                return Ok(TimingResult {
+                    cycles: cycle + 1,
+                    retired,
+                    exit_code: code,
+                    output: oracle.output,
+                    int_issued,
+                    fp_issued,
+                    augmented_retired,
+                    int_idle_fp_busy,
+                    branch_predictions: gshare.predictions,
+                    branch_mispredictions: gshare.mispredictions,
+                    icache: (icache.accesses, icache.misses),
+                    dcache: (dcache.accesses, dcache.misses),
+                });
+            }
+        }
+        let _ = exit_code;
+
+        // ---- Issue -------------------------------------------------------
+        let mut int_fu = config.int_units;
+        let mut fp_fu = config.fp_units;
+        let mut ls = config.ls_ports;
+        let mut issued_total = 0u32;
+        let mut int_issued_now = 0u64;
+        let mut fp_issued_now = 0u64;
+        let head_seq = rob.front().map_or(next_seq, |e| e.seq);
+        // Collect issue decisions first to keep borrows simple.
+        let mut unissued_store_seen = false;
+        let mut decisions: Vec<(usize, u64)> = Vec::new(); // (rob idx, done_at)
+        for idx in 0..rob.len() {
+            if issued_total >= issue_width {
+                break;
+            }
+            let e = &rob[idx];
+            if e.issued {
+                if e.op.is_store() && e.done_at > cycle {
+                    // still counts as issued; address known
+                }
+                continue;
+            }
+            let is_store = e.op.is_store();
+            let is_load = e.op.is_load();
+            // Source readiness.
+            let ready = e.srcs.iter().all(|&s| {
+                if s < head_seq {
+                    true
+                } else {
+                    let p = &rob[(s - head_seq) as usize];
+                    p.issued && p.done_at <= cycle
+                }
+            });
+            if !ready {
+                if is_store {
+                    unissued_store_seen = true;
+                }
+                continue;
+            }
+            // Structural hazards.
+            if is_load || is_store {
+                if ls == 0 {
+                    if is_store {
+                        unissued_store_seen = true;
+                    }
+                    continue;
+                }
+                if is_load && unissued_store_seen {
+                    continue; // prior store address unknown
+                }
+            } else {
+                match e.subsystem {
+                    Subsystem::Int => {
+                        if int_fu == 0 {
+                            continue;
+                        }
+                    }
+                    Subsystem::Fp => {
+                        if fp_fu == 0 {
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Latency.
+            let lat = if is_load {
+                let addr = e.addr.expect("load has address");
+                let bytes = e.op.mem_bytes().unwrap_or(4);
+                let forwarded = store_queue
+                    .iter()
+                    .rev()
+                    .find(|(s, a, b, _)| {
+                        *s < e.seq && ranges_overlap(*a, *b, addr, bytes)
+                    })
+                    .is_some_and(|(_, _, _, issued)| *issued);
+                if forwarded {
+                    2 // address generation + forward
+                } else {
+                    1 + dcache.access(addr, false)
+                }
+            } else if is_store {
+                let addr = e.addr.expect("store has address");
+                1 + dcache.access(addr, true)
+            } else {
+                e.latency_hint
+            };
+            // Commit the decision.
+            if is_load || is_store {
+                ls -= 1;
+                int_issued_now += 1;
+            } else {
+                match e.subsystem {
+                    Subsystem::Int => {
+                        int_fu -= 1;
+                        int_issued_now += 1;
+                    }
+                    Subsystem::Fp => {
+                        fp_fu -= 1;
+                        fp_issued_now += 1;
+                    }
+                }
+            }
+            issued_total += 1;
+            decisions.push((idx, cycle + u64::from(lat)));
+        }
+        for (idx, done_at) in decisions {
+            let subsystem = rob[idx].subsystem;
+            let is_mem = rob[idx].op.mem_bytes().is_some();
+            rob[idx].issued = true;
+            rob[idx].done_at = done_at;
+            if rob[idx].op.is_store() {
+                let seq = rob[idx].seq;
+                for s in &mut store_queue {
+                    if s.0 == seq {
+                        s.3 = true;
+                    }
+                }
+            }
+            if rob[idx].resolves_fetch {
+                // The mispredicted branch resolved: fetch restarts (the
+                // sentinel set at fetch time is replaced, not maxed).
+                fetch_stall_until = done_at;
+            }
+            // Window slot frees at issue. Memory ops live in the INT window.
+            if is_mem || subsystem == Subsystem::Int {
+                int_window_used -= 1;
+            } else {
+                fp_window_used -= 1;
+            }
+        }
+        int_issued += int_issued_now;
+        fp_issued += fp_issued_now;
+        if int_issued_now == 0 && fp_issued_now > 0 {
+            int_idle_fp_busy += 1;
+        }
+
+        // ---- Dispatch ----------------------------------------------------
+        let mut dispatched = 0;
+        while dispatched < config.decode_width {
+            let Some(e) = fetch_queue.front() else { break };
+            if rob.len() >= config.max_inflight as usize {
+                break;
+            }
+            let is_mem = e.op.mem_bytes().is_some();
+            let wants_int_window = is_mem || e.subsystem == Subsystem::Int;
+            if wants_int_window && int_window_used >= config.int_window {
+                break;
+            }
+            if !wants_int_window && fp_window_used >= config.fp_window {
+                break;
+            }
+            match e.dest {
+                Some(Reg::Int(_)) if int_phys_free == 0 => break,
+                Some(Reg::Fp(_)) if fp_phys_free == 0 => break,
+                _ => {}
+            }
+            let e = fetch_queue.pop_front().expect("checked");
+            match e.dest {
+                Some(Reg::Int(_)) => int_phys_free -= 1,
+                Some(Reg::Fp(_)) => fp_phys_free -= 1,
+                None => {}
+            }
+            if wants_int_window {
+                int_window_used += 1;
+            } else {
+                fp_window_used += 1;
+            }
+            if e.op.is_store() {
+                store_queue.push_back((e.seq, e.addr.expect("store addr"), e.op.mem_bytes().unwrap(), false));
+            }
+            rob.push_back(e);
+            dispatched += 1;
+        }
+
+        // ---- Fetch -------------------------------------------------------
+        if !fetch_halted && cycle >= fetch_stall_until {
+            // One I-cache access per fetch group.
+            let line = config.icache.line;
+            let iaddr = fetch_pc * 4;
+            let ilat = icache.access(iaddr, false);
+            if ilat > config.icache.hit_time {
+                fetch_stall_until = cycle + u64::from(ilat);
+            } else {
+                let mut fetched = 0;
+                while fetched < config.fetch_width && fetch_queue.len() < fetch_queue_cap {
+                    if fetch_pc * 4 / line != iaddr / line {
+                        break; // crossed into the next cache line
+                    }
+                    let Some(inst) = program.code.get(fetch_pc as usize) else {
+                        return Err(ExecError::BadPc { pc: fetch_pc });
+                    };
+                    // Rename sources and destination.
+                    let srcs: Vec<u64> =
+                        inst.uses().iter().filter_map(|r| rename.get(r).copied()).collect();
+                    let dest = inst.defs().first().copied();
+                    let addr = oracle.effective_addr(inst);
+                    // Oracle-execute.
+                    let step = oracle.exec(inst, fetch_pc)?;
+                    let seq = next_seq;
+                    next_seq += 1;
+                    if let Some(d) = dest {
+                        rename.insert(d, seq);
+                    }
+                    let mut entry = Entry {
+                        seq,
+                        op: inst.op,
+                        subsystem: inst.op.subsystem(),
+                        srcs,
+                        dest,
+                        issued: false,
+                        done_at: NOT_DONE,
+                        addr,
+                        latency_hint: inst.op.fu_class().latency(),
+                        halt: None,
+                        resolves_fetch: false,
+                    };
+                    // Branches may take the extra latency of a FuClass::Mem
+                    // agen — no: branch latency is its FU class (1).
+                    let _ = FuClass::IntAlu;
+                    let taken_target = match step {
+                        Step::Jump(t) => Some(t),
+                        Step::Next => None,
+                        Step::Halt(code) => {
+                            entry.halt = Some(code);
+                            exit_code = code;
+                            fetch_halted = true;
+                            fetch_queue.push_back(entry);
+                            break;
+                        }
+                    };
+                    if inst.op.is_cond_branch() {
+                        let taken = taken_target.is_some();
+                        let predicted = gshare.predict(fetch_pc);
+                        gshare.update(fetch_pc, taken);
+                        let next = taken_target.unwrap_or(fetch_pc + 1);
+                        if predicted != taken {
+                            // Mispredict: fetch stalls until this branch
+                            // resolves, then restarts on the correct path.
+                            entry.resolves_fetch = true;
+                            fetch_stall_until = u64::MAX; // replaced at issue
+                            fetch_pc = next;
+                            fetch_queue.push_back(entry);
+                            break;
+                        }
+                        fetch_pc = next;
+                        fetch_queue.push_back(entry);
+                        fetched += 1;
+                        if taken {
+                            break; // taken transfers end the fetch group
+                        }
+                        continue;
+                    }
+                    match taken_target {
+                        Some(t) => {
+                            // Unconditional: predicted perfectly (Table 1).
+                            fetch_pc = t;
+                            fetch_queue.push_back(entry);
+                            break;
+                        }
+                        None => {
+                            fetch_pc += 1;
+                            fetch_queue.push_back(entry);
+                            fetched += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        cycle += 1;
+    }
+}
+
+fn ranges_overlap(a: u32, alen: u32, b: u32, blen: u32) -> bool {
+    a < b + blen && b < a + alen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_isa::{FpReg, Inst, IntReg};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::four_way(true)
+    }
+
+    fn run(prog: &Program) -> TimingResult {
+        simulate(prog, &cfg(), 10_000_000).expect("simulate")
+    }
+
+    fn int_loop_program(fpa: bool) -> Program {
+        // i = 0; sum = 0; while (i < 1000) { sum += i ^ 3; i++ } print sum.
+        let (r_i, r_s, r_c, r_t): (Reg, Reg, Reg, Reg) = if fpa {
+            (FpReg::new(2).into(), FpReg::new(3).into(), FpReg::new(4).into(), FpReg::new(5).into())
+        } else {
+            (IntReg::new(8).into(), IntReg::new(9).into(), IntReg::new(10).into(), IntReg::new(11).into())
+        };
+        let (li, addi, slti, xori, add, bnez) = if fpa {
+            (Op::LiA, Op::AddiA, Op::SltiA, Op::XoriA, Op::AddA, Op::BnezA)
+        } else {
+            (Op::Li, Op::Addi, Op::Slti, Op::Xori, Op::Add, Op::Bnez)
+        };
+        let out: Reg = IntReg::new(12).into();
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        p.code = vec![
+            Inst::li(li, r_i, 0),                 // 0
+            Inst::li(li, r_s, 0),                 // 1
+            Inst::alu_imm(xori, r_t, r_i, 3),     // 2: loop
+            Inst::alu(add, r_s, r_s, r_t),        // 3
+            Inst::alu_imm(addi, r_i, r_i, 1),     // 4
+            Inst::alu_imm(slti, r_c, r_i, 1000),  // 5
+            Inst::branch(bnez, r_c, 2),           // 6
+            if fpa {
+                Inst::unary(Op::CpToInt, out, r_s)
+            } else {
+                Inst::unary(Op::Move, out, r_s)
+            }, // 7
+            Inst { op: Op::Print, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 }, // 8
+            Inst { op: Op::Halt, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 },  // 9
+        ];
+        p
+    }
+
+    #[test]
+    fn timing_matches_functional_output() {
+        let p = int_loop_program(false);
+        let t = run(&p);
+        let f = crate::func_sim::run_functional(&p, 1_000_000).unwrap();
+        assert_eq!(t.output, f.output);
+        assert_eq!(t.exit_code, f.exit_code);
+        assert_eq!(t.retired, f.total);
+    }
+
+    #[test]
+    fn ipc_is_plausible() {
+        let p = int_loop_program(false);
+        let t = run(&p);
+        let ipc = t.ipc();
+        assert!(ipc > 0.5 && ipc <= 4.0, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn fpa_loop_uses_fp_subsystem() {
+        let p = int_loop_program(true);
+        let t = run(&p);
+        assert!(t.fp_issued > t.int_issued, "fp={} int={}", t.fp_issued, t.int_issued);
+        assert!(t.augmented_retired > 4000);
+    }
+
+    #[test]
+    fn branch_predictor_learns_loop() {
+        let p = int_loop_program(false);
+        let t = run(&p);
+        assert!(t.branch_accuracy() > 0.97, "accuracy = {}", t.branch_accuracy());
+    }
+
+    #[test]
+    fn dependent_chain_bounds_ipc() {
+        // A long serial dependency chain cannot exceed IPC ~1.
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        let r8: Reg = IntReg::new(8).into();
+        let mut code = vec![Inst::li(Op::Li, r8, 0)];
+        for _ in 0..2000 {
+            code.push(Inst::alu_imm(Op::Addi, r8, r8, 1));
+        }
+        code.push(Inst { op: Op::Halt, rd: None, rs: Some(r8), rt: None, imm: 0, target: 0 });
+        p.code = code;
+        let t = run(&p);
+        assert!(t.ipc() < 1.2, "serial chain ipc = {}", t.ipc());
+    }
+
+    #[test]
+    fn independent_ops_exploit_width() {
+        // Independent ops on both subsystems exceed a single subsystem's
+        // 2-unit throughput.
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        let mut code = vec![];
+        for k in 0..8 {
+            code.push(Inst::li(Op::Li, IntReg::new(8 + k).into(), k as i32));
+            code.push(Inst::li(Op::LiA, FpReg::new(2 + k).into(), k as i32));
+        }
+        for _ in 0..500 {
+            for k in 0..2 {
+                code.push(Inst::alu_imm(Op::Addi, IntReg::new(8 + k).into(), IntReg::new(8 + k).into(), 1));
+                code.push(Inst::alu_imm(Op::AddiA, FpReg::new(2 + k).into(), FpReg::new(2 + k).into(), 1));
+            }
+        }
+        code.push(Inst::bare(Op::Halt));
+        p.code = code;
+        let mut q = p.clone();
+        // Same work, all on INT.
+        q.code = q
+            .code
+            .iter()
+            .map(|i| match i.op {
+                Op::LiA => Inst::li(Op::Li, remap(i.rd.unwrap()), i.imm),
+                Op::AddiA => {
+                    Inst::alu_imm(Op::Addi, remap(i.rd.unwrap()), remap(i.rs.unwrap()), i.imm)
+                }
+                _ => *i,
+            })
+            .collect();
+        let both = run(&p);
+        let int_only = run(&q);
+        assert!(
+            both.cycles < int_only.cycles,
+            "spread across subsystems ({}) should beat INT-only ({})",
+            both.cycles,
+            int_only.cycles
+        );
+    }
+
+    fn remap(r: Reg) -> Reg {
+        match r {
+            Reg::Fp(f) => IntReg::new(f.index() as u8 + 14).into(),
+            r => r,
+        }
+    }
+
+    #[test]
+    fn load_store_dependencies_respected() {
+        // store then load same address: forwarding; output correct.
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        let r8: Reg = IntReg::new(8).into();
+        let r9: Reg = IntReg::new(9).into();
+        p.code = vec![
+            Inst::li(Op::Li, r8, 0x2000),
+            Inst::li(Op::Li, r9, 77),
+            Inst::store(Op::Sw, r9, IntReg::new(8), 0),
+            Inst::load(Op::Lw, r9, IntReg::new(8), 0),
+            Inst { op: Op::Print, rd: None, rs: Some(r9), rt: None, imm: 0, target: 0 },
+            Inst { op: Op::Halt, rd: None, rs: Some(r9), rt: None, imm: 0, target: 0 },
+        ];
+        let t = run(&p);
+        assert_eq!(t.output, "77\n");
+    }
+
+    #[test]
+    fn cycle_budget_enforced() {
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        p.code = vec![Inst::jump(0)];
+        assert_eq!(simulate(&p, &cfg(), 1000).unwrap_err(), ExecError::OutOfFuel);
+    }
+}

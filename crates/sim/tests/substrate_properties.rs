@@ -1,0 +1,132 @@
+//! Property tests for the simulator substrates: the cache against a
+//! reference LRU model, the predictor's accounting, and functional/timing
+//! simulator agreement on random straight-line programs.
+
+use fpa_sim::cache::Cache;
+use fpa_sim::config::CacheConfig;
+use fpa_sim::predictor::Gshare;
+use proptest::prelude::*;
+
+/// Reference LRU model: per set, a most-recent-first list of tags.
+struct RefLru {
+    sets: Vec<Vec<u32>>,
+    assoc: usize,
+    line: u32,
+}
+
+impl RefLru {
+    fn new(cfg: CacheConfig) -> RefLru {
+        let sets = (cfg.size / cfg.line / cfg.assoc) as usize;
+        RefLru { sets: vec![Vec::new(); sets], assoc: cfg.assoc as usize, line: cfg.line }
+    }
+
+    /// Returns whether the access hits.
+    fn access(&mut self, addr: u32) -> bool {
+        let lineno = addr / self.line;
+        let set = (lineno as usize) % self.sets.len();
+        let tag = lineno / self.sets.len() as u32;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.insert(0, tag);
+            true
+        } else {
+            s.insert(0, tag);
+            s.truncate(self.assoc);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u32..4096, 1..300)) {
+        let cfg = CacheConfig { size: 256, assoc: 2, line: 16, hit_time: 1, miss_penalty: 6 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefLru::new(cfg);
+        for &a in &addrs {
+            let lat = cache.access(a, a % 3 == 0);
+            let hit = lat == cfg.hit_time;
+            let ref_hit = reference.access(a);
+            prop_assert_eq!(hit, ref_hit, "divergence at address {:#x}", a);
+        }
+        prop_assert_eq!(cache.accesses, addrs.len() as u64);
+        prop_assert!(cache.misses <= cache.accesses);
+    }
+
+    #[test]
+    fn predictor_accounting_is_consistent(outcomes in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let mut g = Gshare::new(8);
+        let mut my_mispredicts = 0u64;
+        for (i, &taken) in outcomes.iter().enumerate() {
+            let pc = (i as u32 % 7) * 4;
+            let predicted = g.predict(pc);
+            let correct = g.update(pc, taken);
+            prop_assert_eq!(correct, predicted == taken);
+            if !correct {
+                my_mispredicts += 1;
+            }
+        }
+        prop_assert_eq!(g.predictions, outcomes.len() as u64);
+        prop_assert_eq!(g.mispredictions, my_mispredicts);
+        prop_assert!(g.accuracy() >= 0.0 && g.accuracy() <= 1.0);
+    }
+}
+
+mod timing_vs_functional {
+    use fpa_sim::{run_functional, simulate, MachineConfig};
+    use fpa_isa::{FpReg, Inst, IntReg, Op, Program, Reg};
+    use proptest::prelude::*;
+
+    /// Random but well-formed straight-line program over 4 int and 4 fp
+    /// registers, ending in print+halt.
+    fn program(ops: &[(u8, u8, u8, i8)]) -> Program {
+        let ir = |k: u8| -> Reg { IntReg::new(8 + (k % 4)).into() };
+        let fr = |k: u8| -> Reg { FpReg::new(2 + (k % 4)).into() };
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        // Initialize registers and a memory base.
+        for k in 0..4 {
+            p.code.push(Inst::li(Op::Li, ir(k), i32::from(k) * 77 - 3));
+            p.code.push(Inst::li(Op::LiA, fr(k), i32::from(k) * -13 + 5));
+        }
+        p.code.push(Inst::li(Op::Li, IntReg::new(15).into(), 0x2000));
+        for &(sel, a, b, imm) in ops {
+            let inst = match sel % 8 {
+                0 => Inst::alu(Op::Add, ir(a), ir(b), ir(a)),
+                1 => Inst::alu(Op::Xor, ir(a), ir(b), ir(a)),
+                2 => Inst::alu(Op::AddA, fr(a), fr(b), fr(a)),
+                3 => Inst::alu_imm(Op::SltiA, fr(a), fr(b), i32::from(imm)),
+                4 => Inst::store(Op::Sw, ir(a), IntReg::new(15), i32::from(imm as u8) * 4),
+                5 => Inst::load(Op::Lw, ir(a), IntReg::new(15), i32::from(imm as u8) * 4),
+                6 => Inst::unary(Op::CpToFpa, fr(a), ir(b)),
+                _ => Inst::unary(Op::CpToInt, ir(a), fr(b)),
+            };
+            p.code.push(inst);
+        }
+        let out: Reg = IntReg::new(8).into();
+        p.code.push(Inst { op: Op::Print, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 });
+        p.code.push(Inst { op: Op::Halt, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 });
+        p
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+        #[test]
+        fn timing_and_functional_agree_on_random_programs(
+            ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>()), 1..120)
+        ) {
+            let p = program(&ops);
+            let f = run_functional(&p, 1_000_000).expect("functional");
+            for cfg in [MachineConfig::four_way(true), MachineConfig::eight_way(true)] {
+                let t = simulate(&p, &cfg, 1_000_000).expect("timing");
+                prop_assert_eq!(&t.output, &f.output);
+                prop_assert_eq!(t.retired, f.total);
+                prop_assert!(t.cycles >= t.retired / u64::from(cfg.retire_width));
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! # fpa-workloads
+//!
+//! Benchmark programs in the `zinc` language, standing in for the paper's
+//! SPECint95 suite (Table 2) plus the §7.5 floating-point programs. Each
+//! workload is written to reproduce the *computational character* the
+//! paper attributes to its SPEC counterpart — the slice structure
+//! (addressing vs branch vs store-value work), call intensity, and
+//! multiply/divide density are what drive the partitioning results.
+//!
+//! | workload | SPEC analogue | character |
+//! |---|---|---|
+//! | `compress` | compress | LZW coding, xorshift RNG (the paper's memory-free `run`), byte buffers |
+//! | `gcc` | gcc | register bookkeeping (`invalidate_for_call` of Figure 3), bitset dataflow |
+//! | `go` | go | board evaluation: dense branching over small arrays |
+//! | `ijpeg` | ijpeg | integer DCT + quantization (the suite's only multiply-heavy member) |
+//! | `li` | li | s-expression interpreter: call-intensive, many small functions |
+//! | `m88ksim` | m88ksim | CPU simulator: decode fields, dispatch, simulated registers |
+//! | `perl` | perl | string hashing and anagram scoring over byte arrays |
+//! | `vortex` | vortex | in-memory database: hashed records, insert/lookup/delete |
+//! | `ear_fp` | SPEC92 ear | FIR filterbank with integer peak bookkeeping (§7.5's 18 % case) |
+//! | `swim_fp` | swim-like | 2-D double stencil, almost no integer work (§7.5 "negligible") |
+//!
+//! All inputs are generated *inside* the programs by deterministic
+//! xorshift generators, so every simulator sees identical work with no
+//! host-side input files.
+
+/// A benchmark program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Short name (Table 2 style).
+    pub name: &'static str,
+    /// The `zinc` source text.
+    pub source: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Whether this is one of the §7.5 floating-point programs.
+    pub floating_point: bool,
+}
+
+/// The eight integer workloads (Figure 8/9/10 inputs).
+#[must_use]
+pub fn integer() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "compress",
+            source: include_str!("sources/compress.zc"),
+            description: "LZW-flavoured coder with a memory-free RNG",
+            floating_point: false,
+        },
+        Workload {
+            name: "gcc",
+            source: include_str!("sources/gcc.zc"),
+            description: "register bookkeeping and bitset dataflow kernels",
+            floating_point: false,
+        },
+        Workload {
+            name: "go",
+            source: include_str!("sources/go.zc"),
+            description: "board evaluation with dense branching",
+            floating_point: false,
+        },
+        Workload {
+            name: "ijpeg",
+            source: include_str!("sources/ijpeg.zc"),
+            description: "integer DCT and quantization (multiply-heavy)",
+            floating_point: false,
+        },
+        Workload {
+            name: "li",
+            source: include_str!("sources/li.zc"),
+            description: "s-expression interpreter, call-intensive",
+            floating_point: false,
+        },
+        Workload {
+            name: "m88ksim",
+            source: include_str!("sources/m88ksim.zc"),
+            description: "instruction-set simulator: decode and dispatch",
+            floating_point: false,
+        },
+        Workload {
+            name: "perl",
+            source: include_str!("sources/perl.zc"),
+            description: "string hashing and anagram scoring",
+            floating_point: false,
+        },
+        Workload {
+            name: "vortex",
+            source: include_str!("sources/vortex.zc"),
+            description: "in-memory database with hashed records",
+            floating_point: false,
+        },
+    ]
+}
+
+/// The §7.5 floating-point programs.
+#[must_use]
+pub fn floating() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "ear_fp",
+            source: include_str!("sources/ear.zc"),
+            description: "FIR filterbank with integer peak bookkeeping",
+            floating_point: true,
+        },
+        Workload {
+            name: "swim_fp",
+            source: include_str!("sources/swim.zc"),
+            description: "2-D double-precision stencil",
+            floating_point: true,
+        },
+    ]
+}
+
+/// All workloads, integer first.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    let mut v = integer();
+    v.extend(floating());
+    v
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete() {
+        assert_eq!(integer().len(), 8, "Table 2 has eight integer benchmarks");
+        assert_eq!(floating().len(), 2);
+        assert_eq!(all().len(), 10);
+        assert!(by_name("compress").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_workload_compiles() {
+        for w in all() {
+            fpa_frontend::compile(w.source)
+                .unwrap_or_else(|e| panic!("workload `{}` failed to compile: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_in_the_interpreter() {
+        for w in all() {
+            let m = fpa_frontend::compile(w.source).expect("compiles");
+            let (out, _) = fpa_ir::Interp::new(&m)
+                .run()
+                .unwrap_or_else(|e| panic!("workload `{}` failed: {e}", w.name));
+            assert_eq!(out.exit_code, 0, "workload `{}` exited nonzero", w.name);
+            assert!(!out.output.is_empty(), "workload `{}` printed nothing", w.name);
+            assert!(
+                out.dynamic_insts > 20_000,
+                "workload `{}` too small: {} dynamic instructions",
+                w.name,
+                out.dynamic_insts
+            );
+            assert!(
+                out.dynamic_insts < 5_000_000,
+                "workload `{}` too large for timing simulation: {}",
+                w.name,
+                out.dynamic_insts
+            );
+        }
+    }
+}

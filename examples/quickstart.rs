@@ -1,0 +1,55 @@
+//! Quickstart: compile one program three ways, compare offload and speed.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fpa::sim::{run_functional, simulate, MachineConfig};
+use fpa::{compile, Scheme};
+
+const SRC: &str = "
+    // Sum of transformed table entries: the xor/add chain is a
+    // store-value slice the partitioner can offload.
+    int table[256];
+    int out[256];
+
+    int main() {
+        int i;
+        int pass;
+        int sum = 0;
+        for (i = 0; i < 256; i = i + 1) { table[i] = i * 11 - 7; }
+        for (pass = 0; pass < 50; pass = pass + 1) {
+            for (i = 0; i < 256; i = i + 1) {
+                out[i] = (table[i] ^ pass) + (out[i] << 1);
+            }
+        }
+        for (i = 0; i < 256; i = i + 1) { sum = sum + out[i]; }
+        print(sum);
+        return 0;
+    }
+";
+
+fn main() {
+    println!("scheme        dyn insts   FPa ops   copies   cycles(4-way)   speedup");
+    let mut conv_cycles = 0u64;
+    for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
+        let prog = compile(SRC, scheme).expect("compile");
+        let f = run_functional(&prog, 100_000_000).expect("functional sim");
+        let cfg = MachineConfig::four_way(true);
+        let t = simulate(&prog, &cfg, 100_000_000).expect("timing sim");
+        assert_eq!(t.output, f.output, "simulators must agree");
+        if scheme == Scheme::Conventional {
+            conv_cycles = t.cycles;
+        }
+        let speedup = (conv_cycles as f64 / t.cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{:<13}{:>10}{:>10}{:>9}{:>16}{:>+9.1}%",
+            format!("{scheme:?}"),
+            f.total,
+            f.augmented,
+            f.copies,
+            t.cycles,
+            speedup
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Sweep machine configurations for one workload: how does the benefit of
+//! partitioning change with issue width and functional units?
+//!
+//! ```text
+//! cargo run --example speedup_sweep [workload]
+//! ```
+
+use fpa::sim::{simulate, MachineConfig};
+use fpa::{compile, Scheme};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".to_owned());
+    let w = fpa::workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload `{name}`; available: {}",
+            fpa::workloads::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    });
+
+    eprintln!("compiling {name} (conventional + advanced)...");
+    let conv = compile(w.source, Scheme::Conventional).expect("conventional build");
+    let adv = compile(w.source, Scheme::Advanced).expect("advanced build");
+
+    // Beyond the paper's two presets, interpolate a few design points.
+    let mut configs = vec![MachineConfig::four_way(true), MachineConfig::eight_way(true)];
+    let mut narrow = MachineConfig::four_way(true);
+    narrow.name = "2-way (1 int + 1 fp)".into();
+    narrow.fetch_width = 2;
+    narrow.decode_width = 2;
+    narrow.retire_width = 2;
+    narrow.int_units = 1;
+    narrow.fp_units = 1;
+    narrow.int_window = 8;
+    narrow.fp_window = 8;
+    narrow.max_inflight = 16;
+    configs.insert(0, narrow);
+    let mut six = MachineConfig::four_way(true);
+    six.name = "4-way, 3 int + 3 fp units".into();
+    six.int_units = 3;
+    six.fp_units = 3;
+    configs.insert(2, six);
+
+    println!("{:<26}{:>14}{:>14}{:>10}{:>8}", "machine", "conv cycles", "adv cycles", "speedup", "IPC");
+    for cfg in &configs {
+        let c = simulate(&conv, cfg, 500_000_000).expect("conventional sim");
+        let a = simulate(&adv, cfg, 500_000_000).expect("advanced sim");
+        assert_eq!(c.output, a.output);
+        println!(
+            "{:<26}{:>14}{:>14}{:>+9.1}%{:>8.2}",
+            cfg.name,
+            c.cycles,
+            a.cycles,
+            (c.cycles as f64 / a.cycles as f64 - 1.0) * 100.0,
+            a.ipc()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The paper's structural invariants, checked over the whole workload
+//! suite (see DESIGN.md §6).
+
+use fpa::isa::{Op, Subsystem};
+use fpa::rdg::{classify, NodeClass, NodeKind, Rdg};
+use fpa::sim::run_functional;
+use fpa::{compile, Scheme};
+
+const FUEL: u64 = 500_000_000;
+
+fn optimized_module(src: &str) -> fpa::ir::Module {
+    let mut m = fpa::frontend::compile(src).unwrap();
+    fpa::ir::opt::optimize(&mut m);
+    for f in &mut m.funcs {
+        fpa::ir::opt::split_webs(f);
+    }
+    m
+}
+
+/// §5.1 conditions: under the basic scheme, no FPa node may reach or be
+/// reached by an INT node through register dependences.
+#[test]
+fn basic_scheme_partitioning_conditions() {
+    for w in fpa::workloads::integer() {
+        let m = optimized_module(w.source);
+        let assignment = fpa::partition::partition_basic(&m);
+        for (fi, func) in m.funcs.iter().enumerate() {
+            let fa = &assignment.funcs[fi];
+            let rdg = Rdg::build(func);
+            let classes = classify(func, &rdg);
+            let side_of = |n| {
+                let inst = rdg.kind(n).inst();
+                match rdg.kind(n) {
+                    NodeKind::Param(_) => Subsystem::Int,
+                    NodeKind::LoadAddr(_) | NodeKind::StoreAddr(_) => Subsystem::Int,
+                    _ => fa.side(inst.expect("instruction node")),
+                }
+            };
+            for n in rdg.node_ids() {
+                if classes[n.index()] != NodeClass::Free || side_of(n) != Subsystem::Fp {
+                    continue;
+                }
+                for m_ in rdg.backward_slice(n).into_iter().chain(rdg.forward_slice(n)) {
+                    if classes[m_.index()] == NodeClass::NativeFp {
+                        continue;
+                    }
+                    assert_eq!(
+                        side_of(m_),
+                        Subsystem::Fp,
+                        "{}:{}: FPa node {n} connected to INT node {m_}",
+                        w.name,
+                        func.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Under the basic scheme, integer workloads execute **zero** inter-file
+/// copies — all communication goes through existing loads and stores.
+#[test]
+fn basic_scheme_needs_no_copies_on_integer_code() {
+    for w in fpa::workloads::integer() {
+        let prog = compile(w.source, Scheme::Basic).unwrap();
+        let r = run_functional(&prog, FUEL).unwrap();
+        assert_eq!(
+            r.copies, 0,
+            "{}: basic scheme executed {} copies",
+            w.name, r.copies
+        );
+    }
+}
+
+/// Loads and stores always execute in the INT subsystem: no program may
+/// contain an augmented opcode that touches memory, and every memory
+/// opcode in every build must be an INT-subsystem opcode.
+#[test]
+fn memory_operations_stay_on_the_int_subsystem() {
+    for w in fpa::workloads::all() {
+        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
+            let prog = compile(w.source, scheme).unwrap();
+            for inst in &prog.code {
+                if inst.op.is_load() || inst.op.is_store() {
+                    assert_eq!(
+                        inst.op.subsystem(),
+                        Subsystem::Int,
+                        "{}/{scheme:?}: memory op {} off the INT subsystem",
+                        w.name,
+                        inst.op
+                    );
+                }
+                assert!(
+                    !(inst.op.is_augmented() && inst.op.mem_bytes().is_some()),
+                    "{}/{scheme:?}: augmented memory opcode {}",
+                    w.name,
+                    inst.op
+                );
+            }
+        }
+    }
+}
+
+/// Integer multiply/divide never execute in the FP subsystem (the paper
+/// excludes them from the augmented hardware).
+#[test]
+fn no_muldiv_in_fp_subsystem() {
+    for w in fpa::workloads::all() {
+        for scheme in [Scheme::Basic, Scheme::Advanced] {
+            let prog = compile(w.source, scheme).unwrap();
+            for inst in &prog.code {
+                if matches!(inst.op, Op::Mul | Op::Div | Op::Rem) {
+                    assert_eq!(inst.op.subsystem(), Subsystem::Int);
+                }
+            }
+        }
+    }
+}
+
+/// The static opcode budget: only the 22 documented augmented opcodes
+/// ever appear, and each appears with FP-register operands only.
+#[test]
+fn augmented_opcode_discipline() {
+    let mut seen = std::collections::HashSet::new();
+    for w in fpa::workloads::all() {
+        let prog = compile(w.source, Scheme::Advanced).unwrap();
+        for inst in &prog.code {
+            if inst.op.is_augmented() {
+                seen.insert(inst.op);
+                for r in inst.defs().into_iter().chain(inst.uses()) {
+                    assert!(
+                        r.is_fp(),
+                        "{}: augmented op {} uses integer register {r}",
+                        w.name,
+                        inst.op
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        seen.len() <= 22,
+        "more distinct augmented opcodes than the paper's budget: {seen:?}"
+    );
+    assert!(seen.len() >= 8, "suspiciously few augmented opcodes used: {seen:?}");
+}
+
+/// Advanced-scheme copy overhead stays small (§7.2 reports <= 4% total
+/// increase, with copies at most 3.4%).
+#[test]
+fn advanced_copy_overhead_is_bounded() {
+    for w in fpa::workloads::integer() {
+        let prog = compile(w.source, Scheme::Advanced).unwrap();
+        let r = run_functional(&prog, FUEL).unwrap();
+        let pct = r.copies as f64 / r.total as f64 * 100.0;
+        assert!(pct < 5.0, "{}: copies are {pct:.2}% of dynamic instructions", w.name);
+    }
+}
+
+/// The classifier's pinning reasons are exhaustive over workload IR: every
+/// node classifies without panicking and address nodes are always pinned.
+#[test]
+fn classification_total_and_addresses_pinned() {
+    for w in fpa::workloads::all() {
+        let m = optimized_module(w.source);
+        for func in &m.funcs {
+            let rdg = Rdg::build(func);
+            let classes = classify(func, &rdg);
+            for n in rdg.node_ids() {
+                if matches!(rdg.kind(n), NodeKind::LoadAddr(_) | NodeKind::StoreAddr(_)) {
+                    assert!(
+                        matches!(classes[n.index()], NodeClass::PinnedInt(_)),
+                        "{}: address node not pinned",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}

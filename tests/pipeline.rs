@@ -1,0 +1,102 @@
+//! End-to-end pipeline tests over the full workload suite: every
+//! workload, compiled three ways, must reproduce the IR interpreter's
+//! observable behaviour on the machine-level functional simulator.
+
+use fpa::sim::run_functional;
+use fpa::{compile, Scheme};
+
+const FUEL: u64 = 500_000_000;
+
+fn golden(src: &str) -> (String, i32) {
+    let m = fpa::frontend::compile(src).expect("golden compile");
+    let (out, _) = fpa::ir::Interp::new(&m).run().expect("golden run");
+    (out.output, out.exit_code)
+}
+
+#[test]
+fn all_workloads_all_schemes_preserve_behaviour() {
+    for w in fpa::workloads::all() {
+        let (gold_out, gold_exit) = golden(w.source);
+        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
+            let prog = compile(w.source, scheme)
+                .unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
+            let r = run_functional(&prog, FUEL)
+                .unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
+            assert_eq!(r.output, gold_out, "{}/{scheme:?} output diverged", w.name);
+            assert_eq!(r.exit_code, gold_exit, "{}/{scheme:?} exit diverged", w.name);
+        }
+    }
+}
+
+#[test]
+fn conventional_builds_never_use_augmented_opcodes() {
+    for w in fpa::workloads::all() {
+        let prog = compile(w.source, Scheme::Conventional).unwrap();
+        let r = run_functional(&prog, FUEL).unwrap();
+        assert_eq!(r.augmented, 0, "{} conventional build used *A opcodes", w.name);
+    }
+}
+
+#[test]
+fn integer_workloads_offload_under_both_schemes() {
+    // Every integer workload should see *some* offloaded work under the
+    // advanced scheme; the basic scheme may legitimately find little.
+    for w in fpa::workloads::integer() {
+        let adv = compile(w.source, Scheme::Advanced).unwrap();
+        let r = run_functional(&adv, FUEL).unwrap();
+        assert!(
+            r.augmented > 0,
+            "{}: advanced scheme offloaded nothing",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn advanced_partition_at_least_as_large_as_basic() {
+    for w in fpa::workloads::integer() {
+        let basic = compile(w.source, Scheme::Basic).unwrap();
+        let adv = compile(w.source, Scheme::Advanced).unwrap();
+        let rb = run_functional(&basic, FUEL).unwrap();
+        let ra = run_functional(&adv, FUEL).unwrap();
+        assert!(
+            ra.fp_fraction() >= rb.fp_fraction() - 0.01,
+            "{}: advanced {:.3} < basic {:.3}",
+            w.name,
+            ra.fp_fraction(),
+            rb.fp_fraction()
+        );
+    }
+}
+
+#[test]
+fn static_code_growth_is_negligible() {
+    // Paper §7.2: "the change in static code size [is] negligible".
+    for w in fpa::workloads::integer() {
+        let conv = compile(w.source, Scheme::Conventional).unwrap();
+        let adv = compile(w.source, Scheme::Advanced).unwrap();
+        let growth = adv.static_size() as f64 / conv.static_size() as f64 - 1.0;
+        assert!(
+            growth < 0.10,
+            "{}: static size grew {:.1}% (conv {}, adv {})",
+            w.name,
+            growth * 100.0,
+            conv.static_size(),
+            adv.static_size()
+        );
+    }
+}
+
+#[test]
+fn generated_programs_validate_and_disassemble() {
+    for w in fpa::workloads::all() {
+        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
+            let prog = compile(w.source, scheme).unwrap();
+            prog.validate().unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
+            let text = prog.disasm();
+            assert!(text.contains("main:"), "{}/{scheme:?}", w.name);
+            // Every workload has at least one function symbol per zinc fn.
+            assert!(text.lines().count() >= prog.static_size());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based differential testing: random `zinc` programs must
+//! behave identically under the IR interpreter and under machine-level
+//! functional simulation of all three builds (conventional, basic scheme,
+//! advanced scheme). This is the strongest correctness statement about
+//! the partitioner: no matter how the graph is cut, observable behaviour
+//! is preserved.
+
+use fpa::sim::run_functional;
+use fpa::{compile, Scheme};
+use proptest::prelude::*;
+
+/// A random integer expression over locals `a`, `b`, `c`, loop counter
+/// `i`, and the arrays `g0`/`g1` (indices are masked to stay in bounds,
+/// divisors are or-ed with 1 to avoid trapping).
+fn expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(|k| k.to_string()),
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("c".to_owned()),
+        Just("i".to_owned()),
+        (0u32..64).prop_map(|k| format!("g0[(i + {k}) & 63]")),
+        (0u32..64).prop_map(|k| format!("g1[({k} - i) & 63]")),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = expr(depth - 1);
+    let sub2 = expr(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        1 => (sub.clone(), sub2.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")
+            ])
+            .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+        1 => (sub.clone(), 0u32..31).prop_map(|(l, s)| format!("({l} << {s})")),
+        1 => (sub.clone(), 0u32..31).prop_map(|(l, s)| format!("({l} >> {s})")),
+        1 => (sub.clone(), sub2.clone()).prop_map(|(l, r)| format!("({l} / (({r}) | 1))")),
+        1 => (sub.clone(), sub2.clone()).prop_map(|(l, r)| format!("({l} % (({r}) | 257))")),
+        1 => (sub.clone(), sub2.clone(), prop_oneof![
+                Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!=")
+            ])
+            .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+    ]
+    .boxed()
+}
+
+/// A random statement body for the inner loop.
+fn stmt() -> BoxedStrategy<String> {
+    prop_oneof![
+        (prop_oneof![Just("a"), Just("b"), Just("c")], expr(2))
+            .prop_map(|(v, e)| format!("{v} = {e};")),
+        expr(2).prop_map(|e| format!("g0[(a ^ i) & 63] = {e};")),
+        expr(2).prop_map(|e| format!("g1[(b + i) & 63] = {e};")),
+        (expr(1), stmt_leaf(), stmt_leaf())
+            .prop_map(|(c, t, f)| format!("if ({c}) {{ {t} }} else {{ {f} }}")),
+        expr(2).prop_map(|e| format!("c = helper({e}, b);")),
+    ]
+    .boxed()
+}
+
+fn stmt_leaf() -> BoxedStrategy<String> {
+    prop_oneof![
+        (prop_oneof![Just("a"), Just("b"), Just("c")], expr(1))
+            .prop_map(|(v, e)| format!("{v} = {e};")),
+        expr(1).prop_map(|e| format!("g0[(c - i) & 63] = {e};")),
+    ]
+    .boxed()
+}
+
+/// Renders a whole program from a statement list.
+fn program(stmts: Vec<String>, iters: u32, seed: i32) -> String {
+    format!(
+        "int g0[64];
+         int g1[64];
+         int helper(int x, int y) {{
+             if (x > y) {{ return x - y; }}
+             return (x ^ y) + 1;
+         }}
+         int main() {{
+             int i;
+             int a = {seed};
+             int b = {};
+             int c = 0;
+             for (i = 0; i < 64; i = i + 1) {{ g0[i] = i * 17 - 32; g1[i] = {seed} ^ (i << 2); }}
+             for (i = 0; i < {iters}; i = i + 1) {{
+                 {}
+             }}
+             print(a); print(b); print(c);
+             for (i = 0; i < 64; i = i + 1) {{ print(g0[i] ^ g1[i]); }}
+             return (a ^ b) & 255;
+         }}",
+        seed.wrapping_mul(3),
+        stmts.join("\n                 ")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_preserve_semantics(
+        stmts in proptest::collection::vec(stmt(), 1..8),
+        iters in 1u32..40,
+        seed in -1000i32..1000,
+    ) {
+        let src = program(stmts, iters, seed);
+        let m = fpa::frontend::compile(&src).expect("generated program compiles");
+        let (golden, _) = fpa::ir::Interp::new(&m).run().expect("golden run");
+
+        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
+            let prog = compile(&src, scheme).expect("pipeline");
+            let r = run_functional(&prog, 200_000_000).expect("functional run");
+            prop_assert_eq!(&r.output, &golden.output, "{:?} output diverged", scheme);
+            prop_assert_eq!(r.exit_code, golden.exit_code, "{:?} exit diverged", scheme);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// The timing simulator retires exactly what the functional simulator
+    /// executes and produces identical output, on random programs.
+    #[test]
+    fn timing_simulation_is_architecturally_exact(
+        stmts in proptest::collection::vec(stmt(), 1..5),
+        iters in 1u32..16,
+        seed in -50i32..50,
+    ) {
+        use fpa::sim::{simulate, MachineConfig};
+        let src = program(stmts, iters, seed);
+        let prog = compile(&src, Scheme::Advanced).expect("pipeline");
+        let f = run_functional(&prog, 100_000_000).expect("functional");
+        let t = simulate(&prog, &MachineConfig::four_way(true), 100_000_000).expect("timing");
+        prop_assert_eq!(&t.output, &f.output);
+        prop_assert_eq!(t.exit_code, f.exit_code);
+        prop_assert_eq!(t.retired, f.total);
+        prop_assert!(t.ipc() > 0.0 && t.ipc() <= 4.0);
+    }
+}
