@@ -2,23 +2,17 @@
 //! empirical ranges and print offload/speedup per point, then benchmark
 //! one full advanced-scheme build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_harness::experiments::ablate_cost_params;
 use fpa_harness::report;
 use fpa_partition::CostParams;
+use fpa_testutil::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = ablate_cost_params(&["m88ksim"]).expect("ablation");
     println!("\n{}", report::ablation(&rows));
 
     let w = fpa_workloads::by_name("m88ksim").expect("workload");
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-    g.bench_function("build/m88ksim/advanced", |b| {
-        b.iter(|| fpa_harness::pipeline::build(&w, &CostParams::default()).expect("build"))
+    bench("ablation/build/m88ksim/advanced", 5, || {
+        fpa_harness::pipeline::build(&w, &CostParams::default()).expect("build");
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Compiler throughput: the cost of each pipeline stage on real
 //! workloads (the ablation the partitioning algorithms themselves incur).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_partition::{partition_advanced, partition_basic, BlockFreq, CostParams};
+use fpa_testutil::bench;
 
 fn optimized(src: &str) -> fpa_ir::Module {
     let mut m = fpa_frontend::compile(src).expect("compile");
@@ -13,30 +13,26 @@ fn optimized(src: &str) -> fpa_ir::Module {
     m
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let w = fpa_workloads::by_name("gcc").expect("gcc workload");
-    let mut g = c.benchmark_group("compile");
-    g.sample_size(20);
-    g.bench_function("frontend+opt/gcc", |b| b.iter(|| optimized(w.source)));
+    bench("compile/frontend+opt/gcc", 10, || {
+        optimized(&w.source);
+    });
 
-    let m = optimized(w.source);
-    g.bench_function("partition-basic/gcc", |b| b.iter(|| partition_basic(&m)));
+    let m = optimized(&w.source);
+    bench("compile/partition-basic/gcc", 10, || {
+        let _ = partition_basic(&m);
+    });
 
     let (_, profile) = fpa_ir::Interp::new(&m).run().expect("profile");
     let freq = BlockFreq::from_profile(&m, &profile);
-    g.bench_function("partition-advanced/gcc", |b| {
-        b.iter(|| {
-            let mut m2 = m.clone();
-            partition_advanced(&mut m2, &freq, &CostParams::default())
-        })
+    bench("compile/partition-advanced/gcc", 10, || {
+        let mut m2 = m.clone();
+        let _ = partition_advanced(&mut m2, &freq, &CostParams::default());
     });
 
     let assignment = partition_basic(&m);
-    g.bench_function("codegen/gcc", |b| {
-        b.iter(|| fpa_codegen::compile_module(&m, &assignment))
+    bench("compile/codegen/gcc", 10, || {
+        let _ = fpa_codegen::compile_module(&m, &assignment);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,21 @@
 //! Figure 10: speedups on the paper's 8-way machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_harness::experiments::fig10_speedup_8way;
 use fpa_harness::report;
 use fpa_sim::{simulate, MachineConfig};
+use fpa_testutil::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let compiled = fpa_bench::compiled_integer_suite();
     let rows = fig10_speedup_8way(&compiled).expect("fig10");
-    println!("\n{}", report::speedup("Figure 10: Speedups on an 8-way machine", &rows));
+    println!(
+        "\n{}",
+        report::speedup("Figure 10: Speedups on an 8-way machine", &rows)
+    );
 
     let cfg = MachineConfig::eight_way(true);
     let go = compiled.iter().find(|c| c.name == "go").expect("go");
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.bench_function("timing/go/advanced-8way", |b| {
-        b.iter(|| simulate(&go.advanced, &cfg, 500_000_000).expect("sim"))
+    bench("fig10/timing/go/advanced-8way", 5, || {
+        simulate(&go.advanced, &cfg, 500_000_000).expect("sim");
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

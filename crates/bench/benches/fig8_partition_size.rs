@@ -3,25 +3,22 @@
 //! Prints the regenerated figure rows, then benchmarks the functional
 //! simulation that produces them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_harness::experiments::fig8_partition_size;
 use fpa_harness::report;
 use fpa_sim::run_functional;
+use fpa_testutil::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let compiled = fpa_bench::compiled_integer_suite();
     let rows = fig8_partition_size(&compiled).expect("fig8");
     println!("\n{}", report::fig8(&rows));
 
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    for cw in compiled.iter().filter(|c| matches!(c.name, "compress" | "m88ksim")) {
-        g.bench_function(format!("functional/{}/advanced", cw.name), |b| {
-            b.iter(|| run_functional(&cw.advanced, 500_000_000).expect("run"))
+    for cw in compiled
+        .iter()
+        .filter(|c| c.name == "compress" || c.name == "m88ksim")
+    {
+        bench(&format!("fig8/functional/{}/advanced", cw.name), 5, || {
+            run_functional(&cw.advanced, 500_000_000).expect("run");
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,29 +3,29 @@
 //! Prints the regenerated figure, then benchmarks the timing simulator on
 //! a representative workload under each build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_harness::experiments::fig9_speedup_4way;
 use fpa_harness::report;
 use fpa_sim::{simulate, MachineConfig};
+use fpa_testutil::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let compiled = fpa_bench::compiled_integer_suite();
     let rows = fig9_speedup_4way(&compiled).expect("fig9");
-    println!("\n{}", report::speedup("Figure 9: Speedups on a 4-way machine", &rows));
+    println!(
+        "\n{}",
+        report::speedup("Figure 9: Speedups on a 4-way machine", &rows)
+    );
 
     let cfg_conv = MachineConfig::four_way(false);
     let cfg_aug = MachineConfig::four_way(true);
-    let m88 = compiled.iter().find(|c| c.name == "m88ksim").expect("m88ksim");
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("timing/m88ksim/conventional", |b| {
-        b.iter(|| simulate(&m88.conventional, &cfg_conv, 500_000_000).expect("sim"))
+    let m88 = compiled
+        .iter()
+        .find(|c| c.name == "m88ksim")
+        .expect("m88ksim");
+    bench("fig9/timing/m88ksim/conventional", 5, || {
+        simulate(&m88.conventional, &cfg_conv, 500_000_000).expect("sim");
     });
-    g.bench_function("timing/m88ksim/advanced", |b| {
-        b.iter(|| simulate(&m88.advanced, &cfg_aug, 500_000_000).expect("sim"))
+    bench("fig9/timing/m88ksim/advanced", 5, || {
+        simulate(&m88.advanced, &cfg_aug, 500_000_000).expect("sim");
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Section 7.5: partitioning applied to floating-point programs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_harness::experiments::fp_programs;
 use fpa_harness::report;
 use fpa_sim::{simulate, MachineConfig};
+use fpa_testutil::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (sizes, speed) = fp_programs().expect("fp programs");
     println!("\n{}", report::fig8(&sizes));
     println!(
@@ -15,13 +15,7 @@ fn bench(c: &mut Criterion) {
 
     let ear = fpa_bench::compiled("ear_fp");
     let cfg = MachineConfig::four_way(true);
-    let mut g = c.benchmark_group("fp_programs");
-    g.sample_size(10);
-    g.bench_function("timing/ear_fp/advanced", |b| {
-        b.iter(|| simulate(&ear.advanced, &cfg, 500_000_000).expect("sim"))
+    bench("fp_programs/timing/ear_fp/advanced", 5, || {
+        simulate(&ear.advanced, &cfg, 500_000_000).expect("sim");
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

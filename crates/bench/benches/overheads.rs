@@ -1,21 +1,15 @@
 //! Section 7.2: the advanced scheme's instruction overheads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpa_harness::experiments::overheads;
 use fpa_harness::report;
+use fpa_testutil::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let compiled = fpa_bench::compiled_integer_suite();
     let rows = overheads(&compiled).expect("overheads");
     println!("\n{}", report::overheads(&rows));
 
-    let mut g = c.benchmark_group("overheads");
-    g.sample_size(10);
-    g.bench_function("accounting/all-integer-workloads", |b| {
-        b.iter(|| overheads(&compiled).expect("overheads"))
+    bench("overheads/accounting/all-integer-workloads", 5, || {
+        overheads(&compiled).expect("overheads");
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

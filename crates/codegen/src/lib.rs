@@ -14,6 +14,6 @@ pub mod lower;
 pub mod peephole;
 pub mod regalloc;
 
-pub use lower::{compile_module, line_points, LinePoints};
+pub use lower::{compile_module, compile_module_timed, line_points, CodegenTimings, LinePoints};
 pub use peephole::peephole;
 pub use regalloc::{allocate, Allocation, Location};

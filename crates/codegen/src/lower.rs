@@ -16,12 +16,13 @@
 //! and partitioned builds directly comparable.
 
 use crate::regalloc::{allocate, Allocation, Location};
-use fpa_isa::{FpReg, Inst as MInst, IntReg, Op, Program, Reg, Subsystem, Symbol, SymbolKind};
-use fpa_partition::Assignment;
 use fpa_ir::{
     BinOp, BlockId, CvtKind, FuncId, Function, Inst, MemWidth, Module, Terminator, Ty, VReg,
 };
+use fpa_isa::{FpReg, Inst as MInst, IntReg, Op, Program, Reg, Subsystem, Symbol, SymbolKind};
+use fpa_partition::Assignment;
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Program points for live-interval construction: parameters live at point
 /// 0; each instruction and each terminator occupies one point, blocks laid
@@ -54,6 +55,15 @@ pub fn line_points(func: &Function) -> LinePoints {
     LinePoints { ranges }
 }
 
+/// Wall-clock cost of the two backend stages of one `compile_module` run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodegenTimings {
+    /// Time spent in register allocation (live intervals + linear scan).
+    pub regalloc: Duration,
+    /// Everything else: selection, emission, fixups, peephole, validation.
+    pub emit: Duration,
+}
+
 /// Compiles a whole module against a partition assignment.
 ///
 /// The entry stub at pc 0 calls `main` and halts with its return value.
@@ -64,8 +74,24 @@ pub fn line_points(func: &Function) -> LinePoints {
 /// match the module shape.
 #[must_use]
 pub fn compile_module(module: &Module, assignment: &Assignment) -> Program {
-    assert_eq!(module.funcs.len(), assignment.funcs.len(), "assignment/module mismatch");
+    compile_module_timed(module, assignment).0
+}
+
+/// [`compile_module`] plus per-stage wall-clock timings.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`compile_module`].
+#[must_use]
+pub fn compile_module_timed(module: &Module, assignment: &Assignment) -> (Program, CodegenTimings) {
+    assert_eq!(
+        module.funcs.len(),
+        assignment.funcs.len(),
+        "assignment/module mismatch"
+    );
     let main = module.func_id("main").expect("module must define `main`");
+    let backend_start = Instant::now();
+    let mut regalloc_time = Duration::ZERO;
 
     let mut prog = Program::new();
     let mut pool = ConstPool::new(module);
@@ -93,7 +119,11 @@ pub fn compile_module(module: &Module, assignment: &Assignment) -> Program {
         });
         let fa = &assignment.funcs[fi];
         let global_addrs: Vec<u32> = module.globals.iter().map(|g| g.addr).collect();
+        // `FuncEmitter::new` runs the register allocator; everything after
+        // it is emission.
+        let ra_start = Instant::now();
         let mut em = FuncEmitter::new(func, fa, &mut pool, &global_addrs);
+        regalloc_time += ra_start.elapsed();
         em.emit();
         prog.code.extend(em.code.iter().cloned());
         // Relocate block labels and branches to global pcs.
@@ -135,7 +165,14 @@ pub fn compile_module(module: &Module, assignment: &Assignment) -> Program {
     prog.data.extend(pool.items());
     crate::peephole::peephole(&mut prog);
     prog.validate().expect("generated program must validate");
-    prog
+    let emit = backend_start.elapsed().saturating_sub(regalloc_time);
+    (
+        prog,
+        CodegenTimings {
+            regalloc: regalloc_time,
+            emit,
+        },
+    )
 }
 
 /// Pool of 64-bit floating-point constants materialized in the data
@@ -153,7 +190,10 @@ impl ConstPool {
             .map(|g| g.addr + g.size)
             .max()
             .unwrap_or(Module::DATA_BASE);
-        ConstPool { next_addr: (end + 7) & !7, by_bits: BTreeMap::new() }
+        ConstPool {
+            next_addr: (end + 7) & !7,
+            by_bits: BTreeMap::new(),
+        }
     }
 
     fn addr_of(&mut self, value: f64) -> u32 {
@@ -346,7 +386,11 @@ impl<'a> FuncEmitter<'a> {
             (Location::Reg(r), true) => (r, vec![]),
             (Location::Reg(r), false) => {
                 // Produce in `file`'s scratch, then copy across.
-                let op = if file == Subsystem::Int { Op::CpToFpa } else { Op::CpToInt };
+                let op = if file == Subsystem::Int {
+                    Op::CpToFpa
+                } else {
+                    Op::CpToInt
+                };
                 (produce_scratch, vec![MInst::unary(op, r, produce_scratch)])
             }
             (Location::Slot(s), _) => {
@@ -385,8 +429,12 @@ impl<'a> FuncEmitter<'a> {
                 let inst = self.func.block(b).insts[i].clone();
                 self.lower_inst(&inst);
             }
-            let term = self.func.block(b).term.clone();
-            let next = if b.index() + 1 < nblocks { Some(BlockId::new(b.index() as u32 + 1)) } else { None };
+            let term = self.func.block(b).term;
+            let next = if b.index() + 1 < nblocks {
+                Some(BlockId::new(b.index() as u32 + 1))
+            } else {
+                None
+            };
             self.lower_term(&term, next);
         }
     }
@@ -409,7 +457,12 @@ impl<'a> FuncEmitter<'a> {
             self.push(store);
         }
         // Bind parameters.
-        let tys: Vec<Ty> = self.func.params.iter().map(|p| self.func.vreg_ty(*p)).collect();
+        let tys: Vec<Ty> = self
+            .func
+            .params
+            .iter()
+            .map(|p| self.func.vreg_ty(*p))
+            .collect();
         let locs = arg_locations(&tys);
         for (p, loc) in self.func.params.clone().into_iter().zip(locs) {
             let src: Reg = match loc {
@@ -437,7 +490,11 @@ impl<'a> FuncEmitter<'a> {
     /// Moves an architectural register's value into a vreg's location.
     fn store_reg_to_vreg(&mut self, src: Reg, v: VReg) {
         let home = self.home(v);
-        let file = if src.is_int() { Subsystem::Int } else { Subsystem::Fp };
+        let file = if src.is_int() {
+            Subsystem::Int
+        } else {
+            Subsystem::Fp
+        };
         let (dst, post) = self.write(v, file);
         let mv = match (file, dst) {
             (Subsystem::Int, d) => MInst::unary(Op::Move, d, src),
@@ -490,11 +547,19 @@ impl<'a> FuncEmitter<'a> {
 
     fn lower_inst(&mut self, inst: &Inst) {
         match inst {
-            Inst::Bin { dst, op, lhs, rhs, .. } => self.lower_bin(*dst, *op, *lhs, *rhs, inst),
-            Inst::BinImm { dst, op, lhs, imm, .. } => {
+            Inst::Bin {
+                dst, op, lhs, rhs, ..
+            } => self.lower_bin(*dst, *op, *lhs, *rhs, inst),
+            Inst::BinImm {
+                dst, op, lhs, imm, ..
+            } => {
                 let fp_side = self.side(inst) == Subsystem::Fp;
                 let mop = imm_op(*op, fp_side);
-                let file = if fp_side { Subsystem::Fp } else { Subsystem::Int };
+                let file = if fp_side {
+                    Subsystem::Fp
+                } else {
+                    Subsystem::Int
+                };
                 let l = self.read(*lhs, file, 0);
                 let (d, post) = self.write(*dst, file);
                 self.push(MInst::alu_imm(mop, d, l, *imm));
@@ -502,7 +567,11 @@ impl<'a> FuncEmitter<'a> {
             }
             Inst::Li { dst, imm, .. } => {
                 let file = self.home(*dst);
-                let op = if file == Subsystem::Fp { Op::LiA } else { Op::Li };
+                let op = if file == Subsystem::Fp {
+                    Op::LiA
+                } else {
+                    Op::Li
+                };
                 let (d, post) = self.write(*dst, file);
                 self.push(MInst::li(op, d, *imm));
                 self.code.extend(post);
@@ -517,7 +586,11 @@ impl<'a> FuncEmitter<'a> {
             Inst::La { dst, global, .. } => {
                 let addr = self.pool_global_addr(*global);
                 let file = self.home(*dst);
-                let op = if file == Subsystem::Fp { Op::LiA } else { Op::Li };
+                let op = if file == Subsystem::Fp {
+                    Op::LiA
+                } else {
+                    Op::Li
+                };
                 let (d, post) = self.write(*dst, file);
                 self.push(MInst::li(op, d, addr as i32));
                 self.code.extend(post);
@@ -549,7 +622,13 @@ impl<'a> FuncEmitter<'a> {
                     self.code.extend(post);
                 }
             },
-            Inst::Load { dst, base, offset, width, .. } => {
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                width,
+                ..
+            } => {
                 let b = self.read(*base, Subsystem::Int, 0);
                 let b = b.as_int().expect("base is integer");
                 let (op, file) = match width {
@@ -568,7 +647,13 @@ impl<'a> FuncEmitter<'a> {
                 self.push(MInst::load(op, d, b, *offset));
                 self.code.extend(post);
             }
-            Inst::Store { value, base, offset, width, .. } => {
+            Inst::Store {
+                value,
+                base,
+                offset,
+                width,
+                ..
+            } => {
                 let b = self.read(*base, Subsystem::Int, 0);
                 let b = b.as_int().expect("base is integer");
                 let (op, file) = match width {
@@ -585,18 +670,41 @@ impl<'a> FuncEmitter<'a> {
                 let v = self.read(*value, file, 1);
                 self.push(MInst::store(op, v, b, *offset));
             }
-            Inst::Call { callee, args, dst, .. } => self.lower_call(*callee, args, *dst),
+            Inst::Call {
+                callee, args, dst, ..
+            } => self.lower_call(*callee, args, *dst),
             Inst::Print { src, .. } => {
                 let r = self.read(*src, Subsystem::Int, 0);
-                self.push(MInst { op: Op::Print, rd: None, rs: Some(r), rt: None, imm: 0, target: 0 });
+                self.push(MInst {
+                    op: Op::Print,
+                    rd: None,
+                    rs: Some(r),
+                    rt: None,
+                    imm: 0,
+                    target: 0,
+                });
             }
             Inst::PrintChar { src, .. } => {
                 let r = self.read(*src, Subsystem::Int, 0);
-                self.push(MInst { op: Op::PrintChar, rd: None, rs: Some(r), rt: None, imm: 0, target: 0 });
+                self.push(MInst {
+                    op: Op::PrintChar,
+                    rd: None,
+                    rs: Some(r),
+                    rt: None,
+                    imm: 0,
+                    target: 0,
+                });
             }
             Inst::PrintDouble { src, .. } => {
                 let r = self.read(*src, Subsystem::Fp, 0);
-                self.push(MInst { op: Op::PrintFp, rd: None, rs: Some(r), rt: None, imm: 0, target: 0 });
+                self.push(MInst {
+                    op: Op::PrintFp,
+                    rd: None,
+                    rs: Some(r),
+                    rt: None,
+                    imm: 0,
+                    target: 0,
+                });
             }
         }
     }
@@ -628,7 +736,11 @@ impl<'a> FuncEmitter<'a> {
             "mul/div must not be assigned to FPa"
         );
         let mop = reg_op(op, fp_side);
-        let file = if fp_side { Subsystem::Fp } else { Subsystem::Int };
+        let file = if fp_side {
+            Subsystem::Fp
+        } else {
+            Subsystem::Int
+        };
         let l = self.read(lhs, file, 0);
         let r = self.read(rhs, file, 1);
         let (d, post) = self.write(dst, file);
@@ -679,11 +791,24 @@ impl<'a> FuncEmitter<'a> {
                     self.push(MInst::jump(0));
                 }
             }
-            Terminator::Br { id, cond, nonzero, zero } => {
+            Terminator::Br {
+                id,
+                cond,
+                nonzero,
+                zero,
+            } => {
                 let fp_side = self.fa.side(*id) == Subsystem::Fp;
-                let file = if fp_side { Subsystem::Fp } else { Subsystem::Int };
+                let file = if fp_side {
+                    Subsystem::Fp
+                } else {
+                    Subsystem::Int
+                };
                 let c = self.read(*cond, file, 0);
-                let (bnez, beqz) = if fp_side { (Op::BnezA, Op::BeqzA) } else { (Op::Bnez, Op::Beqz) };
+                let (bnez, beqz) = if fp_side {
+                    (Op::BnezA, Op::BeqzA)
+                } else {
+                    (Op::Bnez, Op::Beqz)
+                };
                 if Some(*zero) == next {
                     self.branch_fixups.push((self.code.len(), *nonzero));
                     self.push(MInst::branch(bnez, c, 0));

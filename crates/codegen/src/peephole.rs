@@ -126,11 +126,11 @@ mod tests {
     fn removes_jump_to_next_and_self_moves() {
         let mut p = Program::new();
         p.code = vec![
-            Inst::li(Op::Li, r(8), 1),          // 0
-            Inst::jump(2),                      // 1: j next -> removed
-            Inst::unary(Op::Move, r(8), r(8)),  // 2: self move -> removed
-            Inst::li(Op::Li, r(9), 2),          // 3
-            Inst::bare(Op::Halt),               // 4
+            Inst::li(Op::Li, r(8), 1),         // 0
+            Inst::jump(2),                     // 1: j next -> removed
+            Inst::unary(Op::Move, r(8), r(8)), // 2: self move -> removed
+            Inst::li(Op::Li, r(9), 2),         // 3
+            Inst::bare(Op::Halt),              // 4
         ];
         p.block_markers.insert(3, ("main".into(), 1));
         let removed = peephole(&mut p);
@@ -154,7 +154,10 @@ mod tests {
             Inst::bare(Op::Halt),            // 5
         ];
         peephole(&mut p);
-        assert_eq!(p.code[0].target, 3, "bnez retargeted past the chain, then compacted");
+        assert_eq!(
+            p.code[0].target, 3,
+            "bnez retargeted past the chain, then compacted"
+        );
         assert!(matches!(p.code[3].op, Op::Halt));
         p.validate().unwrap();
     }
@@ -176,8 +179,22 @@ mod tests {
             Inst::jump(11),                          // 8 (dead)
             Inst::jump(2),                           // 9
             Inst::bare(Op::Halt),                    // 10 (dead)
-            Inst { op: Op::Print, rd: None, rs: Some(r(9)), rt: None, imm: 0, target: 0 }, // 11
-            Inst { op: Op::Halt, rd: None, rs: Some(r(9)), rt: None, imm: 0, target: 0 },  // 12
+            Inst {
+                op: Op::Print,
+                rd: None,
+                rs: Some(r(9)),
+                rt: None,
+                imm: 0,
+                target: 0,
+            }, // 11
+            Inst {
+                op: Op::Halt,
+                rd: None,
+                rs: Some(r(9)),
+                rt: None,
+                imm: 0,
+                target: 0,
+            }, // 12
         ];
         // taken path loops again via 9 -> 2; fallthrough exits via 7 -> 11.
         p.code[6] = Inst::branch(Op::Bnez, r(10), 9);

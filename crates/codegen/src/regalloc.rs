@@ -13,8 +13,8 @@
 //! liveness, so loop-carried values stay allocated across their loop.
 
 use crate::lower::line_points;
-use fpa_isa::{FpReg, IntReg, Reg, Subsystem};
 use fpa_ir::{Cfg, Function, Inst, Liveness, VReg};
+use fpa_isa::{FpReg, IntReg, Reg, Subsystem};
 use std::collections::HashSet;
 
 /// Where a virtual register lives after allocation.
@@ -134,12 +134,28 @@ pub fn allocate(func: &Function, home: &[Subsystem]) -> Allocation {
     for pool_home in [Subsystem::Int, Subsystem::Fp] {
         let (mut free_caller, mut free_callee): (Vec<Reg>, Vec<Reg>) = match pool_home {
             Subsystem::Int => (
-                IntReg::caller_saved().into_iter().map(Reg::Int).rev().collect(),
-                IntReg::callee_saved().into_iter().map(Reg::Int).rev().collect(),
+                IntReg::caller_saved()
+                    .into_iter()
+                    .map(Reg::Int)
+                    .rev()
+                    .collect(),
+                IntReg::callee_saved()
+                    .into_iter()
+                    .map(Reg::Int)
+                    .rev()
+                    .collect(),
             ),
             Subsystem::Fp => (
-                FpReg::caller_saved().into_iter().map(Reg::Fp).rev().collect(),
-                FpReg::callee_saved().into_iter().map(Reg::Fp).rev().collect(),
+                FpReg::caller_saved()
+                    .into_iter()
+                    .map(Reg::Fp)
+                    .rev()
+                    .collect(),
+                FpReg::callee_saved()
+                    .into_iter()
+                    .map(Reg::Fp)
+                    .rev()
+                    .collect(),
             ),
         };
         let mut active: Vec<Interval> = Vec::new();
@@ -180,7 +196,9 @@ pub fn allocate(func: &Function, home: &[Subsystem]) -> Allocation {
                 .iter()
                 .enumerate()
                 .filter(|(_, a)| {
-                    let Location::Reg(r) = locs[a.v.index()] else { return false };
+                    let Location::Reg(r) = locs[a.v.index()] else {
+                        return false;
+                    };
                     !iv.crosses_call || callee_set.contains(&r)
                 })
                 .max_by_key(|(_, a)| a.end)
@@ -206,7 +224,12 @@ pub fn allocate(func: &Function, home: &[Subsystem]) -> Allocation {
 
     let mut used_callee_saved: Vec<Reg> = used_callee.into_iter().collect();
     used_callee_saved.sort();
-    Allocation { locs, num_slots, used_callee_saved, makes_calls }
+    Allocation {
+        locs,
+        num_slots,
+        used_callee_saved,
+        makes_calls,
+    }
 }
 
 #[cfg(test)]
@@ -290,7 +313,10 @@ mod tests {
         b.ret(Some(acc));
         let f = b.finish();
         let a = allocate(&f, &int_homes(&f));
-        assert!(a.num_slots > 0, "30 overlapping values cannot fit in 20 regs");
+        assert!(
+            a.num_slots > 0,
+            "30 overlapping values cannot fit in 20 regs"
+        );
         assert!(a.num_slots <= 12);
     }
 

@@ -4,9 +4,9 @@
 //! build, the basic-scheme build, and the advanced-scheme build.
 
 use fpa_codegen::compile_module;
+use fpa_ir::{Interp, Module};
 use fpa_partition::{partition_advanced, partition_basic, Assignment, BlockFreq, CostParams};
 use fpa_sim::run_functional;
-use fpa_ir::{Interp, Module};
 
 const FUEL: u64 = 50_000_000;
 
@@ -29,15 +29,24 @@ fn check(src: &str) {
     let conv = compile_module(&m, &Assignment::conventional(&m));
     let res = run_functional(&conv, FUEL).expect("conventional run");
     assert_eq!(res.output, golden.output, "conventional output diverged");
-    assert_eq!(res.exit_code, golden.exit_code, "conventional exit code diverged");
-    assert_eq!(res.augmented, 0, "conventional build must not use *A opcodes");
+    assert_eq!(
+        res.exit_code, golden.exit_code,
+        "conventional exit code diverged"
+    );
+    assert_eq!(
+        res.augmented, 0,
+        "conventional build must not use *A opcodes"
+    );
 
     // Basic scheme.
     let basic = partition_basic(&m);
     let bprog = compile_module(&m, &basic);
     let res_b = run_functional(&bprog, FUEL).expect("basic run");
     assert_eq!(res_b.output, golden.output, "basic-scheme output diverged");
-    assert_eq!(res_b.exit_code, golden.exit_code, "basic-scheme exit code diverged");
+    assert_eq!(
+        res_b.exit_code, golden.exit_code,
+        "basic-scheme exit code diverged"
+    );
 
     // Advanced scheme (module is transformed; re-verify and re-run golden).
     let mut m2 = prepare(src);
@@ -46,8 +55,14 @@ fn check(src: &str) {
     fpa_ir::verify::verify_module(&m2).expect("verify after advanced partitioning");
     let aprog = compile_module(&m2, &adv);
     let res_a = run_functional(&aprog, FUEL).expect("advanced run");
-    assert_eq!(res_a.output, golden.output, "advanced-scheme output diverged");
-    assert_eq!(res_a.exit_code, golden.exit_code, "advanced-scheme exit code diverged");
+    assert_eq!(
+        res_a.output, golden.output,
+        "advanced-scheme output diverged"
+    );
+    assert_eq!(
+        res_a.exit_code, golden.exit_code,
+        "advanced-scheme exit code diverged"
+    );
 }
 
 #[test]
@@ -57,7 +72,8 @@ fn straight_line_arithmetic() {
 
 #[test]
 fn loops_and_arrays() {
-    check("
+    check(
+        "
         int a[64];
         int main() {
             int i;
@@ -67,12 +83,14 @@ fn loops_and_arrays() {
             print(sum);
             return sum;
         }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn figure3_invalidate_for_call() {
-    check("
+    check(
+        "
         int regs_invalidated_by_call = 0x12345;
         int reg_tick[66];
         int deleted;
@@ -95,33 +113,39 @@ fn figure3_invalidate_for_call() {
             for (k = 0; k < 8; k = k + 1) { print(reg_tick[k]); }
             return 0;
         }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn recursion_and_calls() {
-    check("
+    check(
+        "
         int fib(int n) {
             if (n < 2) { return n; }
             return fib(n - 1) + fib(n - 2);
         }
         int main() { print(fib(15)); return fib(10); }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn many_arguments_spill_to_stack() {
-    check("
+    check(
+        "
         int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
             return a + b + c + d + e + f + g + h;
         }
         int main() { print(sum8(1, 2, 3, 4, 5, 6, 7, 8)); return 0; }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn byte_arrays_and_characters() {
-    check("
+    check(
+        "
         byte text[16] = {104, 105, 33};
         int main() {
             int i;
@@ -131,12 +155,14 @@ fn byte_arrays_and_characters() {
             print(text[3]);
             return 0;
         }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn doubles_and_conversions() {
-    check("
+    check(
+        "
         double acc;
         double weights[4] = {0.5, 1.5, 2.5, 3.5};
         int main() {
@@ -148,7 +174,8 @@ fn doubles_and_conversions() {
             if (acc > 16.0) { print(1); } else { print(0); }
             return 0;
         }
-    ");
+    ",
+    );
 }
 
 #[test]
@@ -169,14 +196,18 @@ fn register_pressure_forces_spills() {
             {}
             return 0;
          }}",
-        (0..24).map(|i| format!("print(v{i});")).collect::<Vec<_>>().join("\n")
+        (0..24)
+            .map(|i| format!("print(v{i});"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
     check(&src);
 }
 
 #[test]
 fn short_circuit_and_logical_values() {
-    check("
+    check(
+        "
         int calls;
         int bump() { calls = calls + 1; return 1; }
         int main() {
@@ -188,12 +219,14 @@ fn short_circuit_and_logical_values() {
             print(!7);
             return 0;
         }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn nested_loops_with_breaks() {
-    check("
+    check(
+        "
         int main() {
             int i;
             int j;
@@ -208,12 +241,14 @@ fn nested_loops_with_breaks() {
             print(total);
             return 0;
         }
-    ");
+    ",
+    );
 }
 
 #[test]
 fn global_state_machine() {
-    check("
+    check(
+        "
         int state;
         int table[8] = {1, 3, 2, 5, 4, 7, 6, 0};
         int step_machine(int input) {
@@ -230,7 +265,8 @@ fn global_state_machine() {
             print(state);
             return 0;
         }
-    ");
+    ",
+    );
 }
 
 #[test]

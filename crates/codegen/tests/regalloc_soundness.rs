@@ -1,13 +1,14 @@
-//! Property-based soundness of the linear-scan allocator: on random
+//! Randomized soundness of the linear-scan allocator: on random
 //! straight-line-with-loops functions, (1) no two simultaneously-live
 //! virtual registers may share an architectural register, and (2) no
-//! call-crossing value may sit in a caller-saved register.
+//! call-crossing value may sit in a caller-saved register. Deterministic
+//! seeds via `fpa-testutil` (offline stand-in for proptest).
 
-use fpa_codegen::regalloc::{allocate, Location};
 use fpa_codegen::line_points;
-use fpa_isa::{IntReg, Reg, Subsystem};
+use fpa_codegen::regalloc::{allocate, Location};
 use fpa_ir::{BinOp, Cfg, FuncId, Function, FunctionBuilder, Inst, Liveness, Ty, VReg};
-use proptest::prelude::*;
+use fpa_isa::{IntReg, Reg, Subsystem};
+use fpa_testutil::run_cases;
 
 /// Builds a random function from a script of small operations.
 /// op encoding: 0..4 = bin-op producing a fresh value from two previous,
@@ -49,84 +50,114 @@ fn homes(f: &Function) -> Vec<Subsystem> {
     (0..f.num_vregs()).map(|_| Subsystem::Int).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+#[test]
+fn no_overlapping_intervals_share_a_register() {
+    run_cases(0x4E6A110C, 64, |rng| {
+        let script = rng.vec(1, 60, |r| {
+            (
+                r.range_u32(0, 7) as u8,
+                r.next_u32() as u8,
+                r.next_u32() as u8,
+            )
+        });
+        check_script(&script);
+    });
+}
 
-    #[test]
-    fn no_overlapping_intervals_share_a_register(
-        script in proptest::collection::vec((0u8..7, any::<u8>(), any::<u8>()), 1..60)
-    ) {
-        let f = build_function(&script);
-        let alloc = allocate(&f, &homes(&f));
+fn check_script(script: &[(u8, u8, u8)]) {
+    let f = build_function(script);
+    let alloc = allocate(&f, &homes(&f));
 
-        // Recompute conservative intervals exactly as the allocator does.
-        let cfg = Cfg::new(&f);
-        let live = Liveness::new(&f, &cfg);
-        let points = line_points(&f);
-        let nv = f.num_vregs();
-        let mut start = vec![u32::MAX; nv];
-        let mut end = vec![0u32; nv];
-        let mut touch = |v: VReg, p: u32, s: &mut Vec<u32>, e: &mut Vec<u32>| {
-            s[v.index()] = s[v.index()].min(p);
-            e[v.index()] = e[v.index()].max(p);
-        };
-        for &p in &f.params {
-            touch(p, 0, &mut start, &mut end);
-        }
-        for blk in f.block_ids() {
-            let (bs, be) = points.block_range(blk);
-            for i in 0..nv {
-                let v = VReg::new(i as u32);
-                if live.live_in(blk, v) { touch(v, bs, &mut start, &mut end); }
-                if live.live_out(blk, v) { touch(v, be, &mut start, &mut end); }
-            }
-            let mut p = bs;
-            for inst in &f.block(blk).insts {
-                for u in inst.uses() { touch(u, p, &mut start, &mut end); }
-                if let Some(d) = inst.dst() { touch(d, p, &mut start, &mut end); }
-                p += 1;
-            }
-            for u in f.block(blk).term.uses() { touch(u, p, &mut start, &mut end); }
-        }
-
-        // Property 1: overlapping intervals have distinct registers.
+    // Recompute conservative intervals exactly as the allocator does.
+    let cfg = Cfg::new(&f);
+    let live = Liveness::new(&f, &cfg);
+    let points = line_points(&f);
+    let nv = f.num_vregs();
+    let mut start = vec![u32::MAX; nv];
+    let mut end = vec![0u32; nv];
+    let touch = |v: VReg, p: u32, s: &mut Vec<u32>, e: &mut Vec<u32>| {
+        s[v.index()] = s[v.index()].min(p);
+        e[v.index()] = e[v.index()].max(p);
+    };
+    for &p in &f.params {
+        touch(p, 0, &mut start, &mut end);
+    }
+    for blk in f.block_ids() {
+        let (bs, be) = points.block_range(blk);
         for i in 0..nv {
-            if start[i] == u32::MAX { continue; }
-            for j in (i + 1)..nv {
-                if start[j] == u32::MAX { continue; }
-                let overlap = start[i] <= end[j] && start[j] <= end[i];
-                if !overlap { continue; }
-                let (Location::Reg(a), Location::Reg(b)) =
-                    (alloc.loc(VReg::new(i as u32)), alloc.loc(VReg::new(j as u32)))
-                else { continue };
-                prop_assert_ne!(
-                    a, b,
-                    "v{} [{}, {}] and v{} [{}, {}] share {}",
-                    i, start[i], end[i], j, start[j], end[j], a
-                );
+            let v = VReg::new(i as u32);
+            if live.live_in(blk, v) {
+                touch(v, bs, &mut start, &mut end);
+            }
+            if live.live_out(blk, v) {
+                touch(v, be, &mut start, &mut end);
             }
         }
+        let mut p = bs;
+        for inst in &f.block(blk).insts {
+            for u in inst.uses() {
+                touch(u, p, &mut start, &mut end);
+            }
+            if let Some(d) = inst.dst() {
+                touch(d, p, &mut start, &mut end);
+            }
+            p += 1;
+        }
+        for u in f.block(blk).term.uses() {
+            touch(u, p, &mut start, &mut end);
+        }
+    }
 
-        // Property 2: call-crossing values avoid caller-saved registers.
-        let mut call_points = Vec::new();
-        for blk in f.block_ids() {
-            let (bs, _) = points.block_range(blk);
-            let mut p = bs;
-            for inst in &f.block(blk).insts {
-                if matches!(inst, Inst::Call { .. }) { call_points.push(p); }
-                p += 1;
+    // Property 1: overlapping intervals have distinct registers.
+    for i in 0..nv {
+        if start[i] == u32::MAX {
+            continue;
+        }
+        for j in (i + 1)..nv {
+            if start[j] == u32::MAX {
+                continue;
+            }
+            let overlap = start[i] <= end[j] && start[j] <= end[i];
+            if !overlap {
+                continue;
+            }
+            let (Location::Reg(a), Location::Reg(b)) = (
+                alloc.loc(VReg::new(i as u32)),
+                alloc.loc(VReg::new(j as u32)),
+            ) else {
+                continue;
+            };
+            assert_ne!(
+                a, b,
+                "v{} [{}, {}] and v{} [{}, {}] share {}",
+                i, start[i], end[i], j, start[j], end[j], a
+            );
+        }
+    }
+
+    // Property 2: call-crossing values avoid caller-saved registers.
+    let mut call_points = Vec::new();
+    for blk in f.block_ids() {
+        let (bs, _) = points.block_range(blk);
+        for (p, inst) in (bs..).zip(f.block(blk).insts.iter()) {
+            if matches!(inst, Inst::Call { .. }) {
+                call_points.push(p);
             }
         }
-        for i in 0..nv {
-            if start[i] == u32::MAX { continue; }
-            let crosses = call_points.iter().any(|&c| start[i] < c && c < end[i]);
-            if !crosses { continue; }
-            if let Location::Reg(Reg::Int(r)) = alloc.loc(VReg::new(i as u32)) {
-                prop_assert!(
-                    IntReg::callee_saved().contains(&r),
-                    "call-crossing v{i} in caller-saved {r}"
-                );
-            }
+    }
+    for i in 0..nv {
+        if start[i] == u32::MAX {
+            continue;
+        }
+        let crosses = call_points.iter().any(|&c| start[i] < c && c < end[i]);
+        if !crosses {
+            continue;
+        }
+        if let Location::Reg(Reg::Int(r)) = alloc.loc(VReg::new(i as u32)) {
+            assert!(
+                IntReg::callee_saved().contains(&r),
+                "call-crossing v{i} in caller-saved {r}"
+            );
         }
     }
 }

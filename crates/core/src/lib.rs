@@ -11,7 +11,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use fpa::{compile, Scheme};
+//! use fpa::{Compiler, Scheme};
 //! use fpa::sim::{run_functional, simulate, MachineConfig};
 //!
 //! let src = "
@@ -31,20 +31,22 @@
 //!         return 0;
 //!     }
 //! ";
-//! let conventional = compile(src, Scheme::Conventional).unwrap();
-//! let advanced = compile(src, Scheme::Advanced).unwrap();
+//! let conventional = Compiler::new(src).scheme(Scheme::Conventional).build().unwrap();
+//! let advanced = Compiler::new(src).scheme(Scheme::Advanced).build().unwrap();
 //!
 //! // Same observable behaviour...
-//! let a = run_functional(&conventional, 10_000_000).unwrap();
-//! let b = run_functional(&advanced, 10_000_000).unwrap();
+//! let a = run_functional(&conventional.program, 10_000_000).unwrap();
+//! let b = run_functional(&advanced.program, 10_000_000).unwrap();
 //! assert_eq!(a.output, b.output);
+//! assert_eq!(a.output, conventional.golden_output);
 //!
 //! // ...but the advanced build runs integer work on the FP subsystem.
 //! assert_eq!(a.augmented, 0);
 //! assert!(b.augmented > 0);
+//! assert!(advanced.stats.fp_fraction() > 0.0);
 //!
 //! // Cycle-level timing on the paper's 4-way machine:
-//! let t = simulate(&advanced, &MachineConfig::four_way(true), 10_000_000).unwrap();
+//! let t = simulate(&advanced.program, &MachineConfig::four_way(true), 10_000_000).unwrap();
 //! assert_eq!(t.output, a.output);
 //! ```
 //!
@@ -62,65 +64,22 @@ pub use fpa_rdg as rdg;
 pub use fpa_sim as sim;
 pub use fpa_workloads as workloads;
 
-use fpa_partition::{Assignment, BlockFreq, CostParams};
-use std::fmt;
-
-/// Which code-partitioning scheme to apply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheme {
-    /// No offloading: integer code stays in the integer subsystem.
-    Conventional,
-    /// The paper's basic scheme (§5): no new instructions.
-    Basic,
-    /// The paper's advanced scheme (§6): profile-driven copies and
-    /// duplication (profiled with the built-in interpreter).
-    Advanced,
-}
-
-/// A front-to-back compilation failure.
-#[derive(Debug)]
-pub enum Error {
-    /// The source failed to compile.
-    Compile(fpa_frontend::CompileError),
-    /// The profiling run failed (advanced scheme only).
-    Profile(fpa_ir::InterpError),
-}
-
-impl fmt::Display for Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Error::Compile(e) => e.fmt(f),
-            Error::Profile(e) => write!(f, "profiling run failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for Error {}
+pub use fpa_harness::compiler::{frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings};
+pub use fpa_harness::engine::{ExperimentContext, MatrixReport, RunTelemetry};
 
 /// Compiles `zinc` source to a machine program under the given scheme.
 ///
-/// Runs the full pipeline: parse → lower → optimize → split webs →
-/// (profile →) partition → register-allocate → emit.
+/// Thin wrapper kept for source compatibility; use [`Compiler`] — it
+/// exposes the partition assignment, statistics, profile, golden output,
+/// and stage timings alongside the program.
 ///
 /// # Errors
 ///
-/// Returns [`Error::Compile`] for language errors and [`Error::Profile`]
-/// when the advanced scheme's profiling interpretation faults.
+/// Returns an [`Error`] naming the stage that failed.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fpa::Compiler::new(src).scheme(..).build()`"
+)]
 pub fn compile(src: &str, scheme: Scheme) -> Result<fpa_isa::Program, Error> {
-    let mut module = fpa_frontend::compile(src).map_err(Error::Compile)?;
-    fpa_ir::opt::optimize(&mut module);
-    for f in &mut module.funcs {
-        fpa_ir::opt::split_webs(f);
-    }
-    let assignment = match scheme {
-        Scheme::Conventional => Assignment::conventional(&module),
-        Scheme::Basic => fpa_partition::partition_basic(&module),
-        Scheme::Advanced => {
-            let (_, profile) =
-                fpa_ir::Interp::new(&module).run().map_err(Error::Profile)?;
-            let freq = BlockFreq::from_profile(&module, &profile);
-            fpa_partition::partition_advanced(&mut module, &freq, &CostParams::default())
-        }
-    };
-    Ok(fpa_codegen::compile_module(&module, &assignment))
+    Ok(Compiler::new(src).scheme(scheme).build()?.program)
 }

@@ -97,7 +97,10 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
 }
 
 fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, LowerError> {
-    Err(LowerError { pos, message: message.into() })
+    Err(LowerError {
+        pos,
+        message: message.into(),
+    })
 }
 
 /// Lowers a parsed program to IR (addresses not yet assigned).
@@ -131,7 +134,10 @@ pub fn lower(prog: &Program) -> Result<Module, LowerError> {
         let ptys = f.params.iter().map(|p| p.ty).collect();
         sigs.insert(f.name.clone(), (FuncId::new(i as u32), ptys, f.ret));
         // Reserve the slot; bodies are filled below in the same order.
-        module.funcs.push(fpa_ir::Function::new(f.name.clone(), f.ret.map(scalar_to_ty)));
+        module.funcs.push(fpa_ir::Function::new(
+            f.name.clone(),
+            f.ret.map(scalar_to_ty),
+        ));
     }
 
     for f in &prog.funcs {
@@ -181,7 +187,10 @@ fn encode_global(g: &GlobalDecl) -> Result<(u32, Vec<u8>), LowerError> {
                 ScalarTy::Double => ElemTy::Double,
             };
             if g.init.len() > 1 {
-                return err(g.pos, format!("scalar `{}` has multiple initializers", g.name));
+                return err(
+                    g.pos,
+                    format!("scalar `{}` has multiple initializers", g.name),
+                );
             }
             for v in &g.init {
                 push(&mut bytes, elem, v, g.pos)?;
@@ -366,7 +375,11 @@ impl<'a> FuncLower<'a> {
             Stmt::If(cond, then_, else_) => {
                 let tb = self.b.block();
                 let join = self.b.block();
-                let eb = if else_.is_empty() { join } else { self.b.block() };
+                let eb = if else_.is_empty() {
+                    join
+                } else {
+                    self.b.block()
+                };
                 self.cond(cond, tb, eb)?;
                 self.open_block(tb);
                 self.stmts(then_)?;
@@ -561,9 +574,10 @@ impl<'a> FuncLower<'a> {
         match (from, to) {
             (ZTy::Int, ScalarTy::Int) | (ZTy::Double, ScalarTy::Double) => Ok(v),
             (ZTy::Int, ScalarTy::Double) => Ok(self.b.cvt(v, CvtKind::IntToDouble)),
-            (ZTy::Double, ScalarTy::Int) => {
-                err(pos, "implicit double->int narrowing; use an explicit `(int)` cast")
-            }
+            (ZTy::Double, ScalarTy::Int) => err(
+                pos,
+                "implicit double->int narrowing; use an explicit `(int)` cast",
+            ),
             (ZTy::Array(_), _) => err(pos, "array used where a scalar is required"),
         }
     }
@@ -575,7 +589,12 @@ impl<'a> FuncLower<'a> {
             Expr::Binary(k, l, r, pos)
                 if matches!(
                     k,
-                    BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::Eq | BinKind::Ne
+                    BinKind::Lt
+                        | BinKind::Le
+                        | BinKind::Gt
+                        | BinKind::Ge
+                        | BinKind::Eq
+                        | BinKind::Ne
                 ) =>
             {
                 let (lv, lt) = self.expr(l)?;
@@ -662,7 +681,11 @@ impl<'a> FuncLower<'a> {
         if ptys.len() != args.len() {
             return err(
                 pos,
-                format!("`{name}` expects {} arguments, got {}", ptys.len(), args.len()),
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    ptys.len(),
+                    args.len()
+                ),
             );
         }
         let mut argv = Vec::with_capacity(args.len());
@@ -686,12 +709,23 @@ impl<'a> FuncLower<'a> {
         if want_value && ret.is_none() {
             return err(pos, format!("void function `{name}` used as a value"));
         }
-        let dst = self.b.call(fid, argv, if want_value { ret.map(scalar_to_ty) } else { None });
+        let dst = self.b.call(
+            fid,
+            argv,
+            if want_value {
+                ret.map(scalar_to_ty)
+            } else {
+                None
+            },
+        );
         Ok(dst.map(|d| {
-            (d, match ret.expect("checked") {
-                ScalarTy::Int => ZTy::Int,
-                ScalarTy::Double => ZTy::Double,
-            })
+            (
+                d,
+                match ret.expect("checked") {
+                    ScalarTy::Int => ZTy::Int,
+                    ScalarTy::Double => ZTy::Double,
+                },
+            )
         }))
     }
 
@@ -778,7 +812,13 @@ impl<'a> FuncLower<'a> {
         }
     }
 
-    fn binary(&mut self, k: BinKind, l: &Expr, r: &Expr, pos: Pos) -> Result<(VReg, ZTy), LowerError> {
+    fn binary(
+        &mut self,
+        k: BinKind,
+        l: &Expr,
+        r: &Expr,
+        pos: Pos,
+    ) -> Result<(VReg, ZTy), LowerError> {
         use BinKind::*;
         match k {
             LogAnd | LogOr => {
@@ -888,7 +928,10 @@ impl<'a> FuncLower<'a> {
 
     fn int_pair(&self, lt: ZTy, rt: ZTy, pos: Pos) -> Result<(), LowerError> {
         if lt != ZTy::Int || rt != ZTy::Int {
-            return err(pos, format!("operator requires int operands, found {lt} and {rt}"));
+            return err(
+                pos,
+                format!("operator requires int operands, found {lt} and {rt}"),
+            );
         }
         Ok(())
     }
@@ -908,7 +951,9 @@ mod tests {
 
     fn run(src: &str) -> (String, i32) {
         let m = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
-        let (out, _) = Interp::new(&m).run().unwrap_or_else(|e| panic!("run failed: {e}"));
+        let (out, _) = Interp::new(&m)
+            .run()
+            .unwrap_or_else(|e| panic!("run failed: {e}"));
         (out.output, out.exit_code)
     }
 

@@ -38,7 +38,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { pos: e.pos, message: e.message }
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
     }
 }
 
@@ -80,7 +83,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos: self.here(), message: message.into() })
+        Err(ParseError {
+            pos: self.here(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
@@ -189,7 +195,12 @@ impl Parser {
             }
         }
         self.expect(&Token::Semi)?;
-        Ok(GlobalDecl { name, kind, init, pos })
+        Ok(GlobalDecl {
+            name,
+            kind,
+            init,
+            pos,
+        })
     }
 
     fn init_val(&mut self) -> Result<InitVal, ParseError> {
@@ -247,9 +258,7 @@ impl Parser {
                 self.bump();
                 let len = match self.bump() {
                     Token::Int(v) if v > 0 => v as u32,
-                    other => {
-                        return self.err(format!("expected array length, found `{other}`"))
-                    }
+                    other => return self.err(format!("expected array length, found `{other}`")),
                 };
                 self.expect(&Token::RBracket)?;
                 DeclKind::Array(elem, len)
@@ -269,14 +278,26 @@ impl Parser {
                 None
             };
             self.expect(&Token::Semi)?;
-            locals.push(LocalDecl { name: lname, kind, init, pos: dpos });
+            locals.push(LocalDecl {
+                name: lname,
+                kind,
+                init,
+                pos: dpos,
+            });
         }
         let mut body = Vec::new();
         while *self.peek() != Token::RBrace {
             body.push(self.stmt()?);
         }
         self.expect(&Token::RBrace)?;
-        Ok(FuncDef { name, params, ret, locals, body, pos })
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            locals,
+            body,
+            pos,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -491,9 +512,7 @@ impl Parser {
                 };
                 Ok(Expr::AddrOf(name, idx, pos))
             }
-            Token::LParen
-                if matches!(self.peek2(), Token::KwInt | Token::KwDouble) =>
-            {
+            Token::LParen if matches!(self.peek2(), Token::KwInt | Token::KwDouble) => {
                 self.bump();
                 let ty = self.scalar_ty()?;
                 self.expect(&Token::RParen)?;
@@ -539,9 +558,10 @@ impl Parser {
                 }
                 _ => Ok(Expr::Var(name, pos)),
             },
-            other => {
-                Err(ParseError { pos, message: format!("unexpected token `{other}`") })
-            }
+            other => Err(ParseError {
+                pos,
+                message: format!("unexpected token `{other}`"),
+            }),
         }
     }
 }
@@ -614,7 +634,10 @@ mod tests {
     #[test]
     fn parses_array_assignment_and_index_expr() {
         let p = parse("int a[4]; void main() { a[1] = a[0] + 1; }").unwrap();
-        assert!(matches!(&p.funcs[0].body[0], Stmt::Assign(LValue::Index(..), _)));
+        assert!(matches!(
+            &p.funcs[0].body[0],
+            Stmt::Assign(LValue::Index(..), _)
+        ));
     }
 
     #[test]

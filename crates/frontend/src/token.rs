@@ -227,7 +227,10 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
                 bump!();
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { pos, message: "unterminated comment".into() });
+                        return Err(LexError {
+                            pos,
+                            message: "unterminated comment".into(),
+                        });
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         bump!();
@@ -247,11 +250,16 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
                         bump!();
                     }
                     if hs == i {
-                        return Err(LexError { pos, message: "empty hex literal".into() });
+                        return Err(LexError {
+                            pos,
+                            message: "empty hex literal".into(),
+                        });
                     }
                     let text = &src[hs..i];
-                    let v = u32::from_str_radix(text, 16)
-                        .map_err(|_| LexError { pos, message: format!("bad hex literal {text}") })?;
+                    let v = u32::from_str_radix(text, 16).map_err(|_| LexError {
+                        pos,
+                        message: format!("bad hex literal {text}"),
+                    })?;
                     out.push((Token::Int(v as i32), pos));
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -263,17 +271,22 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
                             bump!();
                         }
                         let text = &src[start..i];
-                        let v: f64 = text
-                            .parse()
-                            .map_err(|_| LexError { pos, message: format!("bad double {text}") })?;
+                        let v: f64 = text.parse().map_err(|_| LexError {
+                            pos,
+                            message: format!("bad double {text}"),
+                        })?;
                         out.push((Token::Double(v), pos));
                     } else {
                         let text = &src[start..i];
-                        let v: i64 = text
-                            .parse()
-                            .map_err(|_| LexError { pos, message: format!("bad int {text}") })?;
+                        let v: i64 = text.parse().map_err(|_| LexError {
+                            pos,
+                            message: format!("bad int {text}"),
+                        })?;
                         if v > i64::from(u32::MAX) {
-                            return Err(LexError { pos, message: format!("int too large {text}") });
+                            return Err(LexError {
+                                pos,
+                                message: format!("int too large {text}"),
+                            });
                         }
                         out.push((Token::Int(v as i32), pos));
                     }
@@ -283,12 +296,18 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
                 // Character literal: 'a' or '\n', '\t', '\\', '\'', '\0'.
                 bump!();
                 if i >= bytes.len() {
-                    return Err(LexError { pos, message: "unterminated char literal".into() });
+                    return Err(LexError {
+                        pos,
+                        message: "unterminated char literal".into(),
+                    });
                 }
                 let v = if bytes[i] == b'\\' {
                     bump!();
                     if i >= bytes.len() {
-                        return Err(LexError { pos, message: "unterminated escape".into() });
+                        return Err(LexError {
+                            pos,
+                            message: "unterminated escape".into(),
+                        });
                     }
                     let e = bytes[i];
                     bump!();
@@ -311,16 +330,17 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
                     v
                 };
                 if i >= bytes.len() || bytes[i] != b'\'' {
-                    return Err(LexError { pos, message: "unterminated char literal".into() });
+                    return Err(LexError {
+                        pos,
+                        message: "unterminated char literal".into(),
+                    });
                 }
                 bump!();
                 out.push((Token::Int(v), pos));
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = &src[start..i];
@@ -345,7 +365,11 @@ pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
             }
             _ => {
                 // Operators and punctuation.
-                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let two = if i + 1 < bytes.len() {
+                    &bytes[i..i + 2]
+                } else {
+                    &bytes[i..i + 1]
+                };
                 let (tok, len) = match two {
                     b"<<" => (Token::Shl, 2),
                     b">>" => (Token::Shr, 2),
@@ -420,52 +444,59 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("42 0x2A 1.5 0.25"), vec![
-            Token::Int(42),
-            Token::Int(42),
-            Token::Double(1.5),
-            Token::Double(0.25),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("42 0x2A 1.5 0.25"),
+            vec![
+                Token::Int(42),
+                Token::Int(42),
+                Token::Double(1.5),
+                Token::Double(0.25),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn lexes_char_literals() {
-        assert_eq!(toks(r"'a' '\n' '\0' '\\'"), vec![
-            Token::Int(97),
-            Token::Int(10),
-            Token::Int(0),
-            Token::Int(92),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks(r"'a' '\n' '\0' '\\'"),
+            vec![
+                Token::Int(97),
+                Token::Int(10),
+                Token::Int(0),
+                Token::Int(92),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn lexes_operators_longest_match() {
-        assert_eq!(toks("<< <= < == = != ! && & || |"), vec![
-            Token::Shl,
-            Token::Le,
-            Token::Lt,
-            Token::EqEq,
-            Token::Assign,
-            Token::Ne,
-            Token::Bang,
-            Token::AmpAmp,
-            Token::Amp,
-            Token::PipePipe,
-            Token::Pipe,
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("<< <= < == = != ! && & || |"),
+            vec![
+                Token::Shl,
+                Token::Le,
+                Token::Lt,
+                Token::EqEq,
+                Token::Assign,
+                Token::Ne,
+                Token::Bang,
+                Token::AmpAmp,
+                Token::Amp,
+                Token::PipePipe,
+                Token::Pipe,
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn skips_comments() {
-        assert_eq!(toks("1 // c\n 2 /* x\ny */ 3"), vec![
-            Token::Int(1),
-            Token::Int(2),
-            Token::Int(3),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("1 // c\n 2 /* x\ny */ 3"),
+            vec![Token::Int(1), Token::Int(2), Token::Int(3), Token::Eof]
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@ use fpa_ir::Interp;
 
 fn run(src: &str) -> (String, i32) {
     let m = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
-    let (out, _) = Interp::new(&m).run().unwrap_or_else(|e| panic!("run failed: {e}"));
+    let (out, _) = Interp::new(&m)
+        .run()
+        .unwrap_or_else(|e| panic!("run failed: {e}"));
     (out.output, out.exit_code)
 }
 
@@ -209,17 +211,41 @@ fn mixed_int_double_arithmetic_promotes() {
 fn error_messages_are_precise() {
     fails_with("int main() { return y; }", "unknown name `y`");
     fails_with("int main() { q(); return 0; }", "unknown function `q`");
-    fails_with("int a[3]; int main() { a = 1; return 0; }", "cannot assign to array");
+    fails_with(
+        "int a[3]; int main() { a = 1; return 0; }",
+        "cannot assign to array",
+    );
     fails_with("int main() { int x; int x; return 0; }", "duplicate local");
     fails_with("int x; int x; int main() { return 0; }", "duplicate global");
-    fails_with("void f() {} void f() {} int main() { return 0; }", "duplicate function");
-    fails_with("double d; int main() { print(d); return 0; }", "print expects int");
-    fails_with("int main() { printd(1); return 0; }", "printd expects double");
+    fails_with(
+        "void f() {} void f() {} int main() { return 0; }",
+        "duplicate function",
+    );
+    fails_with(
+        "double d; int main() { print(d); return 0; }",
+        "print expects int",
+    );
+    fails_with(
+        "int main() { printd(1); return 0; }",
+        "printd expects double",
+    );
     fails_with("int main() { continue; }", "outside loop");
-    fails_with("int main() { int a[4]; return a[1.5]; }", "array index must be int");
-    fails_with("int main() { if (2.5) { } return 0; }", "condition must be int");
-    fails_with("double f() { return 0.0; } int main() { return f() % 2; }", "operator requires int");
-    fails_with("double f() { return 0.0; } int main() { return f() + 0; }", "narrowing");
+    fails_with(
+        "int main() { int a[4]; return a[1.5]; }",
+        "array index must be int",
+    );
+    fails_with(
+        "int main() { if (2.5) { } return 0; }",
+        "condition must be int",
+    );
+    fails_with(
+        "double f() { return 0.0; } int main() { return f() % 2; }",
+        "operator requires int",
+    );
+    fails_with(
+        "double f() { return 0.0; } int main() { return f() + 0; }",
+        "narrowing",
+    );
 }
 
 #[test]

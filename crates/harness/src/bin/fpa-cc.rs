@@ -7,18 +7,17 @@
 //! fpa-cc program.zc --emit asm          # dump annotated disassembly
 //! fpa-cc program.zc --emit stats        # offload / timing statistics
 //! ```
+//!
+//! A thin shell over [`fpa_harness::compiler::Compiler`]; the pipeline
+//! itself lives there.
 
-use fpa_partition::{Assignment, BlockFreq, CostParams};
+use fpa_harness::compiler::{Compiler, Scheme};
 use fpa_sim::{run_functional, simulate, MachineConfig};
 
-enum Scheme {
-    Conventional,
-    Basic,
-    Advanced,
-}
-
 fn usage() -> ! {
-    eprintln!("usage: fpa-cc <file.zc> [--scheme conventional|basic|advanced] [--emit run|ir|asm|stats]");
+    eprintln!(
+        "usage: fpa-cc <file.zc> [--scheme conventional|basic|advanced] [--emit run|ir|asm|stats]"
+    );
     std::process::exit(2)
 }
 
@@ -30,11 +29,9 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scheme" => match it.next().map(String::as_str) {
-                Some("conventional") => scheme = Scheme::Conventional,
-                Some("basic") => scheme = Scheme::Basic,
-                Some("advanced") => scheme = Scheme::Advanced,
-                _ => usage(),
+            "--scheme" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => scheme = s,
+                None => usage(),
             },
             "--emit" => match it.next() {
                 Some(e) => emit = e.clone(),
@@ -50,48 +47,38 @@ fn main() {
         std::process::exit(1)
     });
 
-    // Front end + optimizer.
-    let mut module = match fpa_frontend::compile(&source) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("fpa-cc: {e}");
-            std::process::exit(1)
-        }
-    };
-    fpa_ir::opt::optimize(&mut module);
-    for f in &mut module.funcs {
-        fpa_ir::opt::split_webs(f);
-    }
+    let compiler = Compiler::new(&source).scheme(scheme);
 
     if emit == "ir" {
-        print!("{}", fpa_ir::display::module_to_string(&module));
+        match compiler.optimized_ir() {
+            Ok(m) => print!("{}", fpa_ir::display::module_to_string(&m)),
+            Err(e) => {
+                eprintln!("fpa-cc: {e}");
+                std::process::exit(1)
+            }
+        }
         return;
     }
 
-    // Partition.
-    let assignment = match scheme {
-        Scheme::Conventional => Assignment::conventional(&module),
-        Scheme::Basic => fpa_partition::partition_basic(&module),
-        Scheme::Advanced => {
-            let (_, profile) = fpa_ir::Interp::new(&module).run().unwrap_or_else(|e| {
-                eprintln!("fpa-cc: profiling run failed: {e}");
-                std::process::exit(1)
-            });
-            let freq = BlockFreq::from_profile(&module, &profile);
-            fpa_partition::partition_advanced(&mut module, &freq, &CostParams::default())
-        }
-    };
-    let prog = fpa_codegen::compile_module(&module, &assignment);
+    let art = compiler.build().unwrap_or_else(|e| {
+        eprintln!("fpa-cc: {e}");
+        std::process::exit(1)
+    });
+    let prog = art.program;
 
     match emit.as_str() {
         "asm" => print!("{}", prog.disasm()),
         "stats" => {
             let f = run_functional(&prog, 5_000_000_000).expect("functional run");
-            let t = simulate(&prog, &MachineConfig::four_way(true), 5_000_000_000)
-                .expect("timing run");
+            let t =
+                simulate(&prog, &MachineConfig::four_way(true), 5_000_000_000).expect("timing run");
             println!("static instructions : {}", prog.static_size());
             println!("dynamic instructions: {}", f.total);
-            println!("FP-subsystem ops    : {} ({:.1}%)", f.fp_subsystem, f.fp_fraction() * 100.0);
+            println!(
+                "FP-subsystem ops    : {} ({:.1}%)",
+                f.fp_subsystem,
+                f.fp_fraction() * 100.0
+            );
             println!("augmented (*A) ops  : {}", f.augmented);
             println!("inter-file copies   : {}", f.copies);
             println!("loads / stores      : {} / {}", f.loads, f.stores);

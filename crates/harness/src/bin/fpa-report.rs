@@ -1,14 +1,73 @@
 //! Command-line experiment runner: regenerates the paper's tables and
-//! figures. Usage: `fpa-report [table1|table2|fig8|fig9|fig10|overheads|fp|all]`.
+//! figures through the parallel experiment engine.
+//!
+//! ```text
+//! fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all]
+//!            [--jobs N]        # worker threads (default: all cores)
+//!            [--json [PATH]]   # also write the machine-readable report
+//! ```
+//!
+//! Workloads are compiled once into a shared artifact store
+//! ([`fpa_harness::engine::ExperimentContext`]); figure cells then fan
+//! out across the worker pool. The plain-text tables on stdout are
+//! identical for every `--jobs` value.
 
-use fpa_harness::experiments::{
-    build_all, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way, fp_programs, overheads,
-};
+use fpa_harness::engine::{default_jobs, ExperimentContext, MatrixReport};
+use fpa_harness::experiments::fp_programs;
 use fpa_harness::report;
+use fpa_partition::CostParams;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all] \
+         [--jobs N] [--json [PATH]]"
+    );
+    std::process::exit(2)
+}
 
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    let needs_builds = matches!(what.as_str(), "fig8" | "fig9" | "fig10" | "overheads" | "all");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = None;
+    let mut jobs = default_jobs();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                // Optional value: `--json out.json` or bare `--json`.
+                json_path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with('-') => {
+                        i += 1;
+                        Some(p.clone())
+                    }
+                    _ => Some("fpa-report.json".to_owned()),
+                };
+            }
+            a if !a.starts_with('-') && what.is_none() => what = Some(a.to_owned()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let what = what.unwrap_or_else(|| "all".to_owned());
+    if !matches!(
+        what.as_str(),
+        "table1" | "table2" | "fig8" | "fig9" | "fig10" | "overheads" | "ablation" | "fp" | "all"
+    ) {
+        eprintln!("fpa-report: unknown target '{what}'");
+        usage();
+    }
+    let needs_builds = json_path.is_some()
+        || matches!(
+            what.as_str(),
+            "fig8" | "fig9" | "fig10" | "overheads" | "all"
+        );
 
     if matches!(what.as_str(), "table1" | "all") {
         println!("{}", report::table1());
@@ -17,34 +76,45 @@ fn main() {
         println!("{}", report::table2());
     }
     if needs_builds {
-        eprintln!("building 8 integer workloads (conventional/basic/advanced)...");
-        let compiled = build_all(&fpa_workloads::integer()).unwrap_or_else(|e| {
-            eprintln!("pipeline failed: {e}");
+        eprintln!(
+            "building 8 integer workloads (conventional/basic/advanced), {jobs} worker(s)..."
+        );
+        let ctx = ExperimentContext::new(&fpa_workloads::integer(), &CostParams::default(), jobs)
+            .unwrap_or_else(|e| {
+                eprintln!("pipeline failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("running the experiment matrix (4-way and 8-way machines)...");
+        let m = ctx.matrix().unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
             std::process::exit(1);
         });
         if matches!(what.as_str(), "fig8" | "all") {
-            let rows = fig8_partition_size(&compiled).expect("fig8");
-            println!("{}", report::fig8(&rows));
+            println!("{}", report::fig8(&m.fig8));
         }
         if matches!(what.as_str(), "fig9" | "all") {
-            eprintln!("timing-simulating on the 4-way machine...");
-            let rows = fig9_speedup_4way(&compiled).expect("fig9");
-            println!("{}", report::speedup("Figure 9: Speedups on a 4-way machine", &rows));
+            println!(
+                "{}",
+                report::speedup("Figure 9: Speedups on a 4-way machine", &m.fig9)
+            );
         }
         if matches!(what.as_str(), "fig10" | "all") {
-            eprintln!("timing-simulating on the 8-way machine...");
-            let rows = fig10_speedup_8way(&compiled).expect("fig10");
-            println!("{}", report::speedup("Figure 10: Speedups on an 8-way machine", &rows));
+            println!(
+                "{}",
+                report::speedup("Figure 10: Speedups on an 8-way machine", &m.fig10)
+            );
         }
         if matches!(what.as_str(), "overheads" | "all") {
-            let rows = overheads(&compiled).expect("overheads");
-            println!("{}", report::overheads(&rows));
+            println!("{}", report::overheads(&m.overheads));
+        }
+        if let Some(path) = &json_path {
+            write_json(path, &m);
         }
     }
     if matches!(what.as_str(), "ablation") {
         eprintln!("sweeping cost-model constants on gcc and m88ksim...");
-        let rows = fpa_harness::experiments::ablate_cost_params(&["gcc", "m88ksim"])
-            .expect("ablation");
+        let rows =
+            fpa_harness::experiments::ablate_cost_params(&["gcc", "m88ksim"]).expect("ablation");
         println!("{}", fpa_harness::report::ablation(&rows));
     }
     if matches!(what.as_str(), "fp" | "all") {
@@ -56,4 +126,18 @@ fn main() {
             report::speedup("Section 7.5: FP programs on the 4-way machine", &speed)
         );
     }
+}
+
+fn write_json(path: &str, m: &MatrixReport) {
+    let text = m.to_json().render();
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("fpa-report: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {path} ({} workloads, build {:.2}s, matrix {:.2}s)",
+        m.telemetry.len(),
+        m.build_seconds,
+        m.matrix_seconds
+    );
 }

@@ -1,0 +1,414 @@
+//! The unified compile API: one builder, one error type, one artifact
+//! bundle.
+//!
+//! Every consumer of the pipeline — the `fpa` facade, the experiment
+//! engine, `fpa-cc`, and the tests — goes through [`Compiler`], so the
+//! parse → optimize → split-webs → verify sequence exists in exactly one
+//! place and every frontend execution is counted (see [`frontend_runs`]).
+//!
+//! ```no_run
+//! use fpa_harness::compiler::{Compiler, Scheme};
+//!
+//! let art = Compiler::new("int main() { print(42); return 0; }")
+//!     .scheme(Scheme::Advanced)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(art.golden_output, "42\n");
+//! let _machine_code = &art.program;
+//! ```
+
+use fpa_codegen::compile_module_timed;
+use fpa_ir::{Interp, Module, Profile};
+use fpa_isa::Program;
+use fpa_partition::{
+    partition_advanced, partition_basic, Assignment, BlockFreq, CostParams, PartitionStats,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which code-partitioning scheme to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// No offloading: integer code stays in the integer subsystem.
+    Conventional,
+    /// The paper's basic scheme (§5): no new instructions.
+    Basic,
+    /// The paper's advanced scheme (§6): profile-driven copies and
+    /// duplication (profiled with the built-in interpreter).
+    Advanced,
+}
+
+impl Scheme {
+    /// All schemes, in presentation order.
+    pub const ALL: [Scheme; 3] = [Scheme::Conventional, Scheme::Basic, Scheme::Advanced];
+
+    /// Stable lowercase label (used in reports and JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Conventional => "conventional",
+            Scheme::Basic => "basic",
+            Scheme::Advanced => "advanced",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scheme, String> {
+        Scheme::ALL
+            .into_iter()
+            .find(|scheme| scheme.label() == s)
+            .ok_or_else(|| format!("unknown scheme `{s}` (conventional|basic|advanced)"))
+    }
+}
+
+/// A front-to-back compilation failure, from any pipeline stage.
+///
+/// This is the one error type of the whole system: the facade's
+/// `fpa::Error` and the harness's historical `BuildError` are both this
+/// enum. The underlying stage error is reachable through
+/// [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum Error {
+    /// The source failed to compile.
+    Compile(fpa_frontend::CompileError),
+    /// The profiling interpreter run failed.
+    Profile(fpa_ir::InterpError),
+    /// Generated IR failed verification.
+    Verify(fpa_ir::VerifyError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile: {e}"),
+            Error::Profile(e) => write!(f, "profile: {e}"),
+            Error::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Profile(e) => Some(e),
+            Error::Verify(e) => Some(e),
+        }
+    }
+}
+
+/// Wall-clock cost of each compiler stage of one build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Frontend: lexing, parsing, lowering to IR.
+    pub parse: Duration,
+    /// IR optimization plus web splitting and verification.
+    pub optimize: Duration,
+    /// The profiling interpreter run.
+    pub profile: Duration,
+    /// Partitioning (all schemes built, including module cloning).
+    pub partition: Duration,
+    /// Register allocation across all programs built.
+    pub regalloc: Duration,
+    /// Instruction emission, fixups, peephole, validation.
+    pub emit: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.parse + self.optimize + self.profile + self.partition + self.regalloc + self.emit
+    }
+}
+
+/// Everything one [`Compiler::build`] produces: the machine program plus
+/// the intermediate products experiments need (no consumer has to rerun a
+/// stage to recover them).
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The scheme this artifact was built under.
+    pub scheme: Scheme,
+    /// The machine program.
+    pub program: Program,
+    /// The partition assignment the backend compiled against.
+    pub assignment: Assignment,
+    /// IR-level partition statistics under the profile's block weights.
+    pub stats: PartitionStats,
+    /// The interpreter profile (block execution counts).
+    pub profile: Profile,
+    /// Golden observable output from the IR interpreter.
+    pub golden_output: String,
+    /// Golden exit code.
+    pub golden_exit: i32,
+    /// Per-stage wall-clock timings for this build.
+    pub timings: StageTimings,
+}
+
+/// One workload compiled under all three schemes from a **single**
+/// frontend pass (the advanced scheme's destructive transform runs on a
+/// clone of the optimized module).
+#[derive(Debug, Clone)]
+pub struct SuiteArtifacts {
+    /// Conventional binary (no offloading).
+    pub conventional: Program,
+    /// Basic-scheme binary.
+    pub basic: Program,
+    /// Advanced-scheme binary.
+    pub advanced: Program,
+    /// IR-level stats of the basic partition.
+    pub basic_stats: PartitionStats,
+    /// IR-level stats of the advanced partition.
+    pub advanced_stats: PartitionStats,
+    /// The interpreter profile shared by every scheme.
+    pub profile: Profile,
+    /// Golden observable output from the IR interpreter.
+    pub golden_output: String,
+    /// Golden exit code.
+    pub golden_exit: i32,
+    /// Per-stage timings summed over the three builds.
+    pub timings: StageTimings,
+}
+
+static FRONTEND_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of frontend (parse + optimize + verify) executions in this
+/// process so far. The experiment engine's build-once guarantee is
+/// asserted against this counter: building a whole figure matrix must
+/// advance it by exactly the number of workloads.
+#[must_use]
+pub fn frontend_runs() -> u64 {
+    FRONTEND_RUNS.load(Ordering::SeqCst)
+}
+
+/// Builder for a single compilation: source in, [`Artifacts`] out.
+///
+/// Defaults: [`Scheme::Advanced`], [`CostParams::default`].
+#[derive(Debug, Clone)]
+pub struct Compiler<'a> {
+    src: &'a str,
+    scheme: Scheme,
+    params: CostParams,
+}
+
+impl<'a> Compiler<'a> {
+    /// Starts a build of `src` (the `zinc` language).
+    #[must_use]
+    pub fn new(src: &'a str) -> Compiler<'a> {
+        Compiler {
+            src,
+            scheme: Scheme::Advanced,
+            params: CostParams::default(),
+        }
+    }
+
+    /// Selects the partitioning scheme (default: advanced).
+    #[must_use]
+    pub fn scheme(mut self, scheme: Scheme) -> Compiler<'a> {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Overrides the advanced scheme's cost parameters.
+    #[must_use]
+    pub fn cost_params(mut self, params: CostParams) -> Compiler<'a> {
+        self.params = params;
+        self
+    }
+
+    /// Runs the frontend only: parse → optimize → split webs → verify.
+    /// This is what `fpa-cc --emit ir` prints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming the stage that failed.
+    pub fn optimized_ir(&self) -> Result<Module, Error> {
+        optimized_module(self.src, &mut StageTimings::default())
+    }
+
+    /// Runs the full pipeline under the selected scheme.
+    ///
+    /// The profiling interpreter always runs — it provides the golden
+    /// output, the block frequencies behind [`Artifacts::stats`], and (for
+    /// the advanced scheme) the cost model's weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming the stage that failed.
+    pub fn build(self) -> Result<Artifacts, Error> {
+        let mut timings = StageTimings::default();
+        let mut m = optimized_module(self.src, &mut timings)?;
+        let (golden, profile) = profiled(&m, &mut timings)?;
+        let freq = BlockFreq::from_profile(&m, &profile);
+
+        let t = Instant::now();
+        let assignment = match self.scheme {
+            Scheme::Conventional => Assignment::conventional(&m),
+            Scheme::Basic => partition_basic(&m),
+            Scheme::Advanced => {
+                let a = partition_advanced(&mut m, &freq, &self.params);
+                fpa_ir::verify::verify_module(&m).map_err(Error::Verify)?;
+                a
+            }
+        };
+        timings.partition = t.elapsed();
+
+        let stats = PartitionStats::compute(&m, &assignment, &freq);
+        let (program, ct) = compile_module_timed(&m, &assignment);
+        timings.regalloc = ct.regalloc;
+        timings.emit = ct.emit;
+
+        Ok(Artifacts {
+            scheme: self.scheme,
+            program,
+            assignment,
+            stats,
+            profile,
+            golden_output: golden.output,
+            golden_exit: golden.exit_code,
+            timings,
+        })
+    }
+
+    /// Builds the conventional, basic, and advanced programs from **one**
+    /// frontend pass and **one** profiling run. The selected scheme is
+    /// ignored; all three are produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming the stage that failed.
+    pub fn build_suite(self) -> Result<SuiteArtifacts, Error> {
+        let mut timings = StageTimings::default();
+        let m = optimized_module(self.src, &mut timings)?;
+        let (golden, profile) = profiled(&m, &mut timings)?;
+        let freq = BlockFreq::from_profile(&m, &profile);
+
+        let t = Instant::now();
+        let conv_assignment = Assignment::conventional(&m);
+        let basic_assignment = partition_basic(&m);
+        // The advanced scheme transforms the module in place; clone the
+        // optimized module so the conventional/basic builds stay untouched
+        // (and the frontend runs exactly once).
+        let mut m2 = m.clone();
+        let adv_assignment = partition_advanced(&mut m2, &freq, &self.params);
+        fpa_ir::verify::verify_module(&m2).map_err(Error::Verify)?;
+        timings.partition = t.elapsed();
+
+        let basic_stats = PartitionStats::compute(&m, &basic_assignment, &freq);
+        let advanced_stats = PartitionStats::compute(&m2, &adv_assignment, &freq);
+
+        let mut backend = |module: &Module, a: &Assignment| {
+            let (p, ct) = compile_module_timed(module, a);
+            timings.regalloc += ct.regalloc;
+            timings.emit += ct.emit;
+            p
+        };
+        let conventional = backend(&m, &conv_assignment);
+        let basic = backend(&m, &basic_assignment);
+        let advanced = backend(&m2, &adv_assignment);
+
+        Ok(SuiteArtifacts {
+            conventional,
+            basic,
+            advanced,
+            basic_stats,
+            advanced_stats,
+            profile,
+            golden_output: golden.output,
+            golden_exit: golden.exit_code,
+            timings,
+        })
+    }
+}
+
+/// The one frontend sequence of the whole system: parse → optimize →
+/// split webs → verify. Increments the [`frontend_runs`] counter.
+fn optimized_module(source: &str, timings: &mut StageTimings) -> Result<Module, Error> {
+    FRONTEND_RUNS.fetch_add(1, Ordering::SeqCst);
+    let t = Instant::now();
+    let mut m = fpa_frontend::compile(source).map_err(Error::Compile)?;
+    timings.parse = t.elapsed();
+
+    let t = Instant::now();
+    fpa_ir::opt::optimize(&mut m);
+    for f in &mut m.funcs {
+        fpa_ir::opt::split_webs(f);
+    }
+    fpa_ir::verify::verify_module(&m).map_err(Error::Verify)?;
+    timings.optimize = t.elapsed();
+    Ok(m)
+}
+
+/// Runs the profiling interpreter, recording its wall time.
+fn profiled(
+    m: &Module,
+    timings: &mut StageTimings,
+) -> Result<(fpa_ir::ExecOutcome, Profile), Error> {
+    let t = Instant::now();
+    let r = Interp::new(m).run().map_err(Error::Profile)?;
+    timings.profile = t.elapsed();
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        int main() {
+            int i;
+            int x = 3;
+            for (i = 0; i < 20; i = i + 1) { x = (x * 5 + i) ^ 9; }
+            print(x);
+            return 0;
+        }";
+
+    #[test]
+    fn builder_produces_consistent_artifacts() {
+        let art = Compiler::new(SRC).scheme(Scheme::Basic).build().unwrap();
+        assert_eq!(art.scheme, Scheme::Basic);
+        assert!(art.stats.static_insts > 0);
+        assert_eq!(art.golden_exit, 0);
+        let r = fpa_sim::run_functional(&art.program, 1_000_000).unwrap();
+        assert_eq!(r.output, art.golden_output);
+    }
+
+    #[test]
+    fn suite_matches_individual_builds() {
+        let suite = Compiler::new(SRC).build_suite().unwrap();
+        for (scheme, prog) in [
+            (Scheme::Conventional, &suite.conventional),
+            (Scheme::Basic, &suite.basic),
+            (Scheme::Advanced, &suite.advanced),
+        ] {
+            let single = Compiler::new(SRC).scheme(scheme).build().unwrap();
+            assert_eq!(
+                prog.static_size(),
+                single.program.static_size(),
+                "{scheme} suite/single size mismatch"
+            );
+            let r = fpa_sim::run_functional(prog, 1_000_000).unwrap();
+            assert_eq!(r.output, suite.golden_output, "{scheme} diverged");
+        }
+    }
+
+    #[test]
+    fn error_chains_to_stage_error() {
+        let err = Compiler::new("int main() { return undeclared; }")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().starts_with("compile: "));
+    }
+}

@@ -1,0 +1,504 @@
+//! The parallel experiment engine.
+//!
+//! [`ExperimentContext`] compiles each workload **once** into a shared
+//! immutable artifact store ([`CompiledWorkload`] per workload: all three
+//! programs, profile, golden output, partition stats, stage timings),
+//! then fans the individual (figure, workload) cells of the full
+//! experiment matrix across a `std::thread::scope` worker pool. The cycle
+//! simulator itself stays single-threaded per run; parallelism is across
+//! independent runs only, so results are bit-identical for any `--jobs`
+//! value (see `tests/engine_matrix.rs`).
+//!
+//! [`MatrixReport`] is the machine-readable result: every figure's rows
+//! plus per-workload telemetry (per-stage compile timings and simulator
+//! event counters), serializable to JSON ([`MatrixReport::to_json`]) and
+//! back ([`MatrixReport::from_json`]) with the hand-rolled `crate::json`
+//! reader/writer.
+
+use crate::compiler::{frontend_runs, StageTimings};
+use crate::experiments::{
+    fig8_row, overhead_row, speedup_row_detailed, Fig8Row, OverheadRow, SpeedupRow,
+};
+use crate::json::Json;
+use crate::pipeline::{build, BuildError, CompiledWorkload};
+use fpa_partition::CostParams;
+use fpa_sim::MachineConfig;
+use fpa_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Maps `f` over `items` on `jobs` worker threads, preserving input
+/// order in the output regardless of completion order.
+///
+/// Workers pull the next unclaimed index from a shared counter, so the
+/// schedule is dynamic but the result vector is deterministic. With
+/// `jobs <= 1` the map runs inline on the caller's thread.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// The default worker count: the host's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Per-workload observability record: compile-stage timings plus event
+/// counters from the 4-way timing runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// Workload name.
+    pub name: String,
+    /// Per-stage compile timings (one frontend pass, all three builds).
+    pub timings: StageTimings,
+    /// Wall-clock seconds this workload's 4-way simulations took.
+    pub sim_seconds: f64,
+    /// Cycles on the 4-way machine: conventional, basic, advanced.
+    pub cycles_4way: (u64, u64, u64),
+    /// Fetch-stall cycles in the advanced 4-way run.
+    pub fetch_stall_cycles: u64,
+    /// Mean occupied INT issue-window slots per cycle (advanced, 4-way).
+    pub int_window_occupancy: f64,
+    /// Mean occupied FP issue-window slots per cycle (advanced, 4-way).
+    pub fp_window_occupancy: f64,
+    /// Retired cross-file copies in the advanced 4-way run.
+    pub copies_retired: u64,
+    /// Static copies the advanced partition placed (IR-level).
+    pub static_copies: usize,
+}
+
+/// The full figure/table matrix plus telemetry, from one context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Frontend executions the builds consumed (one per workload).
+    pub frontend_runs: u64,
+    /// Wall-clock seconds spent building the artifact store.
+    pub build_seconds: f64,
+    /// Wall-clock seconds spent on the simulation matrix.
+    pub matrix_seconds: f64,
+    /// Figure 8 rows.
+    pub fig8: Vec<Fig8Row>,
+    /// Figure 9 rows (4-way speedups).
+    pub fig9: Vec<SpeedupRow>,
+    /// Figure 10 rows (8-way speedups).
+    pub fig10: Vec<SpeedupRow>,
+    /// §7.2 overhead rows.
+    pub overheads: Vec<OverheadRow>,
+    /// Per-workload telemetry.
+    pub telemetry: Vec<RunTelemetry>,
+}
+
+/// One (figure, workload) cell of the matrix.
+enum Cell {
+    Fig8(usize),
+    Fig9(usize),
+    Fig10(usize),
+    Overhead(usize),
+}
+
+enum CellResult {
+    Fig8(Fig8Row),
+    Fig9(Box<(SpeedupRow, RunTelemetry)>),
+    Fig10(SpeedupRow),
+    Overhead(OverheadRow),
+}
+
+/// A build-once artifact cache plus the worker pool that consumes it.
+///
+/// Construction compiles every workload exactly once (asserted by
+/// `tests/build_once.rs` against [`frontend_runs`]); everything
+/// afterwards — figures, tables, telemetry — reads the shared immutable
+/// store.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    compiled: Vec<CompiledWorkload>,
+    jobs: usize,
+    build_seconds: f64,
+    frontend_runs: u64,
+}
+
+impl ExperimentContext {
+    /// Builds every workload in `set` once, in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline failure (by workload order).
+    pub fn new(
+        set: &[Workload],
+        params: &CostParams,
+        jobs: usize,
+    ) -> Result<ExperimentContext, BuildError> {
+        let runs_before = frontend_runs();
+        let t = Instant::now();
+        let built = parallel_map(set, jobs, |w| build(w, params));
+        let build_seconds = t.elapsed().as_secs_f64();
+        let mut compiled = Vec::with_capacity(built.len());
+        for r in built {
+            compiled.push(r?);
+        }
+        Ok(ExperimentContext {
+            compiled,
+            jobs,
+            build_seconds,
+            frontend_runs: frontend_runs() - runs_before,
+        })
+    }
+
+    /// The shared artifact store, in workload order.
+    #[must_use]
+    pub fn compiled(&self) -> &[CompiledWorkload] {
+        &self.compiled
+    }
+
+    /// Worker threads this context uses.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Wall-clock seconds the build phase took.
+    #[must_use]
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    /// Computes the full figure/table matrix, fanning one task per
+    /// (figure, workload) cell across the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation failure (by cell order).
+    pub fn matrix(&self) -> Result<MatrixReport, fpa_sim::ExecError> {
+        let t = Instant::now();
+        let n = self.compiled.len();
+        // Heavier cells first so the pool drains evenly.
+        let mut cells = Vec::with_capacity(4 * n);
+        for i in 0..n {
+            cells.push(Cell::Fig10(i));
+            cells.push(Cell::Fig9(i));
+            cells.push(Cell::Overhead(i));
+            cells.push(Cell::Fig8(i));
+        }
+        let results = parallel_map(&cells, self.jobs, |cell| self.compute(cell));
+
+        let mut fig8 = Vec::with_capacity(n);
+        let mut fig9 = Vec::with_capacity(n);
+        let mut fig10 = Vec::with_capacity(n);
+        let mut overheads = Vec::with_capacity(n);
+        let mut telemetry = Vec::with_capacity(n);
+        // Results arrive in cell order; route by variant. Workload order
+        // is preserved because cells were pushed in workload order.
+        for r in results {
+            match r? {
+                CellResult::Fig8(row) => fig8.push(row),
+                CellResult::Fig9(b) => {
+                    fig9.push(b.0);
+                    telemetry.push(b.1);
+                }
+                CellResult::Fig10(row) => fig10.push(row),
+                CellResult::Overhead(row) => overheads.push(row),
+            }
+        }
+        Ok(MatrixReport {
+            jobs: self.jobs,
+            frontend_runs: self.frontend_runs,
+            build_seconds: self.build_seconds,
+            matrix_seconds: t.elapsed().as_secs_f64(),
+            fig8,
+            fig9,
+            fig10,
+            overheads,
+            telemetry,
+        })
+    }
+
+    fn compute(&self, cell: &Cell) -> Result<CellResult, fpa_sim::ExecError> {
+        match *cell {
+            Cell::Fig8(i) => Ok(CellResult::Fig8(fig8_row(&self.compiled[i])?)),
+            Cell::Fig9(i) => {
+                let c = &self.compiled[i];
+                let t = Instant::now();
+                let (row, [conv, basic, adv]) = speedup_row_detailed(
+                    c,
+                    &MachineConfig::four_way(false),
+                    &MachineConfig::four_way(true),
+                )?;
+                let telemetry = RunTelemetry {
+                    name: c.name.clone(),
+                    timings: c.timings,
+                    sim_seconds: t.elapsed().as_secs_f64(),
+                    cycles_4way: (conv.cycles, basic.cycles, adv.cycles),
+                    fetch_stall_cycles: adv.fetch_stall_cycles,
+                    int_window_occupancy: adv.int_window_occupancy(),
+                    fp_window_occupancy: adv.fp_window_occupancy(),
+                    copies_retired: adv.copies_retired,
+                    static_copies: c.advanced_stats.static_copies,
+                };
+                Ok(CellResult::Fig9(Box::new((row, telemetry))))
+            }
+            Cell::Fig10(i) => {
+                let (row, _) = speedup_row_detailed(
+                    &self.compiled[i],
+                    &MachineConfig::eight_way(false),
+                    &MachineConfig::eight_way(true),
+                )?;
+                Ok(CellResult::Fig10(row))
+            }
+            Cell::Overhead(i) => Ok(CellResult::Overhead(overhead_row(&self.compiled[i])?)),
+        }
+    }
+}
+
+// ---- JSON (de)serialization -------------------------------------------
+
+/// Stage timings as an exact-integer nanosecond object (bit-exact JSON
+/// round-trip; `f64` holds integers exactly up to 2^53 ns ≈ 104 days).
+fn timings_to_json(t: &StageTimings) -> Json {
+    let mut o = Json::obj();
+    o.set("parse_ns", t.parse.as_nanos() as u64)
+        .set("optimize_ns", t.optimize.as_nanos() as u64)
+        .set("profile_ns", t.profile.as_nanos() as u64)
+        .set("partition_ns", t.partition.as_nanos() as u64)
+        .set("regalloc_ns", t.regalloc.as_nanos() as u64)
+        .set("emit_ns", t.emit.as_nanos() as u64);
+    o
+}
+
+fn timings_from_json(v: &Json) -> Option<StageTimings> {
+    let ns = |k: &str| v.get(k)?.as_u64().map(Duration::from_nanos);
+    Some(StageTimings {
+        parse: ns("parse_ns")?,
+        optimize: ns("optimize_ns")?,
+        profile: ns("profile_ns")?,
+        partition: ns("partition_ns")?,
+        regalloc: ns("regalloc_ns")?,
+        emit: ns("emit_ns")?,
+    })
+}
+
+impl RunTelemetry {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("name", self.name.as_str())
+            .set("stages", timings_to_json(&self.timings))
+            .set("sim_seconds", self.sim_seconds)
+            .set("conventional_cycles_4way", self.cycles_4way.0)
+            .set("basic_cycles_4way", self.cycles_4way.1)
+            .set("advanced_cycles_4way", self.cycles_4way.2)
+            .set("fetch_stall_cycles", self.fetch_stall_cycles)
+            .set("int_window_occupancy", self.int_window_occupancy)
+            .set("fp_window_occupancy", self.fp_window_occupancy)
+            .set("copies_retired", self.copies_retired)
+            .set("static_copies", self.static_copies);
+        o
+    }
+
+    fn from_json(v: &Json) -> Option<RunTelemetry> {
+        Some(RunTelemetry {
+            name: v.get("name")?.as_str()?.to_string(),
+            timings: timings_from_json(v.get("stages")?)?,
+            sim_seconds: v.get("sim_seconds")?.as_f64()?,
+            cycles_4way: (
+                v.get("conventional_cycles_4way")?.as_u64()?,
+                v.get("basic_cycles_4way")?.as_u64()?,
+                v.get("advanced_cycles_4way")?.as_u64()?,
+            ),
+            fetch_stall_cycles: v.get("fetch_stall_cycles")?.as_u64()?,
+            int_window_occupancy: v.get("int_window_occupancy")?.as_f64()?,
+            fp_window_occupancy: v.get("fp_window_occupancy")?.as_f64()?,
+            copies_retired: v.get("copies_retired")?.as_u64()?,
+            static_copies: v.get("static_copies")?.as_u64()? as usize,
+        })
+    }
+}
+
+fn fig8_to_json(r: &Fig8Row) -> Json {
+    let mut o = Json::obj();
+    o.set("name", r.name.as_str())
+        .set("basic_pct", r.basic_pct)
+        .set("advanced_pct", r.advanced_pct);
+    o
+}
+
+fn fig8_from_json(v: &Json) -> Option<Fig8Row> {
+    Some(Fig8Row {
+        name: v.get("name")?.as_str()?.to_string(),
+        basic_pct: v.get("basic_pct")?.as_f64()?,
+        advanced_pct: v.get("advanced_pct")?.as_f64()?,
+    })
+}
+
+fn speedup_to_json(r: &SpeedupRow) -> Json {
+    let mut o = Json::obj();
+    o.set("name", r.name.as_str())
+        .set("basic_pct", r.basic_pct)
+        .set("advanced_pct", r.advanced_pct)
+        .set("conventional_cycles", r.conventional_cycles)
+        .set("int_idle_fp_busy_frac", r.int_idle_fp_busy_frac);
+    o
+}
+
+fn speedup_from_json(v: &Json) -> Option<SpeedupRow> {
+    Some(SpeedupRow {
+        name: v.get("name")?.as_str()?.to_string(),
+        basic_pct: v.get("basic_pct")?.as_f64()?,
+        advanced_pct: v.get("advanced_pct")?.as_f64()?,
+        conventional_cycles: v.get("conventional_cycles")?.as_u64()?,
+        int_idle_fp_busy_frac: v.get("int_idle_fp_busy_frac")?.as_f64()?,
+    })
+}
+
+fn overhead_to_json(r: &OverheadRow) -> Json {
+    let mut o = Json::obj();
+    o.set("name", r.name.as_str())
+        .set("dynamic_increase_pct", r.dynamic_increase_pct)
+        .set("copy_pct", r.copy_pct)
+        .set("static_increase_pct", r.static_increase_pct)
+        .set("load_change_pct", r.load_change_pct)
+        .set("icache_miss_rate_conventional", r.icache_miss_rates.0)
+        .set("icache_miss_rate_advanced", r.icache_miss_rates.1);
+    o
+}
+
+fn overhead_from_json(v: &Json) -> Option<OverheadRow> {
+    Some(OverheadRow {
+        name: v.get("name")?.as_str()?.to_string(),
+        dynamic_increase_pct: v.get("dynamic_increase_pct")?.as_f64()?,
+        copy_pct: v.get("copy_pct")?.as_f64()?,
+        static_increase_pct: v.get("static_increase_pct")?.as_f64()?,
+        load_change_pct: v.get("load_change_pct")?.as_f64()?,
+        icache_miss_rates: (
+            v.get("icache_miss_rate_conventional")?.as_f64()?,
+            v.get("icache_miss_rate_advanced")?.as_f64()?,
+        ),
+    })
+}
+
+impl MatrixReport {
+    /// Schema identifier written into every report.
+    pub const SCHEMA: &'static str = "fpa-matrix-report";
+    /// Schema version.
+    pub const VERSION: u64 = 1;
+
+    /// Serializes to the `BENCH_*.json`-compatible JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let arr = |v: Vec<Json>| Json::Arr(v);
+        let mut o = Json::obj();
+        o.set("schema", Self::SCHEMA)
+            .set("version", Self::VERSION)
+            .set("jobs", self.jobs)
+            .set("frontend_runs", self.frontend_runs)
+            .set("build_seconds", self.build_seconds)
+            .set("matrix_seconds", self.matrix_seconds)
+            .set("fig8", arr(self.fig8.iter().map(fig8_to_json).collect()))
+            .set("fig9", arr(self.fig9.iter().map(speedup_to_json).collect()))
+            .set(
+                "fig10",
+                arr(self.fig10.iter().map(speedup_to_json).collect()),
+            )
+            .set(
+                "overheads",
+                arr(self.overheads.iter().map(overhead_to_json).collect()),
+            )
+            .set(
+                "telemetry",
+                arr(self.telemetry.iter().map(RunTelemetry::to_json).collect()),
+            );
+        o
+    }
+
+    /// Reconstructs a report from [`MatrixReport::to_json`] output.
+    /// Returns `None` on schema mismatch or missing fields.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<MatrixReport> {
+        if v.get("schema")?.as_str()? != Self::SCHEMA
+            || v.get("version")?.as_u64()? != Self::VERSION
+        {
+            return None;
+        }
+        fn list<T>(v: &Json, key: &str, f: impl Fn(&Json) -> Option<T>) -> Option<Vec<T>> {
+            v.get(key)?.as_arr()?.iter().map(f).collect()
+        }
+        Some(MatrixReport {
+            jobs: v.get("jobs")?.as_u64()? as usize,
+            frontend_runs: v.get("frontend_runs")?.as_u64()?,
+            build_seconds: v.get("build_seconds")?.as_f64()?,
+            matrix_seconds: v.get("matrix_seconds")?.as_f64()?,
+            fig8: list(v, "fig8", fig8_from_json)?,
+            fig9: list(v, "fig9", speedup_from_json)?,
+            fig10: list(v, "fig10", speedup_from_json)?,
+            overheads: list(v, "overheads", overhead_from_json)?,
+            telemetry: list(v, "telemetry", RunTelemetry::from_json)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 7] {
+            let out = parallel_map(&items, jobs, |&x| x * x);
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * x).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(parallel_map(&[] as &[u8], 4, |_| 0u8).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_is_actually_concurrent_when_jobs_gt_one() {
+        use std::sync::atomic::AtomicUsize;
+        // Two tasks that each wait for the other to start: only completes
+        // if both run at once.
+        let started = AtomicUsize::new(0);
+        let items = [0u8, 1u8];
+        let out = parallel_map(&items, 2, |_| {
+            started.fetch_add(1, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while started.load(Ordering::SeqCst) < 2 {
+                assert!(Instant::now() < deadline, "tasks did not overlap");
+                std::thread::yield_now();
+            }
+            true
+        });
+        assert_eq!(out, vec![true, true]);
+    }
+}

@@ -1,4 +1,9 @@
 //! The paper's experiments, one function per table/figure.
+//!
+//! Each figure also has a per-workload `*_row` function so the experiment
+//! engine (`crate::engine`) can fan individual (figure, workload) cells
+//! across a worker pool; the whole-figure functions here are thin loops
+//! over the row functions.
 
 use crate::pipeline::{build, BuildError, CompiledWorkload};
 use fpa_partition::CostParams;
@@ -11,10 +16,10 @@ pub const FUNC_FUEL: u64 = 200_000_000;
 pub const TIMING_FUEL: u64 = 200_000_000;
 
 /// One bar pair of Figure 8.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Row {
     /// Workload name.
-    pub name: &'static str,
+    pub name: String,
     /// Percent of dynamic instructions in the FP subsystem, basic scheme.
     pub basic_pct: f64,
     /// Percent of dynamic instructions in the FP subsystem, advanced.
@@ -22,10 +27,10 @@ pub struct Fig8Row {
 }
 
 /// One bar (pair) of Figures 9/10.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupRow {
     /// Workload name.
-    pub name: &'static str,
+    pub name: String,
     /// Percent speedup of the basic-scheme binary over conventional.
     pub basic_pct: f64,
     /// Percent speedup of the advanced-scheme binary over conventional.
@@ -38,10 +43,10 @@ pub struct SpeedupRow {
 }
 
 /// One row of the §7.2 overhead discussion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadRow {
     /// Workload name.
-    pub name: &'static str,
+    pub name: String,
     /// Percent increase in dynamic instructions (advanced vs conventional).
     pub dynamic_increase_pct: f64,
     /// Percent of dynamic instructions that are copies (advanced).
@@ -70,7 +75,24 @@ fn pct(new: f64, old: f64) -> f64 {
 ///
 /// Returns the first pipeline failure.
 pub fn build_all(set: &[Workload]) -> Result<Vec<CompiledWorkload>, BuildError> {
-    set.iter().map(|w| build(w, &CostParams::default())).collect()
+    set.iter()
+        .map(|w| build(w, &CostParams::default()))
+        .collect()
+}
+
+/// One workload's Figure 8 cell.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn fig8_row(c: &CompiledWorkload) -> Result<Fig8Row, fpa_sim::ExecError> {
+    let basic = run_functional(&c.basic, FUNC_FUEL)?;
+    let adv = run_functional(&c.advanced, FUNC_FUEL)?;
+    Ok(Fig8Row {
+        name: c.name.clone(),
+        basic_pct: basic.fp_fraction() * 100.0,
+        advanced_pct: adv.fp_fraction() * 100.0,
+    })
 }
 
 /// Figure 8: the size of the FPa partition as a percentage of dynamic
@@ -82,18 +104,34 @@ pub fn build_all(set: &[Workload]) -> Result<Vec<CompiledWorkload>, BuildError> 
 pub fn fig8_partition_size(
     compiled: &[CompiledWorkload],
 ) -> Result<Vec<Fig8Row>, fpa_sim::ExecError> {
-    compiled
-        .iter()
-        .map(|c| {
-            let basic = run_functional(&c.basic, FUNC_FUEL)?;
-            let adv = run_functional(&c.advanced, FUNC_FUEL)?;
-            Ok(Fig8Row {
-                name: c.name,
-                basic_pct: basic.fp_fraction() * 100.0,
-                advanced_pct: adv.fp_fraction() * 100.0,
-            })
-        })
-        .collect()
+    compiled.iter().map(fig8_row).collect()
+}
+
+/// One workload's speedup cell, plus the three timing results it came
+/// from (conventional, basic, advanced) so callers can surface simulator
+/// event counters without re-running anything.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn speedup_row_detailed(
+    c: &CompiledWorkload,
+    conv_cfg: &MachineConfig,
+    aug_cfg: &MachineConfig,
+) -> Result<(SpeedupRow, [fpa_sim::TimingResult; 3]), fpa_sim::ExecError> {
+    let conv = simulate(&c.conventional, conv_cfg, TIMING_FUEL)?;
+    let basic = simulate(&c.basic, aug_cfg, TIMING_FUEL)?;
+    let adv = simulate(&c.advanced, aug_cfg, TIMING_FUEL)?;
+    debug_assert_eq!(conv.output, basic.output);
+    debug_assert_eq!(conv.output, adv.output);
+    let row = SpeedupRow {
+        name: c.name.clone(),
+        basic_pct: pct(conv.cycles as f64, basic.cycles as f64),
+        advanced_pct: pct(conv.cycles as f64, adv.cycles as f64),
+        conventional_cycles: conv.cycles,
+        int_idle_fp_busy_frac: adv.int_idle_fp_busy as f64 / adv.cycles as f64,
+    };
+    Ok((row, [conv, basic, adv]))
 }
 
 fn speedups(
@@ -103,20 +141,7 @@ fn speedups(
 ) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
     compiled
         .iter()
-        .map(|c| {
-            let conv = simulate(&c.conventional, conv_cfg, TIMING_FUEL)?;
-            let basic = simulate(&c.basic, aug_cfg, TIMING_FUEL)?;
-            let adv = simulate(&c.advanced, aug_cfg, TIMING_FUEL)?;
-            debug_assert_eq!(conv.output, basic.output);
-            debug_assert_eq!(conv.output, adv.output);
-            Ok(SpeedupRow {
-                name: c.name,
-                basic_pct: pct(conv.cycles as f64, basic.cycles as f64),
-                advanced_pct: pct(conv.cycles as f64, adv.cycles as f64),
-                conventional_cycles: conv.cycles,
-                int_idle_fp_busy_frac: adv.int_idle_fp_busy as f64 / adv.cycles as f64,
-            })
-        })
+        .map(|c| speedup_row_detailed(c, conv_cfg, aug_cfg).map(|(row, _)| row))
         .collect()
 }
 
@@ -150,31 +175,35 @@ pub fn fig10_speedup_8way(
     )
 }
 
+/// One workload's §7.2 overhead row.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn overhead_row(c: &CompiledWorkload) -> Result<OverheadRow, fpa_sim::ExecError> {
+    let cfg = MachineConfig::four_way(true);
+    let conv = run_functional(&c.conventional, FUNC_FUEL)?;
+    let adv = run_functional(&c.advanced, FUNC_FUEL)?;
+    let tc = simulate(&c.conventional, &cfg, TIMING_FUEL)?;
+    let ta = simulate(&c.advanced, &cfg, TIMING_FUEL)?;
+    let miss_rate = |(a, m): (u64, u64)| if a == 0 { 0.0 } else { m as f64 / a as f64 };
+    Ok(OverheadRow {
+        name: c.name.clone(),
+        dynamic_increase_pct: pct(adv.total as f64, conv.total as f64),
+        copy_pct: adv.copies as f64 / adv.total as f64 * 100.0,
+        static_increase_pct: pct(c.static_sizes.2 as f64, c.static_sizes.0 as f64),
+        load_change_pct: pct(adv.loads as f64, conv.loads as f64),
+        icache_miss_rates: (miss_rate(tc.icache), miss_rate(ta.icache)),
+    })
+}
+
 /// §7.2: instruction overheads of the advanced scheme.
 ///
 /// # Errors
 ///
 /// Returns the first simulation failure.
 pub fn overheads(compiled: &[CompiledWorkload]) -> Result<Vec<OverheadRow>, fpa_sim::ExecError> {
-    let cfg = MachineConfig::four_way(true);
-    compiled
-        .iter()
-        .map(|c| {
-            let conv = run_functional(&c.conventional, FUNC_FUEL)?;
-            let adv = run_functional(&c.advanced, FUNC_FUEL)?;
-            let tc = simulate(&c.conventional, &cfg, TIMING_FUEL)?;
-            let ta = simulate(&c.advanced, &cfg, TIMING_FUEL)?;
-            let miss_rate = |(a, m): (u64, u64)| if a == 0 { 0.0 } else { m as f64 / a as f64 };
-            Ok(OverheadRow {
-                name: c.name,
-                dynamic_increase_pct: pct(adv.total as f64, conv.total as f64),
-                copy_pct: adv.copies as f64 / adv.total as f64 * 100.0,
-                static_increase_pct: pct(c.static_sizes.2 as f64, c.static_sizes.0 as f64),
-                load_change_pct: pct(adv.loads as f64, conv.loads as f64),
-                icache_miss_rates: (miss_rate(tc.icache), miss_rate(ta.icache)),
-            })
-        })
-        .collect()
+    compiled.iter().map(overhead_row).collect()
 }
 
 /// §7.5: the floating-point programs, reported like Figure 8 + Figure 9
@@ -224,7 +253,7 @@ mod tests {
 #[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Workload name.
-    pub name: &'static str,
+    pub name: String,
     /// The copy overhead constant used.
     pub o_copy: f64,
     /// The duplication overhead constant used.
@@ -242,9 +271,7 @@ pub struct AblationRow {
 /// # Errors
 ///
 /// Returns the first pipeline or simulation failure.
-pub fn ablate_cost_params(
-    names: &[&'static str],
-) -> Result<Vec<AblationRow>, Box<dyn std::error::Error>> {
+pub fn ablate_cost_params(names: &[&str]) -> Result<Vec<AblationRow>, Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let conv_cfg = MachineConfig::four_way(false);
     let aug_cfg = MachineConfig::four_way(true);
@@ -254,12 +281,16 @@ pub fn ablate_cost_params(
         let base = simulate(&conv.conventional, &conv_cfg, TIMING_FUEL)?;
         for o_copy in [3.0, 4.0, 5.0, 6.0] {
             for o_dupl in [1.5, 3.0f64.min(o_copy - 0.5)] {
-                let params = CostParams { o_copy, o_dupl, balance_cap: None };
+                let params = CostParams {
+                    o_copy,
+                    o_dupl,
+                    balance_cap: None,
+                };
                 let c = build(&w, &params)?;
                 let f = run_functional(&c.advanced, FUNC_FUEL)?;
                 let t = simulate(&c.advanced, &aug_cfg, TIMING_FUEL)?;
                 rows.push(AblationRow {
-                    name: w.name,
+                    name: w.name.clone(),
                     o_copy,
                     o_dupl,
                     offload_pct: f.fp_fraction() * 100.0,

@@ -18,12 +18,17 @@
 //! fpa-report all
 //! ```
 
+pub mod compiler;
+pub mod engine;
 pub mod experiments;
+pub mod json;
 pub mod pipeline;
 pub mod report;
 
+pub use compiler::{frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings};
+pub use engine::{ExperimentContext, MatrixReport, RunTelemetry};
 pub use experiments::{
-    ablate_cost_params, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way,
-    fp_programs, overheads, AblationRow, Fig8Row, OverheadRow, SpeedupRow,
+    ablate_cost_params, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way, fp_programs,
+    overheads, AblationRow, Fig8Row, OverheadRow, SpeedupRow,
 };
 pub use pipeline::{build, BuildError, CompiledWorkload};

@@ -1,41 +1,21 @@
-//! The compile→profile→partition→codegen pipeline, run three ways per
-//! workload.
+//! Workload-level wrapper over the unified [`Compiler`]
+//! (`crate::compiler`): one call builds a workload under all three
+//! regimes from a single frontend pass.
 
-use fpa_codegen::compile_module;
+use crate::compiler::{Compiler, StageTimings};
+use fpa_ir::Profile;
 use fpa_isa::Program;
-use fpa_partition::{partition_advanced, partition_basic, Assignment, BlockFreq, CostParams};
+use fpa_partition::{CostParams, PartitionStats};
 use fpa_workloads::Workload;
-use fpa_ir::{Interp, Module, Profile};
-use std::fmt;
 
-/// A pipeline failure.
-#[derive(Debug)]
-pub enum BuildError {
-    /// The workload failed to compile.
-    Compile(fpa_frontend::CompileError),
-    /// The profiling interpreter run failed.
-    Profile(fpa_ir::InterpError),
-    /// Generated IR failed verification.
-    Verify(fpa_ir::VerifyError),
-}
-
-impl fmt::Display for BuildError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BuildError::Compile(e) => write!(f, "compile: {e}"),
-            BuildError::Profile(e) => write!(f, "profile: {e}"),
-            BuildError::Verify(e) => write!(f, "verify: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for BuildError {}
+/// A pipeline failure (alias of the system-wide [`crate::compiler::Error`]).
+pub use crate::compiler::Error as BuildError;
 
 /// A workload compiled under all three regimes.
 #[derive(Debug, Clone)]
 pub struct CompiledWorkload {
     /// The workload name.
-    pub name: &'static str,
+    pub name: String,
     /// Conventional binary (no offloading).
     pub conventional: Program,
     /// Basic-scheme binary.
@@ -50,56 +30,43 @@ pub struct CompiledWorkload {
     pub golden_exit: i32,
     /// Static instruction counts (conventional, basic, advanced).
     pub static_sizes: (usize, usize, usize),
-}
-
-/// Runs the frontend and optimizer, producing the module every build
-/// shares.
-fn optimized_module(source: &str) -> Result<Module, BuildError> {
-    let mut m = fpa_frontend::compile(source).map_err(BuildError::Compile)?;
-    fpa_ir::opt::optimize(&mut m);
-    for f in &mut m.funcs {
-        fpa_ir::opt::split_webs(f);
-    }
-    fpa_ir::verify::verify_module(&m).map_err(BuildError::Verify)?;
-    Ok(m)
+    /// IR-level stats of the basic partition.
+    pub basic_stats: PartitionStats,
+    /// IR-level stats of the advanced partition.
+    pub advanced_stats: PartitionStats,
+    /// Per-stage compile timings (summed over the three builds).
+    pub timings: StageTimings,
 }
 
 /// Compiles `workload` conventionally and under both partitioning
 /// schemes, using an interpreter profile for the advanced cost model
-/// (exactly the paper's methodology, §6.1/§7.1).
+/// (exactly the paper's methodology, §6.1/§7.1). The frontend and the
+/// profiler each run once; the advanced scheme transforms a clone of the
+/// shared optimized module.
 ///
 /// # Errors
 ///
 /// Returns a [`BuildError`] if any stage fails.
 pub fn build(workload: &Workload, params: &CostParams) -> Result<CompiledWorkload, BuildError> {
-    let m = optimized_module(workload.source)?;
-    let (golden, profile) = Interp::new(&m).run().map_err(BuildError::Profile)?;
-
-    let conventional = compile_module(&m, &Assignment::conventional(&m));
-    let basic_assignment = partition_basic(&m);
-    let basic = compile_module(&m, &basic_assignment);
-
-    // The advanced scheme transforms the module; rebuild from source so
-    // the conventional/basic binaries stay untouched.
-    let mut m2 = optimized_module(workload.source)?;
-    let freq = BlockFreq::from_profile(&m2, &profile);
-    let adv_assignment = partition_advanced(&mut m2, &freq, params);
-    fpa_ir::verify::verify_module(&m2).map_err(BuildError::Verify)?;
-    let advanced = compile_module(&m2, &adv_assignment);
-
+    let suite = Compiler::new(&workload.source)
+        .cost_params(*params)
+        .build_suite()?;
     Ok(CompiledWorkload {
-        name: workload.name,
+        name: workload.name.to_string(),
         static_sizes: (
-            conventional.static_size(),
-            basic.static_size(),
-            advanced.static_size(),
+            suite.conventional.static_size(),
+            suite.basic.static_size(),
+            suite.advanced.static_size(),
         ),
-        conventional,
-        basic,
-        advanced,
-        profile,
-        golden_output: golden.output,
-        golden_exit: golden.exit_code,
+        conventional: suite.conventional,
+        basic: suite.basic,
+        advanced: suite.advanced,
+        profile: suite.profile,
+        golden_output: suite.golden_output,
+        golden_exit: suite.golden_exit,
+        basic_stats: suite.basic_stats,
+        advanced_stats: suite.advanced_stats,
+        timings: suite.timings,
     })
 }
 
@@ -133,7 +100,10 @@ mod tests {
         let basic = run_functional(&c.basic, FUEL).unwrap();
         let adv = run_functional(&c.advanced, FUEL).unwrap();
         assert_eq!(conv.augmented, 0);
-        assert!(basic.augmented > 0, "basic should offload something on m88ksim");
+        assert!(
+            basic.augmented > 0,
+            "basic should offload something on m88ksim"
+        );
         assert!(
             adv.fp_fraction() >= basic.fp_fraction(),
             "advanced ({:.3}) should be >= basic ({:.3})",

@@ -15,17 +15,62 @@ pub fn table1() -> String {
     let row = |s: &mut String, k: &str, a: String, b: String| {
         let _ = writeln!(s, "{k:<28}{a:>12}{b:>12}");
     };
-    row(&mut s, "fetch width", four.fetch_width.to_string(), eight.fetch_width.to_string());
-    row(&mut s, "decode/rename width", four.decode_width.to_string(), eight.decode_width.to_string());
-    row(&mut s, "issue window (int+fp)", format!("{}+{}", four.int_window, four.fp_window), format!("{}+{}", eight.int_window, eight.fp_window));
-    row(&mut s, "max in-flight", four.max_inflight.to_string(), eight.max_inflight.to_string());
-    row(&mut s, "retire width", four.retire_width.to_string(), eight.retire_width.to_string());
-    row(&mut s, "functional units (int+fp)", format!("{}+{}", four.int_units, four.fp_units), format!("{}+{}", eight.int_units, eight.fp_units));
-    row(&mut s, "load/store ports", four.ls_ports.to_string(), eight.ls_ports.to_string());
-    row(&mut s, "physical regs (int+fp)", format!("{}+{}", four.int_phys, four.fp_phys), format!("{}+{}", eight.int_phys, eight.fp_phys));
+    row(
+        &mut s,
+        "fetch width",
+        four.fetch_width.to_string(),
+        eight.fetch_width.to_string(),
+    );
+    row(
+        &mut s,
+        "decode/rename width",
+        four.decode_width.to_string(),
+        eight.decode_width.to_string(),
+    );
+    row(
+        &mut s,
+        "issue window (int+fp)",
+        format!("{}+{}", four.int_window, four.fp_window),
+        format!("{}+{}", eight.int_window, eight.fp_window),
+    );
+    row(
+        &mut s,
+        "max in-flight",
+        four.max_inflight.to_string(),
+        eight.max_inflight.to_string(),
+    );
+    row(
+        &mut s,
+        "retire width",
+        four.retire_width.to_string(),
+        eight.retire_width.to_string(),
+    );
+    row(
+        &mut s,
+        "functional units (int+fp)",
+        format!("{}+{}", four.int_units, four.fp_units),
+        format!("{}+{}", eight.int_units, eight.fp_units),
+    );
+    row(
+        &mut s,
+        "load/store ports",
+        four.ls_ports.to_string(),
+        eight.ls_ports.to_string(),
+    );
+    row(
+        &mut s,
+        "physical regs (int+fp)",
+        format!("{}+{}", four.int_phys, four.fp_phys),
+        format!("{}+{}", eight.int_phys, eight.fp_phys),
+    );
     row(&mut s, "I-cache", "64KB 2-way".into(), "64KB 2-way".into());
     row(&mut s, "D-cache", "32KB 2-way".into(), "32KB 2-way".into());
-    row(&mut s, "branch predictor", "gshare 32K".into(), "gshare 32K".into());
+    row(
+        &mut s,
+        "branch predictor",
+        "gshare 32K".into(),
+        "gshare 32K".into(),
+    );
     s
 }
 
@@ -34,7 +79,7 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 2: Benchmark programs");
-    let _ = writeln!(s, "{:<12}{:<6}{}", "benchmark", "fp?", "description");
+    let _ = writeln!(s, "{:<12}{:<6}description", "benchmark", "fp?");
     for w in fpa_workloads::all() {
         let _ = writeln!(
             s,
@@ -51,10 +96,17 @@ pub fn table2() -> String {
 #[must_use]
 pub fn fig8(rows: &[Fig8Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 8: Size of the FPa partition (% of dynamic instructions)");
+    let _ = writeln!(
+        s,
+        "Figure 8: Size of the FPa partition (% of dynamic instructions)"
+    );
     let _ = writeln!(s, "{:<12}{:>10}{:>12}", "benchmark", "basic", "advanced");
     for r in rows {
-        let _ = writeln!(s, "{:<12}{:>9.1}%{:>11.1}%", r.name, r.basic_pct, r.advanced_pct);
+        let _ = writeln!(
+            s,
+            "{:<12}{:>9.1}%{:>11.1}%",
+            r.name, r.basic_pct, r.advanced_pct
+        );
     }
     s
 }
@@ -109,49 +161,6 @@ pub fn overheads(rows: &[OverheadRow]) -> String {
     s
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table1_renders_both_presets() {
-        let t = table1();
-        assert!(t.contains("16+16"));
-        assert!(t.contains("32+32"));
-        assert!(t.contains("48+48"));
-        assert!(t.contains("80+80"));
-        assert!(t.contains("gshare"));
-    }
-
-    #[test]
-    fn table2_lists_all_workloads() {
-        let t = table2();
-        for w in fpa_workloads::all() {
-            assert!(t.contains(w.name), "missing {}", w.name);
-        }
-    }
-
-    #[test]
-    fn row_rendering() {
-        let t = fig8(&[Fig8Row { name: "compress", basic_pct: 12.5, advanced_pct: 25.0 }]);
-        assert!(t.contains("compress"));
-        assert!(t.contains("12.5%"));
-        assert!(t.contains("25.0%"));
-        let t = speedup(
-            "Figure 9",
-            &[SpeedupRow {
-                name: "go",
-                basic_pct: 1.0,
-                advanced_pct: 5.5,
-                conventional_cycles: 1000,
-                int_idle_fp_busy_frac: 0.124,
-            }],
-        );
-        assert!(t.contains("5.5%"));
-        assert!(t.contains("12.4%"));
-    }
-}
-
 /// Renders the cost-model ablation rows.
 #[must_use]
 pub fn ablation(rows: &[crate::experiments::AblationRow]) -> String {
@@ -171,4 +180,51 @@ pub fn ablation(rows: &[crate::experiments::AblationRow]) -> String {
         );
     }
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_both_presets() {
+        let t = table1();
+        assert!(t.contains("16+16"));
+        assert!(t.contains("32+32"));
+        assert!(t.contains("48+48"));
+        assert!(t.contains("80+80"));
+        assert!(t.contains("gshare"));
+    }
+
+    #[test]
+    fn table2_lists_all_workloads() {
+        let t = table2();
+        for w in fpa_workloads::all() {
+            assert!(t.contains(&w.name), "missing {}", w.name);
+        }
+    }
+
+    #[test]
+    fn row_rendering() {
+        let t = fig8(&[Fig8Row {
+            name: "compress".to_string(),
+            basic_pct: 12.5,
+            advanced_pct: 25.0,
+        }]);
+        assert!(t.contains("compress"));
+        assert!(t.contains("12.5%"));
+        assert!(t.contains("25.0%"));
+        let t = speedup(
+            "Figure 9",
+            &[SpeedupRow {
+                name: "go".to_string(),
+                basic_pct: 1.0,
+                advanced_pct: 5.5,
+                conventional_cycles: 1000,
+                int_idle_fp_busy_frac: 0.124,
+            }],
+        );
+        assert!(t.contains("5.5%"));
+        assert!(t.contains("12.4%"));
+    }
 }

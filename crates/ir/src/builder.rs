@@ -33,7 +33,11 @@ impl FunctionBuilder {
     /// Starts building a function.
     #[must_use]
     pub fn new(name: impl Into<String>, ret_ty: Option<Ty>) -> FunctionBuilder {
-        FunctionBuilder { func: Function::new(name, ret_ty), cur: None, terminated: Vec::new() }
+        FunctionBuilder {
+            func: Function::new(name, ret_ty),
+            cur: None,
+            terminated: Vec::new(),
+        }
     }
 
     /// Declares a formal parameter.
@@ -51,7 +55,9 @@ impl FunctionBuilder {
     /// Creates a new (unterminated) block.
     pub fn block(&mut self) -> BlockId {
         // Temporary placeholder terminator; must be overwritten.
-        let b = self.func.new_block(Terminator::Jump { target: BlockId::ENTRY });
+        let b = self.func.new_block(Terminator::Jump {
+            target: BlockId::ENTRY,
+        });
         self.terminated.push(false);
         b
     }
@@ -73,7 +79,10 @@ impl FunctionBuilder {
 
     fn push(&mut self, inst: Inst) {
         let b = self.current();
-        assert!(!self.terminated[b.index()], "appending to terminated block {b}");
+        assert!(
+            !self.terminated[b.index()],
+            "appending to terminated block {b}"
+        );
         self.func.block_mut(b).insts.push(inst);
     }
 
@@ -97,7 +106,13 @@ impl FunctionBuilder {
     pub fn bin(&mut self, op: BinOp, lhs: VReg, rhs: VReg) -> VReg {
         let dst = self.func.new_vreg(op.result_ty());
         let id = self.func.new_inst_id();
-        self.push(Inst::Bin { id, dst, op, lhs, rhs });
+        self.push(Inst::Bin {
+            id,
+            dst,
+            op,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -110,7 +125,13 @@ impl FunctionBuilder {
         assert!(op.has_imm_form(), "{op} has no immediate form");
         let dst = self.func.new_vreg(op.result_ty());
         let id = self.func.new_inst_id();
-        self.push(Inst::BinImm { id, dst, op, lhs, imm });
+        self.push(Inst::BinImm {
+            id,
+            dst,
+            op,
+            lhs,
+            imm,
+        });
         dst
     }
 
@@ -154,21 +175,38 @@ impl FunctionBuilder {
     pub fn load(&mut self, base: VReg, offset: i32, width: MemWidth) -> VReg {
         let dst = self.func.new_vreg(width.value_ty());
         let id = self.func.new_inst_id();
-        self.push(Inst::Load { id, dst, base, offset, width });
+        self.push(Inst::Load {
+            id,
+            dst,
+            base,
+            offset,
+            width,
+        });
         dst
     }
 
     /// `mem[base + offset] = value`.
     pub fn store(&mut self, value: VReg, base: VReg, offset: i32, width: MemWidth) {
         let id = self.func.new_inst_id();
-        self.push(Inst::Store { id, value, base, offset, width });
+        self.push(Inst::Store {
+            id,
+            value,
+            base,
+            offset,
+            width,
+        });
     }
 
     /// Calls `callee`; returns the result register if `ret_ty` is given.
     pub fn call(&mut self, callee: FuncId, args: Vec<VReg>, ret_ty: Option<Ty>) -> Option<VReg> {
         let dst = ret_ty.map(|ty| self.func.new_vreg(ty));
         let id = self.func.new_inst_id();
-        self.push(Inst::Call { id, callee, args, dst });
+        self.push(Inst::Call {
+            id,
+            callee,
+            args,
+            dst,
+        });
         dst
     }
 
@@ -201,7 +239,12 @@ impl FunctionBuilder {
     /// Terminates the current block with a conditional branch.
     pub fn br(&mut self, cond: VReg, nonzero: BlockId, zero: BlockId) {
         let id = self.func.new_inst_id();
-        self.terminate(Terminator::Br { id, cond, nonzero, zero });
+        self.terminate(Terminator::Br {
+            id,
+            cond,
+            nonzero,
+            zero,
+        });
     }
 
     /// Terminates the current block with an unconditional jump.

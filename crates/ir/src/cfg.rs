@@ -53,7 +53,12 @@ impl Cfg {
         for (i, b) in post.iter().enumerate() {
             rpo_index[b.index()] = i;
         }
-        Cfg { preds, succs, rpo: post, rpo_index }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     /// Predecessors of `b`.
@@ -96,7 +101,10 @@ impl DomTree {
         let n = func.blocks.len();
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         if n == 0 {
-            return DomTree { idom, rpo_index: vec![] };
+            return DomTree {
+                idom,
+                rpo_index: vec![],
+            };
         }
         idom[BlockId::ENTRY.index()] = Some(BlockId::ENTRY);
         let rpo_index = (0..n)
@@ -239,7 +247,10 @@ impl LoopInfo {
                 depth[b.index()] += 1;
             }
         }
-        LoopInfo { loops: merged, depth }
+        LoopInfo {
+            loops: merged,
+            depth,
+        }
     }
 
     /// Loop-nesting depth of `b` (0 = not in any loop).

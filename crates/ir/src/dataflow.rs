@@ -18,7 +18,9 @@ impl BitSet {
     /// Creates an empty set over a universe of `n` elements.
     #[must_use]
     pub fn new(n: usize) -> BitSet {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts `i`; returns whether the set changed.
@@ -63,7 +65,13 @@ impl BitSet {
     /// Iterates set members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter_map(move |b| if (w >> b) & 1 == 1 { Some(wi * 64 + b) } else { None })
+            (0..64).filter_map(move |b| {
+                if (w >> b) & 1 == 1 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
         })
     }
 }
@@ -153,7 +161,11 @@ impl ReachingDefs {
             }
         }
         let _ = (gens, kills);
-        ReachingDefs { defs, defs_of_vreg, ins }
+        ReachingDefs {
+            defs,
+            defs_of_vreg,
+            ins,
+        }
     }
 
     /// Number of definition points.
@@ -179,7 +191,6 @@ impl ReachingDefs {
     pub fn live_in_set(&self, b: BlockId) -> &BitSet {
         &self.ins[b.index()]
     }
-
 }
 
 /// Def-use chains: for every use of a register, the definitions that may
@@ -298,7 +309,11 @@ impl Liveness {
                 }
             }
         }
-        Liveness { live_in, live_out, nv }
+        Liveness {
+            live_in,
+            live_out,
+            nv,
+        }
     }
 
     /// Whether `v` is live at the start of `b`.

@@ -9,8 +9,12 @@ use std::fmt::Write as _;
 pub fn inst_to_string(inst: &Inst, module: Option<&Module>) -> String {
     use Inst::*;
     match inst {
-        Bin { dst, op, lhs, rhs, .. } => format!("{dst} = {op} {lhs}, {rhs}"),
-        BinImm { dst, op, lhs, imm, .. } => format!("{dst} = {op} {lhs}, #{imm}"),
+        Bin {
+            dst, op, lhs, rhs, ..
+        } => format!("{dst} = {op} {lhs}, {rhs}"),
+        BinImm {
+            dst, op, lhs, imm, ..
+        } => format!("{dst} = {op} {lhs}, #{imm}"),
         Li { dst, imm, .. } => format!("{dst} = li #{imm}"),
         LiD { dst, val, .. } => format!("{dst} = lid #{val}"),
         Move { dst, src, .. } => format!("{dst} = {src}"),
@@ -27,15 +31,33 @@ pub fn inst_to_string(inst: &Inst, module: Option<&Module>) -> String {
             };
             format!("{dst} = {k} {src}")
         }
-        Load { dst, base, offset, width, .. } => {
+        Load {
+            dst,
+            base,
+            offset,
+            width,
+            ..
+        } => {
             format!("{dst} = load.{:?} [{base}+{offset}]", width)
         }
-        Store { value, base, offset, width, .. } => {
+        Store {
+            value,
+            base,
+            offset,
+            width,
+            ..
+        } => {
             format!("store.{:?} [{base}+{offset}] = {value}", width)
         }
-        Call { callee, args, dst, .. } => {
+        Call {
+            callee, args, dst, ..
+        } => {
             let name = module.map_or_else(|| callee.to_string(), |m| m.func(*callee).name.clone());
-            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            let args = args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             match dst {
                 Some(d) => format!("{d} = call {name}({args})"),
                 None => format!("call {name}({args})"),
@@ -58,7 +80,9 @@ pub fn func_to_string(func: &Function, module: Option<&Module>) -> String {
         .map(|p| format!("{p}: {}", func.vreg_ty(*p)))
         .collect::<Vec<_>>()
         .join(", ");
-    let ret = func.ret_ty.map_or_else(|| "void".to_owned(), |t| t.to_string());
+    let ret = func
+        .ret_ty
+        .map_or_else(|| "void".to_owned(), |t| t.to_string());
     let _ = writeln!(s, "fn {}({params}) -> {ret} {{", func.name);
     for b in func.block_ids() {
         let _ = writeln!(s, "{b}:");
@@ -67,7 +91,12 @@ pub fn func_to_string(func: &Function, module: Option<&Module>) -> String {
         }
         let term = match &func.block(b).term {
             Terminator::Jump { target } => format!("jump {target}"),
-            Terminator::Br { cond, nonzero, zero, .. } => {
+            Terminator::Br {
+                cond,
+                nonzero,
+                zero,
+                ..
+            } => {
                 format!("br {cond} ? {nonzero} : {zero}")
             }
             Terminator::Ret { value: Some(v), .. } => format!("ret {v}"),

@@ -120,7 +120,10 @@ impl Block {
     /// Creates a block with the given terminator and no body.
     #[must_use]
     pub fn new(term: Terminator) -> Block {
-        Block { insts: Vec::new(), term }
+        Block {
+            insts: Vec::new(),
+            term,
+        }
     }
 }
 
@@ -218,7 +221,8 @@ impl Function {
     /// Iterates `(block, instruction)` over the whole function body
     /// (terminators not included).
     pub fn insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> + '_ {
-        self.block_ids().flat_map(move |b| self.block(b).insts.iter().map(move |i| (b, i)))
+        self.block_ids()
+            .flat_map(move |b| self.block(b).insts.iter().map(move |i| (b, i)))
     }
 
     /// Total static instruction count, counting branch/return terminators
@@ -309,9 +313,17 @@ impl Module {
 
     /// Adds a global and returns its index.
     pub fn add_global(&mut self, name: impl Into<String>, size: u32, init: Vec<u8>) -> u32 {
-        assert!(init.len() as u32 <= size, "global initializer longer than size");
+        assert!(
+            init.len() as u32 <= size,
+            "global initializer longer than size"
+        );
         let idx = self.globals.len() as u32;
-        self.globals.push(Global { name: name.into(), size, init, addr: 0 });
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+            addr: 0,
+        });
         idx
     }
 }
@@ -342,9 +354,16 @@ mod tests {
         let v0 = f.new_vreg(Ty::Int);
         let id = f.new_inst_id();
         let rid = f.new_inst_id();
-        let b0 = f.new_block(Terminator::Ret { id: rid, value: None });
+        let b0 = f.new_block(Terminator::Ret {
+            id: rid,
+            value: None,
+        });
         assert_eq!(b0, BlockId::ENTRY);
-        f.block_mut(b0).insts.push(Inst::Li { id, dst: v0, imm: 3 });
+        f.block_mut(b0).insts.push(Inst::Li {
+            id,
+            dst: v0,
+            imm: 3,
+        });
         assert_eq!(f.insts().count(), 1);
         assert_eq!(f.static_size(), 2); // li + ret
         assert_eq!(f.find_inst(id), Some((b0, 0)));
@@ -388,10 +407,24 @@ mod tests {
         let li = f.new_inst_id();
         let br = f.new_inst_id();
         let rid = f.new_inst_id();
-        let b0 = f.new_block(Terminator::Jump { target: BlockId::new(1) });
-        let b1 = f.new_block(Terminator::Ret { id: rid, value: None });
-        f.block_mut(b0).insts.push(Inst::Li { id: li, dst: c, imm: 0 });
-        f.block_mut(b0).term = Terminator::Br { id: br, cond: c, nonzero: b1, zero: b1 };
+        let b0 = f.new_block(Terminator::Jump {
+            target: BlockId::new(1),
+        });
+        let b1 = f.new_block(Terminator::Ret {
+            id: rid,
+            value: None,
+        });
+        f.block_mut(b0).insts.push(Inst::Li {
+            id: li,
+            dst: c,
+            imm: 0,
+        });
+        f.block_mut(b0).term = Terminator::Br {
+            id: br,
+            cond: c,
+            nonzero: b1,
+            zero: b1,
+        };
         // li + br + ret; the b1 jump-to-ret... b1's term is the ret.
         assert_eq!(f.static_size(), 3);
         let _ = BinOp::Add; // silence unused import in some cfgs

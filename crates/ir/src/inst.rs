@@ -105,11 +105,27 @@ impl BinOp {
     pub fn mnemonic(self) -> &'static str {
         use BinOp::*;
         match self {
-            Add => "add", Sub => "sub", And => "and", Or => "or", Xor => "xor",
-            Nor => "nor", Sll => "sll", Srl => "srl", Sra => "sra",
-            Slt => "slt", Sltu => "sltu", Mul => "mul", Div => "div",
-            Rem => "rem", FAdd => "fadd", FSub => "fsub", FMul => "fmul",
-            FDiv => "fdiv", FCeq => "fceq", FClt => "fclt", FCle => "fcle",
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FCeq => "fceq",
+            FClt => "fclt",
+            FCle => "fcle",
         }
     }
 }
@@ -322,10 +338,20 @@ impl Inst {
     pub fn id(&self) -> InstId {
         use Inst::*;
         match self {
-            Bin { id, .. } | BinImm { id, .. } | Li { id, .. } | LiD { id, .. }
-            | Move { id, .. } | La { id, .. } | Cvt { id, .. } | Load { id, .. }
-            | Store { id, .. } | Call { id, .. } | Print { id, .. }
-            | PrintChar { id, .. } | PrintDouble { id, .. } | Copy { id, .. } => *id,
+            Bin { id, .. }
+            | BinImm { id, .. }
+            | Li { id, .. }
+            | LiD { id, .. }
+            | Move { id, .. }
+            | La { id, .. }
+            | Cvt { id, .. }
+            | Load { id, .. }
+            | Store { id, .. }
+            | Call { id, .. }
+            | Print { id, .. }
+            | PrintChar { id, .. }
+            | PrintDouble { id, .. }
+            | Copy { id, .. } => *id,
         }
     }
 
@@ -334,9 +360,15 @@ impl Inst {
     pub fn dst(&self) -> Option<VReg> {
         use Inst::*;
         match self {
-            Bin { dst, .. } | BinImm { dst, .. } | Li { dst, .. }
-            | LiD { dst, .. } | Move { dst, .. } | La { dst, .. }
-            | Cvt { dst, .. } | Load { dst, .. } | Copy { dst, .. } => Some(*dst),
+            Bin { dst, .. }
+            | BinImm { dst, .. }
+            | Li { dst, .. }
+            | LiD { dst, .. }
+            | Move { dst, .. }
+            | La { dst, .. }
+            | Cvt { dst, .. }
+            | Load { dst, .. }
+            | Copy { dst, .. } => Some(*dst),
             Call { dst, .. } => *dst,
             Store { .. } | Print { .. } | PrintChar { .. } | PrintDouble { .. } => None,
         }
@@ -383,9 +415,15 @@ impl Inst {
     pub fn set_dst(&mut self, new: VReg) {
         use Inst::*;
         match self {
-            Bin { dst, .. } | BinImm { dst, .. } | Li { dst, .. }
-            | LiD { dst, .. } | Move { dst, .. } | La { dst, .. }
-            | Cvt { dst, .. } | Load { dst, .. } | Copy { dst, .. } => *dst = new,
+            Bin { dst, .. }
+            | BinImm { dst, .. }
+            | Li { dst, .. }
+            | LiD { dst, .. }
+            | Move { dst, .. }
+            | La { dst, .. }
+            | Cvt { dst, .. }
+            | Load { dst, .. }
+            | Copy { dst, .. } => *dst = new,
             Call { dst, .. } => *dst = Some(new),
             Store { .. } | Print { .. } | PrintChar { .. } | PrintDouble { .. } => {
                 panic!("instruction has no destination")
@@ -527,7 +565,13 @@ mod tests {
 
     #[test]
     fn inst_accessors() {
-        let i = Inst::Bin { id: InstId::new(0), dst: v(2), op: BinOp::Add, lhs: v(0), rhs: v(1) };
+        let i = Inst::Bin {
+            id: InstId::new(0),
+            dst: v(2),
+            op: BinOp::Add,
+            lhs: v(0),
+            rhs: v(1),
+        };
         assert_eq!(i.dst(), Some(v(2)));
         assert_eq!(i.uses(), vec![v(0), v(1)]);
         assert!(!i.has_side_effects());
@@ -546,7 +590,13 @@ mod tests {
 
     #[test]
     fn rename_uses() {
-        let mut i = Inst::Bin { id: InstId::new(0), dst: v(2), op: BinOp::Add, lhs: v(0), rhs: v(0) };
+        let mut i = Inst::Bin {
+            id: InstId::new(0),
+            dst: v(2),
+            op: BinOp::Add,
+            lhs: v(0),
+            rhs: v(0),
+        };
         i.for_each_use_mut(|u| *u = v(9));
         assert_eq!(i.uses(), vec![v(9), v(9)]);
         i.set_dst(v(7));
@@ -565,11 +615,16 @@ mod tests {
         assert_eq!(br.uses(), vec![v(1)]);
         assert!(br.id().is_some());
 
-        let jump = Terminator::Jump { target: BlockId::new(3) };
+        let jump = Terminator::Jump {
+            target: BlockId::new(3),
+        };
         assert!(jump.uses().is_empty());
         assert!(jump.id().is_none());
 
-        let ret = Terminator::Ret { id: InstId::new(1), value: None };
+        let ret = Terminator::Ret {
+            id: InstId::new(1),
+            value: None,
+        };
         assert!(ret.successors().is_empty());
     }
 

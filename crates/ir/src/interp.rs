@@ -25,7 +25,13 @@ impl Profile {
     /// Creates an all-zero profile shaped like `module`.
     #[must_use]
     pub fn new(module: &Module) -> Profile {
-        Profile { counts: module.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect() }
+        Profile {
+            counts: module
+                .funcs
+                .iter()
+                .map(|f| vec![0; f.blocks.len()])
+                .collect(),
+        }
     }
 
     /// Execution count of block `b` in function `f`.
@@ -41,7 +47,9 @@ impl Profile {
     /// Whether function `f` was ever entered.
     #[must_use]
     pub fn covered(&self, f: FuncId) -> bool {
-        self.counts.get(f.index()).is_some_and(|c| c.iter().any(|&n| n > 0))
+        self.counts
+            .get(f.index())
+            .is_some_and(|c| c.iter().any(|&n| n > 0))
     }
 
     fn bump(&mut self, f: FuncId, b: BlockId) {
@@ -178,7 +186,10 @@ impl<'m> Interp<'m> {
     /// Returns an [`InterpError`] on missing `main`, division by zero,
     /// out-of-range memory access, fuel exhaustion, or stack overflow.
     pub fn run(mut self) -> Result<(ExecOutcome, Profile), InterpError> {
-        let main = self.module.func_id("main").ok_or(InterpError::MissingMain)?;
+        let main = self
+            .module
+            .func_id("main")
+            .ok_or(InterpError::MissingMain)?;
         let ret = self.exec_function(main, &[], 0)?;
         let exit_code = match ret {
             Some(Value::Int(v)) => v,
@@ -216,7 +227,10 @@ impl<'m> Interp<'m> {
         let n = width.bytes();
         let lo = addr.wrapping_sub(self.mem_base) as usize;
         if addr < self.mem_base || lo + n as usize > self.mem.len() {
-            return Err(InterpError::BadAddress { addr, func: func.name.clone() });
+            return Err(InterpError::BadAddress {
+                addr,
+                func: func.name.clone(),
+            });
         }
         Ok(match width {
             MemWidth::Byte => Value::Int(i32::from(self.mem[lo] as i8)),
@@ -240,7 +254,10 @@ impl<'m> Interp<'m> {
         let n = width.bytes();
         let lo = addr.wrapping_sub(self.mem_base) as usize;
         if addr < self.mem_base || lo + n as usize > self.mem.len() {
-            return Err(InterpError::BadAddress { addr, func: func.name.clone() });
+            return Err(InterpError::BadAddress {
+                addr,
+                func: func.name.clone(),
+            });
         }
         match width {
             MemWidth::Byte | MemWidth::ByteU => self.mem[lo] = v.as_int() as u8,
@@ -281,16 +298,26 @@ impl<'m> Interp<'m> {
             for inst in &func.block(block).insts {
                 self.charge()?;
                 match inst {
-                    Inst::Bin { dst, op, lhs, rhs, .. } => {
+                    Inst::Bin {
+                        dst, op, lhs, rhs, ..
+                    } => {
                         let l = regs[lhs.index()];
                         let r = regs[rhs.index()];
-                        regs[dst.index()] = eval_bin(*op, l, r)
-                            .ok_or_else(|| InterpError::DivByZero { func: func.name.clone() })?;
+                        regs[dst.index()] =
+                            eval_bin(*op, l, r).ok_or_else(|| InterpError::DivByZero {
+                                func: func.name.clone(),
+                            })?;
                     }
-                    Inst::BinImm { dst, op, lhs, imm, .. } => {
+                    Inst::BinImm {
+                        dst, op, lhs, imm, ..
+                    } => {
                         let l = regs[lhs.index()];
-                        regs[dst.index()] = eval_bin(*op, l, Value::Int(*imm))
-                            .ok_or_else(|| InterpError::DivByZero { func: func.name.clone() })?;
+                        regs[dst.index()] =
+                            eval_bin(*op, l, Value::Int(*imm)).ok_or_else(|| {
+                                InterpError::DivByZero {
+                                    func: func.name.clone(),
+                                }
+                            })?;
                     }
                     Inst::Li { dst, imm, .. } => regs[dst.index()] = Value::Int(*imm),
                     Inst::LiD { dst, val, .. } => regs[dst.index()] = Value::Double(*val),
@@ -311,16 +338,30 @@ impl<'m> Interp<'m> {
                             }
                         };
                     }
-                    Inst::Load { dst, base, offset, width, .. } => {
+                    Inst::Load {
+                        dst,
+                        base,
+                        offset,
+                        width,
+                        ..
+                    } => {
                         let addr = (regs[base.index()].as_int().wrapping_add(*offset)) as u32;
                         regs[dst.index()] = self.read_mem(func, addr, *width)?;
                     }
-                    Inst::Store { value, base, offset, width, .. } => {
+                    Inst::Store {
+                        value,
+                        base,
+                        offset,
+                        width,
+                        ..
+                    } => {
                         let addr = (regs[base.index()].as_int().wrapping_add(*offset)) as u32;
                         let v = regs[value.index()];
                         self.write_mem(func, addr, *width, v)?;
                     }
-                    Inst::Call { callee, args, dst, .. } => {
+                    Inst::Call {
+                        callee, args, dst, ..
+                    } => {
                         let argv: Vec<Value> = args.iter().map(|a| regs[a.index()]).collect();
                         let r = self.exec_function(*callee, &argv, depth + 1)?;
                         if let Some(d) = dst {
@@ -328,7 +369,8 @@ impl<'m> Interp<'m> {
                         }
                     }
                     Inst::Print { src, .. } => {
-                        self.output.push_str(&fpa_isa::hostio::fmt_int(regs[src.index()].as_int()));
+                        self.output
+                            .push_str(&fpa_isa::hostio::fmt_int(regs[src.index()].as_int()));
                     }
                     Inst::PrintChar { src, .. } => {
                         self.output
@@ -342,9 +384,18 @@ impl<'m> Interp<'m> {
             }
             match &func.block(block).term {
                 Terminator::Jump { target } => block = *target,
-                Terminator::Br { cond, nonzero, zero, .. } => {
+                Terminator::Br {
+                    cond,
+                    nonzero,
+                    zero,
+                    ..
+                } => {
                     self.charge()?;
-                    block = if regs[cond.index()].as_int() != 0 { *nonzero } else { *zero };
+                    block = if regs[cond.index()].as_int() != 0 {
+                        *nonzero
+                    } else {
+                        *zero
+                    };
                 }
                 Terminator::Ret { value, .. } => {
                     self.charge()?;
@@ -611,18 +662,30 @@ mod tests {
             eval_bin(BinOp::Add, Value::Int(i32::MAX), Value::Int(1)).unwrap(),
             Value::Int(i32::MIN)
         );
-        assert_eq!(eval_bin(BinOp::Sll, Value::Int(1), Value::Int(33)).unwrap(), Value::Int(2));
+        assert_eq!(
+            eval_bin(BinOp::Sll, Value::Int(1), Value::Int(33)).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(
             eval_bin(BinOp::Srl, Value::Int(-1), Value::Int(28)).unwrap(),
             Value::Int(0xF)
         );
-        assert_eq!(eval_bin(BinOp::Sra, Value::Int(-8), Value::Int(2)).unwrap(), Value::Int(-2));
-        assert_eq!(eval_bin(BinOp::Sltu, Value::Int(-1), Value::Int(1)).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_bin(BinOp::Sra, Value::Int(-8), Value::Int(2)).unwrap(),
+            Value::Int(-2)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Sltu, Value::Int(-1), Value::Int(1)).unwrap(),
+            Value::Int(0)
+        );
         assert_eq!(eval_bin(BinOp::Div, Value::Int(5), Value::Int(0)), None);
         assert_eq!(
             eval_bin(BinOp::Div, Value::Int(i32::MIN), Value::Int(-1)).unwrap(),
             Value::Int(i32::MIN)
         );
-        assert_eq!(eval_bin(BinOp::Nor, Value::Int(0), Value::Int(0)).unwrap(), Value::Int(-1));
+        assert_eq!(
+            eval_bin(BinOp::Nor, Value::Int(0), Value::Int(0)).unwrap(),
+            Value::Int(-1)
+        );
     }
 }

@@ -23,12 +23,22 @@ pub fn const_fold(func: &mut Function) -> bool {
                     known.insert(*dst, *imm);
                     continue;
                 }
-                Inst::Bin { id, dst, op, lhs, rhs } => {
+                Inst::Bin {
+                    id,
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                } => {
                     let lk = known.get(lhs).copied();
                     let rk = known.get(rhs).copied();
                     if let (Some(l), Some(r)) = (lk, rk) {
                         if let Some(v) = fold(*op, l, r) {
-                            replacement = Some(Inst::Li { id: *id, dst: *dst, imm: v });
+                            replacement = Some(Inst::Li {
+                                id: *id,
+                                dst: *dst,
+                                imm: v,
+                            });
                         }
                     } else if let Some(r) = rk {
                         // Bin with constant rhs -> immediate form / shift.
@@ -73,13 +83,27 @@ pub fn const_fold(func: &mut Function) -> bool {
                         }
                     }
                 }
-                Inst::BinImm { id, dst, op, lhs, imm } => {
+                Inst::BinImm {
+                    id,
+                    dst,
+                    op,
+                    lhs,
+                    imm,
+                } => {
                     if let Some(l) = known.get(lhs).copied() {
                         if let Some(v) = fold(*op, l, *imm) {
-                            replacement = Some(Inst::Li { id: *id, dst: *dst, imm: v });
+                            replacement = Some(Inst::Li {
+                                id: *id,
+                                dst: *dst,
+                                imm: v,
+                            });
                         }
                     } else if identity(*op, *imm) {
-                        replacement = Some(Inst::Move { id: *id, dst: *dst, src: *lhs });
+                        replacement = Some(Inst::Move {
+                            id: *id,
+                            dst: *dst,
+                            src: *lhs,
+                        });
                     }
                 }
                 Inst::Move { dst, src, .. } => {
@@ -177,7 +201,11 @@ mod tests {
         assert!(const_fold(&mut f));
         assert!(matches!(
             &f.blocks[0].insts[1],
-            Inst::BinImm { op: BinOp::Sll, imm: 2, .. }
+            Inst::BinImm {
+                op: BinOp::Sll,
+                imm: 2,
+                ..
+            }
         ));
     }
 
@@ -192,7 +220,14 @@ mod tests {
         b.ret(Some(s));
         let mut f = b.finish();
         assert!(const_fold(&mut f));
-        assert!(matches!(&f.blocks[0].insts[1], Inst::BinImm { op: BinOp::Add, imm: 3, .. }));
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::BinImm {
+                op: BinOp::Add,
+                imm: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -206,7 +241,14 @@ mod tests {
         b.ret(Some(s));
         let mut f = b.finish();
         assert!(const_fold(&mut f));
-        assert!(matches!(&f.blocks[0].insts[1], Inst::BinImm { op: BinOp::Add, imm: 3, .. }));
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::BinImm {
+                op: BinOp::Add,
+                imm: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -235,7 +277,10 @@ mod tests {
         let mut f = b.finish();
         const_fold(&mut f);
         // The add must not have been folded to a constant.
-        assert!(matches!(&f.blocks[0].insts[2], Inst::Bin { op: BinOp::Add, .. }));
+        assert!(matches!(
+            &f.blocks[0].insts[2],
+            Inst::Bin { op: BinOp::Add, .. }
+        ));
     }
 
     #[test]

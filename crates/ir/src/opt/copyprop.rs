@@ -36,7 +36,7 @@ pub fn copy_propagate(func: &mut Function) -> bool {
             }
         }
         // Terminator uses.
-        let mut term = block.term.clone();
+        let mut term = block.term;
         term.for_each_use_mut(|u| {
             if let Some(&s) = copy_of.get(u) {
                 *u = s;
@@ -148,7 +148,9 @@ mod tests {
         // Manually splice a partition Copy before the add.
         let d = f.new_vreg(Ty::Int);
         let id = InstId::new(900);
-        f.blocks[0].insts.insert(0, Inst::Copy { id, dst: d, src: p });
+        f.blocks[0]
+            .insts
+            .insert(0, Inst::Copy { id, dst: d, src: p });
         let before = f.clone();
         copy_propagate(&mut f);
         // Nothing referenced d, so the function is unchanged.

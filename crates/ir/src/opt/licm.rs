@@ -86,8 +86,12 @@ pub fn loop_invariant_motion(func: &mut Function) -> bool {
                 continue;
             }
             // Create the preheader and retarget outside predecessors.
-            let outside_preds: Vec<BlockId> =
-                cfg.preds(header).iter().copied().filter(|p| !in_loop(*p)).collect();
+            let outside_preds: Vec<BlockId> = cfg
+                .preds(header)
+                .iter()
+                .copied()
+                .filter(|p| !in_loop(*p))
+                .collect();
             if outside_preds.is_empty() {
                 continue;
             }
@@ -103,7 +107,7 @@ pub fn loop_invariant_motion(func: &mut Function) -> bool {
                 by_block.entry(b).or_default().push((i, order));
             }
             for (b, mut idxs) in by_block {
-                idxs.sort_by(|a, b| b.0.cmp(&a.0)); // descending index
+                idxs.sort_by_key(|p| std::cmp::Reverse(p.0)); // descending index
                 for (i, order) in idxs {
                     let inst = func.block_mut(b).insts.remove(i);
                     extracted.push((order, inst));
@@ -184,7 +188,10 @@ mod tests {
         let (after, _) = Interp::new(&m).run().unwrap();
         assert_eq!(before.output, after.output);
         assert_eq!(before.memory, after.memory);
-        assert!(after.dynamic_insts < before.dynamic_insts, "la+add should leave the loop");
+        assert!(
+            after.dynamic_insts < before.dynamic_insts,
+            "la+add should leave the loop"
+        );
         // A preheader was appended.
         assert_eq!(m.funcs[0].blocks.len(), 5);
         assert_eq!(m.funcs[0].blocks[4].insts.len(), 2);

@@ -107,7 +107,10 @@ mod tests {
         assert_eq!(before.exit_code, after.exit_code);
         assert_eq!(before.memory, after.memory);
         let after_size: usize = m.funcs.iter().map(crate::func::Function::static_size).sum();
-        assert!(after_size < before_size, "pipeline should shrink the program");
+        assert!(
+            after_size < before_size,
+            "pipeline should shrink the program"
+        );
         assert!(after.dynamic_insts < before.dynamic_insts);
     }
 }

@@ -50,7 +50,7 @@ fn resolve(func: &Function, mut b: BlockId) -> BlockId {
 fn thread_jumps(func: &mut Function) -> bool {
     let mut changed = false;
     for bi in 0..func.blocks.len() {
-        let term = func.blocks[bi].term.clone();
+        let term = func.blocks[bi].term;
         let new = match term {
             Terminator::Jump { target } => {
                 let t = resolve(func, target);
@@ -61,7 +61,12 @@ fn thread_jumps(func: &mut Function) -> bool {
                     None
                 }
             }
-            Terminator::Br { id, cond, nonzero, zero } => {
+            Terminator::Br {
+                id,
+                cond,
+                nonzero,
+                zero,
+            } => {
                 let nz = resolve(func, nonzero);
                 let z = resolve(func, zero);
                 if nz == z {
@@ -72,7 +77,12 @@ fn thread_jumps(func: &mut Function) -> bool {
                     Some(Terminator::Jump { target: nz })
                 } else if nz != nonzero || z != zero {
                     changed = true;
-                    Some(Terminator::Br { id, cond, nonzero: nz, zero: z })
+                    Some(Terminator::Br {
+                        id,
+                        cond,
+                        nonzero: nz,
+                        zero: z,
+                    })
                 } else {
                     None
                 }

@@ -19,7 +19,9 @@ struct Uf {
 
 impl Uf {
     fn new(n: usize) -> Uf {
-        Uf { parent: (0..n).collect() }
+        Uf {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -73,8 +75,7 @@ pub fn split_webs(func: &mut Function) -> bool {
     let mut web_vreg: HashMap<(VReg, usize), VReg> = HashMap::new();
     let mut changed = false;
     let mut keeper: HashMap<VReg, usize> = HashMap::new();
-    for i in 0..defs.len() {
-        let (dp, v) = defs[i];
+    for (i, &(dp, v)) in defs.iter().enumerate() {
         let root = uf.find(i);
         if matches!(dp, DefPoint::Param(_)) {
             keeper.insert(v, root);
@@ -83,8 +84,7 @@ pub fn split_webs(func: &mut Function) -> bool {
         }
     }
     let mut replacement_for_def: HashMap<(DefPoint, VReg), VReg> = HashMap::new();
-    for i in 0..defs.len() {
-        let (dp, v) = defs[i];
+    for (i, &(dp, v)) in defs.iter().enumerate() {
         let root = uf.find(i);
         let new = if keeper[&v] == root {
             v
@@ -131,7 +131,7 @@ pub fn split_webs(func: &mut Function) -> bool {
             });
         }
         if let Some(tid) = block.term.id() {
-            let mut term = block.term.clone();
+            let mut term = block.term;
             term.for_each_use_mut(|u| {
                 if let Some(new) = use_replacement(tid, *u) {
                     *u = new;

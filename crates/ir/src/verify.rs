@@ -16,7 +16,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification failed in `{}`: {}", self.func, self.message)
+        write!(
+            f,
+            "verification failed in `{}`: {}",
+            self.func, self.message
+        )
     }
 }
 
@@ -44,7 +48,10 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
 /// Returns the first problem found.
 pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyError> {
     let err = |m: String| {
-        Err(VerifyError { func: func.name.clone(), message: m })
+        Err(VerifyError {
+            func: func.name.clone(),
+            message: m,
+        })
     };
     if func.blocks.is_empty() {
         return err("function has no blocks".into());
@@ -57,8 +64,11 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                 return err(format!("duplicate instruction id {}", inst.id()));
             }
             match inst {
-                Inst::Bin { op, lhs, rhs, dst, .. } => {
-                    if func.vreg_ty(*lhs) != op.operand_ty() || func.vreg_ty(*rhs) != op.operand_ty()
+                Inst::Bin {
+                    op, lhs, rhs, dst, ..
+                } => {
+                    if func.vreg_ty(*lhs) != op.operand_ty()
+                        || func.vreg_ty(*rhs) != op.operand_ty()
                     {
                         return err(format!("{op} operand type mismatch at {}", inst.id()));
                     }
@@ -106,7 +116,9 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                         return err(format!("cvt type mismatch at {}", inst.id()));
                     }
                 }
-                Inst::Load { dst, base, width, .. } => {
+                Inst::Load {
+                    dst, base, width, ..
+                } => {
                     if func.vreg_ty(*base) != Ty::Int {
                         return err(format!("load base must be int at {}", inst.id()));
                     }
@@ -114,7 +126,9 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                         return err(format!("load width/type mismatch at {}", inst.id()));
                     }
                 }
-                Inst::Store { value, base, width, .. } => {
+                Inst::Store {
+                    value, base, width, ..
+                } => {
                     if func.vreg_ty(*base) != Ty::Int {
                         return err(format!("store base must be int at {}", inst.id()));
                     }
@@ -122,7 +136,9 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                         return err(format!("store width/type mismatch at {}", inst.id()));
                     }
                 }
-                Inst::Call { callee, args, dst, .. } => {
+                Inst::Call {
+                    callee, args, dst, ..
+                } => {
                     let Some(cf) = module.funcs.get(callee.index()) else {
                         return err(format!("call to missing function {callee}"));
                     };
@@ -140,10 +156,8 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                         }
                     }
                     match (dst, cf.ret_ty) {
-                        (Some(d), Some(rt)) => {
-                            if func.vreg_ty(*d) != rt {
-                                return err(format!("call result type mismatch at {}", inst.id()));
-                            }
+                        (Some(d), Some(rt)) if func.vreg_ty(*d) != rt => {
+                            return err(format!("call result type mismatch at {}", inst.id()));
                         }
                         (Some(_), None) => {
                             return err(format!("call captures void result at {}", inst.id()));
@@ -174,7 +188,12 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                     return err(format!("jump to missing block {target}"));
                 }
             }
-            Terminator::Br { id, cond, nonzero, zero } => {
+            Terminator::Br {
+                id,
+                cond,
+                nonzero,
+                zero,
+            } => {
                 if !seen_ids.insert(*id) {
                     return err(format!("duplicate instruction id {id}"));
                 }
@@ -235,7 +254,9 @@ mod tests {
     #[test]
     fn rejects_bad_branch_target() {
         let mut m = ok_module();
-        m.funcs[0].block_mut(BlockId::ENTRY).term = Terminator::Jump { target: BlockId::new(9) };
+        m.funcs[0].block_mut(BlockId::ENTRY).term = Terminator::Jump {
+            target: BlockId::new(9),
+        };
         let e = verify_module(&m).unwrap_err();
         assert!(e.to_string().contains("missing block"));
     }
@@ -248,9 +269,13 @@ mod tests {
         let d = f.new_vreg(Ty::Double);
         let i = f.new_vreg(Ty::Int);
         let id = f.new_inst_id();
-        f.block_mut(BlockId::ENTRY)
-            .insts
-            .push(Inst::Bin { id, dst: i, op: BinOp::Add, lhs: d, rhs: d });
+        f.block_mut(BlockId::ENTRY).insts.push(Inst::Bin {
+            id,
+            dst: i,
+            op: BinOp::Add,
+            lhs: d,
+            rhs: d,
+        });
         assert!(verify_module(&m).is_err());
     }
 
@@ -259,9 +284,11 @@ mod tests {
         let mut m = ok_module();
         let f = &mut m.funcs[0];
         let v = f.new_vreg(Ty::Int);
-        f.block_mut(BlockId::ENTRY)
-            .insts
-            .push(Inst::Li { id: InstId::new(0), dst: v, imm: 0 });
+        f.block_mut(BlockId::ENTRY).insts.push(Inst::Li {
+            id: InstId::new(0),
+            dst: v,
+            imm: 0,
+        });
         let e = verify_module(&m).unwrap_err();
         assert!(e.to_string().contains("duplicate"));
     }
@@ -291,8 +318,10 @@ mod tests {
     #[test]
     fn rejects_missing_return_value() {
         let mut m = ok_module();
-        m.funcs[0].block_mut(BlockId::ENTRY).term =
-            Terminator::Ret { id: InstId::new(500), value: None };
+        m.funcs[0].block_mut(BlockId::ENTRY).term = Terminator::Ret {
+            id: InstId::new(500),
+            value: None,
+        };
         let e = verify_module(&m).unwrap_err();
         assert!(e.to_string().contains("missing return value"));
     }

@@ -44,31 +44,66 @@ impl Inst {
     /// opcodes; prefer the specific constructors).
     #[must_use]
     pub fn bare(op: Op) -> Inst {
-        Inst { op, rd: None, rs: None, rt: None, imm: 0, target: 0 }
+        Inst {
+            op,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: 0,
+        }
     }
 
     /// Three-register ALU instruction: `rd = op(rs, rt)`.
     #[must_use]
     pub fn alu(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Inst {
-        Inst { op, rd: Some(rd), rs: Some(rs), rt: Some(rt), imm: 0, target: 0 }
+        Inst {
+            op,
+            rd: Some(rd),
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target: 0,
+        }
     }
 
     /// Register-immediate ALU instruction: `rd = op(rs, imm)`.
     #[must_use]
     pub fn alu_imm(op: Op, rd: Reg, rs: Reg, imm: i32) -> Inst {
-        Inst { op, rd: Some(rd), rs: Some(rs), rt: None, imm, target: 0 }
+        Inst {
+            op,
+            rd: Some(rd),
+            rs: Some(rs),
+            rt: None,
+            imm,
+            target: 0,
+        }
     }
 
     /// Load-immediate: `rd = imm` ([`Op::Li`] / [`Op::LiA`]).
     #[must_use]
     pub fn li(op: Op, rd: Reg, imm: i32) -> Inst {
-        Inst { op, rd: Some(rd), rs: None, rt: None, imm, target: 0 }
+        Inst {
+            op,
+            rd: Some(rd),
+            rs: None,
+            rt: None,
+            imm,
+            target: 0,
+        }
     }
 
     /// Unary register move/convert: `rd = op(rs)`.
     #[must_use]
     pub fn unary(op: Op, rd: Reg, rs: Reg) -> Inst {
-        Inst { op, rd: Some(rd), rs: Some(rs), rt: None, imm: 0, target: 0 }
+        Inst {
+            op,
+            rd: Some(rd),
+            rs: Some(rs),
+            rt: None,
+            imm: 0,
+            target: 0,
+        }
     }
 
     /// Memory load: `rd = mem[base + offset]`.
@@ -79,7 +114,14 @@ impl Inst {
     #[must_use]
     pub fn load(op: Op, rd: Reg, base: IntReg, offset: i32) -> Inst {
         assert!(op.is_load(), "{op} is not a load");
-        Inst { op, rd: Some(rd), rs: Some(base.into()), rt: None, imm: offset, target: 0 }
+        Inst {
+            op,
+            rd: Some(rd),
+            rs: Some(base.into()),
+            rt: None,
+            imm: offset,
+            target: 0,
+        }
     }
 
     /// Memory store: `mem[base + offset] = value`.
@@ -90,27 +132,58 @@ impl Inst {
     #[must_use]
     pub fn store(op: Op, value: Reg, base: IntReg, offset: i32) -> Inst {
         assert!(op.is_store(), "{op} is not a store");
-        Inst { op, rd: None, rs: Some(base.into()), rt: Some(value), imm: offset, target: 0 }
+        Inst {
+            op,
+            rd: None,
+            rs: Some(base.into()),
+            rt: Some(value),
+            imm: offset,
+            target: 0,
+        }
     }
 
     /// One-register conditional branch (`beqz`/`bnez`/`beqz,a`/`bnez,a`).
     #[must_use]
     pub fn branch(op: Op, rs: Reg, target: u32) -> Inst {
         assert!(op.is_cond_branch(), "{op} is not a conditional branch");
-        Inst { op, rd: None, rs: Some(rs), rt: None, imm: 0, target }
+        Inst {
+            op,
+            rd: None,
+            rs: Some(rs),
+            rt: None,
+            imm: 0,
+            target,
+        }
     }
 
     /// Two-register conditional branch (`beq`/`bne`).
     #[must_use]
     pub fn branch2(op: Op, rs: Reg, rt: Reg, target: u32) -> Inst {
-        assert!(matches!(op, Op::Beq | Op::Bne), "{op} is not a two-register branch");
-        Inst { op, rd: None, rs: Some(rs), rt: Some(rt), imm: 0, target }
+        assert!(
+            matches!(op, Op::Beq | Op::Bne),
+            "{op} is not a two-register branch"
+        );
+        Inst {
+            op,
+            rd: None,
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target,
+        }
     }
 
     /// Unconditional jump to an instruction index.
     #[must_use]
     pub fn jump(target: u32) -> Inst {
-        Inst { op: Op::J, rd: None, rs: None, rt: None, imm: 0, target }
+        Inst {
+            op: Op::J,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target,
+        }
     }
 
     /// Call: `jal target`, writing the return address to `$31`.
@@ -129,7 +202,14 @@ impl Inst {
     /// Return: `jr rs`.
     #[must_use]
     pub fn jr(rs: IntReg) -> Inst {
-        Inst { op: Op::Jr, rd: None, rs: Some(rs.into()), rt: None, imm: 0, target: 0 }
+        Inst {
+            op: Op::Jr,
+            rd: None,
+            rs: Some(rs.into()),
+            rt: None,
+            imm: 0,
+            target: 0,
+        }
     }
 
     /// Registers written by this instruction.
@@ -175,11 +255,12 @@ impl fmt::Display for Inst {
         let rt = Inst::fmt_reg(self.rt);
         use Op::*;
         match self.op {
-            Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sll | Srl | Sra
-            | Mul | Div | Rem | AddA | SubA | AndA | OrA | XorA | SltA
-            | SltuA | SllA | SrlA | SraA => write!(f, "{m} {rd}, {rs}, {rt}"),
-            Addi | Andi | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai | AddiA
-            | AndiA | OriA | XoriA | SltiA | SltiuA | SlliA | SrliA | SraiA => {
+            Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sll | Srl | Sra | Mul | Div | Rem
+            | AddA | SubA | AndA | OrA | XorA | SltA | SltuA | SllA | SrlA | SraA => {
+                write!(f, "{m} {rd}, {rs}, {rt}")
+            }
+            Addi | Andi | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai | AddiA | AndiA | OriA
+            | XoriA | SltiA | SltiuA | SlliA | SrliA | SraiA => {
                 write!(f, "{m} {rd}, {rs}, {}", self.imm)
             }
             Li | LiA => write!(f, "{m} {rd}, {}", self.imm),
@@ -208,7 +289,12 @@ mod tests {
 
     #[test]
     fn constructors_and_disasm() {
-        let add = Inst::alu(Op::Add, IntReg::V0.into(), IntReg::A0.into(), IntReg::A1.into());
+        let add = Inst::alu(
+            Op::Add,
+            IntReg::V0.into(),
+            IntReg::A0.into(),
+            IntReg::A1.into(),
+        );
         assert_eq!(add.disasm(), "addu $2, $4, $5");
 
         let lw = Inst::load(Op::Lw, IntReg::V0.into(), IntReg::SP, 8);
@@ -226,7 +312,12 @@ mod tests {
 
     #[test]
     fn defs_and_uses() {
-        let add = Inst::alu(Op::Add, IntReg::V0.into(), IntReg::A0.into(), IntReg::A1.into());
+        let add = Inst::alu(
+            Op::Add,
+            IntReg::V0.into(),
+            IntReg::A0.into(),
+            IntReg::A1.into(),
+        );
         assert_eq!(add.defs(), vec![Reg::Int(IntReg::V0)]);
         assert_eq!(add.uses(), vec![Reg::Int(IntReg::A0), Reg::Int(IntReg::A1)]);
 

@@ -264,18 +264,87 @@ pub enum Op {
 impl Op {
     /// All opcodes, for exhaustive metadata tests.
     pub const ALL: &'static [Op] = &[
-        Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Nor, Op::Slt, Op::Sltu,
-        Op::Sll, Op::Srl, Op::Sra, Op::Addi, Op::Andi, Op::Ori, Op::Xori,
-        Op::Slti, Op::Sltiu, Op::Slli, Op::Srli, Op::Srai, Op::Li, Op::Move, Op::Mul,
-        Op::Div, Op::Rem, Op::Lw, Op::Lb, Op::Lbu, Op::Sw, Op::Sb, Op::Lwf,
-        Op::Swf, Op::Ld, Op::Sd, Op::Beqz, Op::Bnez, Op::Beq, Op::Bne, Op::J,
-        Op::Jal, Op::Jr, Op::Jalr, Op::CpToFpa, Op::CpToInt, Op::FaddD,
-        Op::FsubD, Op::FmulD, Op::FdivD, Op::FnegD, Op::FmovD, Op::CvtDW,
-        Op::CvtWD, Op::CeqD, Op::CltD, Op::CleD, Op::AddA, Op::SubA, Op::AndA,
-        Op::OrA, Op::XorA, Op::SltA, Op::SltuA, Op::SllA, Op::SrlA, Op::SraA,
-        Op::AddiA, Op::AndiA, Op::OriA, Op::XoriA, Op::SltiA, Op::SltiuA, Op::SlliA,
-        Op::SrliA, Op::SraiA, Op::LiA, Op::BeqzA, Op::BnezA,
-        Op::Print, Op::PrintChar, Op::PrintFp, Op::Halt,
+        Op::Add,
+        Op::Sub,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Nor,
+        Op::Slt,
+        Op::Sltu,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Addi,
+        Op::Andi,
+        Op::Ori,
+        Op::Xori,
+        Op::Slti,
+        Op::Sltiu,
+        Op::Slli,
+        Op::Srli,
+        Op::Srai,
+        Op::Li,
+        Op::Move,
+        Op::Mul,
+        Op::Div,
+        Op::Rem,
+        Op::Lw,
+        Op::Lb,
+        Op::Lbu,
+        Op::Sw,
+        Op::Sb,
+        Op::Lwf,
+        Op::Swf,
+        Op::Ld,
+        Op::Sd,
+        Op::Beqz,
+        Op::Bnez,
+        Op::Beq,
+        Op::Bne,
+        Op::J,
+        Op::Jal,
+        Op::Jr,
+        Op::Jalr,
+        Op::CpToFpa,
+        Op::CpToInt,
+        Op::FaddD,
+        Op::FsubD,
+        Op::FmulD,
+        Op::FdivD,
+        Op::FnegD,
+        Op::FmovD,
+        Op::CvtDW,
+        Op::CvtWD,
+        Op::CeqD,
+        Op::CltD,
+        Op::CleD,
+        Op::AddA,
+        Op::SubA,
+        Op::AndA,
+        Op::OrA,
+        Op::XorA,
+        Op::SltA,
+        Op::SltuA,
+        Op::SllA,
+        Op::SrlA,
+        Op::SraA,
+        Op::AddiA,
+        Op::AndiA,
+        Op::OriA,
+        Op::XoriA,
+        Op::SltiA,
+        Op::SltiuA,
+        Op::SlliA,
+        Op::SrliA,
+        Op::SraiA,
+        Op::LiA,
+        Op::BeqzA,
+        Op::BnezA,
+        Op::Print,
+        Op::PrintChar,
+        Op::PrintFp,
+        Op::Halt,
     ];
 
     /// The subsystem whose issue window and functional units execute this
@@ -284,10 +353,10 @@ impl Op {
     pub fn subsystem(self) -> Subsystem {
         use Op::*;
         match self {
-            FaddD | FsubD | FmulD | FdivD | FnegD | FmovD | CvtDW | CvtWD
-            | CeqD | CltD | CleD | AddA | SubA | AndA | OrA | XorA | SltA
-            | SltuA | SllA | SrlA | SraA | AddiA | AndiA | OriA | XoriA
-            | SltiA | SltiuA | SlliA | SrliA | SraiA | LiA | BeqzA | BnezA => Subsystem::Fp,
+            FaddD | FsubD | FmulD | FdivD | FnegD | FmovD | CvtDW | CvtWD | CeqD | CltD | CleD
+            | AddA | SubA | AndA | OrA | XorA | SltA | SltuA | SllA | SrlA | SraA | AddiA
+            | AndiA | OriA | XoriA | SltiA | SltiuA | SlliA | SrliA | SraiA | LiA | BeqzA
+            | BnezA => Subsystem::Fp,
             _ => Subsystem::Int,
         }
     }
@@ -298,9 +367,27 @@ impl Op {
         use Op::*;
         matches!(
             self,
-            AddA | SubA | AndA | OrA | XorA | SltA | SltuA | SllA | SrlA
-                | SraA | AddiA | AndiA | OriA | XoriA | SltiA | SltiuA | SlliA
-                | SrliA | SraiA | LiA | BeqzA | BnezA
+            AddA | SubA
+                | AndA
+                | OrA
+                | XorA
+                | SltA
+                | SltuA
+                | SllA
+                | SrlA
+                | SraA
+                | AddiA
+                | AndiA
+                | OriA
+                | XoriA
+                | SltiA
+                | SltiuA
+                | SlliA
+                | SrliA
+                | SraiA
+                | LiA
+                | BeqzA
+                | BnezA
         )
     }
 
@@ -322,7 +409,10 @@ impl Op {
     /// Whether this is a conditional branch.
     #[must_use]
     pub fn is_cond_branch(self) -> bool {
-        matches!(self, Op::Beqz | Op::Bnez | Op::Beq | Op::Bne | Op::BeqzA | Op::BnezA)
+        matches!(
+            self,
+            Op::Beqz | Op::Bnez | Op::Beq | Op::Bne | Op::BeqzA | Op::BnezA
+        )
     }
 
     /// Whether this is any control-transfer instruction.
@@ -359,30 +449,87 @@ impl Op {
     pub fn mnemonic(self) -> &'static str {
         use Op::*;
         match self {
-            Add => "addu", Sub => "subu", And => "and", Or => "or",
-            Xor => "xor", Nor => "nor", Slt => "slt", Sltu => "sltu",
-            Sll => "sllv", Srl => "srlv", Sra => "srav", Addi => "addiu",
-            Andi => "andi", Ori => "ori", Xori => "xori", Slti => "slti",
-            Sltiu => "sltiu", Slli => "sll", Srli => "srl", Srai => "sra", Li => "li",
-            Move => "move", Mul => "mul", Div => "div", Rem => "rem",
-            Lw => "lw", Lb => "lb", Lbu => "lbu", Sw => "sw", Sb => "sb",
-            Lwf => "l.w", Swf => "s.w", Ld => "l.d", Sd => "s.d",
-            Beqz => "beqz", Bnez => "bnez", Beq => "beq", Bne => "bne",
-            J => "j", Jal => "jal", Jr => "jr", Jalr => "jalr",
-            CpToFpa => "cp_to_fpa", CpToInt => "cp_to_int",
-            FaddD => "add.d", FsubD => "sub.d", FmulD => "mul.d",
-            FdivD => "div.d", FnegD => "neg.d", FmovD => "mov.d",
-            CvtDW => "cvt.d.w", CvtWD => "cvt.w.d", CeqD => "c.eq.d",
-            CltD => "c.lt.d", CleD => "c.le.d",
-            AddA => "addu,a", SubA => "subu,a", AndA => "and,a",
-            OrA => "or,a", XorA => "xor,a", SltA => "slt,a",
-            SltuA => "sltu,a", SllA => "sllv,a", SrlA => "srlv,a",
-            SraA => "srav,a", AddiA => "addiu,a", AndiA => "andi,a",
-            OriA => "ori,a", XoriA => "xori,a", SltiA => "slti,a", SltiuA => "sltiu,a",
-            SlliA => "sll,a", SrliA => "srl,a", SraiA => "sra,a",
-            LiA => "li,a", BeqzA => "beqz,a",
-            BnezA => "bnez,a", Print => "print", PrintChar => "printc",
-            PrintFp => "print.d", Halt => "halt",
+            Add => "addu",
+            Sub => "subu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Slt => "slt",
+            Sltu => "sltu",
+            Sll => "sllv",
+            Srl => "srlv",
+            Sra => "srav",
+            Addi => "addiu",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Slli => "sll",
+            Srli => "srl",
+            Srai => "sra",
+            Li => "li",
+            Move => "move",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            Lw => "lw",
+            Lb => "lb",
+            Lbu => "lbu",
+            Sw => "sw",
+            Sb => "sb",
+            Lwf => "l.w",
+            Swf => "s.w",
+            Ld => "l.d",
+            Sd => "s.d",
+            Beqz => "beqz",
+            Bnez => "bnez",
+            Beq => "beq",
+            Bne => "bne",
+            J => "j",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            CpToFpa => "cp_to_fpa",
+            CpToInt => "cp_to_int",
+            FaddD => "add.d",
+            FsubD => "sub.d",
+            FmulD => "mul.d",
+            FdivD => "div.d",
+            FnegD => "neg.d",
+            FmovD => "mov.d",
+            CvtDW => "cvt.d.w",
+            CvtWD => "cvt.w.d",
+            CeqD => "c.eq.d",
+            CltD => "c.lt.d",
+            CleD => "c.le.d",
+            AddA => "addu,a",
+            SubA => "subu,a",
+            AndA => "and,a",
+            OrA => "or,a",
+            XorA => "xor,a",
+            SltA => "slt,a",
+            SltuA => "sltu,a",
+            SllA => "sllv,a",
+            SrlA => "srlv,a",
+            SraA => "srav,a",
+            AddiA => "addiu,a",
+            AndiA => "andi,a",
+            OriA => "ori,a",
+            XoriA => "xori,a",
+            SltiA => "slti,a",
+            SltiuA => "sltiu,a",
+            SlliA => "sll,a",
+            SrliA => "srl,a",
+            SraiA => "sra,a",
+            LiA => "li,a",
+            BeqzA => "beqz,a",
+            BnezA => "bnez,a",
+            Print => "print",
+            PrintChar => "printc",
+            PrintFp => "print.d",
+            Halt => "halt",
         }
     }
 }
@@ -468,7 +615,11 @@ mod tests {
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for op in Op::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 

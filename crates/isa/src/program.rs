@@ -73,7 +73,10 @@ impl Program {
     /// Creates an empty program with the default stack placement.
     #[must_use]
     pub fn new() -> Program {
-        Program { stack_top: Self::DEFAULT_STACK_TOP, ..Program::default() }
+        Program {
+            stack_top: Self::DEFAULT_STACK_TOP,
+            ..Program::default()
+        }
     }
 
     /// Looks up a function symbol's entry pc.
@@ -138,7 +141,10 @@ impl Program {
     pub fn validate(&self) -> Result<(), ProgramError> {
         let n = self.code.len() as u32;
         if self.entry >= n {
-            return Err(ProgramError { pc: self.entry, message: "entry out of range".into() });
+            return Err(ProgramError {
+                pc: self.entry,
+                message: "entry out of range".into(),
+            });
         }
         for (pc, inst) in self.code.iter().enumerate() {
             let is_jump_like = matches!(inst.op, crate::Op::J | crate::Op::Jal);
@@ -177,10 +183,18 @@ mod tests {
 
     fn sample() -> Program {
         let mut p = Program::new();
-        p.symbols.push(Symbol { pc: 0, name: "main".into(), kind: SymbolKind::Function });
+        p.symbols.push(Symbol {
+            pc: 0,
+            name: "main".into(),
+            kind: SymbolKind::Function,
+        });
         p.code.push(Inst::li(Op::Li, IntReg::V0.into(), 1));
         p.code.push(Inst::jump(3));
-        p.symbols.push(Symbol { pc: 2, name: "helper".into(), kind: SymbolKind::Function });
+        p.symbols.push(Symbol {
+            pc: 2,
+            name: "helper".into(),
+            kind: SymbolKind::Function,
+        });
         p.code.push(Inst::jr(IntReg::RA));
         p.code.push(Inst::bare(Op::Halt));
         p

@@ -161,7 +161,10 @@ impl FpReg {
     /// the argument registers (which are managed by the calling convention).
     #[must_use]
     pub fn allocatable() -> Vec<FpReg> {
-        (2..32).filter(|i| !(12..16).contains(i)).map(FpReg).collect()
+        (2..32)
+            .filter(|i| !(12..16).contains(i))
+            .map(FpReg)
+            .collect()
     }
 
     /// Caller-saved floating-point registers `$f2..=$f11`.
@@ -262,7 +265,10 @@ mod tests {
         assert!(IntReg::ZERO.is_zero());
         assert!(!IntReg::SP.is_zero());
         assert_eq!(IntReg::RA.index(), 31);
-        assert_eq!(IntReg::args(), [IntReg::A0, IntReg::A1, IntReg::A2, IntReg::A3]);
+        assert_eq!(
+            IntReg::args(),
+            [IntReg::A0, IntReg::A1, IntReg::A2, IntReg::A3]
+        );
     }
 
     #[test]

@@ -24,11 +24,9 @@
 
 use crate::assignment::{Assignment, FuncAssignment};
 use crate::freq::BlockFreq;
+use fpa_ir::{BinOp, BlockId, FuncId, Function, Inst, InstId, Module, Terminator, Ty, VReg};
 use fpa_isa::Subsystem;
 use fpa_rdg::{classify, NodeClass, NodeId, NodeKind, PinReason, Rdg};
-use fpa_ir::{
-    BinOp, BlockId, FuncId, Function, Inst, InstId, Module, Terminator, Ty, VReg,
-};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 const EPS: f64 = 1e-9;
@@ -51,7 +49,11 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> CostParams {
-        CostParams { o_copy: 6.0, o_dupl: 2.0, balance_cap: None }
+        CostParams {
+            o_copy: 6.0,
+            o_dupl: 2.0,
+            balance_cap: None,
+        }
     }
 }
 
@@ -422,10 +424,7 @@ pub fn partition_advanced_func(
         };
         surviving.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite profits"));
         let mut idx = 0;
-        while total_weight > 0.0
-            && fp_weight(&side) / total_weight > cap
-            && idx < surviving.len()
-        {
+        while total_weight > 0.0 && fp_weight(&side) / total_weight > cap && idx < surviving.len() {
             let (root, _) = surviving[idx];
             let demote: Vec<NodeId> = members
                 .get(&root)
@@ -565,7 +564,10 @@ fn materialize(
             Inst::Call { .. }
                 | Inst::Print { .. }
                 | Inst::PrintChar { .. }
-                | Inst::Bin { op: BinOp::Mul | BinOp::Div | BinOp::Rem, .. }
+                | Inst::Bin {
+                    op: BinOp::Mul | BinOp::Div | BinOp::Rem,
+                    ..
+                }
         )
     };
     let mut wants: Vec<(bool, VReg)> = Vec::new();
@@ -574,7 +576,10 @@ fn materialize(
         for inst in &block.insts {
             let s = inst_side[&inst.id()];
             if s == Subsystem::Fp
-                && matches!(inst, Inst::Bin { .. } | Inst::BinImm { .. } | Inst::Move { .. })
+                && matches!(
+                    inst,
+                    Inst::Bin { .. } | Inst::BinImm { .. } | Inst::Move { .. }
+                )
             {
                 for u in inst.uses() {
                     if func.vreg_ty(u) == Ty::Int && home[u.index()] == Subsystem::Int {
@@ -597,10 +602,10 @@ fn materialize(
                     wants.push((false, *cond));
                 }
             }
-            Terminator::Ret { value: Some(v), .. } => {
-                if func.vreg_ty(*v) == Ty::Int && home[v.index()] == Subsystem::Fp {
-                    wants.push((false, *v));
-                }
+            Terminator::Ret { value: Some(v), .. }
+                if func.vreg_ty(*v) == Ty::Int && home[v.index()] == Subsystem::Fp =>
+            {
+                wants.push((false, *v));
             }
             _ => {}
         }
@@ -624,7 +629,11 @@ fn materialize(
                 match rdg.kind(d) {
                     NodeKind::Param(_) => {
                         let id = func.new_inst_id();
-                        at_entry.push(Inst::Copy { id, dst: wf, src: w });
+                        at_entry.push(Inst::Copy {
+                            id,
+                            dst: wf,
+                            src: w,
+                        });
                         new_sides.push((id, Subsystem::Fp));
                     }
                     kind => {
@@ -634,18 +643,20 @@ fn materialize(
                             && choices[d.index()] == Choice::Dup
                             && dup_allowed(rdg, insts, d);
                         if dup_ok {
-                            let dup = clone_for_fpa(
-                                func,
-                                &insts[&anchor],
-                                wf,
-                                &mut home,
-                                &mut twins,
-                            );
+                            let dup =
+                                clone_for_fpa(func, &insts[&anchor], wf, &mut home, &mut twins);
                             new_sides.push((dup.id(), Subsystem::Fp));
                             after.push((anchor, dup));
                         } else {
                             let id = func.new_inst_id();
-                            after.push((anchor, Inst::Copy { id, dst: wf, src: w }));
+                            after.push((
+                                anchor,
+                                Inst::Copy {
+                                    id,
+                                    dst: wf,
+                                    src: w,
+                                },
+                            ));
                             new_sides.push((id, Subsystem::Fp));
                         }
                     }
@@ -658,7 +669,14 @@ fn materialize(
             for &d in defs_of_vreg.get(&x).map_or(&[][..], |v| v) {
                 if let Some(anchor) = rdg.kind(d).inst() {
                     let id = func.new_inst_id();
-                    after.push((anchor, Inst::Copy { id, dst: xi, src: x }));
+                    after.push((
+                        anchor,
+                        Inst::Copy {
+                            id,
+                            dst: xi,
+                            src: x,
+                        },
+                    ));
                     new_sides.push((id, Subsystem::Int));
                 }
             }
@@ -697,7 +715,12 @@ fn materialize(
                 continue; // freshly inserted copies/dups: already correct
             };
             match inst {
-                Inst::Bin { op: BinOp::Mul | BinOp::Div | BinOp::Rem, lhs, rhs, .. } => {
+                Inst::Bin {
+                    op: BinOp::Mul | BinOp::Div | BinOp::Rem,
+                    lhs,
+                    rhs,
+                    ..
+                } => {
                     if let Some(&t) = twins.int.get(lhs) {
                         *lhs = t;
                     }
@@ -730,7 +753,7 @@ fn materialize(
                 _ => {}
             }
         }
-        let mut term = block.term.clone();
+        let mut term = block.term;
         match &mut term {
             Terminator::Br { id, cond, .. } => {
                 if inst_side[id] == Subsystem::Fp {
@@ -754,7 +777,10 @@ fn materialize(
     for (id, s) in new_sides {
         inst_side.insert(id, s);
     }
-    FuncAssignment { inst_side, vreg_side: home }
+    FuncAssignment {
+        inst_side,
+        vreg_side: home,
+    }
 }
 
 /// Clones an instruction for FPa execution with destination `wf`,
@@ -796,10 +822,20 @@ fn clone_for_fpa(
 fn set_id(inst: &mut Inst, new: InstId) {
     use Inst::*;
     match inst {
-        Bin { id, .. } | BinImm { id, .. } | Li { id, .. } | LiD { id, .. }
-        | Move { id, .. } | La { id, .. } | Cvt { id, .. } | Load { id, .. }
-        | Store { id, .. } | Call { id, .. } | Print { id, .. }
-        | PrintChar { id, .. } | PrintDouble { id, .. } | Copy { id, .. } => *id = new,
+        Bin { id, .. }
+        | BinImm { id, .. }
+        | Li { id, .. }
+        | LiD { id, .. }
+        | Move { id, .. }
+        | La { id, .. }
+        | Cvt { id, .. }
+        | Load { id, .. }
+        | Store { id, .. }
+        | Call { id, .. }
+        | Print { id, .. }
+        | PrintChar { id, .. }
+        | PrintDouble { id, .. }
+        | Copy { id, .. } => *id = new,
     }
 }
 
@@ -859,14 +895,24 @@ mod tests {
     fn uniform_freq(func: &Function, loop_weight: f64) -> Vec<f64> {
         // entry/exit weight 1, loop blocks weighted heavily.
         func.block_ids()
-            .map(|b| if (1..=4).contains(&b.index()) { loop_weight } else { 1.0 })
+            .map(|b| {
+                if (1..=4).contains(&b.index()) {
+                    loop_weight
+                } else {
+                    1.0
+                }
+            })
             .collect()
     }
 
     /// Mechanism-pinning cost parameters (the aggressive end of the
     /// paper's ranges; the library default is calibrated separately).
     fn test_params() -> CostParams {
-        CostParams { o_copy: 4.0, o_dupl: 2.0, balance_cap: None }
+        CostParams {
+            o_copy: 4.0,
+            o_dupl: 2.0,
+            balance_cap: None,
+        }
     }
 
     #[test]
@@ -985,7 +1031,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "o_dupl < o_copy")]
     fn cost_params_reject_inverted_costs() {
-        CostParams { o_copy: 2.0, o_dupl: 3.0, balance_cap: None }.validate();
+        CostParams {
+            o_copy: 2.0,
+            o_dupl: 3.0,
+            balance_cap: None,
+        }
+        .validate();
     }
 
     #[test]

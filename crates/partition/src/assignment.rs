@@ -1,7 +1,7 @@
 //! Partition assignments: the contract between the partitioner and codegen.
 
-use fpa_isa::Subsystem;
 use fpa_ir::{Function, InstId, Module, Ty, VReg};
+use fpa_isa::Subsystem;
 use std::collections::HashMap;
 
 /// The per-function result of partitioning.
@@ -44,7 +44,10 @@ impl FuncAssignment {
                 Ty::Double => Subsystem::Fp,
             })
             .collect();
-        FuncAssignment { inst_side, vreg_side }
+        FuncAssignment {
+            inst_side,
+            vreg_side,
+        }
     }
 
     /// The side of instruction `id`.
@@ -72,14 +75,10 @@ pub(crate) fn conventional_inst_side(func: &Function, inst: &fpa_ir::Inst) -> Su
     match inst {
         Inst::Bin { op, .. } if op.operand_ty() == Ty::Double => Subsystem::Fp,
         Inst::LiD { .. } | Inst::Cvt { .. } => Subsystem::Fp,
-        Inst::Move { dst, .. } | Inst::Copy { dst, .. }
-            if func.vreg_ty(*dst) == Ty::Double =>
-        {
+        Inst::Move { dst, .. } | Inst::Copy { dst, .. } if func.vreg_ty(*dst) == Ty::Double => {
             Subsystem::Fp
         }
-        Inst::Load { width, .. } | Inst::Store { width, .. }
-            if width.value_ty() == Ty::Double =>
-        {
+        Inst::Load { width, .. } | Inst::Store { width, .. } if width.value_ty() == Ty::Double => {
             Subsystem::Fp
         }
         _ => Subsystem::Int,
@@ -98,7 +97,11 @@ impl Assignment {
     #[must_use]
     pub fn conventional(module: &Module) -> Assignment {
         Assignment {
-            funcs: module.funcs.iter().map(FuncAssignment::conventional).collect(),
+            funcs: module
+                .funcs
+                .iter()
+                .map(FuncAssignment::conventional)
+                .collect(),
         }
     }
 }

@@ -9,9 +9,9 @@
 //! through existing loads and stores.
 
 use crate::assignment::{Assignment, FuncAssignment};
+use fpa_ir::{Function, Inst, Module, Terminator, Ty, VReg};
 use fpa_isa::Subsystem;
 use fpa_rdg::{classify, NodeClass, NodeKind, Rdg};
-use fpa_ir::{Function, Inst, Module, Terminator, Ty, VReg};
 use std::collections::HashMap;
 
 /// Runs the basic scheme over a whole module.
@@ -20,7 +20,9 @@ use std::collections::HashMap;
 /// returned [`Assignment`] records the chosen sides.
 #[must_use]
 pub fn partition_basic(module: &Module) -> Assignment {
-    Assignment { funcs: module.funcs.iter().map(partition_basic_func).collect() }
+    Assignment {
+        funcs: module.funcs.iter().map(partition_basic_func).collect(),
+    }
 }
 
 /// Runs the basic scheme over one function.
@@ -112,7 +114,10 @@ pub(crate) fn assignment_from_sides(
             vreg_side[i] = Subsystem::Int;
         }
     }
-    FuncAssignment { inst_side, vreg_side }
+    FuncAssignment {
+        inst_side,
+        vreg_side,
+    }
 }
 
 #[cfg(test)]
@@ -176,9 +181,7 @@ mod tests {
         // INT; the loop branch slice shares the induction variable -> INT.
         for (_, inst) in f.insts() {
             match inst {
-                Inst::BinImm { op: BinOp::Sll, .. }
-                | Inst::Li { .. }
-                | Inst::Move { .. } => {
+                Inst::BinImm { op: BinOp::Sll, .. } | Inst::Li { .. } | Inst::Move { .. } => {
                     assert_eq!(a.side(inst.id()), Subsystem::Int, "{:?}", inst);
                 }
                 _ => {}
@@ -210,7 +213,11 @@ mod tests {
             if classes[n.index()] != NodeClass::Free || node_side(n) != Some(Subsystem::Fp) {
                 continue;
             }
-            for m in rdg.backward_slice(n).into_iter().chain(rdg.forward_slice(n)) {
+            for m in rdg
+                .backward_slice(n)
+                .into_iter()
+                .chain(rdg.forward_slice(n))
+            {
                 if classes[m.index()] == NodeClass::NativeFp {
                     continue;
                 }
@@ -279,7 +286,12 @@ mod tests {
         }
         // And the branch condition's home is the FP file.
         for (_, inst) in f.insts() {
-            if let Inst::BinImm { op: BinOp::Slt, dst, .. } = inst {
+            if let Inst::BinImm {
+                op: BinOp::Slt,
+                dst,
+                ..
+            } = inst
+            {
                 assert_eq!(a.home(*dst), Subsystem::Fp);
             }
         }

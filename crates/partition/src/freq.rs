@@ -26,7 +26,9 @@ impl BlockFreq {
             .map(|(i, f)| {
                 let fid = FuncId::new(i as u32);
                 if profile.covered(fid) {
-                    f.block_ids().map(|b| profile.count(fid, b) as f64).collect()
+                    f.block_ids()
+                        .map(|b| profile.count(fid, b) as f64)
+                        .collect()
                 } else {
                     Self::estimate(f)
                 }
@@ -38,7 +40,9 @@ impl BlockFreq {
     /// Builds purely probabilistic frequencies (no profile at all).
     #[must_use]
     pub fn estimated(module: &Module) -> BlockFreq {
-        BlockFreq { counts: module.funcs.iter().map(Self::estimate).collect() }
+        BlockFreq {
+            counts: module.funcs.iter().map(Self::estimate).collect(),
+        }
     }
 
     /// The paper's estimate `n_B = p_B * 5^(d_B)` for one function.

@@ -4,8 +4,8 @@
 
 use crate::assignment::Assignment;
 use crate::freq::BlockFreq;
-use fpa_isa::Subsystem;
 use fpa_ir::{FuncId, Inst, Module, Terminator};
+use fpa_isa::Subsystem;
 
 /// Estimated dynamic-instruction accounting for a partitioned module.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -70,16 +70,18 @@ pub fn classify(func: &Function, rdg: &Rdg) -> Vec<NodeClass> {
             }
             NodeKind::LoadValue(id) => match insts[&id] {
                 Inst::Load { width, .. } if width.value_ty() == Ty::Double => NodeClass::NativeFp,
-                Inst::Load { width: fpa_ir::MemWidth::Byte | fpa_ir::MemWidth::ByteU, .. } => {
-                    NodeClass::PinnedInt(PinReason::ByteValue)
-                }
+                Inst::Load {
+                    width: fpa_ir::MemWidth::Byte | fpa_ir::MemWidth::ByteU,
+                    ..
+                } => NodeClass::PinnedInt(PinReason::ByteValue),
                 _ => NodeClass::Free,
             },
             NodeKind::StoreValue(id) => match insts[&id] {
                 Inst::Store { width, .. } if width.value_ty() == Ty::Double => NodeClass::NativeFp,
-                Inst::Store { width: fpa_ir::MemWidth::Byte | fpa_ir::MemWidth::ByteU, .. } => {
-                    NodeClass::PinnedInt(PinReason::ByteValue)
-                }
+                Inst::Store {
+                    width: fpa_ir::MemWidth::Byte | fpa_ir::MemWidth::ByteU,
+                    ..
+                } => NodeClass::PinnedInt(PinReason::ByteValue),
                 _ => NodeClass::Free,
             },
             NodeKind::Plain(id) => {
@@ -157,10 +159,19 @@ mod tests {
         let classes = classify(&f, &g);
         let cls = |k: NodeKind| classes[g.node(k).unwrap().index()];
 
-        assert_eq!(cls(NodeKind::Param(0)), NodeClass::PinnedInt(PinReason::Param));
-        assert_eq!(cls(NodeKind::LoadAddr(load_id)), NodeClass::PinnedInt(PinReason::Address));
+        assert_eq!(
+            cls(NodeKind::Param(0)),
+            NodeClass::PinnedInt(PinReason::Param)
+        );
+        assert_eq!(
+            cls(NodeKind::LoadAddr(load_id)),
+            NodeClass::PinnedInt(PinReason::Address)
+        );
         assert_eq!(cls(NodeKind::LoadValue(load_id)), NodeClass::Free);
-        assert_eq!(cls(NodeKind::Plain(mul_id)), NodeClass::PinnedInt(PinReason::MulDiv));
+        assert_eq!(
+            cls(NodeKind::Plain(mul_id)),
+            NodeClass::PinnedInt(PinReason::MulDiv)
+        );
         assert_eq!(cls(NodeKind::Plain(add_id)), NodeClass::Free);
         assert_eq!(cls(NodeKind::LoadValue(dload_id)), NodeClass::NativeFp);
         assert_eq!(cls(NodeKind::Plain(fadd_id)), NodeClass::NativeFp);
@@ -185,7 +196,10 @@ mod tests {
         let f = b.finish();
         let g = crate::Rdg::build(&f);
         let classes = classify(&f, &g);
-        assert_eq!(classes[g.node(NodeKind::Plain(br_id)).unwrap().index()], NodeClass::Free);
+        assert_eq!(
+            classes[g.node(NodeKind::Plain(br_id)).unwrap().index()],
+            NodeClass::Free
+        );
         // Both rets are pinned.
         let pinned_returns = g
             .node_ids()

@@ -252,7 +252,11 @@ impl Rdg {
         self.walk(v, |g, n| g.succs(n))
     }
 
-    fn walk<'a>(&'a self, start: NodeId, next: impl Fn(&'a Rdg, NodeId) -> &'a [NodeId]) -> Vec<NodeId> {
+    fn walk<'a>(
+        &'a self,
+        start: NodeId,
+        next: impl Fn(&'a Rdg, NodeId) -> &'a [NodeId],
+    ) -> Vec<NodeId> {
         let mut seen = vec![false; self.len()];
         let mut stack = vec![start];
         let mut out = Vec::new();

@@ -73,7 +73,12 @@ impl Slices {
                 _ => {}
             }
         }
-        Slices { ldst, branches, store_values, returns }
+        Slices {
+            ldst,
+            branches,
+            store_values,
+            returns,
+        }
     }
 
     /// Fraction of nodes in the LdSt slice.
@@ -150,8 +155,14 @@ mod tests {
         // The branch slice and the LdSt slice overlap on the induction
         // variable (the paper's Figure 3/4 situation).
         let (_, branch_slice) = &slices.branches[0];
-        let overlap = branch_slice.iter().filter(|n| slices.ldst.contains(n)).count();
-        assert!(overlap > 0, "induction variable shared between branch and LdSt slices");
+        let overlap = branch_slice
+            .iter()
+            .filter(|n| slices.ldst.contains(n))
+            .count();
+        assert!(
+            overlap > 0,
+            "induction variable shared between branch and LdSt slices"
+        );
 
         // The store-value slice (tick+1) includes the load VALUE but not
         // the load ADDRESS node.
@@ -185,16 +196,23 @@ mod tests {
         b.ret(None);
         let f = b.finish();
         let g = crate::Rdg::build(&f);
-        let slices = Slices::compute(&g, |_| false, |n| {
-            matches!(g.kind(n), NodeKind::Plain(_)) && g.succs(n).is_empty() && g.preds(n).is_empty()
-        });
+        let slices = Slices::compute(
+            &g,
+            |_| false,
+            |n| {
+                matches!(g.kind(n), NodeKind::Plain(_))
+                    && g.succs(n).is_empty()
+                    && g.preds(n).is_empty()
+            },
+        );
         let (_, sv) = &slices.store_values[0];
         // The store-value slice touches x (param), xor, add — but x also
         // feeds nothing address-related except via the base param, so the
         // LdSt slice holds only base's chain.
-        assert!(slices.ldst.iter().all(|&n| {
-            matches!(g.kind(n), NodeKind::StoreAddr(_) | NodeKind::Param(_))
-        }));
+        assert!(slices
+            .ldst
+            .iter()
+            .all(|&n| { matches!(g.kind(n), NodeKind::StoreAddr(_) | NodeKind::Param(_)) }));
         assert!(sv.len() >= 3);
     }
 }

@@ -30,7 +30,10 @@ impl Cache {
         let num_lines = cfg.size / cfg.line;
         let num_sets = num_lines / cfg.assoc;
         assert!(num_sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             cfg,
             sets: vec![vec![None; cfg.assoc as usize]; num_sets as usize],
@@ -56,13 +59,11 @@ impl Cache {
         let (set, tag) = self.set_and_tag(addr);
         let ways = &mut self.sets[set];
         // Hit?
-        for w in ways.iter_mut() {
-            if let Some((t, dirty, lru)) = w {
-                if *t == tag {
-                    *lru = self.stamp;
-                    *dirty |= write;
-                    return self.cfg.hit_time;
-                }
+        for (t, dirty, lru) in ways.iter_mut().flatten() {
+            if *t == tag {
+                *lru = self.stamp;
+                *dirty |= write;
+                return self.cfg.hit_time;
             }
         }
         // Miss: fill the LRU (or an invalid) way.
@@ -97,7 +98,13 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 16B lines = 128 B.
-        Cache::new(CacheConfig { size: 128, assoc: 2, line: 16, hit_time: 1, miss_penalty: 6 })
+        Cache::new(CacheConfig {
+            size: 128,
+            assoc: 2,
+            line: 16,
+            hit_time: 1,
+            miss_penalty: 6,
+        })
     }
 
     #[test]

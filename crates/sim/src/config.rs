@@ -71,7 +71,14 @@ impl MachineConfig {
     #[must_use]
     pub fn four_way(augmented: bool) -> MachineConfig {
         MachineConfig {
-            name: format!("4-way{}", if augmented { " augmented" } else { " conventional" }),
+            name: format!(
+                "4-way{}",
+                if augmented {
+                    " augmented"
+                } else {
+                    " conventional"
+                }
+            ),
             fetch_width: 4,
             decode_width: 4,
             retire_width: 4,
@@ -106,7 +113,14 @@ impl MachineConfig {
     #[must_use]
     pub fn eight_way(augmented: bool) -> MachineConfig {
         MachineConfig {
-            name: format!("8-way{}", if augmented { " augmented" } else { " conventional" }),
+            name: format!(
+                "8-way{}",
+                if augmented {
+                    " augmented"
+                } else {
+                    " conventional"
+                }
+            ),
             fetch_width: 8,
             decode_width: 8,
             retire_width: 8,

@@ -83,7 +83,12 @@ impl Machine {
             let lo = d.addr as usize;
             mem[lo..lo + d.bytes.len()].copy_from_slice(&d.bytes);
         }
-        let mut m = Machine { int_regs: [0; 32], fp_regs: [0; 32], mem, output: String::new() };
+        let mut m = Machine {
+            int_regs: [0; 32],
+            fp_regs: [0; 32],
+            mem,
+            output: String::new(),
+        };
         m.int_regs[IntReg::SP.index()] = program.stack_top as i32;
         m
     }
@@ -502,12 +507,16 @@ mod tests {
         let mut m = machine();
         m.exec(&Inst::li(Op::Li, r(8), 0x2000), 0).unwrap();
         m.exec(&Inst::li(Op::Li, r(9), -2), 0).unwrap();
-        m.exec(&Inst::store(Op::Sw, r(9), IntReg::new(8), 4), 0).unwrap();
-        m.exec(&Inst::load(Op::Lw, r(10), IntReg::new(8), 4), 0).unwrap();
+        m.exec(&Inst::store(Op::Sw, r(9), IntReg::new(8), 4), 0)
+            .unwrap();
+        m.exec(&Inst::load(Op::Lw, r(10), IntReg::new(8), 4), 0)
+            .unwrap();
         assert_eq!(m.geti(r(10)), -2);
-        m.exec(&Inst::load(Op::Lbu, r(11), IntReg::new(8), 4), 0).unwrap();
+        m.exec(&Inst::load(Op::Lbu, r(11), IntReg::new(8), 4), 0)
+            .unwrap();
         assert_eq!(m.geti(r(11)), 0xFE);
-        m.exec(&Inst::load(Op::Lb, r(12), IntReg::new(8), 4), 0).unwrap();
+        m.exec(&Inst::load(Op::Lb, r(12), IntReg::new(8), 4), 0)
+            .unwrap();
         assert_eq!(m.geti(r(12)), -2);
     }
 
@@ -516,10 +525,13 @@ mod tests {
         let mut m = machine();
         m.exec(&Inst::li(Op::Li, r(8), 0x2000), 0).unwrap();
         m.exec(&Inst::li(Op::LiA, f(2), -99), 0).unwrap();
-        m.exec(&Inst::store(Op::Swf, f(2), IntReg::new(8), 0), 0).unwrap();
-        m.exec(&Inst::load(Op::Lw, r(9), IntReg::new(8), 0), 0).unwrap();
+        m.exec(&Inst::store(Op::Swf, f(2), IntReg::new(8), 0), 0)
+            .unwrap();
+        m.exec(&Inst::load(Op::Lw, r(9), IntReg::new(8), 0), 0)
+            .unwrap();
         assert_eq!(m.geti(r(9)), -99);
-        m.exec(&Inst::load(Op::Lwf, f(3), IntReg::new(8), 0), 0).unwrap();
+        m.exec(&Inst::load(Op::Lwf, f(3), IntReg::new(8), 0), 0)
+            .unwrap();
         assert_eq!(m.geti(f(3)), -99);
     }
 
@@ -528,8 +540,10 @@ mod tests {
         let mut m = machine();
         m.exec(&Inst::li(Op::Li, r(8), 0x3000), 0).unwrap();
         m.fp_regs[2] = 2.5f64.to_bits();
-        m.exec(&Inst::store(Op::Sd, f(2), IntReg::new(8), 0), 0).unwrap();
-        m.exec(&Inst::load(Op::Ld, f(4), IntReg::new(8), 0), 0).unwrap();
+        m.exec(&Inst::store(Op::Sd, f(2), IntReg::new(8), 0), 0)
+            .unwrap();
+        m.exec(&Inst::load(Op::Ld, f(4), IntReg::new(8), 0), 0)
+            .unwrap();
         assert_eq!(f64::from_bits(m.fp_regs[4]), 2.5);
         m.exec(&Inst::alu(Op::FaddD, f(5), f(4), f(4)), 0).unwrap();
         assert_eq!(f64::from_bits(m.fp_regs[5]), 5.0);
@@ -539,10 +553,19 @@ mod tests {
     fn branches_and_jumps() {
         let mut m = machine();
         m.exec(&Inst::li(Op::Li, r(8), 0), 0).unwrap();
-        assert_eq!(m.exec(&Inst::branch(Op::Beqz, r(8), 7), 0).unwrap(), Step::Jump(7));
-        assert_eq!(m.exec(&Inst::branch(Op::Bnez, r(8), 7), 0).unwrap(), Step::Next);
+        assert_eq!(
+            m.exec(&Inst::branch(Op::Beqz, r(8), 7), 0).unwrap(),
+            Step::Jump(7)
+        );
+        assert_eq!(
+            m.exec(&Inst::branch(Op::Bnez, r(8), 7), 0).unwrap(),
+            Step::Next
+        );
         m.exec(&Inst::li(Op::LiA, f(2), 5), 0).unwrap();
-        assert_eq!(m.exec(&Inst::branch(Op::BnezA, f(2), 9), 0).unwrap(), Step::Jump(9));
+        assert_eq!(
+            m.exec(&Inst::branch(Op::BnezA, f(2), 9), 0).unwrap(),
+            Step::Jump(9)
+        );
         assert_eq!(m.exec(&Inst::call(3), 10).unwrap(), Step::Jump(3));
         assert_eq!(m.geti(IntReg::RA.into()), 11);
         assert_eq!(m.exec(&Inst::jr(IntReg::RA), 3).unwrap(), Step::Jump(11));
@@ -559,7 +582,9 @@ mod tests {
     fn faults_are_reported() {
         let mut m = machine();
         m.exec(&Inst::li(Op::Li, r(8), 4), 0).unwrap();
-        let e = m.exec(&Inst::load(Op::Lw, r(9), IntReg::new(8), 0), 3).unwrap_err();
+        let e = m
+            .exec(&Inst::load(Op::Lw, r(9), IntReg::new(8), 0), 3)
+            .unwrap_err();
         assert!(matches!(e, ExecError::BadAddress { addr: 4, pc: 3 }));
         m.exec(&Inst::li(Op::Li, r(9), 0), 0).unwrap();
         m.exec(&Inst::li(Op::Li, r(10), 1), 0).unwrap();
@@ -586,10 +611,27 @@ mod tests {
     fn output_formatting() {
         let mut m = machine();
         m.exec(&Inst::li(Op::Li, r(8), 65), 0).unwrap();
-        m.exec(&Inst { op: Op::Print, rd: None, rs: Some(r(8)), rt: None, imm: 0, target: 0 }, 0)
-            .unwrap();
         m.exec(
-            &Inst { op: Op::PrintChar, rd: None, rs: Some(r(8)), rt: None, imm: 0, target: 0 },
+            &Inst {
+                op: Op::Print,
+                rd: None,
+                rs: Some(r(8)),
+                rt: None,
+                imm: 0,
+                target: 0,
+            },
+            0,
+        )
+        .unwrap();
+        m.exec(
+            &Inst {
+                op: Op::PrintChar,
+                rd: None,
+                rs: Some(r(8)),
+                rt: None,
+                imm: 0,
+                target: 0,
+            },
             0,
         )
         .unwrap();

@@ -133,21 +133,39 @@ mod tests {
         let f4: Reg = FpReg::new(4).into(); // cond
         let r8: Reg = IntReg::new(8).into();
         p.code = vec![
-            Inst::li(Op::LiA, f2, 1),                      // 0
-            Inst::li(Op::LiA, f3, 0),                      // 1
-            Inst::alu_imm(Op::SltiA, f4, f2, 6),           // 2: loop head
-            Inst::branch(Op::BeqzA, f4, 7),                // 3
-            Inst::alu(Op::AddA, f3, f3, f2),               // 4
-            Inst::alu_imm(Op::AddiA, f2, f2, 1),           // 5
-            Inst::jump(2),                                 // 6
-            Inst::unary(Op::CpToInt, r8, f3),              // 7
-            Inst { op: Op::Print, rd: None, rs: Some(r8), rt: None, imm: 0, target: 0 }, // 8
-            Inst { op: Op::Halt, rd: None, rs: Some(r8), rt: None, imm: 0, target: 0 },  // 9
+            Inst::li(Op::LiA, f2, 1),            // 0
+            Inst::li(Op::LiA, f3, 0),            // 1
+            Inst::alu_imm(Op::SltiA, f4, f2, 6), // 2: loop head
+            Inst::branch(Op::BeqzA, f4, 7),      // 3
+            Inst::alu(Op::AddA, f3, f3, f2),     // 4
+            Inst::alu_imm(Op::AddiA, f2, f2, 1), // 5
+            Inst::jump(2),                       // 6
+            Inst::unary(Op::CpToInt, r8, f3),    // 7
+            Inst {
+                op: Op::Print,
+                rd: None,
+                rs: Some(r8),
+                rt: None,
+                imm: 0,
+                target: 0,
+            }, // 8
+            Inst {
+                op: Op::Halt,
+                rd: None,
+                rs: Some(r8),
+                rt: None,
+                imm: 0,
+                target: 0,
+            }, // 9
         ];
         let res = run_functional(&p, 10_000).unwrap();
         assert_eq!(res.output, "15\n");
         assert_eq!(res.exit_code, 15);
-        assert!(res.augmented > 15, "loop body runs on FPa: {}", res.augmented);
+        assert!(
+            res.augmented > 15,
+            "loop body runs on FPa: {}",
+            res.augmented
+        );
         assert_eq!(res.copies, 1);
         assert!(res.fp_fraction() > 0.7);
     }
@@ -165,6 +183,9 @@ mod tests {
         let mut p = Program::new();
         p.stack_top = 0x1_0000;
         p.code = vec![Inst::jump(77)];
-        assert!(matches!(run_functional(&p, 100).unwrap_err(), ExecError::BadPc { pc: 77 }));
+        assert!(matches!(
+            run_functional(&p, 100).unwrap_err(),
+            ExecError::BadPc { pc: 77 }
+        ));
     }
 }

@@ -57,6 +57,16 @@ pub struct TimingResult {
     pub icache: (u64, u64),
     /// D-cache accesses/misses.
     pub dcache: (u64, u64),
+    /// Cycles the fetch stage sat stalled (mispredict recovery or an
+    /// outstanding I-cache miss) before the halt was fetched.
+    pub fetch_stall_cycles: u64,
+    /// Sum over all cycles of occupied INT issue-window slots (divide by
+    /// `cycles` for mean occupancy).
+    pub int_window_occupancy_sum: u64,
+    /// Sum over all cycles of occupied FP issue-window slots.
+    pub fp_window_occupancy_sum: u64,
+    /// Retired cross-subsystem copies (`cp_to_fpa`/`cp_to_int`).
+    pub copies_retired: u64,
 }
 
 impl TimingResult {
@@ -79,6 +89,26 @@ impl TimingResult {
             1.0 - self.branch_mispredictions as f64 / self.branch_predictions as f64
         }
     }
+
+    /// Mean occupied INT issue-window slots per cycle.
+    #[must_use]
+    pub fn int_window_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.int_window_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean occupied FP issue-window slots per cycle.
+    #[must_use]
+    pub fn fp_window_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fp_window_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
 }
 
 impl std::fmt::Display for TimingResult {
@@ -91,7 +121,11 @@ impl std::fmt::Display for TimingResult {
             "issued (int / fp)    {:>12} / {} ({:.1}% fp)",
             self.int_issued,
             self.fp_issued,
-            if self.retired == 0 { 0.0 } else { self.fp_issued as f64 / self.retired as f64 * 100.0 }
+            if self.retired == 0 {
+                0.0
+            } else {
+                self.fp_issued as f64 / self.retired as f64 * 100.0
+            }
         )?;
         writeln!(f, "augmented retired    {:>12}", self.augmented_retired)?;
         writeln!(
@@ -178,6 +212,10 @@ pub fn simulate(
     let mut fp_issued = 0u64;
     let mut augmented_retired = 0u64;
     let mut int_idle_fp_busy = 0u64;
+    let mut fetch_stall_cycles = 0u64;
+    let mut int_window_occupancy_sum = 0u64;
+    let mut fp_window_occupancy_sum = 0u64;
+    let mut copies_retired = 0u64;
 
     let issue_width = config.decode_width; // Table 1: "up to 4 ops/cycle"
 
@@ -199,6 +237,9 @@ pub fn simulate(
             retired_this_cycle += 1;
             if e.op.is_augmented() {
                 augmented_retired += 1;
+            }
+            if matches!(e.op, Op::CpToFpa | Op::CpToInt) {
+                copies_retired += 1;
             }
             match e.dest {
                 Some(Reg::Int(_)) => int_phys_free += 1,
@@ -222,6 +263,10 @@ pub fn simulate(
                     branch_mispredictions: gshare.mispredictions,
                     icache: (icache.accesses, icache.misses),
                     dcache: (dcache.accesses, dcache.misses),
+                    fetch_stall_cycles,
+                    int_window_occupancy_sum,
+                    fp_window_occupancy_sum,
+                    copies_retired,
                 });
             }
         }
@@ -298,9 +343,7 @@ pub fn simulate(
                 let forwarded = store_queue
                     .iter()
                     .rev()
-                    .find(|(s, a, b, _)| {
-                        *s < e.seq && ranges_overlap(*a, *b, addr, bytes)
-                    })
+                    .find(|(s, a, b, _)| *s < e.seq && ranges_overlap(*a, *b, addr, bytes))
                     .is_some_and(|(_, _, _, issued)| *issued);
                 if forwarded {
                     2 // address generation + forward
@@ -395,13 +438,21 @@ pub fn simulate(
                 fp_window_used += 1;
             }
             if e.op.is_store() {
-                store_queue.push_back((e.seq, e.addr.expect("store addr"), e.op.mem_bytes().unwrap(), false));
+                store_queue.push_back((
+                    e.seq,
+                    e.addr.expect("store addr"),
+                    e.op.mem_bytes().unwrap(),
+                    false,
+                ));
             }
             rob.push_back(e);
             dispatched += 1;
         }
 
         // ---- Fetch -------------------------------------------------------
+        if !fetch_halted && cycle < fetch_stall_until {
+            fetch_stall_cycles += 1;
+        }
         if !fetch_halted && cycle >= fetch_stall_until {
             // One I-cache access per fetch group.
             let line = config.icache.line;
@@ -419,8 +470,11 @@ pub fn simulate(
                         return Err(ExecError::BadPc { pc: fetch_pc });
                     };
                     // Rename sources and destination.
-                    let srcs: Vec<u64> =
-                        inst.uses().iter().filter_map(|r| rename.get(r).copied()).collect();
+                    let srcs: Vec<u64> = inst
+                        .uses()
+                        .iter()
+                        .filter_map(|r| rename.get(r).copied())
+                        .collect();
                     let dest = inst.defs().first().copied();
                     let addr = oracle.effective_addr(inst);
                     // Oracle-execute.
@@ -496,6 +550,8 @@ pub fn simulate(
             }
         }
 
+        int_window_occupancy_sum += u64::from(int_window_used);
+        fp_window_occupancy_sum += u64::from(fp_window_used);
         cycle += 1;
     }
 }
@@ -520,12 +576,29 @@ mod tests {
     fn int_loop_program(fpa: bool) -> Program {
         // i = 0; sum = 0; while (i < 1000) { sum += i ^ 3; i++ } print sum.
         let (r_i, r_s, r_c, r_t): (Reg, Reg, Reg, Reg) = if fpa {
-            (FpReg::new(2).into(), FpReg::new(3).into(), FpReg::new(4).into(), FpReg::new(5).into())
+            (
+                FpReg::new(2).into(),
+                FpReg::new(3).into(),
+                FpReg::new(4).into(),
+                FpReg::new(5).into(),
+            )
         } else {
-            (IntReg::new(8).into(), IntReg::new(9).into(), IntReg::new(10).into(), IntReg::new(11).into())
+            (
+                IntReg::new(8).into(),
+                IntReg::new(9).into(),
+                IntReg::new(10).into(),
+                IntReg::new(11).into(),
+            )
         };
         let (li, addi, slti, xori, add, bnez) = if fpa {
-            (Op::LiA, Op::AddiA, Op::SltiA, Op::XoriA, Op::AddA, Op::BnezA)
+            (
+                Op::LiA,
+                Op::AddiA,
+                Op::SltiA,
+                Op::XoriA,
+                Op::AddA,
+                Op::BnezA,
+            )
         } else {
             (Op::Li, Op::Addi, Op::Slti, Op::Xori, Op::Add, Op::Bnez)
         };
@@ -533,20 +606,34 @@ mod tests {
         let mut p = Program::new();
         p.stack_top = 0x1_0000;
         p.code = vec![
-            Inst::li(li, r_i, 0),                 // 0
-            Inst::li(li, r_s, 0),                 // 1
-            Inst::alu_imm(xori, r_t, r_i, 3),     // 2: loop
-            Inst::alu(add, r_s, r_s, r_t),        // 3
-            Inst::alu_imm(addi, r_i, r_i, 1),     // 4
-            Inst::alu_imm(slti, r_c, r_i, 1000),  // 5
-            Inst::branch(bnez, r_c, 2),           // 6
+            Inst::li(li, r_i, 0),                // 0
+            Inst::li(li, r_s, 0),                // 1
+            Inst::alu_imm(xori, r_t, r_i, 3),    // 2: loop
+            Inst::alu(add, r_s, r_s, r_t),       // 3
+            Inst::alu_imm(addi, r_i, r_i, 1),    // 4
+            Inst::alu_imm(slti, r_c, r_i, 1000), // 5
+            Inst::branch(bnez, r_c, 2),          // 6
             if fpa {
                 Inst::unary(Op::CpToInt, out, r_s)
             } else {
                 Inst::unary(Op::Move, out, r_s)
             }, // 7
-            Inst { op: Op::Print, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 }, // 8
-            Inst { op: Op::Halt, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 },  // 9
+            Inst {
+                op: Op::Print,
+                rd: None,
+                rs: Some(out),
+                rt: None,
+                imm: 0,
+                target: 0,
+            }, // 8
+            Inst {
+                op: Op::Halt,
+                rd: None,
+                rs: Some(out),
+                rt: None,
+                imm: 0,
+                target: 0,
+            }, // 9
         ];
         p
     }
@@ -573,7 +660,12 @@ mod tests {
     fn fpa_loop_uses_fp_subsystem() {
         let p = int_loop_program(true);
         let t = run(&p);
-        assert!(t.fp_issued > t.int_issued, "fp={} int={}", t.fp_issued, t.int_issued);
+        assert!(
+            t.fp_issued > t.int_issued,
+            "fp={} int={}",
+            t.fp_issued,
+            t.int_issued
+        );
         assert!(t.augmented_retired > 4000);
     }
 
@@ -581,7 +673,11 @@ mod tests {
     fn branch_predictor_learns_loop() {
         let p = int_loop_program(false);
         let t = run(&p);
-        assert!(t.branch_accuracy() > 0.97, "accuracy = {}", t.branch_accuracy());
+        assert!(
+            t.branch_accuracy() > 0.97,
+            "accuracy = {}",
+            t.branch_accuracy()
+        );
     }
 
     #[test]
@@ -594,7 +690,14 @@ mod tests {
         for _ in 0..2000 {
             code.push(Inst::alu_imm(Op::Addi, r8, r8, 1));
         }
-        code.push(Inst { op: Op::Halt, rd: None, rs: Some(r8), rt: None, imm: 0, target: 0 });
+        code.push(Inst {
+            op: Op::Halt,
+            rd: None,
+            rs: Some(r8),
+            rt: None,
+            imm: 0,
+            target: 0,
+        });
         p.code = code;
         let t = run(&p);
         assert!(t.ipc() < 1.2, "serial chain ipc = {}", t.ipc());
@@ -613,8 +716,18 @@ mod tests {
         }
         for _ in 0..500 {
             for k in 0..2 {
-                code.push(Inst::alu_imm(Op::Addi, IntReg::new(8 + k).into(), IntReg::new(8 + k).into(), 1));
-                code.push(Inst::alu_imm(Op::AddiA, FpReg::new(2 + k).into(), FpReg::new(2 + k).into(), 1));
+                code.push(Inst::alu_imm(
+                    Op::Addi,
+                    IntReg::new(8 + k).into(),
+                    IntReg::new(8 + k).into(),
+                    1,
+                ));
+                code.push(Inst::alu_imm(
+                    Op::AddiA,
+                    FpReg::new(2 + k).into(),
+                    FpReg::new(2 + k).into(),
+                    1,
+                ));
             }
         }
         code.push(Inst::bare(Op::Halt));
@@ -661,8 +774,22 @@ mod tests {
             Inst::li(Op::Li, r9, 77),
             Inst::store(Op::Sw, r9, IntReg::new(8), 0),
             Inst::load(Op::Lw, r9, IntReg::new(8), 0),
-            Inst { op: Op::Print, rd: None, rs: Some(r9), rt: None, imm: 0, target: 0 },
-            Inst { op: Op::Halt, rd: None, rs: Some(r9), rt: None, imm: 0, target: 0 },
+            Inst {
+                op: Op::Print,
+                rd: None,
+                rs: Some(r9),
+                rt: None,
+                imm: 0,
+                target: 0,
+            },
+            Inst {
+                op: Op::Halt,
+                rd: None,
+                rs: Some(r9),
+                rt: None,
+                imm: 0,
+                target: 0,
+            },
         ];
         let t = run(&p);
         assert_eq!(t.output, "77\n");
@@ -673,6 +800,9 @@ mod tests {
         let mut p = Program::new();
         p.stack_top = 0x1_0000;
         p.code = vec![Inst::jump(0)];
-        assert_eq!(simulate(&p, &cfg(), 1000).unwrap_err(), ExecError::OutOfFuel);
+        assert_eq!(
+            simulate(&p, &cfg(), 1000).unwrap_err(),
+            ExecError::OutOfFuel
+        );
     }
 }

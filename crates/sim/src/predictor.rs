@@ -96,7 +96,10 @@ mod tests {
                 correct_late += 1;
             }
         }
-        assert!(correct_late > 950, "gshare should learn alternation: {correct_late}/1000");
+        assert!(
+            correct_late > 950,
+            "gshare should learn alternation: {correct_late}/1000"
+        );
     }
 
     #[test]
@@ -120,6 +123,9 @@ mod tests {
             p.update(0x104, false);
         }
         let m = p.mispredictions;
-        assert!(m < 100, "steady opposite-direction branches: {m} mispredictions");
+        assert!(
+            m < 100,
+            "steady opposite-direction branches: {m} mispredictions"
+        );
     }
 }

@@ -1,11 +1,13 @@
-//! Property tests for the simulator substrates: the cache against a
-//! reference LRU model, the predictor's accounting, and functional/timing
-//! simulator agreement on random straight-line programs.
+//! Randomized property tests for the simulator substrates: the cache
+//! against a reference LRU model, the predictor's accounting, and
+//! functional/timing simulator agreement on random straight-line
+//! programs. Deterministic seeds via `fpa-testutil` (offline stand-in for
+//! proptest; failures print the reproducing seed).
 
 use fpa_sim::cache::Cache;
 use fpa_sim::config::CacheConfig;
 use fpa_sim::predictor::Gshare;
-use proptest::prelude::*;
+use fpa_testutil::{run_cases, Rng};
 
 /// Reference LRU model: per set, a most-recent-first list of tags.
 struct RefLru {
@@ -17,7 +19,11 @@ struct RefLru {
 impl RefLru {
     fn new(cfg: CacheConfig) -> RefLru {
         let sets = (cfg.size / cfg.line / cfg.assoc) as usize;
-        RefLru { sets: vec![Vec::new(); sets], assoc: cfg.assoc as usize, line: cfg.line }
+        RefLru {
+            sets: vec![Vec::new(); sets],
+            assoc: cfg.assoc as usize,
+            line: cfg.line,
+        }
     }
 
     /// Returns whether the access hits.
@@ -38,47 +44,55 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
-
-    #[test]
-    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u32..4096, 1..300)) {
-        let cfg = CacheConfig { size: 256, assoc: 2, line: 16, hit_time: 1, miss_penalty: 6 };
+#[test]
+fn cache_matches_reference_lru() {
+    run_cases(0xCAC4E, 128, |rng| {
+        let addrs = rng.vec(1, 300, |r| r.range_u32(0, 4096));
+        let cfg = CacheConfig {
+            size: 256,
+            assoc: 2,
+            line: 16,
+            hit_time: 1,
+            miss_penalty: 6,
+        };
         let mut cache = Cache::new(cfg);
         let mut reference = RefLru::new(cfg);
         for &a in &addrs {
             let lat = cache.access(a, a % 3 == 0);
             let hit = lat == cfg.hit_time;
             let ref_hit = reference.access(a);
-            prop_assert_eq!(hit, ref_hit, "divergence at address {:#x}", a);
+            assert_eq!(hit, ref_hit, "divergence at address {a:#x}");
         }
-        prop_assert_eq!(cache.accesses, addrs.len() as u64);
-        prop_assert!(cache.misses <= cache.accesses);
-    }
+        assert_eq!(cache.accesses, addrs.len() as u64);
+        assert!(cache.misses <= cache.accesses);
+    });
+}
 
-    #[test]
-    fn predictor_accounting_is_consistent(outcomes in proptest::collection::vec(any::<bool>(), 1..500)) {
+#[test]
+fn predictor_accounting_is_consistent() {
+    run_cases(0x6584E, 128, |rng| {
+        let outcomes = rng.vec(1, 500, Rng::bool);
         let mut g = Gshare::new(8);
         let mut my_mispredicts = 0u64;
         for (i, &taken) in outcomes.iter().enumerate() {
             let pc = (i as u32 % 7) * 4;
             let predicted = g.predict(pc);
             let correct = g.update(pc, taken);
-            prop_assert_eq!(correct, predicted == taken);
+            assert_eq!(correct, predicted == taken);
             if !correct {
                 my_mispredicts += 1;
             }
         }
-        prop_assert_eq!(g.predictions, outcomes.len() as u64);
-        prop_assert_eq!(g.mispredictions, my_mispredicts);
-        prop_assert!(g.accuracy() >= 0.0 && g.accuracy() <= 1.0);
-    }
+        assert_eq!(g.predictions, outcomes.len() as u64);
+        assert_eq!(g.mispredictions, my_mispredicts);
+        assert!(g.accuracy() >= 0.0 && g.accuracy() <= 1.0);
+    });
 }
 
 mod timing_vs_functional {
-    use fpa_sim::{run_functional, simulate, MachineConfig};
     use fpa_isa::{FpReg, Inst, IntReg, Op, Program, Reg};
-    use proptest::prelude::*;
+    use fpa_sim::{run_functional, simulate, MachineConfig};
+    use fpa_testutil::run_cases;
 
     /// Random but well-formed straight-line program over 4 int and 4 fp
     /// registers, ending in print+halt.
@@ -90,9 +104,11 @@ mod timing_vs_functional {
         // Initialize registers and a memory base.
         for k in 0..4 {
             p.code.push(Inst::li(Op::Li, ir(k), i32::from(k) * 77 - 3));
-            p.code.push(Inst::li(Op::LiA, fr(k), i32::from(k) * -13 + 5));
+            p.code
+                .push(Inst::li(Op::LiA, fr(k), i32::from(k) * -13 + 5));
         }
-        p.code.push(Inst::li(Op::Li, IntReg::new(15).into(), 0x2000));
+        p.code
+            .push(Inst::li(Op::Li, IntReg::new(15).into(), 0x2000));
         for &(sel, a, b, imm) in ops {
             let inst = match sel % 8 {
                 0 => Inst::alu(Op::Add, ir(a), ir(b), ir(a)),
@@ -107,26 +123,47 @@ mod timing_vs_functional {
             p.code.push(inst);
         }
         let out: Reg = IntReg::new(8).into();
-        p.code.push(Inst { op: Op::Print, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 });
-        p.code.push(Inst { op: Op::Halt, rd: None, rs: Some(out), rt: None, imm: 0, target: 0 });
+        p.code.push(Inst {
+            op: Op::Print,
+            rd: None,
+            rs: Some(out),
+            rt: None,
+            imm: 0,
+            target: 0,
+        });
+        p.code.push(Inst {
+            op: Op::Halt,
+            rd: None,
+            rs: Some(out),
+            rt: None,
+            imm: 0,
+            target: 0,
+        });
         p
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-        #[test]
-        fn timing_and_functional_agree_on_random_programs(
-            ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>()), 1..120)
-        ) {
+    #[test]
+    fn timing_and_functional_agree_on_random_programs() {
+        run_cases(0x7151u64, 48, |rng| {
+            let ops = rng.vec(1, 120, |r| {
+                (
+                    r.next_u32() as u8,
+                    r.next_u32() as u8,
+                    r.next_u32() as u8,
+                    r.next_u32() as u8 as i8,
+                )
+            });
             let p = program(&ops);
             let f = run_functional(&p, 1_000_000).expect("functional");
-            for cfg in [MachineConfig::four_way(true), MachineConfig::eight_way(true)] {
+            for cfg in [
+                MachineConfig::four_way(true),
+                MachineConfig::eight_way(true),
+            ] {
                 let t = simulate(&p, &cfg, 1_000_000).expect("timing");
-                prop_assert_eq!(&t.output, &f.output);
-                prop_assert_eq!(t.retired, f.total);
-                prop_assert!(t.cycles >= t.retired / u64::from(cfg.retire_width));
+                assert_eq!(&t.output, &f.output);
+                assert_eq!(t.retired, f.total);
+                assert!(t.cycles >= t.retired / u64::from(cfg.retire_width));
             }
-        }
+        });
     }
 }

@@ -1,0 +1,192 @@
+//! # fpa-testutil
+//!
+//! Deterministic randomized-testing helpers used by the workspace's
+//! property-style tests and hand-rolled benchmark harnesses. The crate
+//! exists so the repository builds and tests **offline**: it replaces the
+//! `proptest`/`rand`/`criterion` stack with a seeded xorshift generator, a
+//! tiny case runner, and a wall-clock timing helper — no registry access
+//! required.
+//!
+//! The tests that use it keep the *property* formulation (random inputs,
+//! invariant assertions); they trade shrinking for reproducibility — every
+//! failure prints the case seed, and rerunning with that seed reproduces
+//! the exact input.
+
+use std::time::{Duration, Instant};
+
+/// A `xorshift64*` pseudo-random generator: tiny, fast, and deterministic
+/// across platforms. Not cryptographic — it only drives test-case
+/// generation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed (0 is remapped to a fixed odd seed).
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below(0)");
+        // Multiply-shift bounding: fine for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform `i32` in `[lo, hi)`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi);
+        lo + self.below((hi as i64 - lo as i64) as u64) as i32
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi);
+        lo + self.below(u64::from(hi - lo)) as u32
+    }
+
+    /// A random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Picks a uniformly random element of `items`.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// A vector of length `[min_len, max_len)` filled by `gen`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut gen: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let n = min_len + self.index(max_len - min_len);
+        (0..n).map(|_| gen(self)).collect()
+    }
+}
+
+/// Runs `body` for `cases` deterministic seeds derived from `base_seed`.
+///
+/// Panics (via the body's assertions) identify the failing case seed in
+/// the standard panic message; pass that seed as `base_seed` with
+/// `cases = 1` to reproduce.
+pub fn run_cases(base_seed: u64, cases: u32, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(case) + 1);
+        let mut rng = Rng::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("case {case} failed (rng seed {seed:#x}, base {base_seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// One timed measurement: median and total of `iters` runs of `f`.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Median per-iteration wall time.
+    pub median: Duration,
+    /// Sum over all iterations.
+    pub total: Duration,
+    /// Iterations measured.
+    pub iters: u32,
+}
+
+/// Times `iters` runs of `f` (plus one untimed warm-up), returning the
+/// median and total. A minimal stand-in for criterion's `bench_function`
+/// that works offline; results print in microseconds.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Timing {
+    assert!(iters > 0);
+    let _warmup = f();
+    let mut samples = Vec::with_capacity(iters as usize);
+    let total_start = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let v = f();
+        samples.push(t.elapsed());
+        drop(v);
+    }
+    let total = total_start.elapsed();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {name:<44} median {:>12.1} us  ({iters} iters, total {:.1} ms)",
+        median.as_secs_f64() * 1e6,
+        total.as_secs_f64() * 1e3
+    );
+    Timing {
+        median,
+        total,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let v = a.range_i32(-5, 17);
+            assert!((-5..17).contains(&v));
+            let u = a.below(7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn run_cases_varies_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        run_cases(1, 16, |rng| {
+            seen.insert(rng.next_u64());
+        });
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn bench_reports_all_iterations() {
+        let t = bench("noop", 5, || 1 + 1);
+        assert_eq!(t.iters, 5);
+        assert!(t.total >= t.median);
+    }
+}

@@ -25,70 +25,87 @@
 //! host-side input files.
 
 /// A benchmark program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Owns its strings so user-defined workloads can be assembled at
+/// runtime (see `examples/custom_workload.rs`), not just from the
+/// built-in catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
     /// Short name (Table 2 style).
-    pub name: &'static str,
+    pub name: String,
     /// The `zinc` source text.
-    pub source: &'static str,
+    pub source: String,
     /// One-line description.
-    pub description: &'static str,
+    pub description: String,
     /// Whether this is one of the §7.5 floating-point programs.
     pub floating_point: bool,
+}
+
+impl Workload {
+    /// Assembles a workload from borrowed parts.
+    #[must_use]
+    pub fn new(name: &str, source: &str, description: &str, floating_point: bool) -> Workload {
+        Workload {
+            name: name.to_string(),
+            source: source.to_string(),
+            description: description.to_string(),
+            floating_point,
+        }
+    }
 }
 
 /// The eight integer workloads (Figure 8/9/10 inputs).
 #[must_use]
 pub fn integer() -> Vec<Workload> {
     vec![
-        Workload {
-            name: "compress",
-            source: include_str!("sources/compress.zc"),
-            description: "LZW-flavoured coder with a memory-free RNG",
-            floating_point: false,
-        },
-        Workload {
-            name: "gcc",
-            source: include_str!("sources/gcc.zc"),
-            description: "register bookkeeping and bitset dataflow kernels",
-            floating_point: false,
-        },
-        Workload {
-            name: "go",
-            source: include_str!("sources/go.zc"),
-            description: "board evaluation with dense branching",
-            floating_point: false,
-        },
-        Workload {
-            name: "ijpeg",
-            source: include_str!("sources/ijpeg.zc"),
-            description: "integer DCT and quantization (multiply-heavy)",
-            floating_point: false,
-        },
-        Workload {
-            name: "li",
-            source: include_str!("sources/li.zc"),
-            description: "s-expression interpreter, call-intensive",
-            floating_point: false,
-        },
-        Workload {
-            name: "m88ksim",
-            source: include_str!("sources/m88ksim.zc"),
-            description: "instruction-set simulator: decode and dispatch",
-            floating_point: false,
-        },
-        Workload {
-            name: "perl",
-            source: include_str!("sources/perl.zc"),
-            description: "string hashing and anagram scoring",
-            floating_point: false,
-        },
-        Workload {
-            name: "vortex",
-            source: include_str!("sources/vortex.zc"),
-            description: "in-memory database with hashed records",
-            floating_point: false,
-        },
+        Workload::new(
+            "compress",
+            include_str!("sources/compress.zc"),
+            "LZW-flavoured coder with a memory-free RNG",
+            false,
+        ),
+        Workload::new(
+            "gcc",
+            include_str!("sources/gcc.zc"),
+            "register bookkeeping and bitset dataflow kernels",
+            false,
+        ),
+        Workload::new(
+            "go",
+            include_str!("sources/go.zc"),
+            "board evaluation with dense branching",
+            false,
+        ),
+        Workload::new(
+            "ijpeg",
+            include_str!("sources/ijpeg.zc"),
+            "integer DCT and quantization (multiply-heavy)",
+            false,
+        ),
+        Workload::new(
+            "li",
+            include_str!("sources/li.zc"),
+            "s-expression interpreter, call-intensive",
+            false,
+        ),
+        Workload::new(
+            "m88ksim",
+            include_str!("sources/m88ksim.zc"),
+            "instruction-set simulator: decode and dispatch",
+            false,
+        ),
+        Workload::new(
+            "perl",
+            include_str!("sources/perl.zc"),
+            "string hashing and anagram scoring",
+            false,
+        ),
+        Workload::new(
+            "vortex",
+            include_str!("sources/vortex.zc"),
+            "in-memory database with hashed records",
+            false,
+        ),
     ]
 }
 
@@ -96,18 +113,18 @@ pub fn integer() -> Vec<Workload> {
 #[must_use]
 pub fn floating() -> Vec<Workload> {
     vec![
-        Workload {
-            name: "ear_fp",
-            source: include_str!("sources/ear.zc"),
-            description: "FIR filterbank with integer peak bookkeeping",
-            floating_point: true,
-        },
-        Workload {
-            name: "swim_fp",
-            source: include_str!("sources/swim.zc"),
-            description: "2-D double-precision stencil",
-            floating_point: true,
-        },
+        Workload::new(
+            "ear_fp",
+            include_str!("sources/ear.zc"),
+            "FIR filterbank with integer peak bookkeeping",
+            true,
+        ),
+        Workload::new(
+            "swim_fp",
+            include_str!("sources/swim.zc"),
+            "2-D double-precision stencil",
+            true,
+        ),
     ]
 }
 
@@ -141,7 +158,7 @@ mod tests {
     #[test]
     fn every_workload_compiles() {
         for w in all() {
-            fpa_frontend::compile(w.source)
+            fpa_frontend::compile(&w.source)
                 .unwrap_or_else(|e| panic!("workload `{}` failed to compile: {e}", w.name));
         }
     }
@@ -149,12 +166,16 @@ mod tests {
     #[test]
     fn every_workload_runs_in_the_interpreter() {
         for w in all() {
-            let m = fpa_frontend::compile(w.source).expect("compiles");
+            let m = fpa_frontend::compile(&w.source).expect("compiles");
             let (out, _) = fpa_ir::Interp::new(&m)
                 .run()
                 .unwrap_or_else(|e| panic!("workload `{}` failed: {e}", w.name));
             assert_eq!(out.exit_code, 0, "workload `{}` exited nonzero", w.name);
-            assert!(!out.output.is_empty(), "workload `{}` printed nothing", w.name);
+            assert!(
+                !out.output.is_empty(),
+                "workload `{}` printed nothing",
+                w.name
+            );
             assert!(
                 out.dynamic_insts > 20_000,
                 "workload `{}` too small: {} dynamic instructions",

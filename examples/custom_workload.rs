@@ -10,7 +10,7 @@
 //! code benefits from idle-FP execution.
 
 use fpa::sim::{run_functional, simulate, MachineConfig};
-use fpa::{compile, Scheme};
+use fpa::{Compiler, Scheme};
 
 const DEFAULT: &str = "
     // Byte histogram + entropy-ish score: addressing-heavy with a
@@ -63,10 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<13}{:>11}{:>9}{:>9}{:>9}{:>12}{:>9}",
         "scheme", "dyn insts", "FPa %", "copies", "loads", "cycles", "IPC"
     );
-    for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-        let prog = compile(&source, scheme)?;
+    for scheme in Scheme::ALL {
+        let prog = Compiler::new(&source).scheme(scheme).build()?.program;
         let f = run_functional(&prog, 2_000_000_000)?;
-        assert_eq!(f.output, golden.output, "{scheme:?} diverged from the interpreter");
+        assert_eq!(
+            f.output, golden.output,
+            "{scheme:?} diverged from the interpreter"
+        );
         let t = simulate(&prog, &MachineConfig::four_way(true), 2_000_000_000)?;
         println!(
             "{:<13}{:>11}{:>8.1}%{:>9}{:>9}{:>12}{:>9.2}",

@@ -12,8 +12,8 @@
 
 use fpa::ir::Terminator;
 use fpa::isa::Subsystem;
-use fpa::rdg::{classify, NodeClass, NodeKind, Rdg, Slices};
-use fpa::{compile, Scheme};
+use fpa::rdg::{classify, NodeClass, Rdg, Slices};
+use fpa::{Compiler, Scheme};
 
 const SRC: &str = "
     int regs_invalidated_by_call = 0x55555;
@@ -77,16 +77,21 @@ fn main() {
     );
     println!("=== register dependence graph ===");
     println!("nodes: {}", rdg.len());
-    println!("LdSt slice: {} nodes ({:.0}% of the graph)",
+    println!(
+        "LdSt slice: {} nodes ({:.0}% of the graph)",
         slices.ldst.len(),
-        slices.ldst_fraction(rdg.len()) * 100.0);
+        slices.ldst_fraction(rdg.len()) * 100.0
+    );
     println!("branch slices: {}", slices.branches.len());
     println!("store-value slices: {}", slices.store_values.len());
     let pinned = rdg
         .node_ids()
         .filter(|n| matches!(classes[n.index()], NodeClass::PinnedInt(_)))
         .count();
-    let free = rdg.node_ids().filter(|n| classes[n.index()] == NodeClass::Free).count();
+    let free = rdg
+        .node_ids()
+        .filter(|n| classes[n.index()] == NodeClass::Free)
+        .count();
     println!("pinned-INT nodes: {pinned}, free nodes: {free}");
     for n in rdg.node_ids().take(12) {
         println!("  {n}: {:?} -> {:?}", rdg.kind(n), classes[n.index()]);
@@ -100,13 +105,20 @@ fn main() {
         .filter(|(_, i)| basic.side(i.id()) == Subsystem::Fp)
         .count();
     println!("=== basic scheme (Figure 4) ===");
-    println!("instructions assigned to FPa: {basic_fp} of {}", func.static_size());
+    println!(
+        "instructions assigned to FPa: {basic_fp} of {}",
+        func.static_size()
+    );
 
     // --- Full binaries: offload percentages and copies -------------------
     println!();
     println!("=== whole-program builds ===");
     for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-        let prog = compile(SRC, scheme).expect("pipeline");
+        let prog = Compiler::new(SRC)
+            .scheme(scheme)
+            .build()
+            .expect("pipeline")
+            .program;
         let r = fpa::sim::run_functional(&prog, 10_000_000).expect("run");
         println!(
             "{scheme:?}: {:.1}% of {} dynamic instructions in the FP subsystem ({} copies)",
@@ -117,7 +129,11 @@ fn main() {
     }
 
     // --- The advanced scheme's machine code (Figures 5/6) ---------------
-    let prog = compile(SRC, Scheme::Advanced).expect("pipeline");
+    let prog = Compiler::new(SRC)
+        .scheme(Scheme::Advanced)
+        .build()
+        .expect("pipeline")
+        .program;
     println!();
     println!("=== advanced-scheme disassembly of the kernel ===");
     let entry = prog.function_entry("invalidate_for_call").unwrap() as usize;

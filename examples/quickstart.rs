@@ -5,7 +5,7 @@
 //! ```
 
 use fpa::sim::{run_functional, simulate, MachineConfig};
-use fpa::{compile, Scheme};
+use fpa::{Compiler, Scheme};
 
 const SRC: &str = "
     // Sum of transformed table entries: the xor/add chain is a
@@ -32,8 +32,12 @@ const SRC: &str = "
 fn main() {
     println!("scheme        dyn insts   FPa ops   copies   cycles(4-way)   speedup");
     let mut conv_cycles = 0u64;
-    for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-        let prog = compile(SRC, scheme).expect("compile");
+    for scheme in Scheme::ALL {
+        let prog = Compiler::new(SRC)
+            .scheme(scheme)
+            .build()
+            .expect("compile")
+            .program;
         let f = run_functional(&prog, 100_000_000).expect("functional sim");
         let cfg = MachineConfig::four_way(true);
         let t = simulate(&prog, &cfg, 100_000_000).expect("timing sim");

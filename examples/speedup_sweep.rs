@@ -6,24 +6,33 @@
 //! ```
 
 use fpa::sim::{simulate, MachineConfig};
-use fpa::{compile, Scheme};
+use fpa::Compiler;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "m88ksim".to_owned());
     let w = fpa::workloads::by_name(&name).unwrap_or_else(|| {
         eprintln!(
             "unknown workload `{name}`; available: {}",
-            fpa::workloads::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+            fpa::workloads::all()
+                .iter()
+                .map(|w| w.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(1);
     });
 
-    eprintln!("compiling {name} (conventional + advanced)...");
-    let conv = compile(w.source, Scheme::Conventional).expect("conventional build");
-    let adv = compile(w.source, Scheme::Advanced).expect("advanced build");
+    eprintln!("compiling {name} (one frontend pass, all schemes)...");
+    let suite = Compiler::new(&w.source).build_suite().expect("build");
+    let (conv, adv) = (suite.conventional, suite.advanced);
 
     // Beyond the paper's two presets, interpolate a few design points.
-    let mut configs = vec![MachineConfig::four_way(true), MachineConfig::eight_way(true)];
+    let mut configs = vec![
+        MachineConfig::four_way(true),
+        MachineConfig::eight_way(true),
+    ];
     let mut narrow = MachineConfig::four_way(true);
     narrow.name = "2-way (1 int + 1 fp)".into();
     narrow.fetch_width = 2;
@@ -41,7 +50,10 @@ fn main() {
     six.fp_units = 3;
     configs.insert(2, six);
 
-    println!("{:<26}{:>14}{:>14}{:>10}{:>8}", "machine", "conv cycles", "adv cycles", "speedup", "IPC");
+    println!(
+        "{:<26}{:>14}{:>14}{:>10}{:>8}",
+        "machine", "conv cycles", "adv cycles", "speedup", "IPC"
+    );
     for cfg in &configs {
         let c = simulate(&conv, cfg, 500_000_000).expect("conventional sim");
         let a = simulate(&adv, cfg, 500_000_000).expect("advanced sim");

@@ -4,7 +4,11 @@
 use fpa::isa::{Op, Subsystem};
 use fpa::rdg::{classify, NodeClass, NodeKind, Rdg};
 use fpa::sim::run_functional;
-use fpa::{compile, Scheme};
+use fpa::{Compiler, Scheme};
+
+fn program(src: &str, scheme: Scheme) -> fpa::isa::Program {
+    Compiler::new(src).scheme(scheme).build().unwrap().program
+}
 
 const FUEL: u64 = 500_000_000;
 
@@ -22,7 +26,7 @@ fn optimized_module(src: &str) -> fpa::ir::Module {
 #[test]
 fn basic_scheme_partitioning_conditions() {
     for w in fpa::workloads::integer() {
-        let m = optimized_module(w.source);
+        let m = optimized_module(&w.source);
         let assignment = fpa::partition::partition_basic(&m);
         for (fi, func) in m.funcs.iter().enumerate() {
             let fa = &assignment.funcs[fi];
@@ -40,7 +44,11 @@ fn basic_scheme_partitioning_conditions() {
                 if classes[n.index()] != NodeClass::Free || side_of(n) != Subsystem::Fp {
                     continue;
                 }
-                for m_ in rdg.backward_slice(n).into_iter().chain(rdg.forward_slice(n)) {
+                for m_ in rdg
+                    .backward_slice(n)
+                    .into_iter()
+                    .chain(rdg.forward_slice(n))
+                {
                     if classes[m_.index()] == NodeClass::NativeFp {
                         continue;
                     }
@@ -62,7 +70,7 @@ fn basic_scheme_partitioning_conditions() {
 #[test]
 fn basic_scheme_needs_no_copies_on_integer_code() {
     for w in fpa::workloads::integer() {
-        let prog = compile(w.source, Scheme::Basic).unwrap();
+        let prog = program(&w.source, Scheme::Basic);
         let r = run_functional(&prog, FUEL).unwrap();
         assert_eq!(
             r.copies, 0,
@@ -79,7 +87,7 @@ fn basic_scheme_needs_no_copies_on_integer_code() {
 fn memory_operations_stay_on_the_int_subsystem() {
     for w in fpa::workloads::all() {
         for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-            let prog = compile(w.source, scheme).unwrap();
+            let prog = program(&w.source, scheme);
             for inst in &prog.code {
                 if inst.op.is_load() || inst.op.is_store() {
                     assert_eq!(
@@ -107,7 +115,7 @@ fn memory_operations_stay_on_the_int_subsystem() {
 fn no_muldiv_in_fp_subsystem() {
     for w in fpa::workloads::all() {
         for scheme in [Scheme::Basic, Scheme::Advanced] {
-            let prog = compile(w.source, scheme).unwrap();
+            let prog = program(&w.source, scheme);
             for inst in &prog.code {
                 if matches!(inst.op, Op::Mul | Op::Div | Op::Rem) {
                     assert_eq!(inst.op.subsystem(), Subsystem::Int);
@@ -123,7 +131,7 @@ fn no_muldiv_in_fp_subsystem() {
 fn augmented_opcode_discipline() {
     let mut seen = std::collections::HashSet::new();
     for w in fpa::workloads::all() {
-        let prog = compile(w.source, Scheme::Advanced).unwrap();
+        let prog = program(&w.source, Scheme::Advanced);
         for inst in &prog.code {
             if inst.op.is_augmented() {
                 seen.insert(inst.op);
@@ -142,7 +150,10 @@ fn augmented_opcode_discipline() {
         seen.len() <= 22,
         "more distinct augmented opcodes than the paper's budget: {seen:?}"
     );
-    assert!(seen.len() >= 8, "suspiciously few augmented opcodes used: {seen:?}");
+    assert!(
+        seen.len() >= 8,
+        "suspiciously few augmented opcodes used: {seen:?}"
+    );
 }
 
 /// Advanced-scheme copy overhead stays small (§7.2 reports <= 4% total
@@ -150,10 +161,14 @@ fn augmented_opcode_discipline() {
 #[test]
 fn advanced_copy_overhead_is_bounded() {
     for w in fpa::workloads::integer() {
-        let prog = compile(w.source, Scheme::Advanced).unwrap();
+        let prog = program(&w.source, Scheme::Advanced);
         let r = run_functional(&prog, FUEL).unwrap();
         let pct = r.copies as f64 / r.total as f64 * 100.0;
-        assert!(pct < 5.0, "{}: copies are {pct:.2}% of dynamic instructions", w.name);
+        assert!(
+            pct < 5.0,
+            "{}: copies are {pct:.2}% of dynamic instructions",
+            w.name
+        );
     }
 }
 
@@ -162,7 +177,7 @@ fn advanced_copy_overhead_is_bounded() {
 #[test]
 fn classification_total_and_addresses_pinned() {
     for w in fpa::workloads::all() {
-        let m = optimized_module(w.source);
+        let m = optimized_module(&w.source);
         for func in &m.funcs {
             let rdg = Rdg::build(func);
             let classes = classify(func, &rdg);

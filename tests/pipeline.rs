@@ -2,8 +2,9 @@
 //! workload, compiled three ways, must reproduce the IR interpreter's
 //! observable behaviour on the machine-level functional simulator.
 
+use fpa::isa::Program;
 use fpa::sim::run_functional;
-use fpa::{compile, Scheme};
+use fpa::{Compiler, Scheme};
 
 const FUEL: u64 = 500_000_000;
 
@@ -13,27 +14,60 @@ fn golden(src: &str) -> (String, i32) {
     (out.output, out.exit_code)
 }
 
+fn program(src: &str, scheme: Scheme) -> Program {
+    Compiler::new(src)
+        .scheme(scheme)
+        .build()
+        .expect("build")
+        .program
+}
+
 #[test]
 fn all_workloads_all_schemes_preserve_behaviour() {
     for w in fpa::workloads::all() {
-        let (gold_out, gold_exit) = golden(w.source);
-        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-            let prog = compile(w.source, scheme)
+        let (gold_out, gold_exit) = golden(&w.source);
+        for scheme in Scheme::ALL {
+            let art = Compiler::new(&w.source)
+                .scheme(scheme)
+                .build()
                 .unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
-            let r = run_functional(&prog, FUEL)
+            // The builder's own golden capture must agree with a fresh
+            // interpreter run.
+            assert_eq!(art.golden_output, gold_out, "{}/{scheme:?}", w.name);
+            assert_eq!(art.golden_exit, gold_exit, "{}/{scheme:?}", w.name);
+            let r = run_functional(&art.program, FUEL)
                 .unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
             assert_eq!(r.output, gold_out, "{}/{scheme:?} output diverged", w.name);
-            assert_eq!(r.exit_code, gold_exit, "{}/{scheme:?} exit diverged", w.name);
+            assert_eq!(
+                r.exit_code, gold_exit,
+                "{}/{scheme:?} exit diverged",
+                w.name
+            );
         }
     }
 }
 
 #[test]
+fn deprecated_compile_wrapper_matches_builder() {
+    // `fpa::compile` survives as a thin wrapper; it must produce the same
+    // program as the builder it delegates to.
+    let w = fpa::workloads::by_name("compress").unwrap();
+    #[allow(deprecated)]
+    let old = fpa::compile(&w.source, Scheme::Advanced).unwrap();
+    let new = program(&w.source, Scheme::Advanced);
+    assert_eq!(old.disasm(), new.disasm());
+}
+
+#[test]
 fn conventional_builds_never_use_augmented_opcodes() {
     for w in fpa::workloads::all() {
-        let prog = compile(w.source, Scheme::Conventional).unwrap();
+        let prog = program(&w.source, Scheme::Conventional);
         let r = run_functional(&prog, FUEL).unwrap();
-        assert_eq!(r.augmented, 0, "{} conventional build used *A opcodes", w.name);
+        assert_eq!(
+            r.augmented, 0,
+            "{} conventional build used *A opcodes",
+            w.name
+        );
     }
 }
 
@@ -42,7 +76,7 @@ fn integer_workloads_offload_under_both_schemes() {
     // Every integer workload should see *some* offloaded work under the
     // advanced scheme; the basic scheme may legitimately find little.
     for w in fpa::workloads::integer() {
-        let adv = compile(w.source, Scheme::Advanced).unwrap();
+        let adv = program(&w.source, Scheme::Advanced);
         let r = run_functional(&adv, FUEL).unwrap();
         assert!(
             r.augmented > 0,
@@ -55,8 +89,8 @@ fn integer_workloads_offload_under_both_schemes() {
 #[test]
 fn advanced_partition_at_least_as_large_as_basic() {
     for w in fpa::workloads::integer() {
-        let basic = compile(w.source, Scheme::Basic).unwrap();
-        let adv = compile(w.source, Scheme::Advanced).unwrap();
+        let basic = program(&w.source, Scheme::Basic);
+        let adv = program(&w.source, Scheme::Advanced);
         let rb = run_functional(&basic, FUEL).unwrap();
         let ra = run_functional(&adv, FUEL).unwrap();
         assert!(
@@ -73,8 +107,8 @@ fn advanced_partition_at_least_as_large_as_basic() {
 fn static_code_growth_is_negligible() {
     // Paper §7.2: "the change in static code size [is] negligible".
     for w in fpa::workloads::integer() {
-        let conv = compile(w.source, Scheme::Conventional).unwrap();
-        let adv = compile(w.source, Scheme::Advanced).unwrap();
+        let conv = program(&w.source, Scheme::Conventional);
+        let adv = program(&w.source, Scheme::Advanced);
         let growth = adv.static_size() as f64 / conv.static_size() as f64 - 1.0;
         assert!(
             growth < 0.10,
@@ -90,9 +124,10 @@ fn static_code_growth_is_negligible() {
 #[test]
 fn generated_programs_validate_and_disassemble() {
     for w in fpa::workloads::all() {
-        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-            let prog = compile(w.source, scheme).unwrap();
-            prog.validate().unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
+        for scheme in Scheme::ALL {
+            let prog = program(&w.source, scheme);
+            prog.validate()
+                .unwrap_or_else(|e| panic!("{}/{scheme:?}: {e}", w.name));
             let text = prog.disasm();
             assert!(text.contains("main:"), "{}/{scheme:?}", w.name);
             // Every workload has at least one function symbol per zinc fn.

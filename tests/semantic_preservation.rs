@@ -1,75 +1,92 @@
-//! Property-based differential testing: random `zinc` programs must
-//! behave identically under the IR interpreter and under machine-level
+//! Randomized differential testing: random `zinc` programs must behave
+//! identically under the IR interpreter and under machine-level
 //! functional simulation of all three builds (conventional, basic scheme,
 //! advanced scheme). This is the strongest correctness statement about
 //! the partitioner: no matter how the graph is cut, observable behaviour
-//! is preserved.
+//! is preserved. Deterministic seeds via `fpa-testutil` (offline stand-in
+//! for proptest; failures print the reproducing seed).
 
 use fpa::sim::run_functional;
-use fpa::{compile, Scheme};
-use proptest::prelude::*;
+use fpa::{Compiler, Scheme};
+use fpa_testutil::{run_cases, Rng};
 
 /// A random integer expression over locals `a`, `b`, `c`, loop counter
 /// `i`, and the arrays `g0`/`g1` (indices are masked to stay in bounds,
 /// divisors are or-ed with 1 to avoid trapping).
-fn expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-100i32..100).prop_map(|k| k.to_string()),
-        Just("a".to_owned()),
-        Just("b".to_owned()),
-        Just("c".to_owned()),
-        Just("i".to_owned()),
-        (0u32..64).prop_map(|k| format!("g0[(i + {k}) & 63]")),
-        (0u32..64).prop_map(|k| format!("g1[({k} - i) & 63]")),
-    ];
+fn expr(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.index(7) {
+        0 => rng.range_i32(-100, 100).to_string(),
+        1 => "a".to_owned(),
+        2 => "b".to_owned(),
+        3 => "c".to_owned(),
+        4 => "i".to_owned(),
+        5 => format!("g0[(i + {}) & 63]", rng.index(64)),
+        _ => format!("g1[({} - i) & 63]", rng.index(64)),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let sub = expr(depth - 1);
-    let sub2 = expr(depth - 1);
-    prop_oneof![
-        4 => leaf,
-        1 => (sub.clone(), sub2.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")
-            ])
-            .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
-        1 => (sub.clone(), 0u32..31).prop_map(|(l, s)| format!("({l} << {s})")),
-        1 => (sub.clone(), 0u32..31).prop_map(|(l, s)| format!("({l} >> {s})")),
-        1 => (sub.clone(), sub2.clone()).prop_map(|(l, r)| format!("({l} / (({r}) | 1))")),
-        1 => (sub.clone(), sub2.clone()).prop_map(|(l, r)| format!("({l} % (({r}) | 257))")),
-        1 => (sub.clone(), sub2.clone(), prop_oneof![
-                Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!=")
-            ])
-            .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
-    ]
-    .boxed()
+    // Weighted like the original strategy: leaves 4x, each compound 1x.
+    match rng.index(10) {
+        0..=3 => leaf(rng),
+        4 => {
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            let op = *rng.choose(&["+", "-", "*", "&", "|", "^"]);
+            format!("({l} {op} {r})")
+        }
+        5 => format!("({} << {})", expr(rng, depth - 1), rng.index(31)),
+        6 => format!("({} >> {})", expr(rng, depth - 1), rng.index(31)),
+        7 => {
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            format!("({l} / (({r}) | 1))")
+        }
+        8 => {
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            format!("({l} % (({r}) | 257))")
+        }
+        _ => {
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            let op = *rng.choose(&["<", "<=", ">", ">=", "==", "!="]);
+            format!("({l} {op} {r})")
+        }
+    }
 }
 
 /// A random statement body for the inner loop.
-fn stmt() -> BoxedStrategy<String> {
-    prop_oneof![
-        (prop_oneof![Just("a"), Just("b"), Just("c")], expr(2))
-            .prop_map(|(v, e)| format!("{v} = {e};")),
-        expr(2).prop_map(|e| format!("g0[(a ^ i) & 63] = {e};")),
-        expr(2).prop_map(|e| format!("g1[(b + i) & 63] = {e};")),
-        (expr(1), stmt_leaf(), stmt_leaf())
-            .prop_map(|(c, t, f)| format!("if ({c}) {{ {t} }} else {{ {f} }}")),
-        expr(2).prop_map(|e| format!("c = helper({e}, b);")),
-    ]
-    .boxed()
+fn stmt(rng: &mut Rng) -> String {
+    match rng.index(5) {
+        0 => {
+            let v = *rng.choose(&["a", "b", "c"]);
+            format!("{v} = {};", expr(rng, 2))
+        }
+        1 => format!("g0[(a ^ i) & 63] = {};", expr(rng, 2)),
+        2 => format!("g1[(b + i) & 63] = {};", expr(rng, 2)),
+        3 => {
+            let c = expr(rng, 1);
+            let t = stmt_leaf(rng);
+            let f = stmt_leaf(rng);
+            format!("if ({c}) {{ {t} }} else {{ {f} }}")
+        }
+        _ => format!("c = helper({}, b);", expr(rng, 2)),
+    }
 }
 
-fn stmt_leaf() -> BoxedStrategy<String> {
-    prop_oneof![
-        (prop_oneof![Just("a"), Just("b"), Just("c")], expr(1))
-            .prop_map(|(v, e)| format!("{v} = {e};")),
-        expr(1).prop_map(|e| format!("g0[(c - i) & 63] = {e};")),
-    ]
-    .boxed()
+fn stmt_leaf(rng: &mut Rng) -> String {
+    match rng.index(2) {
+        0 => {
+            let v = *rng.choose(&["a", "b", "c"]);
+            format!("{v} = {};", expr(rng, 1))
+        }
+        _ => format!("g0[(c - i) & 63] = {};", expr(rng, 1)),
+    }
 }
 
 /// Renders a whole program from a statement list.
-fn program(stmts: Vec<String>, iters: u32, seed: i32) -> String {
+fn program(stmts: &[String], iters: u32, seed: i32) -> String {
     format!(
         "int g0[64];
          int g1[64];
@@ -95,51 +112,55 @@ fn program(stmts: Vec<String>, iters: u32, seed: i32) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
+fn random_source(rng: &mut Rng) -> String {
+    let stmts = rng.vec(1, 8, stmt);
+    let iters = rng.range_u32(1, 40);
+    let seed = rng.range_i32(-1000, 1000);
+    program(&stmts, iters, seed)
+}
 
-    #[test]
-    fn random_programs_preserve_semantics(
-        stmts in proptest::collection::vec(stmt(), 1..8),
-        iters in 1u32..40,
-        seed in -1000i32..1000,
-    ) {
-        let src = program(stmts, iters, seed);
+#[test]
+fn random_programs_preserve_semantics() {
+    run_cases(0x5E11A, 24, |rng| {
+        let src = random_source(rng);
         let m = fpa::frontend::compile(&src).expect("generated program compiles");
         let (golden, _) = fpa::ir::Interp::new(&m).run().expect("golden run");
 
         for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-            let prog = compile(&src, scheme).expect("pipeline");
-            let r = run_functional(&prog, 200_000_000).expect("functional run");
-            prop_assert_eq!(&r.output, &golden.output, "{:?} output diverged", scheme);
-            prop_assert_eq!(r.exit_code, golden.exit_code, "{:?} exit diverged", scheme);
+            let art = Compiler::new(&src)
+                .scheme(scheme)
+                .build()
+                .expect("pipeline");
+            let r = run_functional(&art.program, 200_000_000).expect("functional run");
+            assert_eq!(r.output, golden.output, "{scheme:?} output diverged\n{src}");
+            assert_eq!(
+                r.exit_code, golden.exit_code,
+                "{scheme:?} exit diverged\n{src}"
+            );
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
-
-    /// The timing simulator retires exactly what the functional simulator
-    /// executes and produces identical output, on random programs.
-    #[test]
-    fn timing_simulation_is_architecturally_exact(
-        stmts in proptest::collection::vec(stmt(), 1..5),
-        iters in 1u32..16,
-        seed in -50i32..50,
-    ) {
-        use fpa::sim::{simulate, MachineConfig};
-        let src = program(stmts, iters, seed);
-        let prog = compile(&src, Scheme::Advanced).expect("pipeline");
-        let f = run_functional(&prog, 100_000_000).expect("functional");
-        let t = simulate(&prog, &MachineConfig::four_way(true), 100_000_000).expect("timing");
-        prop_assert_eq!(&t.output, &f.output);
-        prop_assert_eq!(t.exit_code, f.exit_code);
-        prop_assert_eq!(t.retired, f.total);
-        prop_assert!(t.ipc() > 0.0 && t.ipc() <= 4.0);
-    }
+/// The timing simulator retires exactly what the functional simulator
+/// executes and produces identical output, on random programs.
+#[test]
+fn timing_simulation_is_architecturally_exact() {
+    use fpa::sim::{simulate, MachineConfig};
+    run_cases(0x71417, 12, |rng| {
+        let stmts = rng.vec(1, 5, stmt);
+        let iters = rng.range_u32(1, 16);
+        let seed = rng.range_i32(-50, 50);
+        let src = program(&stmts, iters, seed);
+        let art = Compiler::new(&src)
+            .scheme(Scheme::Advanced)
+            .build()
+            .expect("pipeline");
+        let f = run_functional(&art.program, 100_000_000).expect("functional");
+        let t =
+            simulate(&art.program, &MachineConfig::four_way(true), 100_000_000).expect("timing");
+        assert_eq!(&t.output, &f.output);
+        assert_eq!(t.exit_code, f.exit_code);
+        assert_eq!(t.retired, f.total);
+        assert!(t.ipc() > 0.0 && t.ipc() <= 4.0);
+    });
 }

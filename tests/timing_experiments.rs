@@ -2,9 +2,11 @@
 //! must hold on a representative subset of workloads (the full sweep is
 //! the `fpa-report` binary / the benches).
 
-use fpa::harness::experiments::{build_all, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way};
+use fpa::harness::experiments::{
+    build_all, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way,
+};
 use fpa::sim::{simulate, MachineConfig};
-use fpa::{compile, Scheme};
+use fpa::{Compiler, Scheme};
 
 fn subset() -> Vec<fpa::workloads::Workload> {
     ["m88ksim", "go", "li"]
@@ -26,7 +28,10 @@ fn four_way_speedups_have_the_papers_shape() {
     // gains the least — exactly the paper's account.
     assert!(m88.advanced_pct > 8.0, "m88ksim: {m88:?}");
     assert!(go.advanced_pct > 8.0, "go: {go:?}");
-    assert!(li.advanced_pct < go.advanced_pct, "li should gain least: {li:?}");
+    assert!(
+        li.advanced_pct < go.advanced_pct,
+        "li should gain least: {li:?}"
+    );
     assert!(li.advanced_pct > -3.0, "li must not collapse: {li:?}");
 
     // The advanced scheme beats basic where its partitions are much
@@ -61,7 +66,10 @@ fn partition_sizes_track_the_paper_ranges() {
     for r in &rows {
         assert!(r.basic_pct >= 0.0 && r.basic_pct < 45.0, "{r:?}");
         assert!(r.advanced_pct >= r.basic_pct - 0.5, "{r:?}");
-        assert!(r.advanced_pct < 55.0, "LdSt slice bounds the partition: {r:?}");
+        assert!(
+            r.advanced_pct < 55.0,
+            "LdSt slice bounds the partition: {r:?}"
+        );
     }
     let m88 = rows.iter().find(|r| r.name == "m88ksim").unwrap();
     assert!(m88.advanced_pct > 12.0, "m88ksim offloads heavily: {m88:?}");
@@ -72,7 +80,11 @@ fn augmented_hardware_never_hurts_the_conventional_binary() {
     // Running the *conventional* binary on the augmented machine must be
     // cycle-identical: the augmented opcodes are additive.
     let w = fpa::workloads::by_name("go").unwrap();
-    let prog = compile(w.source, Scheme::Conventional).unwrap();
+    let prog = Compiler::new(&w.source)
+        .scheme(Scheme::Conventional)
+        .build()
+        .unwrap()
+        .program;
     let plain = simulate(&prog, &MachineConfig::four_way(false), 200_000_000).unwrap();
     let augmented = simulate(&prog, &MachineConfig::four_way(true), 200_000_000).unwrap();
     assert_eq!(plain.cycles, augmented.cycles);
@@ -82,7 +94,11 @@ fn augmented_hardware_never_hurts_the_conventional_binary() {
 #[test]
 fn timing_statistics_are_consistent() {
     let w = fpa::workloads::by_name("m88ksim").unwrap();
-    let prog = compile(w.source, Scheme::Advanced).unwrap();
+    let prog = Compiler::new(&w.source)
+        .scheme(Scheme::Advanced)
+        .build()
+        .unwrap()
+        .program;
     let t = simulate(&prog, &MachineConfig::four_way(true), 200_000_000).unwrap();
     // Issue counts cover all retired instructions.
     assert_eq!(t.int_issued + t.fp_issued, t.retired);
