@@ -1,0 +1,913 @@
+//! Generator-side AST for random `zinc` programs.
+//!
+//! This is deliberately *not* the frontend's AST: it is a restricted shape
+//! that renders to `zinc` source and is **safe by construction** — every
+//! program it can express terminates and never faults, so the differential
+//! oracle (`crate::oracle`) can treat any fault or divergence as a compiler
+//! bug rather than a property of the input:
+//!
+//! - division and remainder render with a `| 1` guard on the divisor, so
+//!   divide-by-zero is unreachable (wrap-around of `i32::MIN / -1` is
+//!   well-defined: both the IR interpreter and the machine simulator use
+//!   wrapping division);
+//! - every array has a power-of-two length and every access renders with
+//!   an `& (len - 1)` mask on the index, so out-of-bounds is unreachable;
+//! - `for` loops use a dedicated counter that no generated statement may
+//!   assign, with a literal trip count;
+//! - `while` loops carry a dedicated fuel variable, decremented as the
+//!   *first* statement of the body (so `continue` cannot skip it);
+//! - calls only target earlier-declared functions, so the call graph is
+//!   acyclic and recursion is impossible;
+//! - shift amounts need no guard (both executors mask by `& 31`), and
+//!   `printc` renders with a mask into the printable ASCII range.
+//!
+//! Rendering parenthesizes every compound expression, so generator
+//! precedence can never disagree with parser precedence.
+
+use std::fmt::Write as _;
+
+/// A scalar `zinc` type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GTy {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit IEEE double.
+    Double,
+}
+
+impl GTy {
+    /// The `zinc` keyword.
+    #[must_use]
+    pub fn kw(self) -> &'static str {
+        match self {
+            GTy::Int => "int",
+            GTy::Double => "double",
+        }
+    }
+}
+
+/// Array element kinds (arrays may additionally hold bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// `int` elements (word loads/stores).
+    Int,
+    /// `double` elements (dword loads/stores).
+    Double,
+    /// `byte` elements (byte loads/stores, int-typed values).
+    Byte,
+}
+
+impl ElemKind {
+    /// The `zinc` keyword.
+    #[must_use]
+    pub fn kw(self) -> &'static str {
+        match self {
+            ElemKind::Int => "int",
+            ElemKind::Double => "double",
+            ElemKind::Byte => "byte",
+        }
+    }
+
+    /// The scalar type a load of this element yields.
+    #[must_use]
+    pub fn value_ty(self) -> GTy {
+        match self {
+            ElemKind::Double => GTy::Double,
+            ElemKind::Int | ElemKind::Byte => GTy::Int,
+        }
+    }
+}
+
+/// Integer binary operators that are safe with arbitrary operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IBinOp {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (wrapping).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `&`.
+    And,
+    /// `|`.
+    Or,
+    /// `^`.
+    Xor,
+    /// `<<` (amount masked by the executors).
+    Shl,
+    /// `>>` (amount masked by the executors).
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+}
+
+impl IBinOp {
+    /// Every operator, for uniform random choice.
+    pub const ALL: [IBinOp; 16] = [
+        IBinOp::Add,
+        IBinOp::Sub,
+        IBinOp::Mul,
+        IBinOp::And,
+        IBinOp::Or,
+        IBinOp::Xor,
+        IBinOp::Shl,
+        IBinOp::Shr,
+        IBinOp::Lt,
+        IBinOp::Le,
+        IBinOp::Gt,
+        IBinOp::Ge,
+        IBinOp::Eq,
+        IBinOp::Ne,
+        IBinOp::AndAnd,
+        IBinOp::OrOr,
+    ];
+
+    /// Source spelling.
+    #[must_use]
+    pub fn sym(self) -> &'static str {
+        match self {
+            IBinOp::Add => "+",
+            IBinOp::Sub => "-",
+            IBinOp::Mul => "*",
+            IBinOp::And => "&",
+            IBinOp::Or => "|",
+            IBinOp::Xor => "^",
+            IBinOp::Shl => "<<",
+            IBinOp::Shr => ">>",
+            IBinOp::Lt => "<",
+            IBinOp::Le => "<=",
+            IBinOp::Gt => ">",
+            IBinOp::Ge => ">=",
+            IBinOp::Eq => "==",
+            IBinOp::Ne => "!=",
+            IBinOp::AndAnd => "&&",
+            IBinOp::OrOr => "||",
+        }
+    }
+}
+
+/// Double comparison operators (yield `int`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DCmpOp {
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+}
+
+impl DCmpOp {
+    /// Every operator.
+    pub const ALL: [DCmpOp; 6] = [
+        DCmpOp::Lt,
+        DCmpOp::Le,
+        DCmpOp::Gt,
+        DCmpOp::Ge,
+        DCmpOp::Eq,
+        DCmpOp::Ne,
+    ];
+
+    /// Source spelling.
+    #[must_use]
+    pub fn sym(self) -> &'static str {
+        match self {
+            DCmpOp::Lt => "<",
+            DCmpOp::Le => "<=",
+            DCmpOp::Gt => ">",
+            DCmpOp::Ge => ">=",
+            DCmpOp::Eq => "==",
+            DCmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// Double arithmetic operators (all total under IEEE semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DBinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (IEEE: yields inf/NaN rather than faulting).
+    Div,
+}
+
+impl DBinOp {
+    /// Every operator.
+    pub const ALL: [DBinOp; 4] = [DBinOp::Add, DBinOp::Sub, DBinOp::Mul, DBinOp::Div];
+
+    /// Source spelling.
+    #[must_use]
+    pub fn sym(self) -> &'static str {
+        match self {
+            DBinOp::Add => "+",
+            DBinOp::Sub => "-",
+            DBinOp::Mul => "*",
+            DBinOp::Div => "/",
+        }
+    }
+}
+
+/// An int-typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IExpr {
+    /// Integer literal.
+    Lit(i32),
+    /// A scalar int variable (global, param, local, or loop counter).
+    Var(String),
+    /// Masked load from an int or byte array: `arr[(idx) & mask]`.
+    Load {
+        /// Array name.
+        arr: String,
+        /// `len - 1` of the (power-of-two) array.
+        mask: i32,
+        /// Index expression (masked at render time).
+        idx: Box<IExpr>,
+    },
+    /// Unary negate: `(-e)`.
+    Neg(Box<IExpr>),
+    /// Logical not: `(!e)`.
+    Not(Box<IExpr>),
+    /// Safe binary operator.
+    Bin {
+        /// Operator.
+        op: IBinOp,
+        /// Left operand.
+        l: Box<IExpr>,
+        /// Right operand.
+        r: Box<IExpr>,
+    },
+    /// Guarded division: `(l / ((r) | 1))`.
+    Div {
+        /// Dividend.
+        l: Box<IExpr>,
+        /// Divisor (guarded nonzero at render time).
+        r: Box<IExpr>,
+    },
+    /// Guarded remainder: `(l % ((r) | 1))`.
+    Rem {
+        /// Dividend.
+        l: Box<IExpr>,
+        /// Divisor (guarded nonzero at render time).
+        r: Box<IExpr>,
+    },
+    /// Double comparison yielding int.
+    DCmp {
+        /// Operator.
+        op: DCmpOp,
+        /// Left operand.
+        l: Box<DExpr>,
+        /// Right operand.
+        r: Box<DExpr>,
+    },
+    /// Truncating cast: `((int)(e))`.
+    FromD(Box<DExpr>),
+    /// Call of an earlier-declared int-returning function.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments, matching the callee's parameter types.
+        args: Vec<GArg>,
+    },
+}
+
+/// A double-typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DExpr {
+    /// Double literal (non-negative; negation is explicit).
+    Lit(f64),
+    /// A scalar double variable.
+    Var(String),
+    /// Masked load from a double array.
+    Load {
+        /// Array name.
+        arr: String,
+        /// `len - 1` of the (power-of-two) array.
+        mask: i32,
+        /// Index expression (masked at render time).
+        idx: Box<IExpr>,
+    },
+    /// Unary negate.
+    Neg(Box<DExpr>),
+    /// IEEE arithmetic.
+    Bin {
+        /// Operator.
+        op: DBinOp,
+        /// Left operand.
+        l: Box<DExpr>,
+        /// Right operand.
+        r: Box<DExpr>,
+    },
+    /// Widening cast: `((double)(e))`.
+    FromI(Box<IExpr>),
+    /// Call of an earlier-declared double-returning function.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments, matching the callee's parameter types.
+        args: Vec<GArg>,
+    },
+}
+
+/// A typed argument or return value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GArg {
+    /// Int-typed.
+    I(IExpr),
+    /// Double-typed.
+    D(DExpr),
+}
+
+impl GArg {
+    /// The argument's type.
+    #[must_use]
+    pub fn ty(&self) -> GTy {
+        match self {
+            GArg::I(_) => GTy::Int,
+            GArg::D(_) => GTy::Double,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GStmt {
+    /// `var = e;` (int).
+    AssignI {
+        /// Target variable.
+        var: String,
+        /// Value.
+        e: IExpr,
+    },
+    /// `var = e;` (double).
+    AssignD {
+        /// Target variable.
+        var: String,
+        /// Value.
+        e: DExpr,
+    },
+    /// `arr[(idx) & mask] = e;` (int or byte array).
+    StoreI {
+        /// Array name.
+        arr: String,
+        /// `len - 1`.
+        mask: i32,
+        /// Index (masked at render time).
+        idx: IExpr,
+        /// Stored value.
+        e: IExpr,
+    },
+    /// `arr[(idx) & mask] = e;` (double array).
+    StoreD {
+        /// Array name.
+        arr: String,
+        /// `len - 1`.
+        mask: i32,
+        /// Index (masked at render time).
+        idx: IExpr,
+        /// Stored value.
+        e: DExpr,
+    },
+    /// `if (cond) { .. } else { .. }` (else omitted when empty).
+    If {
+        /// Condition.
+        cond: IExpr,
+        /// Then-branch.
+        then_s: Vec<GStmt>,
+        /// Else-branch (may be empty).
+        else_s: Vec<GStmt>,
+    },
+    /// Bounded counting loop with a dedicated counter.
+    For {
+        /// Counter variable (never assigned inside `body`).
+        var: String,
+        /// Literal trip count.
+        count: i32,
+        /// Body.
+        body: Vec<GStmt>,
+    },
+    /// Fuel-bounded while loop.
+    While {
+        /// Dedicated fuel variable (initialized at declaration).
+        fuel_var: String,
+        /// Generated condition (conjoined with the fuel check).
+        cond: IExpr,
+        /// Body (fuel decrement is rendered before it).
+        body: Vec<GStmt>,
+    },
+    /// `break;` (generated only inside loops).
+    Break,
+    /// `continue;` (generated only inside loops).
+    Continue,
+    /// Call statement (void or discarded-result call).
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<GArg>,
+    },
+    /// `print(e);`
+    Print(IExpr),
+    /// `printc(((e) & 63) + 32);` — masked into printable ASCII.
+    PrintC(IExpr),
+    /// `printd(e);`
+    PrintD(DExpr),
+    /// Early `return`, typed to match the enclosing function.
+    Return(Option<GArg>),
+}
+
+/// A global array (zero-initialized, power-of-two length).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GArray {
+    /// Name.
+    pub name: String,
+    /// Element kind.
+    pub elem: ElemKind,
+    /// Length (a power of two).
+    pub len: i32,
+}
+
+impl GArray {
+    /// The index mask, `len - 1`.
+    #[must_use]
+    pub fn mask(&self) -> i32 {
+        self.len - 1
+    }
+}
+
+/// A scalar initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarInit {
+    /// Int literal.
+    I(i32),
+    /// Double literal (may be negative; rendered via unary minus).
+    D(f64),
+}
+
+impl ScalarInit {
+    /// The declared type.
+    #[must_use]
+    pub fn ty(&self) -> GTy {
+        match self {
+            ScalarInit::I(_) => GTy::Int,
+            ScalarInit::D(_) => GTy::Double,
+        }
+    }
+}
+
+/// A global or local scalar with a literal initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GScalar {
+    /// Name.
+    pub name: String,
+    /// Initial value (also fixes the type).
+    pub init: ScalarInit,
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GFunc {
+    /// Name (`main` for the entry point).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, GTy)>,
+    /// Return type (`None` = void).
+    pub ret: Option<GTy>,
+    /// Leading local declarations (includes loop counters and fuel vars).
+    pub locals: Vec<GScalar>,
+    /// Body statements.
+    pub body: Vec<GStmt>,
+    /// Final return value, rendered after `body`. Kept outside `body` so
+    /// shrinking can simplify but never delete it. Must be `Some` iff
+    /// `ret` is `Some`, with matching type.
+    pub ret_val: Option<GArg>,
+}
+
+/// A whole generated program. `funcs` is ordered; calls only ever target
+/// functions at a *lower* index, and the last function is `main`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GProgram {
+    /// Global arrays.
+    pub arrays: Vec<GArray>,
+    /// Global scalars.
+    pub scalars: Vec<GScalar>,
+    /// Functions, `main` last.
+    pub funcs: Vec<GFunc>,
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn render_f64(v: f64) -> String {
+    // The lexer only accepts `digits.digits` (no exponent, no sign), so the
+    // generator draws literals from a dyadic pool and renders negatives via
+    // unary minus. `{:?}` on such values always produces a plain decimal
+    // with a dot.
+    debug_assert!(v.is_finite());
+    let s = format!("{:?}", v.abs());
+    debug_assert!(
+        s.contains('.') && !s.contains('e') && !s.contains('E'),
+        "{s}"
+    );
+    if v.is_sign_negative() {
+        format!("(-{s})")
+    } else {
+        s
+    }
+}
+
+fn render_i32(v: i32) -> String {
+    // `i32::MIN` cannot be spelled as `-(2147483648)`; the lexer wraps
+    // out-of-range decimal literals, so spell it in hex instead.
+    if v == i32::MIN {
+        "0x80000000".to_string()
+    } else if v < 0 {
+        format!("(-{})", -(i64::from(v)))
+    } else {
+        v.to_string()
+    }
+}
+
+impl IExpr {
+    fn render(&self, out: &mut String) {
+        match self {
+            IExpr::Lit(v) => out.push_str(&render_i32(*v)),
+            IExpr::Var(n) => out.push_str(n),
+            IExpr::Load { arr, mask, idx } => {
+                let mut i = String::new();
+                idx.render(&mut i);
+                let _ = write!(out, "{arr}[({i}) & {mask}]");
+            }
+            IExpr::Neg(e) => {
+                out.push_str("(-");
+                e.render(out);
+                out.push(')');
+            }
+            IExpr::Not(e) => {
+                out.push_str("(!");
+                e.render(out);
+                out.push(')');
+            }
+            IExpr::Bin { op, l, r } => {
+                out.push('(');
+                l.render(out);
+                let _ = write!(out, " {} ", op.sym());
+                r.render(out);
+                out.push(')');
+            }
+            IExpr::Div { l, r } | IExpr::Rem { l, r } => {
+                let sym = if matches!(self, IExpr::Div { .. }) {
+                    "/"
+                } else {
+                    "%"
+                };
+                out.push('(');
+                l.render(out);
+                let _ = write!(out, " {sym} ((");
+                r.render(out);
+                out.push_str(") | 1))");
+            }
+            IExpr::DCmp { op, l, r } => {
+                out.push('(');
+                l.render(out);
+                let _ = write!(out, " {} ", op.sym());
+                r.render(out);
+                out.push(')');
+            }
+            IExpr::FromD(e) => {
+                out.push_str("((int)(");
+                e.render(out);
+                out.push_str("))");
+            }
+            IExpr::Call { func, args } => render_call(out, func, args),
+        }
+    }
+}
+
+impl DExpr {
+    fn render(&self, out: &mut String) {
+        match self {
+            DExpr::Lit(v) => out.push_str(&render_f64(*v)),
+            DExpr::Var(n) => out.push_str(n),
+            DExpr::Load { arr, mask, idx } => {
+                let mut i = String::new();
+                idx.render(&mut i);
+                let _ = write!(out, "{arr}[({i}) & {mask}]");
+            }
+            DExpr::Neg(e) => {
+                out.push_str("(-");
+                e.render(out);
+                out.push(')');
+            }
+            DExpr::Bin { op, l, r } => {
+                out.push('(');
+                l.render(out);
+                let _ = write!(out, " {} ", op.sym());
+                r.render(out);
+                out.push(')');
+            }
+            DExpr::FromI(e) => {
+                out.push_str("((double)(");
+                e.render(out);
+                out.push_str("))");
+            }
+            DExpr::Call { func, args } => render_call(out, func, args),
+        }
+    }
+}
+
+fn render_call(out: &mut String, func: &str, args: &[GArg]) {
+    let _ = write!(out, "{func}(");
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match a {
+            GArg::I(e) => e.render(out),
+            GArg::D(e) => e.render(out),
+        }
+    }
+    out.push(')');
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+impl GStmt {
+    fn render(&self, out: &mut String, depth: usize) {
+        indent(out, depth);
+        match self {
+            GStmt::AssignI { var, e } => {
+                let mut s = String::new();
+                e.render(&mut s);
+                let _ = writeln!(out, "{var} = {s};");
+            }
+            GStmt::AssignD { var, e } => {
+                let mut s = String::new();
+                e.render(&mut s);
+                let _ = writeln!(out, "{var} = {s};");
+            }
+            GStmt::StoreI { arr, mask, idx, e } => {
+                let (mut i, mut v) = (String::new(), String::new());
+                idx.render(&mut i);
+                e.render(&mut v);
+                let _ = writeln!(out, "{arr}[({i}) & {mask}] = {v};");
+            }
+            GStmt::StoreD { arr, mask, idx, e } => {
+                let (mut i, mut v) = (String::new(), String::new());
+                idx.render(&mut i);
+                e.render(&mut v);
+                let _ = writeln!(out, "{arr}[({i}) & {mask}] = {v};");
+            }
+            GStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let mut c = String::new();
+                cond.render(&mut c);
+                let _ = writeln!(out, "if ({c}) {{");
+                for s in then_s {
+                    s.render(out, depth + 1);
+                }
+                if else_s.is_empty() {
+                    indent(out, depth);
+                    out.push_str("}\n");
+                } else {
+                    indent(out, depth);
+                    out.push_str("} else {\n");
+                    for s in else_s {
+                        s.render(out, depth + 1);
+                    }
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+            }
+            GStmt::For { var, count, body } => {
+                let _ = writeln!(
+                    out,
+                    "for ({var} = 0; {var} < {count}; {var} = {var} + 1) {{"
+                );
+                for s in body {
+                    s.render(out, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            GStmt::While {
+                fuel_var,
+                cond,
+                body,
+            } => {
+                let mut c = String::new();
+                cond.render(&mut c);
+                // The fuel decrement is the first statement, so `continue`
+                // in `body` cannot skip it and the loop always terminates.
+                let _ = writeln!(out, "while (({fuel_var} > 0) && ({c})) {{");
+                indent(out, depth + 1);
+                let _ = writeln!(out, "{fuel_var} = {fuel_var} - 1;");
+                for s in body {
+                    s.render(out, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            GStmt::Break => out.push_str("break;\n"),
+            GStmt::Continue => out.push_str("continue;\n"),
+            GStmt::Call { func, args } => {
+                let mut s = String::new();
+                render_call(&mut s, func, args);
+                let _ = writeln!(out, "{s};");
+            }
+            GStmt::Print(e) => {
+                let mut s = String::new();
+                e.render(&mut s);
+                let _ = writeln!(out, "print({s});");
+            }
+            GStmt::PrintC(e) => {
+                let mut s = String::new();
+                e.render(&mut s);
+                let _ = writeln!(out, "printc((({s}) & 63) + 32);");
+            }
+            GStmt::PrintD(e) => {
+                let mut s = String::new();
+                e.render(&mut s);
+                let _ = writeln!(out, "printd({s});");
+            }
+            GStmt::Return(v) => match v {
+                None => out.push_str("return;\n"),
+                Some(GArg::I(e)) => {
+                    let mut s = String::new();
+                    e.render(&mut s);
+                    let _ = writeln!(out, "return {s};");
+                }
+                Some(GArg::D(e)) => {
+                    let mut s = String::new();
+                    e.render(&mut s);
+                    let _ = writeln!(out, "return {s};");
+                }
+            },
+        }
+    }
+}
+
+impl GScalar {
+    fn render_decl(&self, out: &mut String, depth: usize) {
+        // Global initializers must be *constants* (`-`? literal) — no
+        // parentheses — and the same spelling is also a valid local
+        // initializer expression, so declarations always render bare.
+        indent(out, depth);
+        match &self.init {
+            ScalarInit::I(v) => {
+                let lit = if *v == i32::MIN {
+                    "0x80000000".to_string()
+                } else {
+                    v.to_string()
+                };
+                let _ = writeln!(out, "int {} = {lit};", self.name);
+            }
+            ScalarInit::D(v) => {
+                let mag = format!("{:?}", v.abs());
+                let lit = if v.is_sign_negative() {
+                    format!("-{mag}")
+                } else {
+                    mag
+                };
+                let _ = writeln!(out, "double {} = {lit};", self.name);
+            }
+        }
+    }
+}
+
+impl GFunc {
+    fn render(&self, out: &mut String) {
+        let ret = self.ret.map_or("void", GTy::kw);
+        let _ = write!(out, "{ret} {}(", self.name);
+        for (i, (name, ty)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} {name}", ty.kw());
+        }
+        out.push_str(") {\n");
+        for l in &self.locals {
+            l.render_decl(out, 1);
+        }
+        for s in &self.body {
+            s.render(out, 1);
+        }
+        match &self.ret_val {
+            None => {}
+            Some(a) => GStmt::Return(Some(a.clone())).render(out, 1),
+        }
+        out.push_str("}\n");
+    }
+}
+
+impl GProgram {
+    /// Renders the program to `zinc` source.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.arrays {
+            let _ = writeln!(out, "{} {}[{}];", a.elem.kw(), a.name, a.len);
+        }
+        for s in &self.scalars {
+            s.render_decl(&mut out, 0);
+        }
+        for f in &self.funcs {
+            out.push('\n');
+            f.render(&mut out);
+        }
+        out
+    }
+
+    /// Number of non-empty source lines the program renders to.
+    #[must_use]
+    pub fn source_lines(&self) -> usize {
+        self.render()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_guards_and_masks() {
+        let e = IExpr::Div {
+            l: Box::new(IExpr::Lit(7)),
+            r: Box::new(IExpr::Var("x".into())),
+        };
+        let mut s = String::new();
+        e.render(&mut s);
+        assert_eq!(s, "(7 / ((x) | 1))");
+
+        let ld = IExpr::Load {
+            arr: "a".into(),
+            mask: 15,
+            idx: Box::new(IExpr::Lit(99)),
+        };
+        let mut s = String::new();
+        ld.render(&mut s);
+        assert_eq!(s, "a[(99) & 15]");
+    }
+
+    #[test]
+    fn renders_extreme_int_literals() {
+        assert_eq!(render_i32(i32::MIN), "0x80000000");
+        assert_eq!(render_i32(-1), "(-1)");
+        assert_eq!(render_i32(42), "42");
+    }
+
+    #[test]
+    fn renders_negative_double_via_unary_minus() {
+        assert_eq!(render_f64(-2.5), "(-2.5)");
+        assert_eq!(render_f64(3.0), "3.0");
+    }
+
+    #[test]
+    fn while_renders_fuel_decrement_first() {
+        let w = GStmt::While {
+            fuel_var: "w0".into(),
+            cond: IExpr::Lit(1),
+            body: vec![GStmt::Continue],
+        };
+        let mut s = String::new();
+        w.render(&mut s, 0);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("while ((w0 > 0) && (1))"));
+        assert_eq!(lines[1].trim(), "w0 = w0 - 1;");
+        assert_eq!(lines[2].trim(), "continue;");
+    }
+}

@@ -1,0 +1,133 @@
+//! `fpa-fuzz` — differential fuzzing CLI.
+//!
+//! ```text
+//! fpa-fuzz [--cases M] [--seed S] [--jobs N]
+//!          [--corpus DIR | --no-corpus] [--json PATH]
+//! ```
+//!
+//! Generates `M` random `zinc` programs and checks each one across the
+//! three compilation schemes (conventional, basic, advanced + cost
+//! sweep) against the IR interpreter's golden run. Failures are
+//! minimized and written to the corpus directory (default
+//! `fuzz/corpus`). Exit code 0 means every case agreed.
+//!
+//! `--seed` accepts a decimal number, a `0x`-prefixed hex number, or —
+//! for convenience in CI configs — any other token, which is hashed
+//! (FNV-1a) to a seed, so e.g. `--seed 0xfpa2` is valid. Runs are
+//! deterministic for a fixed seed at any `--jobs` value.
+
+use fpa_fuzz::driver::{parse_seed, run_fuzz, FuzzConfig};
+use fpa_fuzz::gen::GenConfig;
+use fpa_harness::engine::default_jobs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fpa-fuzz [--cases M] [--seed S] [--jobs N] \
+         [--corpus DIR | --no-corpus] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cases: u32 = 200;
+    let mut seed: u64 = 1;
+    let mut jobs: usize = default_jobs();
+    let mut corpus: Option<PathBuf> = Some(PathBuf::from("fuzz/corpus"));
+    let mut json_path: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--cases" => {
+                cases = take(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                seed = parse_seed(&take(&mut i));
+            }
+            "--jobs" => {
+                jobs = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--corpus" => {
+                corpus = Some(PathBuf::from(take(&mut i)));
+            }
+            "--no-corpus" => {
+                corpus = None;
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(take(&mut i)));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let cfg = FuzzConfig {
+        cases,
+        base_seed: seed,
+        jobs,
+        gen: GenConfig::default(),
+        corpus_dir: corpus,
+    };
+
+    let start = std::time::Instant::now();
+    let summary = run_fuzz(&cfg);
+    let secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "fpa-fuzz: {} cases, seed {:#x}, {} jobs, {:.1}s",
+        summary.cases, summary.base_seed, cfg.jobs, secs
+    );
+    println!("  mean program size     {:>8.1} lines", summary.mean_lines);
+    println!(
+        "  advanced builds       {:>8}   (default + {}-point cost sweep)",
+        summary.advanced_builds,
+        fpa_fuzz::COST_SWEEP.len()
+    );
+    println!(
+        "  offloaded cases       {:>8}   ({} augmented instructions retired)",
+        summary.offloaded_cases, summary.total_augmented
+    );
+    println!("  retired (conv)        {:>8}", summary.total_retired);
+
+    if let Some(path) = &json_path {
+        let text = summary.to_json().render();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("fpa-fuzz: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if summary.ok() {
+        println!("  divergences           {:>8}", 0);
+        ExitCode::SUCCESS
+    } else {
+        println!("  DIVERGENCES           {:>8}", summary.failures.len());
+        for f in &summary.failures {
+            println!(
+                "  case {} (seed {:#x}): [{}] {} — {} -> {} lines after {} shrink steps",
+                f.case,
+                f.seed,
+                f.kind,
+                f.message,
+                f.original_lines,
+                f.minimized_lines,
+                f.shrink_steps
+            );
+        }
+        for p in &summary.written {
+            println!("  reproducer written: {}", p.display());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,115 @@
+//! Reproducer files for the regression corpus.
+//!
+//! Every oracle failure is minimized and written to `fuzz/corpus/` as a
+//! plain `zinc` file whose leading `//` comments record the provenance:
+//! the base seed, the case index, the failure kind/configuration, and
+//! the shrink-step count. The `zinc` lexer skips comments, so a corpus
+//! file replays by feeding the *whole* file straight back through the
+//! oracle — no separate metadata sidecar to drift out of sync.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One minimized failure, ready to be written to the corpus.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// Base seed of the fuzzing run.
+    pub base_seed: u64,
+    /// Case index within the run.
+    pub case: u32,
+    /// Per-case derived seed (replays the generator directly).
+    pub case_seed: u64,
+    /// Failure kind label (see `oracle::FailureKind::label`).
+    pub kind: String,
+    /// The failing configuration and message.
+    pub failure: String,
+    /// Shrink steps accepted during minimization.
+    pub shrink_steps: u32,
+    /// Minimized `zinc` source.
+    pub source: String,
+}
+
+impl Reproducer {
+    /// Renders the corpus file: provenance header plus source.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("// fpa-fuzz minimized reproducer\n");
+        out.push_str(&format!(
+            "// base-seed: {:#x}  case: {}  case-seed: {:#x}\n",
+            self.base_seed, self.case, self.case_seed
+        ));
+        out.push_str(&format!("// kind: {}\n", self.kind));
+        for line in self.failure.lines() {
+            out.push_str(&format!("// failure: {line}\n"));
+        }
+        out.push_str(&format!("// shrink-steps: {}\n", self.shrink_steps));
+        out.push_str(&self.source);
+        out
+    }
+
+    /// Deterministic file name for this reproducer.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("case{:04}_seed{:016x}.zc", self.case, self.case_seed)
+    }
+
+    /// Writes the reproducer under `dir`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// Lists the `.zc` sources in a corpus directory, sorted by name (so
+/// replay order is stable). Returns an empty list if the directory does
+/// not exist.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing directory.
+pub fn list(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let rd = match fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out: Vec<PathBuf> = rd
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "zc"))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_header_and_source() {
+        let r = Reproducer {
+            base_seed: 1,
+            case: 42,
+            case_seed: 0xdead_beef,
+            kind: "output".into(),
+            failure: "advanced: expected \"1\", got \"2\"".into(),
+            shrink_steps: 17,
+            source: "int main() {\nreturn 0;\n}\n".into(),
+        };
+        let text = r.render();
+        assert!(text.starts_with("// fpa-fuzz minimized reproducer"));
+        assert!(text.contains("case: 42"));
+        assert!(text.contains("kind: output"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(r.file_name(), "case0042_seed00000000deadbeef.zc");
+    }
+}

@@ -1,0 +1,295 @@
+//! The fuzzing campaign driver.
+//!
+//! [`run_fuzz`] fans `cases` independent cases out over a worker pool
+//! (`fpa_harness::engine::parallel_map`, the same thread-scope pool the
+//! experiment engine uses), checks each generated program against the
+//! differential oracle, minimizes any failure, and folds everything into
+//! a [`FuzzSummary`] with a machine-readable JSON form.
+//!
+//! Determinism: each case derives its own seed from the base seed with
+//! the same splitmix-style formula `fpa_testutil::run_cases` uses, every
+//! case is self-contained, and `parallel_map` preserves input order — so
+//! a run's summary is identical for any `--jobs` value, and any single
+//! case replays from `(base_seed, case)` alone.
+
+use crate::ast::GProgram;
+use crate::corpus::Reproducer;
+use crate::gen::{generate, GenConfig};
+use crate::oracle::{check_source, OracleStats};
+use crate::shrink;
+use fpa_harness::engine::parallel_map;
+use fpa_harness::json::Json;
+use fpa_testutil::Rng;
+use std::path::PathBuf;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of cases.
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it.
+    pub base_seed: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Generator knobs.
+    pub gen: GenConfig,
+    /// Where to write minimized reproducers (`None` = don't write).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            cases: 200,
+            base_seed: 1,
+            jobs: 1,
+            gen: GenConfig::default(),
+            corpus_dir: None,
+        }
+    }
+}
+
+/// Parses a seed token: a decimal number, a `0x`-prefixed hex number,
+/// or — for mnemonic seeds in CI configs, like `0xfpa2` — anything
+/// else, hashed with FNV-1a to a 64-bit seed.
+#[must_use]
+pub fn parse_seed(s: &str) -> u64 {
+    if let Ok(v) = s.parse::<u64>() {
+        return v;
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Derives the per-case generator seed (the formula
+/// `fpa_testutil::run_cases` uses, so failures replay under either
+/// harness).
+#[must_use]
+pub fn case_seed(base_seed: u64, case: u32) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(case) + 1)
+}
+
+/// One minimized, still-failing case.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Case index.
+    pub case: u32,
+    /// Derived case seed.
+    pub seed: u64,
+    /// Failure kind label.
+    pub kind: String,
+    /// Full failure description (configuration + message).
+    pub message: String,
+    /// Source lines before shrinking.
+    pub original_lines: usize,
+    /// Source lines after shrinking.
+    pub minimized_lines: usize,
+    /// Accepted shrink steps.
+    pub shrink_steps: u32,
+    /// Minimized source.
+    pub minimized_source: String,
+}
+
+/// Result of a whole campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzSummary {
+    /// Cases run.
+    pub cases: u32,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Minimized failures (empty on a clean run).
+    pub failures: Vec<CaseFailure>,
+    /// Cases whose advanced build actually offloaded work to the FP
+    /// subsystem (sanity signal that the fuzzer exercises the paper's
+    /// mechanism, not just trivial programs).
+    pub offloaded_cases: u32,
+    /// Total augmented instructions retired across all advanced runs.
+    pub total_augmented: u64,
+    /// Total instructions retired across all conventional runs.
+    pub total_retired: u64,
+    /// Mean source lines per generated program.
+    pub mean_lines: f64,
+    /// Advanced-scheme builds checked (default + sweep, summed).
+    pub advanced_builds: u64,
+    /// Corpus files written this run.
+    pub written: Vec<PathBuf>,
+}
+
+impl FuzzSummary {
+    /// True when no case diverged.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Machine-readable summary (schema `fpa-fuzz-report`, v1).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("schema", "fpa-fuzz-report");
+        j.set("version", 1.0);
+        j.set("cases", u64::from(self.cases));
+        j.set("base_seed", format!("{:#x}", self.base_seed));
+        j.set("offloaded_cases", u64::from(self.offloaded_cases));
+        j.set("total_augmented", self.total_augmented);
+        j.set("total_retired", self.total_retired);
+        j.set("advanced_builds", self.advanced_builds);
+        j.set("mean_lines", self.mean_lines);
+        let fails: Vec<Json> = self
+            .failures
+            .iter()
+            .map(|f| {
+                let mut o = Json::obj();
+                o.set("case", u64::from(f.case));
+                o.set("seed", format!("{:#x}", f.seed));
+                o.set("kind", f.kind.clone());
+                o.set("message", f.message.clone());
+                o.set("original_lines", f.original_lines);
+                o.set("minimized_lines", f.minimized_lines);
+                o.set("shrink_steps", u64::from(f.shrink_steps));
+                o
+            })
+            .collect();
+        j.set("failures", fails);
+        j
+    }
+}
+
+/// Outcome of a single case (internal to the pool).
+enum CaseOutcome {
+    Pass { stats: OracleStats, lines: usize },
+    Fail(Box<CaseFailure>),
+}
+
+fn run_case(case: u32, cfg: &FuzzConfig) -> CaseOutcome {
+    let seed = case_seed(cfg.base_seed, case);
+    let prog = generate(&mut Rng::new(seed), &cfg.gen);
+    let lines = prog.source_lines();
+    match check_source(&prog.render()) {
+        Ok(stats) => CaseOutcome::Pass { stats, lines },
+        Err(first) => {
+            // Minimize, holding the failure *kind* fixed so shrinking
+            // cannot wander to an unrelated error.
+            let kind = first.kind;
+            let (min, steps) = shrink::minimize(
+                prog,
+                |q: &GProgram| matches!(check_source(&q.render()), Err(f) if f.kind == kind),
+            );
+            let final_failure =
+                check_source(&min.render()).expect_err("shrinking preserves failure kind");
+            CaseOutcome::Fail(Box::new(CaseFailure {
+                case,
+                seed,
+                kind: kind.label().to_string(),
+                message: final_failure.to_string(),
+                original_lines: lines,
+                minimized_lines: min.source_lines(),
+                shrink_steps: steps,
+                minimized_source: min.render(),
+            }))
+        }
+    }
+}
+
+/// Runs a whole campaign. Deterministic for a fixed `base_seed` and
+/// `cases`, independent of `jobs`. Corpus files (if configured) are
+/// written serially after the parallel phase, in case order.
+#[must_use]
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
+    let indices: Vec<u32> = (0..cfg.cases).collect();
+    let outcomes = parallel_map(&indices, cfg.jobs, |&case| run_case(case, cfg));
+
+    let mut summary = FuzzSummary {
+        cases: cfg.cases,
+        base_seed: cfg.base_seed,
+        ..FuzzSummary::default()
+    };
+    let mut total_lines = 0usize;
+    for o in outcomes {
+        match o {
+            CaseOutcome::Pass { stats, lines } => {
+                total_lines += lines;
+                if stats.advanced_augmented > 0 {
+                    summary.offloaded_cases += 1;
+                }
+                summary.total_augmented += stats.advanced_augmented;
+                summary.total_retired += stats.conventional_total;
+                summary.advanced_builds += u64::from(stats.advanced_builds);
+            }
+            CaseOutcome::Fail(f) => {
+                total_lines += f.original_lines;
+                summary.failures.push(*f);
+            }
+        }
+    }
+    summary.mean_lines = if cfg.cases == 0 {
+        0.0
+    } else {
+        total_lines as f64 / f64::from(cfg.cases)
+    };
+
+    if let Some(dir) = &cfg.corpus_dir {
+        for f in &summary.failures {
+            let rep = Reproducer {
+                base_seed: cfg.base_seed,
+                case: f.case,
+                case_seed: f.seed,
+                kind: f.kind.clone(),
+                failure: f.message.clone(),
+                shrink_steps: f.shrink_steps,
+                source: f.minimized_source.clone(),
+            };
+            match rep.write_to(dir) {
+                Ok(path) => summary.written.push(path),
+                Err(e) => eprintln!("fpa-fuzz: failed to write reproducer: {e}"),
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seed_matches_testutil_formula() {
+        // Keep in sync with `fpa_testutil::run_cases`: same base, same
+        // case index => same rng stream.
+        let base = 0xfeed;
+        let seed = case_seed(base, 3);
+        assert_eq!(
+            seed,
+            base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(4)
+        );
+    }
+
+    #[test]
+    fn summary_json_is_parseable_and_complete() {
+        let s = FuzzSummary {
+            cases: 5,
+            base_seed: 0x2a,
+            mean_lines: 33.4,
+            ..FuzzSummary::default()
+        };
+        let text = s.to_json().render();
+        let back = Json::parse(&text).expect("round-trip");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("fpa-fuzz-report")
+        );
+        assert_eq!(back.get("cases").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(back.get("base_seed").and_then(Json::as_str), Some("0x2a"));
+    }
+}

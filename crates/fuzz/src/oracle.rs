@@ -1,0 +1,277 @@
+//! The three-scheme differential oracle.
+//!
+//! [`check_source`] compiles one `zinc` program conventionally, with the
+//! basic partitioning scheme, and with the advanced scheme under a sweep
+//! of cost parameters, then runs every binary through functional
+//! simulation and demands observable equivalence with the IR
+//! interpreter's golden run (same printed output, same exit code). It
+//! also asserts the per-scheme structural invariants:
+//!
+//! - the conventional build retires **zero** augmented (`*A`) opcodes;
+//! - the basic scheme inserts **zero** copy instructions (the paper's
+//!   defining property of the basic scheme, §5);
+//! - every advanced-scheme assignment passes `fpa_ir::verify` (enforced
+//!   inside [`Compiler::build`], which verifies the transformed module).
+//!
+//! Any violation is a compiler bug by construction: generated programs
+//! terminate and never fault (see the `ast` module docs).
+
+use fpa_harness::{Compiler, Scheme};
+use fpa_partition::CostParams;
+use fpa_sim::run_functional;
+use std::fmt;
+
+/// Advanced-scheme cost-parameter sweep checked for every program, in
+/// addition to the defaults (`o_copy = 6, o_dupl = 2`) exercised by the
+/// suite build. Spans the corners of the range studied by the paper's
+/// sensitivity analysis: `o_copy` in `[3, 6]`, `o_dupl` in `[1.5, 3]`.
+pub const COST_SWEEP: [(f64, f64); 3] = [(3.0, 1.5), (4.5, 2.25), (6.0, 3.0)];
+
+/// Simulation fuel for oracle runs. Generated programs are bounded far
+/// below this; hitting the limit means a miscompiled loop.
+pub const ORACLE_FUEL: u64 = 50_000_000;
+
+/// What kind of disagreement the oracle saw. The shrinker preserves the
+/// kind: a candidate only counts as "still failing" if it fails the same
+/// way, so minimization cannot drift from a divergence to, say, an
+/// unrelated build error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A compiler stage rejected the program (parse/verify/partition).
+    Build,
+    /// A binary faulted or ran out of fuel in the simulator.
+    Exec,
+    /// Printed output differed from the golden run.
+    Output,
+    /// Exit code differed from the golden run.
+    Exit,
+    /// A scheme invariant was violated (augmented ops in a conventional
+    /// build, copies in a basic build).
+    Invariant,
+}
+
+impl FailureKind {
+    /// Stable lowercase label (used in corpus headers and JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Build => "build",
+            FailureKind::Exec => "exec",
+            FailureKind::Output => "output",
+            FailureKind::Exit => "exit",
+            FailureKind::Invariant => "invariant",
+        }
+    }
+}
+
+/// One oracle failure: which configuration diverged, and how.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// The kind of disagreement.
+    pub kind: FailureKind,
+    /// Human-readable label of the offending configuration, e.g.
+    /// `advanced(o_copy=3, o_dupl=1.5)`.
+    pub config: String,
+    /// Details (expected vs got, or the underlying error).
+    pub message: String,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {}",
+            self.kind.label(),
+            self.config,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+/// Aggregate facts about one passing oracle check, for fleet telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleStats {
+    /// Augmented (`*A`) instructions retired by the advanced build
+    /// (default cost parameters).
+    pub advanced_augmented: u64,
+    /// Dynamic copies executed by the advanced build.
+    pub advanced_copies: u64,
+    /// Augmented instructions retired by the basic build.
+    pub basic_augmented: u64,
+    /// Total instructions retired by the conventional build.
+    pub conventional_total: u64,
+    /// Advanced-scheme builds checked (default + sweep points).
+    pub advanced_builds: u32,
+}
+
+fn truncate(s: &str, limit: usize) -> String {
+    if s.len() <= limit {
+        return s.to_string();
+    }
+    let mut end = limit;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}… ({} bytes total)", &s[..end], s.len())
+}
+
+fn compare(
+    config: &str,
+    prog: &fpa_isa::Program,
+    golden_output: &str,
+    golden_exit: i32,
+) -> Result<fpa_sim::FuncSimResult, OracleFailure> {
+    let r = run_functional(prog, ORACLE_FUEL).map_err(|e| OracleFailure {
+        kind: FailureKind::Exec,
+        config: config.to_string(),
+        message: e.to_string(),
+    })?;
+    if r.output != golden_output {
+        return Err(OracleFailure {
+            kind: FailureKind::Output,
+            config: config.to_string(),
+            message: format!(
+                "expected {:?}, got {:?}",
+                truncate(golden_output, 160),
+                truncate(&r.output, 160)
+            ),
+        });
+    }
+    if r.exit_code != golden_exit {
+        return Err(OracleFailure {
+            kind: FailureKind::Exit,
+            config: config.to_string(),
+            message: format!("expected {golden_exit}, got {}", r.exit_code),
+        });
+    }
+    Ok(r)
+}
+
+/// Checks one `zinc` source against the full oracle: golden interpreter
+/// run vs conventional, basic, advanced (default parameters), and every
+/// [`COST_SWEEP`] point, plus the per-scheme invariants.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] found.
+pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
+    // One frontend pass, three builds, plus the golden interpreter run.
+    let suite = Compiler::new(src)
+        .build_suite()
+        .map_err(|e| OracleFailure {
+            kind: FailureKind::Build,
+            config: e
+                .scheme()
+                .map_or_else(|| "frontend".to_string(), |s| s.label().to_string()),
+            message: e.to_string(),
+        })?;
+    let mut stats = OracleStats::default();
+
+    let conv = compare(
+        "conventional",
+        &suite.conventional,
+        &suite.golden_output,
+        suite.golden_exit,
+    )?;
+    if conv.augmented != 0 {
+        return Err(OracleFailure {
+            kind: FailureKind::Invariant,
+            config: "conventional".into(),
+            message: format!(
+                "conventional build retired {} augmented instructions (must be 0)",
+                conv.augmented
+            ),
+        });
+    }
+    stats.conventional_total = conv.total;
+
+    if suite.basic_stats.static_copies != 0 {
+        return Err(OracleFailure {
+            kind: FailureKind::Invariant,
+            config: "basic".into(),
+            message: format!(
+                "basic scheme inserted {} copies (must be 0)",
+                suite.basic_stats.static_copies
+            ),
+        });
+    }
+    let basic = compare(
+        "basic",
+        &suite.basic,
+        &suite.golden_output,
+        suite.golden_exit,
+    )?;
+    stats.basic_augmented = basic.augmented;
+
+    let adv = compare(
+        "advanced",
+        &suite.advanced,
+        &suite.golden_output,
+        suite.golden_exit,
+    )?;
+    stats.advanced_augmented = adv.augmented;
+    stats.advanced_copies = adv.copies;
+    stats.advanced_builds = 1;
+
+    // Advanced scheme across the cost-parameter sweep. Each point can pick
+    // a different partition; all must stay observably equivalent. The
+    // module verifier runs inside every `build()`.
+    for (o_copy, o_dupl) in COST_SWEEP {
+        let config = format!("advanced(o_copy={o_copy}, o_dupl={o_dupl})");
+        let arts = Compiler::new(src)
+            .scheme(Scheme::Advanced)
+            .cost_params(CostParams {
+                o_copy,
+                o_dupl,
+                balance_cap: None,
+            })
+            .build()
+            .map_err(|e| OracleFailure {
+                kind: FailureKind::Build,
+                config: config.clone(),
+                message: e.to_string(),
+            })?;
+        compare(
+            &config,
+            &arts.program,
+            &suite.golden_output,
+            suite.golden_exit,
+        )?;
+        stats.advanced_builds += 1;
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_known_good_mixed_program() {
+        let src = "
+            double d;
+            int a[4];
+            int main() {
+                int i = 0;
+                d = 1.5;
+                for (i = 0; i < 4; i = i + 1) { a[(i) & 3] = i * 7; }
+                d = d * ((double)(a[(2) & 3]));
+                printd(d);
+                print(a[(3) & 3]);
+                return ((int)(d)) & 255;
+            }
+        ";
+        let stats = check_source(src).expect("oracle should accept a correct program");
+        assert_eq!(stats.advanced_builds, 1 + COST_SWEEP.len() as u32);
+        assert!(stats.conventional_total > 0);
+    }
+
+    #[test]
+    fn reports_build_failures_with_kind_build() {
+        let e = check_source("int main() { return undeclared; }").unwrap_err();
+        assert_eq!(e.kind, FailureKind::Build);
+    }
+}

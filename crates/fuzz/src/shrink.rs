@@ -1,0 +1,817 @@
+//! Shrink-candidate enumeration for generated programs.
+//!
+//! [`candidates`] proposes one-step reductions of a [`GProgram`] in a
+//! deterministic order, for use with `fpa_testutil::shrink_to_fixpoint`:
+//! drop a helper function (stripping its call sites), drop unused
+//! globals and locals, delete or unwrap statements, reduce loop trip
+//! counts, and simplify expressions toward literals. Every edit keeps
+//! the program well-typed and safe by construction, so a candidate can
+//! only fail the oracle the way the original did — not by introducing a
+//! new fault of its own.
+
+use crate::ast::{DExpr, GArg, GFunc, GProgram, GStmt, IExpr};
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// Name-usage collection (drives unused-global/local removal)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Uses {
+    vars: HashSet<String>,
+    arrays: HashSet<String>,
+    funcs: HashSet<String>,
+}
+
+impl Uses {
+    fn iexpr(&mut self, e: &IExpr) {
+        match e {
+            IExpr::Lit(_) => {}
+            IExpr::Var(n) => {
+                self.vars.insert(n.clone());
+            }
+            IExpr::Load { arr, idx, .. } => {
+                self.arrays.insert(arr.clone());
+                self.iexpr(idx);
+            }
+            IExpr::Neg(e) | IExpr::Not(e) => self.iexpr(e),
+            IExpr::Bin { l, r, .. } | IExpr::Div { l, r } | IExpr::Rem { l, r } => {
+                self.iexpr(l);
+                self.iexpr(r);
+            }
+            IExpr::DCmp { l, r, .. } => {
+                self.dexpr(l);
+                self.dexpr(r);
+            }
+            IExpr::FromD(d) => self.dexpr(d),
+            IExpr::Call { func, args } => {
+                self.funcs.insert(func.clone());
+                for a in args {
+                    self.arg(a);
+                }
+            }
+        }
+    }
+
+    fn dexpr(&mut self, e: &DExpr) {
+        match e {
+            DExpr::Lit(_) => {}
+            DExpr::Var(n) => {
+                self.vars.insert(n.clone());
+            }
+            DExpr::Load { arr, idx, .. } => {
+                self.arrays.insert(arr.clone());
+                self.iexpr(idx);
+            }
+            DExpr::Neg(e) => self.dexpr(e),
+            DExpr::Bin { l, r, .. } => {
+                self.dexpr(l);
+                self.dexpr(r);
+            }
+            DExpr::FromI(i) => self.iexpr(i),
+            DExpr::Call { func, args } => {
+                self.funcs.insert(func.clone());
+                for a in args {
+                    self.arg(a);
+                }
+            }
+        }
+    }
+
+    fn arg(&mut self, a: &GArg) {
+        match a {
+            GArg::I(e) => self.iexpr(e),
+            GArg::D(e) => self.dexpr(e),
+        }
+    }
+
+    fn stmt(&mut self, s: &GStmt) {
+        match s {
+            GStmt::AssignI { var, e } => {
+                self.vars.insert(var.clone());
+                self.iexpr(e);
+            }
+            GStmt::AssignD { var, e } => {
+                self.vars.insert(var.clone());
+                self.dexpr(e);
+            }
+            GStmt::StoreI { arr, idx, e, .. } => {
+                self.arrays.insert(arr.clone());
+                self.iexpr(idx);
+                self.iexpr(e);
+            }
+            GStmt::StoreD { arr, idx, e, .. } => {
+                self.arrays.insert(arr.clone());
+                self.iexpr(idx);
+                self.dexpr(e);
+            }
+            GStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                self.iexpr(cond);
+                self.stmts(then_s);
+                self.stmts(else_s);
+            }
+            GStmt::For { var, body, .. } => {
+                self.vars.insert(var.clone());
+                self.stmts(body);
+            }
+            GStmt::While {
+                fuel_var,
+                cond,
+                body,
+            } => {
+                self.vars.insert(fuel_var.clone());
+                self.iexpr(cond);
+                self.stmts(body);
+            }
+            GStmt::Break | GStmt::Continue => {}
+            GStmt::Call { func, args } => {
+                self.funcs.insert(func.clone());
+                for a in args {
+                    self.arg(a);
+                }
+            }
+            GStmt::Print(e) | GStmt::PrintC(e) => self.iexpr(e),
+            GStmt::PrintD(e) => self.dexpr(e),
+            GStmt::Return(v) => {
+                if let Some(a) = v {
+                    self.arg(a);
+                }
+            }
+        }
+    }
+
+    fn stmts(&mut self, ss: &[GStmt]) {
+        for s in ss {
+            self.stmt(s);
+        }
+    }
+
+    fn func(&mut self, f: &GFunc) {
+        self.stmts(&f.body);
+        if let Some(a) = &f.ret_val {
+            self.arg(a);
+        }
+    }
+}
+
+fn program_uses(p: &GProgram) -> Uses {
+    let mut u = Uses::default();
+    for f in &p.funcs {
+        u.func(f);
+    }
+    u
+}
+
+// ---------------------------------------------------------------------------
+// Call stripping (lets a still-called helper be dropped in one step)
+// ---------------------------------------------------------------------------
+
+fn strip_iexpr(e: &IExpr, name: &str) -> IExpr {
+    match e {
+        IExpr::Call { func, .. } if func == name => IExpr::Lit(1),
+        IExpr::Lit(_) | IExpr::Var(_) => e.clone(),
+        IExpr::Load { arr, mask, idx } => IExpr::Load {
+            arr: arr.clone(),
+            mask: *mask,
+            idx: Box::new(strip_iexpr(idx, name)),
+        },
+        IExpr::Neg(x) => IExpr::Neg(Box::new(strip_iexpr(x, name))),
+        IExpr::Not(x) => IExpr::Not(Box::new(strip_iexpr(x, name))),
+        IExpr::Bin { op, l, r } => IExpr::Bin {
+            op: *op,
+            l: Box::new(strip_iexpr(l, name)),
+            r: Box::new(strip_iexpr(r, name)),
+        },
+        IExpr::Div { l, r } => IExpr::Div {
+            l: Box::new(strip_iexpr(l, name)),
+            r: Box::new(strip_iexpr(r, name)),
+        },
+        IExpr::Rem { l, r } => IExpr::Rem {
+            l: Box::new(strip_iexpr(l, name)),
+            r: Box::new(strip_iexpr(r, name)),
+        },
+        IExpr::DCmp { op, l, r } => IExpr::DCmp {
+            op: *op,
+            l: Box::new(strip_dexpr(l, name)),
+            r: Box::new(strip_dexpr(r, name)),
+        },
+        IExpr::FromD(d) => IExpr::FromD(Box::new(strip_dexpr(d, name))),
+        IExpr::Call { func, args } => IExpr::Call {
+            func: func.clone(),
+            args: args.iter().map(|a| strip_arg(a, name)).collect(),
+        },
+    }
+}
+
+fn strip_dexpr(e: &DExpr, name: &str) -> DExpr {
+    match e {
+        DExpr::Call { func, .. } if func == name => DExpr::Lit(1.0),
+        DExpr::Lit(_) | DExpr::Var(_) => e.clone(),
+        DExpr::Load { arr, mask, idx } => DExpr::Load {
+            arr: arr.clone(),
+            mask: *mask,
+            idx: Box::new(strip_iexpr(idx, name)),
+        },
+        DExpr::Neg(x) => DExpr::Neg(Box::new(strip_dexpr(x, name))),
+        DExpr::Bin { op, l, r } => DExpr::Bin {
+            op: *op,
+            l: Box::new(strip_dexpr(l, name)),
+            r: Box::new(strip_dexpr(r, name)),
+        },
+        DExpr::FromI(i) => DExpr::FromI(Box::new(strip_iexpr(i, name))),
+        DExpr::Call { func, args } => DExpr::Call {
+            func: func.clone(),
+            args: args.iter().map(|a| strip_arg(a, name)).collect(),
+        },
+    }
+}
+
+fn strip_arg(a: &GArg, name: &str) -> GArg {
+    match a {
+        GArg::I(e) => GArg::I(strip_iexpr(e, name)),
+        GArg::D(e) => GArg::D(strip_dexpr(e, name)),
+    }
+}
+
+fn strip_stmts(ss: &[GStmt], name: &str) -> Vec<GStmt> {
+    let mut out = Vec::with_capacity(ss.len());
+    for s in ss {
+        match s {
+            GStmt::Call { func, .. } if func == name => {} // dropped
+            GStmt::AssignI { var, e } => out.push(GStmt::AssignI {
+                var: var.clone(),
+                e: strip_iexpr(e, name),
+            }),
+            GStmt::AssignD { var, e } => out.push(GStmt::AssignD {
+                var: var.clone(),
+                e: strip_dexpr(e, name),
+            }),
+            GStmt::StoreI { arr, mask, idx, e } => out.push(GStmt::StoreI {
+                arr: arr.clone(),
+                mask: *mask,
+                idx: strip_iexpr(idx, name),
+                e: strip_iexpr(e, name),
+            }),
+            GStmt::StoreD { arr, mask, idx, e } => out.push(GStmt::StoreD {
+                arr: arr.clone(),
+                mask: *mask,
+                idx: strip_iexpr(idx, name),
+                e: strip_dexpr(e, name),
+            }),
+            GStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => out.push(GStmt::If {
+                cond: strip_iexpr(cond, name),
+                then_s: strip_stmts(then_s, name),
+                else_s: strip_stmts(else_s, name),
+            }),
+            GStmt::For { var, count, body } => out.push(GStmt::For {
+                var: var.clone(),
+                count: *count,
+                body: strip_stmts(body, name),
+            }),
+            GStmt::While {
+                fuel_var,
+                cond,
+                body,
+            } => out.push(GStmt::While {
+                fuel_var: fuel_var.clone(),
+                cond: strip_iexpr(cond, name),
+                body: strip_stmts(body, name),
+            }),
+            GStmt::Call { func, args } => out.push(GStmt::Call {
+                func: func.clone(),
+                args: args.iter().map(|a| strip_arg(a, name)).collect(),
+            }),
+            GStmt::Print(e) => out.push(GStmt::Print(strip_iexpr(e, name))),
+            GStmt::PrintC(e) => out.push(GStmt::PrintC(strip_iexpr(e, name))),
+            GStmt::PrintD(e) => out.push(GStmt::PrintD(strip_dexpr(e, name))),
+            GStmt::Return(v) => out.push(GStmt::Return(v.as_ref().map(|a| strip_arg(a, name)))),
+            GStmt::Break | GStmt::Continue => out.push(s.clone()),
+        }
+    }
+    out
+}
+
+/// Drops helper `fi`, replacing its call sites with literals.
+fn drop_helper(p: &GProgram, fi: usize) -> GProgram {
+    let name = p.funcs[fi].name.clone();
+    let mut q = p.clone();
+    q.funcs.remove(fi);
+    for f in &mut q.funcs {
+        f.body = strip_stmts(&f.body, &name);
+        f.ret_val = f.ret_val.as_ref().map(|a| strip_arg(a, &name));
+    }
+    q
+}
+
+// ---------------------------------------------------------------------------
+// Expression shrinking
+// ---------------------------------------------------------------------------
+
+fn shrink_iexpr(e: &IExpr) -> Vec<IExpr> {
+    let mut out = Vec::new();
+    // Literal proposals follow a strictly decreasing lattice
+    // (… < Lit(1) < Lit(0)) so the greedy fixpoint cannot oscillate
+    // between two literals a failure does not depend on.
+    match e {
+        IExpr::Lit(0) => {}
+        IExpr::Lit(1) => out.push(IExpr::Lit(0)),
+        IExpr::Lit(v) => {
+            out.push(IExpr::Lit(0));
+            out.push(IExpr::Lit(1));
+            if *v / 2 != 0 && *v / 2 != 1 {
+                out.push(IExpr::Lit(v / 2));
+            }
+        }
+        _ => {
+            out.push(IExpr::Lit(0));
+            out.push(IExpr::Lit(1));
+        }
+    }
+    match e {
+        IExpr::Lit(_) | IExpr::Var(_) => {}
+        IExpr::Load { arr, mask, idx } => {
+            out.push((**idx).clone());
+            for v in shrink_iexpr(idx) {
+                out.push(IExpr::Load {
+                    arr: arr.clone(),
+                    mask: *mask,
+                    idx: Box::new(v),
+                });
+            }
+        }
+        IExpr::Neg(x) | IExpr::Not(x) => out.push((**x).clone()),
+        IExpr::Bin { op, l, r } => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+            for v in shrink_iexpr(l) {
+                out.push(IExpr::Bin {
+                    op: *op,
+                    l: Box::new(v),
+                    r: r.clone(),
+                });
+            }
+            for v in shrink_iexpr(r) {
+                out.push(IExpr::Bin {
+                    op: *op,
+                    l: l.clone(),
+                    r: Box::new(v),
+                });
+            }
+        }
+        IExpr::Div { l, r } | IExpr::Rem { l, r } => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+        }
+        IExpr::DCmp { op, l, r } => {
+            for v in shrink_dexpr(l) {
+                out.push(IExpr::DCmp {
+                    op: *op,
+                    l: Box::new(v),
+                    r: r.clone(),
+                });
+            }
+            for v in shrink_dexpr(r) {
+                out.push(IExpr::DCmp {
+                    op: *op,
+                    l: l.clone(),
+                    r: Box::new(v),
+                });
+            }
+        }
+        IExpr::FromD(d) => {
+            for v in shrink_dexpr(d) {
+                out.push(IExpr::FromD(Box::new(v)));
+            }
+        }
+        IExpr::Call { func, args } => {
+            for (i, a) in args.iter().enumerate() {
+                for v in shrink_arg(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = v;
+                    out.push(IExpr::Call {
+                        func: func.clone(),
+                        args: args2,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn shrink_dexpr(e: &DExpr) -> Vec<DExpr> {
+    let mut out = Vec::new();
+    // Same strictly decreasing literal lattice as `shrink_iexpr`.
+    match e {
+        DExpr::Lit(v) if *v == 0.0 => {}
+        DExpr::Lit(v) if *v == 1.0 => out.push(DExpr::Lit(0.0)),
+        _ => {
+            out.push(DExpr::Lit(0.0));
+            out.push(DExpr::Lit(1.0));
+        }
+    }
+    match e {
+        DExpr::Lit(_) | DExpr::Var(_) => {}
+        DExpr::Load { arr, mask, idx } => {
+            for v in shrink_iexpr(idx) {
+                out.push(DExpr::Load {
+                    arr: arr.clone(),
+                    mask: *mask,
+                    idx: Box::new(v),
+                });
+            }
+        }
+        DExpr::Neg(x) => out.push((**x).clone()),
+        DExpr::Bin { op, l, r } => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+            for v in shrink_dexpr(l) {
+                out.push(DExpr::Bin {
+                    op: *op,
+                    l: Box::new(v),
+                    r: r.clone(),
+                });
+            }
+            for v in shrink_dexpr(r) {
+                out.push(DExpr::Bin {
+                    op: *op,
+                    l: l.clone(),
+                    r: Box::new(v),
+                });
+            }
+        }
+        DExpr::FromI(i) => {
+            for v in shrink_iexpr(i) {
+                out.push(DExpr::FromI(Box::new(v)));
+            }
+        }
+        DExpr::Call { func, args } => {
+            for (i, a) in args.iter().enumerate() {
+                for v in shrink_arg(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = v;
+                    out.push(DExpr::Call {
+                        func: func.clone(),
+                        args: args2,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn shrink_arg(a: &GArg) -> Vec<GArg> {
+    match a {
+        GArg::I(e) => shrink_iexpr(e).into_iter().map(GArg::I).collect(),
+        GArg::D(e) => shrink_dexpr(e).into_iter().map(GArg::D).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement-level edits
+// ---------------------------------------------------------------------------
+
+/// True when `stmts` contains a `break`/`continue` not enclosed by an
+/// inner loop — unwrapping such a body out of its loop would leave a
+/// bare jump statement the frontend rejects.
+fn has_loose_jump(stmts: &[GStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        GStmt::Break | GStmt::Continue => true,
+        GStmt::If { then_s, else_s, .. } => has_loose_jump(then_s) || has_loose_jump(else_s),
+        _ => false,
+    })
+}
+
+/// All one-step reductions of a statement list: delete each statement,
+/// then apply [`stmt_edits`] at each position (an edit may splice in
+/// zero or more statements).
+fn list_edits(stmts: &[GStmt]) -> Vec<Vec<GStmt>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        let mut v = stmts.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    for i in 0..stmts.len() {
+        for repl in stmt_edits(&stmts[i]) {
+            let mut v = Vec::with_capacity(stmts.len() + repl.len());
+            v.extend_from_slice(&stmts[..i]);
+            v.extend(repl);
+            v.extend_from_slice(&stmts[i + 1..]);
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn stmt_edits(s: &GStmt) -> Vec<Vec<GStmt>> {
+    let mut out: Vec<Vec<GStmt>> = Vec::new();
+    match s {
+        GStmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
+            out.push(then_s.clone()); // unwrap then
+            if !else_s.is_empty() {
+                out.push(else_s.clone()); // unwrap else
+            }
+            for c in shrink_iexpr(cond) {
+                out.push(vec![GStmt::If {
+                    cond: c,
+                    then_s: then_s.clone(),
+                    else_s: else_s.clone(),
+                }]);
+            }
+            for b in list_edits(then_s) {
+                out.push(vec![GStmt::If {
+                    cond: cond.clone(),
+                    then_s: b,
+                    else_s: else_s.clone(),
+                }]);
+            }
+            for b in list_edits(else_s) {
+                out.push(vec![GStmt::If {
+                    cond: cond.clone(),
+                    then_s: then_s.clone(),
+                    else_s: b,
+                }]);
+            }
+        }
+        GStmt::For { var, count, body } => {
+            if !has_loose_jump(body) {
+                out.push(body.clone()); // unwrap one iteration's worth
+            }
+            if *count > 1 {
+                out.push(vec![GStmt::For {
+                    var: var.clone(),
+                    count: 1,
+                    body: body.clone(),
+                }]);
+                out.push(vec![GStmt::For {
+                    var: var.clone(),
+                    count: count / 2,
+                    body: body.clone(),
+                }]);
+            }
+            for b in list_edits(body) {
+                out.push(vec![GStmt::For {
+                    var: var.clone(),
+                    count: *count,
+                    body: b,
+                }]);
+            }
+        }
+        GStmt::While {
+            fuel_var,
+            cond,
+            body,
+        } => {
+            if !has_loose_jump(body) {
+                out.push(body.clone());
+            }
+            for c in shrink_iexpr(cond) {
+                out.push(vec![GStmt::While {
+                    fuel_var: fuel_var.clone(),
+                    cond: c,
+                    body: body.clone(),
+                }]);
+            }
+            for b in list_edits(body) {
+                out.push(vec![GStmt::While {
+                    fuel_var: fuel_var.clone(),
+                    cond: cond.clone(),
+                    body: b,
+                }]);
+            }
+        }
+        GStmt::AssignI { var, e } => {
+            for v in shrink_iexpr(e) {
+                out.push(vec![GStmt::AssignI {
+                    var: var.clone(),
+                    e: v,
+                }]);
+            }
+        }
+        GStmt::AssignD { var, e } => {
+            for v in shrink_dexpr(e) {
+                out.push(vec![GStmt::AssignD {
+                    var: var.clone(),
+                    e: v,
+                }]);
+            }
+        }
+        GStmt::StoreI { arr, mask, idx, e } => {
+            for v in shrink_iexpr(idx) {
+                out.push(vec![GStmt::StoreI {
+                    arr: arr.clone(),
+                    mask: *mask,
+                    idx: v,
+                    e: e.clone(),
+                }]);
+            }
+            for v in shrink_iexpr(e) {
+                out.push(vec![GStmt::StoreI {
+                    arr: arr.clone(),
+                    mask: *mask,
+                    idx: idx.clone(),
+                    e: v,
+                }]);
+            }
+        }
+        GStmt::StoreD { arr, mask, idx, e } => {
+            for v in shrink_iexpr(idx) {
+                out.push(vec![GStmt::StoreD {
+                    arr: arr.clone(),
+                    mask: *mask,
+                    idx: v,
+                    e: e.clone(),
+                }]);
+            }
+            for v in shrink_dexpr(e) {
+                out.push(vec![GStmt::StoreD {
+                    arr: arr.clone(),
+                    mask: *mask,
+                    idx: idx.clone(),
+                    e: v,
+                }]);
+            }
+        }
+        GStmt::Call { func, args } => {
+            for (i, a) in args.iter().enumerate() {
+                for v in shrink_arg(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = v;
+                    out.push(vec![GStmt::Call {
+                        func: func.clone(),
+                        args: args2,
+                    }]);
+                }
+            }
+        }
+        GStmt::Print(e) => {
+            for v in shrink_iexpr(e) {
+                out.push(vec![GStmt::Print(v)]);
+            }
+        }
+        GStmt::PrintC(e) => {
+            for v in shrink_iexpr(e) {
+                out.push(vec![GStmt::PrintC(v)]);
+            }
+        }
+        GStmt::PrintD(e) => {
+            for v in shrink_dexpr(e) {
+                out.push(vec![GStmt::PrintD(v)]);
+            }
+        }
+        GStmt::Return(Some(a)) => {
+            for v in shrink_arg(a) {
+                out.push(vec![GStmt::Return(Some(v))]);
+            }
+        }
+        GStmt::Return(None) | GStmt::Break | GStmt::Continue => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Top-level candidate enumeration
+// ---------------------------------------------------------------------------
+
+/// All one-step reductions of `p`, cheapest-win first.
+#[must_use]
+pub fn candidates(p: &GProgram) -> Vec<GProgram> {
+    let mut out = Vec::new();
+    let main_idx = p.funcs.len() - 1;
+
+    // 1. Drop a helper function wholesale (call sites become literals).
+    for fi in 0..main_idx {
+        out.push(drop_helper(p, fi));
+    }
+
+    // 2. Drop unused globals.
+    let uses = program_uses(p);
+    for ai in 0..p.arrays.len() {
+        if !uses.arrays.contains(&p.arrays[ai].name) {
+            let mut q = p.clone();
+            q.arrays.remove(ai);
+            out.push(q);
+        }
+    }
+    for si in 0..p.scalars.len() {
+        if !uses.vars.contains(&p.scalars[si].name) {
+            let mut q = p.clone();
+            q.scalars.remove(si);
+            out.push(q);
+        }
+    }
+
+    // 3. Per-function edits: body reductions, return-value
+    //    simplification, unused-local removal.
+    for fi in 0..p.funcs.len() {
+        for body in list_edits(&p.funcs[fi].body) {
+            let mut q = p.clone();
+            q.funcs[fi].body = body;
+            out.push(q);
+        }
+        if let Some(a) = &p.funcs[fi].ret_val {
+            for v in shrink_arg(a) {
+                let mut q = p.clone();
+                q.funcs[fi].ret_val = Some(v);
+                out.push(q);
+            }
+        }
+        let mut fu = Uses::default();
+        fu.func(&p.funcs[fi]);
+        for li in 0..p.funcs[fi].locals.len() {
+            if !fu.vars.contains(&p.funcs[fi].locals[li].name) {
+                let mut q = p.clone();
+                q.funcs[fi].locals.remove(li);
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: minimize `failing` with [`candidates`] under a caller
+/// predicate, via `fpa_testutil::shrink_to_fixpoint`. Returns the
+/// minimized program and the accepted step count.
+pub fn minimize(failing: GProgram, still_fails: impl Fn(&GProgram) -> bool) -> (GProgram, u32) {
+    fpa_testutil::shrink_to_fixpoint(failing, candidates, still_fails)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GTy;
+    use crate::gen::{generate, GenConfig};
+    use fpa_testutil::Rng;
+
+    #[test]
+    fn candidates_strictly_reduce_or_simplify() {
+        let p = generate(&mut Rng::new(3), &GenConfig::default());
+        let cands = candidates(&p);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c != &p, "candidate identical to input");
+        }
+    }
+
+    #[test]
+    fn minimize_converges_on_a_syntactic_predicate() {
+        // Property: "the program prints something". The minimum should be
+        // tiny — shrinking must strip effectively everything else.
+        let p = generate(&mut Rng::new(11), &GenConfig::default());
+        let pred = |q: &GProgram| q.render().contains("print");
+        assert!(pred(&p));
+        let (min, steps) = minimize(p, pred);
+        assert!(steps > 0);
+        assert!(pred(&min));
+        assert!(
+            min.source_lines() <= 12,
+            "not minimal ({} lines):\n{}",
+            min.source_lines(),
+            min.render()
+        );
+    }
+
+    #[test]
+    fn drop_helper_strips_call_sites() {
+        let mut p = generate(&mut Rng::new(5), &GenConfig::default());
+        // Force a known call into main for the test.
+        if p.funcs.len() == 1 {
+            return; // no helpers generated for this seed; nothing to check
+        }
+        let helper = p.funcs[0].name.clone();
+        let main_idx = p.funcs.len() - 1;
+        let args: Vec<GArg> = p.funcs[0]
+            .params
+            .iter()
+            .map(|(_, t)| match t {
+                GTy::Int => GArg::I(IExpr::Lit(1)),
+                GTy::Double => GArg::D(DExpr::Lit(1.0)),
+            })
+            .collect();
+        p.funcs[main_idx].body.push(GStmt::Call {
+            func: helper.clone(),
+            args,
+        });
+        let q = drop_helper(&p, 0);
+        let mut u = Uses::default();
+        for f in &q.funcs {
+            u.func(f);
+        }
+        assert!(!u.funcs.contains(&helper), "call site survived drop");
+    }
+}

@@ -1,0 +1,38 @@
+//! Replays every program in the repository's `fuzz/corpus/` through the
+//! three-scheme differential oracle. The corpus holds minimized
+//! regression pins (and any reproducers written by past `fpa-fuzz`
+//! runs whose fixes have landed), so every file must check clean.
+
+use fpa_fuzz::corpus;
+use fpa_fuzz::oracle::check_source;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn corpus_is_seeded() {
+    let files = corpus::list(&corpus_dir()).expect("list corpus");
+    assert!(
+        files.len() >= 10,
+        "fuzz/corpus holds only {} programs; the regression seed set is 10+",
+        files.len()
+    );
+}
+
+#[test]
+fn every_corpus_program_passes_the_three_scheme_oracle() {
+    let files = corpus::list(&corpus_dir()).expect("list corpus");
+    let mut checked = 0;
+    for path in files {
+        let src =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        if let Err(f) = check_source(&src) {
+            panic!("corpus regression {}: {f}", path.display());
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} corpus programs replayed");
+}

@@ -1,0 +1,119 @@
+//! End-to-end checks of the fuzzing subsystem itself: a clean bounded
+//! campaign, determinism across worker counts, seed parsing, and — the
+//! critical one — proof that an *injected* codegen bug is caught by the
+//! differential oracle and shrunk to a small reproducer.
+
+use fpa_fuzz::driver::{case_seed, parse_seed, run_fuzz, FuzzConfig};
+use fpa_fuzz::gen::{generate, GenConfig};
+use fpa_fuzz::{minimize, GProgram};
+use fpa_harness::Compiler;
+use fpa_isa::Op;
+use fpa_sim::run_functional;
+use fpa_testutil::Rng;
+
+const FUEL: u64 = 50_000_000;
+
+#[test]
+fn bounded_campaign_is_clean_and_exercises_offloading() {
+    let cfg = FuzzConfig {
+        cases: 40,
+        base_seed: 0x5eed,
+        jobs: 2,
+        gen: GenConfig::default(),
+        corpus_dir: None,
+    };
+    let s = run_fuzz(&cfg);
+    assert!(
+        s.ok(),
+        "campaign found {} divergences; first: {}",
+        s.failures.len(),
+        s.failures[0].message
+    );
+    // The generator must produce programs the partitioner actually
+    // offloads, or the fuzzer is not testing the paper's mechanism.
+    assert!(
+        s.offloaded_cases > cfg.cases / 4,
+        "only {}/{} cases offloaded",
+        s.offloaded_cases,
+        cfg.cases
+    );
+    // Every case checks the default advanced build plus the 3-point sweep.
+    assert_eq!(s.advanced_builds, u64::from(cfg.cases) * 4);
+}
+
+#[test]
+fn campaign_summary_is_identical_for_any_job_count() {
+    let mk = |jobs| FuzzConfig {
+        cases: 16,
+        base_seed: 7,
+        jobs,
+        gen: GenConfig::default(),
+        corpus_dir: None,
+    };
+    let a = run_fuzz(&mk(1)).to_json().render();
+    let b = run_fuzz(&mk(3)).to_json().render();
+    assert_eq!(a, b, "summary depends on --jobs");
+}
+
+#[test]
+fn seed_parsing_accepts_decimal_hex_and_mnemonics() {
+    assert_eq!(parse_seed("42"), 42);
+    assert_eq!(parse_seed("0xff"), 255);
+    // `0xfpa2` is not valid hex; it must still parse (via hashing) and
+    // be stable.
+    let a = parse_seed("0xfpa2");
+    let b = parse_seed("0xfpa2");
+    assert_eq!(a, b);
+    assert_ne!(a, 0);
+    assert_ne!(parse_seed("0xfpa2"), parse_seed("0xfpa3"));
+}
+
+/// Emulates a codegen bug by patching the basic-scheme binary (the first
+/// `addi rd, rs, 1` becomes `addi rd, rs, 2`) and returns true when the
+/// patched binary observably diverges from the golden run.
+fn diverges_under_injected_bug(p: &GProgram) -> bool {
+    let src = p.render();
+    let Ok(suite) = Compiler::new(&src).build_suite() else {
+        return false;
+    };
+    let mut prog = suite.basic;
+    let Some(inst) = prog
+        .code
+        .iter_mut()
+        .find(|i| i.op == Op::Addi && i.imm == 1)
+    else {
+        return false;
+    };
+    inst.imm = 2;
+    match run_functional(&prog, FUEL) {
+        Ok(r) => r.output != suite.golden_output || r.exit_code != suite.golden_exit,
+        Err(_) => true,
+    }
+}
+
+#[test]
+fn injected_codegen_bug_is_caught_and_shrunk_small() {
+    // Find the first generated case the injected bug makes observable
+    // (deterministic: fixed base seed, ascending cases).
+    let gen_cfg = GenConfig::default();
+    let mut victim = None;
+    for case in 0..40u32 {
+        let p = generate(&mut Rng::new(case_seed(0xb06, case)), &gen_cfg);
+        if diverges_under_injected_bug(&p) {
+            victim = Some(p);
+            break;
+        }
+    }
+    let p = victim.expect("no generated case exposed the injected +1 -> +2 bug");
+    let original_lines = p.source_lines();
+
+    let (min, steps) = minimize(p, diverges_under_injected_bug);
+    assert!(diverges_under_injected_bug(&min));
+    assert!(steps > 0, "shrinking made no progress");
+    assert!(
+        min.source_lines() <= 20,
+        "minimized reproducer still {} lines (from {original_lines}):\n{}",
+        min.source_lines(),
+        min.render()
+    );
+}

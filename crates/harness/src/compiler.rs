@@ -85,6 +85,51 @@ pub enum Error {
     Profile(fpa_ir::InterpError),
     /// Generated IR failed verification.
     Verify(fpa_ir::VerifyError),
+    /// Machine-level execution of a built program failed.
+    Exec {
+        /// Which scheme's binary faulted.
+        scheme: Scheme,
+        /// The simulator fault.
+        source: fpa_sim::ExecError,
+    },
+    /// A built program's observable behaviour diverged from the golden
+    /// interpreter run — the strongest possible correctness failure.
+    Divergence {
+        /// Which scheme's binary diverged.
+        scheme: Scheme,
+        /// What differed (output or exit code, expected vs actual).
+        detail: String,
+    },
+    /// Context wrapper: the workload (or generated program) a nested
+    /// failure belongs to, so one failing program in a matrix or fuzz
+    /// batch is reported by name instead of aborting anonymously.
+    Workload {
+        /// The workload's name.
+        name: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Wraps this error with the workload it occurred in.
+    #[must_use]
+    pub fn in_workload(self, name: &str) -> Error {
+        Error::Workload {
+            name: name.to_string(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The scheme that failed, if this error is specific to one build.
+    #[must_use]
+    pub fn scheme(&self) -> Option<Scheme> {
+        match self {
+            Error::Exec { scheme, .. } | Error::Divergence { scheme, .. } => Some(*scheme),
+            Error::Workload { source, .. } => source.scheme(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -93,6 +138,11 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "compile: {e}"),
             Error::Profile(e) => write!(f, "profile: {e}"),
             Error::Verify(e) => write!(f, "verify: {e}"),
+            Error::Exec { scheme, source } => write!(f, "{scheme} build failed: {source}"),
+            Error::Divergence { scheme, detail } => {
+                write!(f, "{scheme} build diverged: {detail}")
+            }
+            Error::Workload { name, source } => write!(f, "workload `{name}`: {source}"),
         }
     }
 }
@@ -103,6 +153,9 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Profile(e) => Some(e),
             Error::Verify(e) => Some(e),
+            Error::Exec { source, .. } => Some(source),
+            Error::Divergence { .. } => None,
+            Error::Workload { source, .. } => Some(source.as_ref()),
         }
     }
 }

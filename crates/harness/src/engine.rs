@@ -153,7 +153,9 @@ impl ExperimentContext {
     ///
     /// # Errors
     ///
-    /// Returns the first pipeline failure (by workload order).
+    /// Returns the first pipeline failure (by workload order), wrapped
+    /// with the failing workload's name so one bad program is reported
+    /// precisely instead of aborting the matrix anonymously.
     pub fn new(
         set: &[Workload],
         params: &CostParams,
@@ -164,8 +166,8 @@ impl ExperimentContext {
         let built = parallel_map(set, jobs, |w| build(w, params));
         let build_seconds = t.elapsed().as_secs_f64();
         let mut compiled = Vec::with_capacity(built.len());
-        for r in built {
-            compiled.push(r?);
+        for (w, r) in set.iter().zip(built) {
+            compiled.push(r.map_err(|e| e.in_workload(&w.name))?);
         }
         Ok(ExperimentContext {
             compiled,

@@ -2,7 +2,7 @@
 //! (`crate::compiler`): one call builds a workload under all three
 //! regimes from a single frontend pass.
 
-use crate::compiler::{Compiler, StageTimings};
+use crate::compiler::{Compiler, Scheme, StageTimings};
 use fpa_ir::Profile;
 use fpa_isa::Program;
 use fpa_partition::{CostParams, PartitionStats};
@@ -36,6 +36,51 @@ pub struct CompiledWorkload {
     pub advanced_stats: PartitionStats,
     /// Per-stage compile timings (summed over the three builds).
     pub timings: StageTimings,
+}
+
+impl CompiledWorkload {
+    /// Runs every scheme's binary through functional simulation and
+    /// checks it against the golden interpreter run, propagating — not
+    /// panicking on — any fault or divergence. The returned error names
+    /// this workload and the offending scheme, so one bad program in a
+    /// matrix or fuzz batch is reported precisely instead of aborting
+    /// the whole run.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Exec`] when a binary faults,
+    /// [`BuildError::Divergence`] when output or exit code differ from
+    /// the golden run — each wrapped in [`BuildError::Workload`].
+    pub fn check(&self, fuel: u64) -> Result<(), BuildError> {
+        for (scheme, prog) in [
+            (Scheme::Conventional, &self.conventional),
+            (Scheme::Basic, &self.basic),
+            (Scheme::Advanced, &self.advanced),
+        ] {
+            let wrap = |e: BuildError| e.in_workload(&self.name);
+            let r = fpa_sim::run_functional(prog, fuel)
+                .map_err(|source| wrap(BuildError::Exec { scheme, source }))?;
+            if r.output != self.golden_output {
+                return Err(wrap(BuildError::Divergence {
+                    scheme,
+                    detail: format!(
+                        "output mismatch: expected {:?}, got {:?}",
+                        self.golden_output, r.output
+                    ),
+                }));
+            }
+            if r.exit_code != self.golden_exit {
+                return Err(wrap(BuildError::Divergence {
+                    scheme,
+                    detail: format!(
+                        "exit code mismatch: expected {}, got {}",
+                        self.golden_exit, r.exit_code
+                    ),
+                }));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Compiles `workload` conventionally and under both partitioning
@@ -81,15 +126,23 @@ mod tests {
     fn all_three_builds_of_compress_agree_with_golden() {
         let w = fpa_workloads::by_name("compress").unwrap();
         let c = build(&w, &CostParams::default()).unwrap();
-        for (tag, prog) in [
-            ("conventional", &c.conventional),
-            ("basic", &c.basic),
-            ("advanced", &c.advanced),
-        ] {
-            let r = run_functional(prog, FUEL).unwrap_or_else(|e| panic!("{tag}: {e}"));
-            assert_eq!(r.output, c.golden_output, "{tag} output diverged");
-            assert_eq!(r.exit_code, c.golden_exit, "{tag} exit diverged");
-        }
+        // `check` propagates a structured error naming the workload and
+        // the diverging scheme (instead of the old inline panic).
+        c.check(FUEL).unwrap();
+    }
+
+    #[test]
+    fn check_reports_workload_and_scheme_on_divergence() {
+        let w = fpa_workloads::by_name("compress").unwrap();
+        let mut c = build(&w, &CostParams::default()).unwrap();
+        c.golden_exit = c.golden_exit.wrapping_add(1); // force a mismatch
+        let e = c.check(FUEL).unwrap_err();
+        assert_eq!(e.scheme(), Some(crate::compiler::Scheme::Conventional));
+        let msg = e.to_string();
+        assert!(
+            msg.contains("compress") && msg.contains("exit code mismatch"),
+            "unhelpful error: {msg}"
+        );
     }
 
     #[test]

@@ -58,10 +58,22 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
     }
     let mut seen_ids = std::collections::HashSet::new();
     let nb = func.blocks.len() as u32;
+    let nv = func.num_vregs();
     for b in func.block_ids() {
         for inst in &func.block(b).insts {
             if !seen_ids.insert(inst.id()) {
                 return err(format!("duplicate instruction id {}", inst.id()));
+            }
+            // Register references must name registers the function has
+            // actually declared — before the type checks below index into
+            // the register table.
+            for v in inst.uses().into_iter().chain(inst.dst()) {
+                if v.index() >= nv {
+                    return err(format!(
+                        "use of undefined register {v} at {} (function declares {nv})",
+                        inst.id()
+                    ));
+                }
             }
             match inst {
                 Inst::Bin {
@@ -180,6 +192,13 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                         return err(format!("copy type mismatch at {}", inst.id()));
                     }
                 }
+            }
+        }
+        for v in func.block(b).term.uses() {
+            if v.index() >= nv {
+                return err(format!(
+                    "use of undefined register {v} in terminator of {b} (function declares {nv})"
+                ));
             }
         }
         match &func.block(b).term {

@@ -8,9 +8,13 @@
 //! required.
 //!
 //! The tests that use it keep the *property* formulation (random inputs,
-//! invariant assertions); they trade shrinking for reproducibility — every
-//! failure prints the case seed, and rerunning with that seed reproduces
-//! the exact input.
+//! invariant assertions) **with** seed replay: every failure prints the
+//! case seed, and rerunning with that seed reproduces the exact input.
+//! Tests that model their case as an explicit value can additionally
+//! minimize failures with [`run_cases_shrinking`], which greedily applies
+//! caller-supplied shrink candidates ([`shrink_to_fixpoint`]) until no
+//! smaller case still fails — the panic message then carries both the
+//! seed and the minimized case.
 
 use std::time::{Duration, Instant};
 
@@ -115,6 +119,74 @@ pub fn run_cases(base_seed: u64, cases: u32, mut body: impl FnMut(&mut Rng)) {
     }
 }
 
+/// Greedily minimizes `failing` under `still_fails`, using `candidates`
+/// to propose strictly "smaller" variants of a case.
+///
+/// Classic fixpoint shrinking: each round asks `candidates` for every
+/// one-step reduction of the current case (in a deterministic order),
+/// keeps the first one that still fails, and repeats until no candidate
+/// fails. `candidates` must eventually return an empty (or all-passing)
+/// set for the loop to terminate — deletion- and simplification-style
+/// edits that strictly reduce case size satisfy this naturally.
+///
+/// Returns the minimized case and the number of accepted reduction steps.
+pub fn shrink_to_fixpoint<T>(
+    failing: T,
+    candidates: impl Fn(&T) -> Vec<T>,
+    still_fails: impl Fn(&T) -> bool,
+) -> (T, u32) {
+    let mut current = failing;
+    let mut steps = 0u32;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if still_fails(&cand) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        return (current, steps);
+    }
+}
+
+/// Like [`run_cases`], but for properties whose case is an explicit value:
+/// `gen` builds the case from the seeded [`Rng`], `check` returns `Err`
+/// with a description when the property fails, and `candidates` proposes
+/// shrink steps (see [`shrink_to_fixpoint`]).
+///
+/// On failure the case is minimized and the panic message reports the
+/// case seed (replayable, exactly as [`run_cases`]), the shrink-step
+/// count, and the minimized case via its `Debug` form.
+///
+/// # Panics
+///
+/// Panics when `check` fails for any generated case.
+pub fn run_cases_shrinking<T: std::fmt::Debug>(
+    base_seed: u64,
+    cases: u32,
+    gen: impl Fn(&mut Rng) -> T,
+    candidates: impl Fn(&T) -> Vec<T>,
+    check: impl Fn(&T) -> Result<(), String>,
+) {
+    for case in 0..cases {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(case) + 1);
+        let input = gen(&mut Rng::new(seed));
+        let Err(first_failure) = check(&input) else {
+            continue;
+        };
+        let (minimized, steps) = shrink_to_fixpoint(input, &candidates, |c| check(c).is_err());
+        let final_failure = check(&minimized).expect_err("shrinking preserves failure");
+        panic!(
+            "case {case} failed (rng seed {seed:#x}, base {base_seed:#x})\n\
+             original failure: {first_failure}\n\
+             after {steps} shrink step(s): {final_failure}\n\
+             minimized case: {minimized:#?}"
+        );
+    }
+}
+
 /// One timed measurement: median and total of `iters` runs of `f`.
 #[derive(Debug, Clone, Copy)]
 pub struct Timing {
@@ -181,6 +253,79 @@ mod tests {
             seen.insert(rng.next_u64());
         });
         assert_eq!(seen.len(), 16);
+    }
+
+    /// Shrinking a vector of ints under "contains an element >= 10" must
+    /// converge to the single smallest witness.
+    #[test]
+    fn shrink_finds_minimal_witness() {
+        let candidates = |v: &Vec<i32>| {
+            let mut out = Vec::new();
+            for i in 0..v.len() {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+            for i in 0..v.len() {
+                if v[i] > 0 {
+                    let mut smaller = v.clone();
+                    smaller[i] /= 2;
+                    out.push(smaller);
+                }
+            }
+            out
+        };
+        let fails = |v: &Vec<i32>| v.iter().any(|&x| x >= 10);
+        let (min, steps) = shrink_to_fixpoint(vec![3, 40, 7, 12, 99], candidates, fails);
+        // One element left, halving it once more would pass.
+        assert_eq!(min.len(), 1);
+        assert!(min[0] >= 10 && min[0] / 2 < 10, "not minimal: {min:?}");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_smaller_fails() {
+        let (min, steps) = shrink_to_fixpoint(7u32, |_| vec![], |_| true);
+        assert_eq!((min, steps), (7, 0));
+    }
+
+    #[test]
+    fn run_cases_shrinking_passes_when_property_holds() {
+        run_cases_shrinking(
+            99,
+            16,
+            |rng| rng.below(100),
+            |&v| if v > 0 { vec![v / 2] } else { vec![] },
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err("too big".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn run_cases_shrinking_minimizes_and_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases_shrinking(
+                5,
+                32,
+                |rng| rng.below(1000) + 500,
+                |&v| if v > 0 { vec![v - 1, v / 2] } else { vec![] },
+                |&v| {
+                    if v < 100 {
+                        Ok(())
+                    } else {
+                        Err(format!("{v} >= 100"))
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("rng seed"), "seed missing: {msg}");
+        assert!(msg.contains("minimized case: 100"), "not minimal: {msg}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use fpa::sim::run_functional;
 use fpa::{Compiler, Scheme};
-use fpa_testutil::{run_cases, Rng};
+use fpa_testutil::{run_cases, run_cases_shrinking, Rng};
 
 /// A random integer expression over locals `a`, `b`, `c`, loop counter
 /// `i`, and the arrays `g0`/`g1` (indices are masked to stay in bounds,
@@ -112,33 +112,82 @@ fn program(stmts: &[String], iters: u32, seed: i32) -> String {
     )
 }
 
-fn random_source(rng: &mut Rng) -> String {
-    let stmts = rng.vec(1, 8, stmt);
-    let iters = rng.range_u32(1, 40);
-    let seed = rng.range_i32(-1000, 1000);
-    program(&stmts, iters, seed)
+/// A structured random case: the loop body's statements plus the loop
+/// trip count and data seed. Keeping the case explicit (instead of a
+/// rendered string) lets failures shrink: drop statements, halve the
+/// trip count, zero the seed.
+#[derive(Debug, Clone)]
+struct Case {
+    stmts: Vec<String>,
+    iters: u32,
+    seed: i32,
+}
+
+impl Case {
+    fn render(&self) -> String {
+        program(&self.stmts, self.iters, self.seed)
+    }
+
+    fn shrink_candidates(&self) -> Vec<Case> {
+        let mut out = Vec::new();
+        for i in 0..self.stmts.len() {
+            let mut c = self.clone();
+            c.stmts.remove(i);
+            out.push(c);
+        }
+        if self.iters > 1 {
+            let mut c = self.clone();
+            c.iters /= 2;
+            out.push(c);
+        }
+        if self.seed != 0 {
+            let mut c = self.clone();
+            c.seed = 0;
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Checks one case against all three schemes, reporting (not asserting)
+/// the first divergence so the shrinking runner can minimize it.
+fn check_case(case: &Case) -> Result<(), String> {
+    let src = case.render();
+    let m = fpa::frontend::compile(&src).map_err(|e| format!("compile: {e}"))?;
+    let (golden, _) = fpa::ir::Interp::new(&m)
+        .run()
+        .map_err(|e| format!("golden run: {e}"))?;
+
+    for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
+        let art = Compiler::new(&src)
+            .scheme(scheme)
+            .build()
+            .map_err(|e| format!("{scheme:?} pipeline: {e}"))?;
+        let r = run_functional(&art.program, 200_000_000)
+            .map_err(|e| format!("{scheme:?} functional run: {e}"))?;
+        if r.output != golden.output {
+            return Err(format!("{scheme:?} output diverged\n{src}"));
+        }
+        if r.exit_code != golden.exit_code {
+            return Err(format!("{scheme:?} exit diverged\n{src}"));
+        }
+    }
+    Ok(())
 }
 
 #[test]
 fn random_programs_preserve_semantics() {
-    run_cases(0x5E11A, 24, |rng| {
-        let src = random_source(rng);
-        let m = fpa::frontend::compile(&src).expect("generated program compiles");
-        let (golden, _) = fpa::ir::Interp::new(&m).run().expect("golden run");
-
-        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
-            let art = Compiler::new(&src)
-                .scheme(scheme)
-                .build()
-                .expect("pipeline");
-            let r = run_functional(&art.program, 200_000_000).expect("functional run");
-            assert_eq!(r.output, golden.output, "{scheme:?} output diverged\n{src}");
-            assert_eq!(
-                r.exit_code, golden.exit_code,
-                "{scheme:?} exit diverged\n{src}"
-            );
-        }
-    });
+    run_cases_shrinking(
+        0x5E11A,
+        24,
+        |rng| Case {
+            stmts: rng.vec(1, 8, stmt),
+            iters: rng.range_u32(1, 40),
+            seed: rng.range_i32(-1000, 1000),
+        },
+        Case::shrink_candidates,
+        check_case,
+    );
 }
 
 /// The timing simulator retires exactly what the functional simulator
