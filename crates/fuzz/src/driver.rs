@@ -122,6 +122,8 @@ pub struct FuzzSummary {
     pub mean_lines: f64,
     /// Advanced-scheme builds checked (default + sweep, summed).
     pub advanced_builds: u64,
+    /// Timing-simulator runs checked under lockstep co-simulation.
+    pub timing_checked: u64,
     /// Corpus files written this run.
     pub written: Vec<PathBuf>,
 }
@@ -145,6 +147,7 @@ impl FuzzSummary {
         j.set("total_augmented", self.total_augmented);
         j.set("total_retired", self.total_retired);
         j.set("advanced_builds", self.advanced_builds);
+        j.set("timing_checked", self.timing_checked);
         j.set("mean_lines", self.mean_lines);
         let fails: Vec<Json> = self
             .failures
@@ -226,6 +229,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
                 summary.total_augmented += stats.advanced_augmented;
                 summary.total_retired += stats.conventional_total;
                 summary.advanced_builds += u64::from(stats.advanced_builds);
+                summary.timing_checked += u64::from(stats.timing_checked);
             }
             CaseOutcome::Fail(f) => {
                 total_lines += f.original_lines;

@@ -15,10 +15,17 @@
 //!
 //! Any violation is a compiler bug by construction: generated programs
 //! terminate and never fault (see the `ast` module docs).
+//!
+//! Beyond the functional stages, every default-parameter build also runs
+//! through the **timing simulator under lockstep co-simulation**
+//! ([`fpa_sim::cosimulate`]): each retirement is diffed against an
+//! independent functional execution and the pipeline's structural
+//! invariants are audited, so the fuzzer also hunts for
+//! timing-simulator bugs, not just compiler bugs.
 
 use fpa_harness::{Compiler, Scheme};
 use fpa_partition::CostParams;
-use fpa_sim::run_functional;
+use fpa_sim::{run_functional, MachineConfig};
 use std::fmt;
 
 /// Advanced-scheme cost-parameter sweep checked for every program, in
@@ -48,6 +55,9 @@ pub enum FailureKind {
     /// A scheme invariant was violated (augmented ops in a conventional
     /// build, copies in a basic build).
     Invariant,
+    /// The timing simulator violated a lockstep or microarchitectural
+    /// invariant check under co-simulation.
+    Cosim,
 }
 
 impl FailureKind {
@@ -60,6 +70,7 @@ impl FailureKind {
             FailureKind::Output => "output",
             FailureKind::Exit => "exit",
             FailureKind::Invariant => "invariant",
+            FailureKind::Cosim => "cosim",
         }
     }
 }
@@ -104,6 +115,8 @@ pub struct OracleStats {
     pub conventional_total: u64,
     /// Advanced-scheme builds checked (default + sweep points).
     pub advanced_builds: u32,
+    /// Timing-simulator runs checked under lockstep co-simulation.
+    pub timing_checked: u32,
 }
 
 fn truncate(s: &str, limit: usize) -> String {
@@ -149,9 +162,62 @@ fn compare(
     Ok(r)
 }
 
+/// Runs `prog` on the 4-way timing machine under full lockstep
+/// co-simulation and demands a violation-free run whose observable
+/// behaviour matches the golden interpreter output.
+fn cosim_check(
+    scheme: &str,
+    prog: &fpa_isa::Program,
+    augmented: bool,
+    golden_output: &str,
+    golden_exit: i32,
+) -> Result<(), OracleFailure> {
+    let config = format!("{scheme}(timing)");
+    let cfg = MachineConfig::four_way(augmented);
+    let report = fpa_sim::cosimulate(prog, &cfg, ORACLE_FUEL).map_err(|e| OracleFailure {
+        kind: FailureKind::Exec,
+        config: config.clone(),
+        message: e.to_string(),
+    })?;
+    if !report.clean() {
+        let first = report
+            .violations
+            .first()
+            .map_or_else(|| "(not stored)".to_string(), ToString::to_string);
+        return Err(OracleFailure {
+            kind: FailureKind::Cosim,
+            config,
+            message: format!(
+                "{} co-simulation violation(s); first: {first}",
+                report.total_violations
+            ),
+        });
+    }
+    if report.result.output != golden_output {
+        return Err(OracleFailure {
+            kind: FailureKind::Output,
+            config,
+            message: format!(
+                "expected {:?}, got {:?}",
+                truncate(golden_output, 160),
+                truncate(&report.result.output, 160)
+            ),
+        });
+    }
+    if report.result.exit_code != golden_exit {
+        return Err(OracleFailure {
+            kind: FailureKind::Exit,
+            config,
+            message: format!("expected {golden_exit}, got {}", report.result.exit_code),
+        });
+    }
+    Ok(())
+}
+
 /// Checks one `zinc` source against the full oracle: golden interpreter
 /// run vs conventional, basic, advanced (default parameters), and every
-/// [`COST_SWEEP`] point, plus the per-scheme invariants.
+/// [`COST_SWEEP`] point, plus the per-scheme invariants and a lockstep
+/// co-simulated timing run of each default-parameter build.
 ///
 /// # Errors
 ///
@@ -214,6 +280,24 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
     stats.advanced_augmented = adv.augmented;
     stats.advanced_copies = adv.copies;
     stats.advanced_builds = 1;
+
+    // Timing-simulator stage: every default-parameter build co-simulates
+    // on the 4-way machine. A violation here is a *simulator* bug (or a
+    // miscompile only visible under out-of-order timing).
+    for (scheme, prog, augmented) in [
+        ("conventional", &suite.conventional, false),
+        ("basic", &suite.basic, true),
+        ("advanced", &suite.advanced, true),
+    ] {
+        cosim_check(
+            scheme,
+            prog,
+            augmented,
+            &suite.golden_output,
+            suite.golden_exit,
+        )?;
+        stats.timing_checked += 1;
+    }
 
     // Advanced scheme across the cost-parameter sweep. Each point can pick
     // a different partition; all must stay observably equivalent. The

@@ -39,6 +39,8 @@ fn bounded_campaign_is_clean_and_exercises_offloading() {
     );
     // Every case checks the default advanced build plus the 3-point sweep.
     assert_eq!(s.advanced_builds, u64::from(cfg.cases) * 4);
+    // ...and co-simulates all three default builds on the timing machine.
+    assert_eq!(s.timing_checked, u64::from(cfg.cases) * 3);
 }
 
 #[test]

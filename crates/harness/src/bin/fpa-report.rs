@@ -3,14 +3,21 @@
 //!
 //! ```text
 //! fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all]
-//!            [--jobs N]        # worker threads (default: all cores)
-//!            [--json [PATH]]   # also write the machine-readable report
+//!            [--jobs N]          # worker threads (default: all cores)
+//!            [--json [PATH]]     # also write the machine-readable report
+//!            [--check]           # lockstep co-simulation + invariant sweep
+//!            [--workloads A,B]   # restrict --check to named workloads
 //! ```
 //!
 //! Workloads are compiled once into a shared artifact store
 //! ([`fpa_harness::engine::ExperimentContext`]); figure cells then fan
 //! out across the worker pool. The plain-text tables on stdout are
 //! identical for every `--jobs` value.
+//!
+//! `--check` replaces the figure matrix with the co-simulation sweep:
+//! every workload x scheme x machine cell re-runs under the lockstep and
+//! invariant checkers ([`fpa_harness::check`]), and the process exits
+//! non-zero if any cell reports a violation.
 
 use fpa_harness::engine::{default_jobs, ExperimentContext, MatrixReport};
 use fpa_harness::experiments::fp_programs;
@@ -20,7 +27,7 @@ use fpa_partition::CostParams;
 fn usage() -> ! {
     eprintln!(
         "usage: fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all] \
-         [--jobs N] [--json [PATH]]"
+         [--jobs N] [--json [PATH]] [--check] [--workloads A,B]"
     );
     std::process::exit(2)
 }
@@ -30,9 +37,17 @@ fn main() {
     let mut what = None;
     let mut jobs = default_jobs();
     let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut workloads: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--check" => check = true,
+            "--workloads" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                workloads = Some(list.split(',').map(str::to_owned).collect());
+            }
             "--jobs" => {
                 i += 1;
                 jobs = args
@@ -54,6 +69,9 @@ fn main() {
             _ => usage(),
         }
         i += 1;
+    }
+    if check {
+        run_check(workloads.as_deref(), jobs, what.as_deref());
     }
     let what = what.unwrap_or_else(|| "all".to_owned());
     if !matches!(
@@ -126,6 +144,48 @@ fn main() {
             report::speedup("Section 7.5: FP programs on the 4-way machine", &speed)
         );
     }
+}
+
+/// The `--check` mode: builds the (optionally filtered) workload set and
+/// sweeps every cell under lockstep co-simulation. Exits 0 when clean,
+/// 1 on any violation.
+fn run_check(filter: Option<&[String]>, jobs: usize, what: Option<&str>) -> ! {
+    if what.is_some() {
+        eprintln!("fpa-report: --check does not take a figure target");
+        usage();
+    }
+    let set: Vec<fpa_workloads::Workload> = match filter {
+        None => fpa_workloads::integer(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                fpa_workloads::by_name(n).unwrap_or_else(|| {
+                    eprintln!("fpa-report: unknown workload '{n}'");
+                    usage()
+                })
+            })
+            .collect(),
+    };
+    eprintln!(
+        "co-simulating {} workload(s) x 3 schemes x 2 machines, {jobs} worker(s)...",
+        set.len()
+    );
+    let ctx = ExperimentContext::new(&set, &CostParams::default(), jobs).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    });
+    let rows = fpa_harness::check_matrix(&ctx).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report::check(&rows));
+    let dirty: u64 = rows.iter().map(|r| r.total_violations).sum();
+    if dirty > 0 {
+        eprintln!("fpa-report: {dirty} violation(s) detected");
+        std::process::exit(1);
+    }
+    eprintln!("all {} cells clean", rows.len());
+    std::process::exit(0);
 }
 
 fn write_json(path: &str, m: &MatrixReport) {

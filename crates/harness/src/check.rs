@@ -1,0 +1,173 @@
+//! Lockstep co-simulation sweep over the experiment matrix — the engine
+//! behind `fpa-report --check`.
+//!
+//! Every (workload, scheme, machine-width) cell re-runs its timing
+//! simulation under the full [`fpa_sim::cosim`] harness: the lockstep
+//! checker diffs each retirement against an independent functional
+//! execution, the invariant checker audits the pipeline's structural
+//! rules, and the final output/exit code is additionally compared
+//! against the workload's golden interpreter run. Cells fan across the
+//! same worker pool as the figure matrix.
+
+use crate::compiler::Scheme;
+use crate::engine::{parallel_map, ExperimentContext};
+use crate::experiments::TIMING_FUEL;
+use crate::pipeline::CompiledWorkload;
+use fpa_sim::{cosimulate, ExecError, MachineConfig, Violation};
+
+/// One checked (workload, scheme, machine) cell.
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    /// Workload name.
+    pub workload: String,
+    /// Which binary ran.
+    pub scheme: Scheme,
+    /// Machine preset label (`"4-way"` or `"8-way"`).
+    pub machine: &'static str,
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Stored violations (capped per checker; see `total_violations`).
+    pub violations: Vec<Violation>,
+    /// Total violations detected, including beyond the storage cap.
+    pub total_violations: u64,
+}
+
+impl CheckRow {
+    /// True when every lockstep, invariant, and golden check passed.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+/// A machine preset: display label plus constructor (taking the
+/// augmented flag).
+type MachinePreset = (&'static str, fn(bool) -> MachineConfig);
+
+/// The machine presets a check sweep covers.
+const MACHINES: [MachinePreset; 2] = [
+    ("4-way", MachineConfig::four_way),
+    ("8-way", MachineConfig::eight_way),
+];
+
+fn check_cell(
+    c: &CompiledWorkload,
+    scheme: Scheme,
+    machine: &'static str,
+    make: fn(bool) -> MachineConfig,
+) -> Result<CheckRow, ExecError> {
+    let (program, augmented) = match scheme {
+        Scheme::Conventional => (&c.conventional, false),
+        Scheme::Basic => (&c.basic, true),
+        Scheme::Advanced => (&c.advanced, true),
+    };
+    let cfg = make(augmented);
+    let report = cosimulate(program, &cfg, TIMING_FUEL)?;
+    let mut violations = report.violations;
+    let mut total = report.total_violations;
+    // The lockstep checker proves timing == functional; this closes the
+    // loop back to the IR interpreter's golden run.
+    let mut golden = |check: &'static str, detail: String| {
+        total += 1;
+        violations.push(Violation {
+            cycle: report.result.cycles,
+            seq: report.result.retired,
+            pc: None,
+            op: None,
+            check,
+            detail,
+        });
+    };
+    if report.result.output != c.golden_output {
+        golden(
+            "golden-output",
+            format!(
+                "timing output {:?} != interpreter golden {:?}",
+                truncated(&report.result.output),
+                truncated(&c.golden_output)
+            ),
+        );
+    }
+    if report.result.exit_code != c.golden_exit {
+        golden(
+            "golden-exit",
+            format!(
+                "timing exit code {} != interpreter golden {}",
+                report.result.exit_code, c.golden_exit
+            ),
+        );
+    }
+    Ok(CheckRow {
+        workload: c.name.clone(),
+        scheme,
+        machine,
+        cycles: report.result.cycles,
+        retired: report.result.retired,
+        violations,
+        total_violations: total,
+    })
+}
+
+fn truncated(s: &str) -> String {
+    const MAX: usize = 60;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        format!("{}... ({} bytes)", &s[..MAX], s.len())
+    }
+}
+
+/// Runs every (workload, scheme, machine) cell of `ctx` under lockstep
+/// co-simulation, fanning cells across the context's worker pool. Rows
+/// come back in (workload, machine, scheme) order.
+///
+/// # Errors
+///
+/// Returns the first simulation failure (by cell order). Checker
+/// violations are *not* errors — they are reported in the rows.
+pub fn check_matrix(ctx: &ExperimentContext) -> Result<Vec<CheckRow>, ExecError> {
+    let mut cells = Vec::new();
+    for c in ctx.compiled() {
+        for &(machine, make) in &MACHINES {
+            for scheme in Scheme::ALL {
+                cells.push((c, scheme, machine, make));
+            }
+        }
+    }
+    parallel_map(&cells, ctx.jobs(), |&(c, scheme, machine, make)| {
+        check_cell(c, scheme, machine, make)
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_partition::CostParams;
+
+    #[test]
+    fn full_check_sweep_is_clean_on_li() {
+        let set = vec![fpa_workloads::by_name("li").unwrap()];
+        let ctx = ExperimentContext::new(&set, &CostParams::default(), 1).unwrap();
+        let rows = check_matrix(&ctx).unwrap();
+        // 1 workload x 2 machines x 3 schemes.
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.clean(),
+                "{} {} on {}: {:?}",
+                row.workload,
+                row.scheme,
+                row.machine,
+                row.violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+            );
+            assert!(row.cycles > 0 && row.retired > 0);
+        }
+    }
+}

@@ -22,7 +22,7 @@ use crate::experiments::{
 use crate::json::Json;
 use crate::pipeline::{build, BuildError, CompiledWorkload};
 use fpa_partition::CostParams;
-use fpa_sim::MachineConfig;
+use fpa_sim::{EventCounters, MachineConfig};
 use fpa_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -94,6 +94,10 @@ pub struct RunTelemetry {
     pub copies_retired: u64,
     /// Static copies the advanced partition placed (IR-level).
     pub static_copies: usize,
+    /// Pipeline event counters from the advanced 4-way run (fetches,
+    /// dispatches, per-class issues, writebacks, retirements), recorded
+    /// by the co-simulation observer hooks.
+    pub events: EventCounters,
 }
 
 /// The full figure/table matrix plus telemetry, from one context.
@@ -251,7 +255,7 @@ impl ExperimentContext {
             Cell::Fig9(i) => {
                 let c = &self.compiled[i];
                 let t = Instant::now();
-                let (row, [conv, basic, adv]) = speedup_row_detailed(
+                let (row, [conv, basic, adv], events) = speedup_row_detailed(
                     c,
                     &MachineConfig::four_way(false),
                     &MachineConfig::four_way(true),
@@ -266,11 +270,12 @@ impl ExperimentContext {
                     fp_window_occupancy: adv.fp_window_occupancy(),
                     copies_retired: adv.copies_retired,
                     static_copies: c.advanced_stats.static_copies,
+                    events,
                 };
                 Ok(CellResult::Fig9(Box::new((row, telemetry))))
             }
             Cell::Fig10(i) => {
-                let (row, _) = speedup_row_detailed(
+                let (row, _, _) = speedup_row_detailed(
                     &self.compiled[i],
                     &MachineConfig::eight_way(false),
                     &MachineConfig::eight_way(true),
@@ -309,6 +314,30 @@ fn timings_from_json(v: &Json) -> Option<StageTimings> {
     })
 }
 
+fn events_to_json(e: &EventCounters) -> Json {
+    let mut o = Json::obj();
+    o.set("fetched", e.fetched)
+        .set("dispatched", e.dispatched)
+        .set("issued_int", e.issued_int)
+        .set("issued_fp", e.issued_fp)
+        .set("issued_mem", e.issued_mem)
+        .set("writebacks", e.writebacks)
+        .set("retired", e.retired);
+    o
+}
+
+fn events_from_json(v: &Json) -> Option<EventCounters> {
+    Some(EventCounters {
+        fetched: v.get("fetched")?.as_u64()?,
+        dispatched: v.get("dispatched")?.as_u64()?,
+        issued_int: v.get("issued_int")?.as_u64()?,
+        issued_fp: v.get("issued_fp")?.as_u64()?,
+        issued_mem: v.get("issued_mem")?.as_u64()?,
+        writebacks: v.get("writebacks")?.as_u64()?,
+        retired: v.get("retired")?.as_u64()?,
+    })
+}
+
 impl RunTelemetry {
     fn to_json(&self) -> Json {
         let mut o = Json::obj();
@@ -322,7 +351,8 @@ impl RunTelemetry {
             .set("int_window_occupancy", self.int_window_occupancy)
             .set("fp_window_occupancy", self.fp_window_occupancy)
             .set("copies_retired", self.copies_retired)
-            .set("static_copies", self.static_copies);
+            .set("static_copies", self.static_copies)
+            .set("events", events_to_json(&self.events));
         o
     }
 
@@ -341,6 +371,7 @@ impl RunTelemetry {
             fp_window_occupancy: v.get("fp_window_occupancy")?.as_f64()?,
             copies_retired: v.get("copies_retired")?.as_u64()?,
             static_copies: v.get("static_copies")?.as_u64()? as usize,
+            events: events_from_json(v.get("events")?)?,
         })
     }
 }

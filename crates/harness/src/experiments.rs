@@ -7,7 +7,7 @@
 
 use crate::pipeline::{build, BuildError, CompiledWorkload};
 use fpa_partition::CostParams;
-use fpa_sim::{run_functional, simulate, MachineConfig};
+use fpa_sim::{run_functional, simulate, simulate_observed, EventCounters, MachineConfig};
 use fpa_workloads::Workload;
 
 /// Functional-simulation fuel (instructions).
@@ -108,8 +108,9 @@ pub fn fig8_partition_size(
 }
 
 /// One workload's speedup cell, plus the three timing results it came
-/// from (conventional, basic, advanced) so callers can surface simulator
-/// event counters without re-running anything.
+/// from (conventional, basic, advanced) and the advanced run's pipeline
+/// event counters, so callers can surface simulator telemetry without
+/// re-running anything.
 ///
 /// # Errors
 ///
@@ -118,10 +119,11 @@ pub fn speedup_row_detailed(
     c: &CompiledWorkload,
     conv_cfg: &MachineConfig,
     aug_cfg: &MachineConfig,
-) -> Result<(SpeedupRow, [fpa_sim::TimingResult; 3]), fpa_sim::ExecError> {
+) -> Result<(SpeedupRow, [fpa_sim::TimingResult; 3], EventCounters), fpa_sim::ExecError> {
     let conv = simulate(&c.conventional, conv_cfg, TIMING_FUEL)?;
     let basic = simulate(&c.basic, aug_cfg, TIMING_FUEL)?;
-    let adv = simulate(&c.advanced, aug_cfg, TIMING_FUEL)?;
+    let mut events = EventCounters::default();
+    let adv = simulate_observed(&c.advanced, aug_cfg, TIMING_FUEL, &mut events)?;
     debug_assert_eq!(conv.output, basic.output);
     debug_assert_eq!(conv.output, adv.output);
     let row = SpeedupRow {
@@ -131,7 +133,7 @@ pub fn speedup_row_detailed(
         conventional_cycles: conv.cycles,
         int_idle_fp_busy_frac: adv.int_idle_fp_busy as f64 / adv.cycles as f64,
     };
-    Ok((row, [conv, basic, adv]))
+    Ok((row, [conv, basic, adv], events))
 }
 
 fn speedups(
@@ -141,7 +143,7 @@ fn speedups(
 ) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
     compiled
         .iter()
-        .map(|c| speedup_row_detailed(c, conv_cfg, aug_cfg).map(|(row, _)| row))
+        .map(|c| speedup_row_detailed(c, conv_cfg, aug_cfg).map(|(row, _, _)| row))
         .collect()
 }
 

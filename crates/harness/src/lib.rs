@@ -18,6 +18,7 @@
 //! fpa-report all
 //! ```
 
+pub mod check;
 pub mod compiler;
 pub mod engine;
 pub mod experiments;
@@ -25,6 +26,7 @@ pub mod json;
 pub mod pipeline;
 pub mod report;
 
+pub use check::{check_matrix, CheckRow};
 pub use compiler::{frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings};
 pub use engine::{ExperimentContext, MatrixReport, RunTelemetry};
 pub use experiments::{

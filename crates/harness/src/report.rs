@@ -1,8 +1,46 @@
 //! Plain-text rendering of experiment results.
 
+use crate::check::CheckRow;
 use crate::experiments::{Fig8Row, OverheadRow, SpeedupRow};
 use fpa_sim::MachineConfig;
 use std::fmt::Write as _;
+
+/// Renders the co-simulation check sweep (`fpa-report --check`): one row
+/// per (workload, machine, scheme) cell, with each dirty cell's first
+/// few violation diagnostics inline.
+#[must_use]
+pub fn check(rows: &[CheckRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Lockstep co-simulation + invariant check");
+    let _ = writeln!(
+        s,
+        "{:<12}{:>8}{:<14}{:>14}{:>12}{:>12}",
+        "benchmark", "machine", "  scheme", "cycles", "retired", "violations"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>8}  {:<12}{:>14}{:>12}{:>12}",
+            r.workload,
+            r.machine,
+            r.scheme.label(),
+            r.cycles,
+            r.retired,
+            if r.clean() {
+                "ok".to_string()
+            } else {
+                r.total_violations.to_string()
+            }
+        );
+        for v in r.violations.iter().take(3) {
+            let _ = writeln!(s, "    !! {v}");
+        }
+        if r.violations.len() > 3 {
+            let _ = writeln!(s, "    .. and {} more", r.total_violations - 3);
+        }
+    }
+    s
+}
 
 /// Renders Table 1 (machine parameters) for both presets.
 #[must_use]

@@ -1,0 +1,54 @@
+//! Golden statistics regression test: pins the *numbers* of the paper's
+//! figure matrix, not just their shape.
+//!
+//! The full integer workload set runs through the experiment engine and
+//! the deterministic portion of the resulting [`MatrixReport`] — every
+//! fig8/fig9/fig10 row, the overhead matrix, and the per-workload
+//! simulator telemetry — is rendered to canonical JSON and compared byte
+//! for byte against the checked-in
+//! `tests/golden/matrix_stats.json`. Any change to the compiler,
+//! partitioner, or timing simulator that moves a statistic shows up as a
+//! reviewable diff of this file. After an *intentional* change,
+//! regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p fpa-harness --test golden_stats`.
+//!
+//! Wall-clock fields (worker count, build/matrix seconds, per-stage
+//! timings) are zeroed before rendering so the file is identical on any
+//! host and for any `--jobs` value.
+
+use fpa_harness::compiler::StageTimings;
+use fpa_harness::engine::{ExperimentContext, MatrixReport};
+use fpa_partition::CostParams;
+
+/// Strips every nondeterministic (wall-clock) field.
+fn normalized(mut m: MatrixReport) -> MatrixReport {
+    m.jobs = 0;
+    m.build_seconds = 0.0;
+    m.matrix_seconds = 0.0;
+    for t in &mut m.telemetry {
+        t.timings = StageTimings::default();
+        t.sim_seconds = 0.0;
+    }
+    m
+}
+
+#[test]
+fn figure_matrix_matches_golden_statistics() {
+    let set = fpa_workloads::integer();
+    let ctx = ExperimentContext::new(&set, &CostParams::default(), 1).expect("pipeline");
+    let rendered = normalized(ctx.matrix().expect("matrix")).to_json().render();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/matrix_stats.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden stats file present (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        rendered, golden,
+        "experiment statistics drifted from tests/golden/matrix_stats.json; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -10,6 +10,7 @@ use fpa_harness::compiler::StageTimings;
 use fpa_harness::engine::{MatrixReport, RunTelemetry};
 use fpa_harness::experiments::{Fig8Row, OverheadRow, SpeedupRow};
 use fpa_harness::json::Json;
+use fpa_sim::EventCounters;
 use std::time::Duration;
 
 /// A small fixed report exercising awkward values: sub-nanosecond-free
@@ -71,6 +72,15 @@ fn fixture() -> MatrixReport {
             fp_window_occupancy: 1.0625,
             copies_retired: 0,
             static_copies: 12,
+            events: EventCounters {
+                fetched: 1_300_000,
+                dispatched: 1_250_000,
+                issued_int: 700_000,
+                issued_fp: 200_000,
+                issued_mem: 300_000,
+                writebacks: 1_200_000,
+                retired: 1_200_000,
+            },
         }],
     }
 }

@@ -134,6 +134,15 @@ impl Machine {
         }
     }
 
+    /// Reads a register's raw 64-bit architectural value: integer
+    /// registers sign-extend, FP registers return their bit pattern.
+    /// This is the canonical form the co-simulation layer diffs, so both
+    /// register files compare under one representation.
+    #[must_use]
+    pub fn reg_raw(&self, r: Reg) -> u64 {
+        self.getraw(r)
+    }
+
     fn setraw(&mut self, r: Reg, v: u64) {
         match r {
             Reg::Fp(r) => self.fp_regs[r.index()] = v,

@@ -17,12 +17,18 @@
 
 pub mod cache;
 pub mod config;
+pub mod cosim;
 pub mod exec;
 pub mod func_sim;
+pub mod observe;
 pub mod ooo;
 pub mod predictor;
 
 pub use config::MachineConfig;
+pub use cosim::{
+    cosimulate, CosimObserver, CosimReport, InvariantChecker, LockstepChecker, Violation,
+};
 pub use exec::{ExecError, Machine};
 pub use func_sim::{run_functional, FuncSimResult};
-pub use ooo::{simulate, TimingResult};
+pub use observe::{EventCounters, SimObserver};
+pub use ooo::{simulate, simulate_observed, TimingResult};

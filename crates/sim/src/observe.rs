@@ -1,0 +1,242 @@
+//! Microarchitectural event observation.
+//!
+//! [`SimObserver`] is a hook trait threaded through the out-of-order
+//! timing simulator (`crate::ooo`): every pipeline stage emits a typed
+//! event — fetch, dispatch, issue, writeback, retire — as it processes an
+//! instruction. Observers are passive: they see the full event stream but
+//! cannot influence timing, so a simulation's cycle counts are identical
+//! with or without observation.
+//!
+//! Three kinds of consumers build on the stream:
+//!
+//! * [`EventCounters`] — cheap per-event telemetry (feeds the JSON
+//!   report's observability surface);
+//! * `crate::cosim::LockstepChecker` — retire-time co-simulation against
+//!   an independent functional machine;
+//! * `crate::cosim::InvariantChecker` — structural pipeline invariants
+//!   (in-order retirement, operand readiness, issue-width limits).
+
+use fpa_isa::{Op, Reg, Subsystem};
+
+/// A memory store's architectural effect, captured when the in-order
+/// oracle executes the instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEffect {
+    /// Byte address written.
+    pub addr: u32,
+    /// Bytes written (1, 4, or 8).
+    pub bytes: u32,
+    /// The stored bytes, little-endian packed into the low `bytes` bytes.
+    pub data: u64,
+}
+
+/// Architectural effects of one instruction, recorded from the oracle at
+/// execute time and replayed to observers at retirement — the payload the
+/// lockstep checker diffs against its own functional machine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InstEffect {
+    /// Destination register and the raw value written to it.
+    pub dest: Option<(Reg, u64)>,
+    /// Memory store effect, for store instructions.
+    pub store: Option<StoreEffect>,
+    /// Branch direction, for conditional branches.
+    pub taken: Option<bool>,
+}
+
+/// An instruction entered the pipeline (and executed on the in-order
+/// architectural oracle).
+#[derive(Debug, Clone, Copy)]
+pub struct FetchEvent {
+    /// Cycle of the fetch.
+    pub cycle: u64,
+    /// Program-order sequence number (dense from 0).
+    pub seq: u64,
+    /// Instruction address (word index).
+    pub pc: u32,
+    /// Opcode.
+    pub op: Op,
+}
+
+/// An instruction moved from the fetch queue into the reorder buffer and
+/// an issue window.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchEvent {
+    /// Cycle of the dispatch.
+    pub cycle: u64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// Opcode.
+    pub op: Op,
+    /// Which issue window the instruction occupies (memory operations
+    /// live in the INT window).
+    pub window: Subsystem,
+}
+
+/// An instruction began execution on a functional unit.
+#[derive(Debug, Clone)]
+pub struct IssueEvent<'a> {
+    /// Cycle of the issue.
+    pub cycle: u64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// Opcode.
+    pub op: Op,
+    /// The subsystem whose functional unit executes the instruction.
+    pub subsystem: Subsystem,
+    /// Whether the instruction issued on a load/store port instead of an
+    /// ALU (memory operations always do, and always on the INT side).
+    pub mem_port: bool,
+    /// Sequence numbers of the in-flight producers of this instruction's
+    /// register sources (architectural registers renamed at fetch).
+    pub srcs: &'a [u64],
+    /// The cycle execution completes (writeback).
+    pub done_at: u64,
+}
+
+/// An instruction's result became available to consumers.
+#[derive(Debug, Clone, Copy)]
+pub struct WritebackEvent {
+    /// Cycle of the writeback.
+    pub cycle: u64,
+    /// Sequence number.
+    pub seq: u64,
+}
+
+/// An instruction retired (in-order commit).
+#[derive(Debug, Clone)]
+pub struct RetireEvent<'a> {
+    /// Cycle of the retirement.
+    pub cycle: u64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// Opcode.
+    pub op: Op,
+    /// Architectural effects recorded by the oracle.
+    pub effect: &'a InstEffect,
+    /// Exit code, when this instruction is the halt.
+    pub halt: Option<i32>,
+}
+
+/// A passive pipeline-event hook. All methods default to no-ops, so an
+/// observer implements only the stages it cares about.
+///
+/// Within one cycle, events arrive in pipeline-loop order: writebacks,
+/// then retirements, then issues, then dispatches, then fetches. Across
+/// cycles every stream is monotone in `cycle`.
+pub trait SimObserver {
+    /// An instruction entered the pipeline.
+    fn on_fetch(&mut self, _e: &FetchEvent) {}
+    /// An instruction was dispatched into the window/ROB.
+    fn on_dispatch(&mut self, _e: &DispatchEvent) {}
+    /// An instruction issued to a functional unit or memory port.
+    fn on_issue(&mut self, _e: &IssueEvent<'_>) {}
+    /// An instruction's result became available.
+    fn on_writeback(&mut self, _e: &WritebackEvent) {}
+    /// An instruction retired.
+    fn on_retire(&mut self, _e: &RetireEvent<'_>) {}
+}
+
+/// The do-nothing observer (used by the plain [`crate::ooo::simulate`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Per-event telemetry counters: the observability surface fed into the
+/// experiment engine's JSON report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounters {
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Instructions dispatched.
+    pub dispatched: u64,
+    /// Issues to INT-subsystem ALUs.
+    pub issued_int: u64,
+    /// Issues to FP-subsystem units.
+    pub issued_fp: u64,
+    /// Issues on load/store ports.
+    pub issued_mem: u64,
+    /// Writebacks observed.
+    pub writebacks: u64,
+    /// Retirements observed.
+    pub retired: u64,
+}
+
+impl EventCounters {
+    /// Total events observed across all five streams.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.fetched
+            + self.dispatched
+            + self.issued_int
+            + self.issued_fp
+            + self.issued_mem
+            + self.writebacks
+            + self.retired
+    }
+}
+
+impl SimObserver for EventCounters {
+    fn on_fetch(&mut self, _e: &FetchEvent) {
+        self.fetched += 1;
+    }
+
+    fn on_dispatch(&mut self, _e: &DispatchEvent) {
+        self.dispatched += 1;
+    }
+
+    fn on_issue(&mut self, e: &IssueEvent<'_>) {
+        if e.mem_port {
+            self.issued_mem += 1;
+        } else if e.subsystem == Subsystem::Fp {
+            self.issued_fp += 1;
+        } else {
+            self.issued_int += 1;
+        }
+    }
+
+    fn on_writeback(&mut self, _e: &WritebackEvent) {
+        self.writebacks += 1;
+    }
+
+    fn on_retire(&mut self, _e: &RetireEvent<'_>) {
+        self.retired += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_classify_issue_events() {
+        let mut c = EventCounters::default();
+        let srcs: Vec<u64> = vec![];
+        let mut ev = IssueEvent {
+            cycle: 1,
+            seq: 0,
+            pc: 0,
+            op: Op::Add,
+            subsystem: Subsystem::Int,
+            mem_port: false,
+            srcs: &srcs,
+            done_at: 2,
+        };
+        c.on_issue(&ev);
+        ev.subsystem = Subsystem::Fp;
+        ev.op = Op::AddA;
+        c.on_issue(&ev);
+        ev.subsystem = Subsystem::Int;
+        ev.op = Op::Lw;
+        ev.mem_port = true;
+        c.on_issue(&ev);
+        assert_eq!((c.issued_int, c.issued_fp, c.issued_mem), (1, 1, 1));
+        assert_eq!(c.total(), 3);
+    }
+}

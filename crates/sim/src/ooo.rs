@@ -25,6 +25,10 @@
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::exec::{ExecError, Machine, Step};
+use crate::observe::{
+    DispatchEvent, FetchEvent, InstEffect, IssueEvent, NullObserver, RetireEvent, SimObserver,
+    StoreEffect, WritebackEvent,
+};
 use crate::predictor::Gshare;
 use fpa_isa::{FuClass, Op, Program, Reg, Subsystem};
 use std::collections::{HashMap, VecDeque};
@@ -156,19 +160,37 @@ impl std::fmt::Display for TimingResult {
 #[derive(Debug, Clone)]
 struct Entry {
     seq: u64,
+    pc: u32,
     op: Op,
     subsystem: Subsystem,
     srcs: Vec<u64>,
     dest: Option<Reg>,
     issued: bool,
     done_at: u64,
+    wb_emitted: bool,
     addr: Option<u32>,
     latency_hint: u32,
     halt: Option<i32>,
     resolves_fetch: bool,
+    effect: InstEffect,
 }
 
 const NOT_DONE: u64 = u64::MAX;
+
+/// Deliberate microarchitectural defects, injectable only through
+/// [`simulate_with_faults`]. They exist so the co-simulation layer's
+/// mutation tests can prove the checkers detect real scoreboard and
+/// sequencing bugs; production entry points never enable a fault.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultInjection {
+    /// Once, retire the second ROB entry while the head is still
+    /// executing — breaks in-order retirement.
+    pub retire_out_of_order: bool,
+    /// Ignore source-operand readiness at issue — a scoreboard/bypass
+    /// bug that lets consumers issue before their producers complete.
+    pub issue_ignores_readiness: bool,
+}
 
 /// Runs `program` on the configured machine for at most `max_cycles`.
 ///
@@ -177,11 +199,54 @@ const NOT_DONE: u64 = u64::MAX;
 /// Returns an [`ExecError`] from the architectural oracle (bad memory
 /// access, division by zero) or [`ExecError::OutOfFuel`] when the cycle
 /// budget is exhausted.
-#[allow(clippy::too_many_lines)]
 pub fn simulate(
     program: &Program,
     config: &MachineConfig,
     max_cycles: u64,
+) -> Result<TimingResult, ExecError> {
+    simulate_observed(program, config, max_cycles, &mut NullObserver)
+}
+
+/// Like [`simulate`], but emits every pipeline event to `obs` (see
+/// [`crate::observe::SimObserver`]). Observation is passive: the returned
+/// [`TimingResult`] is identical to an unobserved run.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_observed(
+    program: &Program,
+    config: &MachineConfig,
+    max_cycles: u64,
+    obs: &mut dyn SimObserver,
+) -> Result<TimingResult, ExecError> {
+    simulate_core(program, config, max_cycles, obs, FaultInjection::default())
+}
+
+/// Test-only entry point: [`simulate_observed`] with injected defects.
+///
+/// # Errors
+///
+/// Same as [`simulate`]; an injected defect can additionally wedge the
+/// pipeline into [`ExecError::OutOfFuel`].
+#[doc(hidden)]
+pub fn simulate_with_faults(
+    program: &Program,
+    config: &MachineConfig,
+    max_cycles: u64,
+    obs: &mut dyn SimObserver,
+    faults: FaultInjection,
+) -> Result<TimingResult, ExecError> {
+    simulate_core(program, config, max_cycles, obs, faults)
+}
+
+#[allow(clippy::too_many_lines)]
+fn simulate_core(
+    program: &Program,
+    config: &MachineConfig,
+    max_cycles: u64,
+    obs: &mut dyn SimObserver,
+    faults: FaultInjection,
 ) -> Result<TimingResult, ExecError> {
     let mut oracle = Machine::new(program);
     let mut icache = Cache::new(config.icache);
@@ -218,6 +283,7 @@ pub fn simulate(
     let mut copies_retired = 0u64;
 
     let issue_width = config.decode_width; // Table 1: "up to 4 ops/cycle"
+    let mut fault_retire_fired = false;
 
     let mut cycle = 0u64;
     loop {
@@ -225,14 +291,32 @@ pub fn simulate(
             return Err(ExecError::OutOfFuel);
         }
 
+        // ---- Writeback ---------------------------------------------------
+        // Results become visible at `done_at`; announce each exactly once,
+        // before this cycle's retirements and issue-readiness checks.
+        for e in &mut rob {
+            if e.issued && !e.wb_emitted && e.done_at <= cycle {
+                e.wb_emitted = true;
+                obs.on_writeback(&WritebackEvent { cycle, seq: e.seq });
+            }
+        }
+
         // ---- Retire ------------------------------------------------------
         let mut retired_this_cycle = 0;
         while retired_this_cycle < config.retire_width {
             let Some(front) = rob.front() else { break };
-            if !front.issued || front.done_at > cycle {
+            let head_done = front.issued && front.done_at <= cycle;
+            let e = if head_done {
+                rob.pop_front().expect("checked")
+            } else if faults.retire_out_of_order
+                && !fault_retire_fired
+                && rob.get(1).is_some_and(|n| n.issued && n.done_at <= cycle)
+            {
+                fault_retire_fired = true;
+                rob.remove(1).expect("checked")
+            } else {
                 break;
-            }
-            let e = rob.pop_front().expect("checked");
+            };
             retired += 1;
             retired_this_cycle += 1;
             if e.op.is_augmented() {
@@ -249,6 +333,14 @@ pub fn simulate(
             while store_queue.front().is_some_and(|s| s.0 <= e.seq) {
                 store_queue.pop_front();
             }
+            obs.on_retire(&RetireEvent {
+                cycle,
+                seq: e.seq,
+                pc: e.pc,
+                op: e.op,
+                effect: &e.effect,
+                halt: e.halt,
+            });
             if let Some(code) = e.halt {
                 return Ok(TimingResult {
                     cycles: cycle + 1,
@@ -297,14 +389,15 @@ pub fn simulate(
             let is_store = e.op.is_store();
             let is_load = e.op.is_load();
             // Source readiness.
-            let ready = e.srcs.iter().all(|&s| {
-                if s < head_seq {
-                    true
-                } else {
-                    let p = &rob[(s - head_seq) as usize];
-                    p.issued && p.done_at <= cycle
-                }
-            });
+            let ready = faults.issue_ignores_readiness
+                || e.srcs.iter().all(|&s| {
+                    if s < head_seq {
+                        true
+                    } else {
+                        let p = &rob[(s - head_seq) as usize];
+                        p.issued && p.done_at <= cycle
+                    }
+                });
             if !ready {
                 if is_store {
                     unissued_store_seen = true;
@@ -378,6 +471,19 @@ pub fn simulate(
         for (idx, done_at) in decisions {
             let subsystem = rob[idx].subsystem;
             let is_mem = rob[idx].op.mem_bytes().is_some();
+            {
+                let e = &rob[idx];
+                obs.on_issue(&IssueEvent {
+                    cycle,
+                    seq: e.seq,
+                    pc: e.pc,
+                    op: e.op,
+                    subsystem,
+                    mem_port: is_mem,
+                    srcs: &e.srcs,
+                    done_at,
+                });
+            }
             rob[idx].issued = true;
             rob[idx].done_at = done_at;
             if rob[idx].op.is_store() {
@@ -445,6 +551,17 @@ pub fn simulate(
                     false,
                 ));
             }
+            obs.on_dispatch(&DispatchEvent {
+                cycle,
+                seq: e.seq,
+                pc: e.pc,
+                op: e.op,
+                window: if wants_int_window {
+                    Subsystem::Int
+                } else {
+                    Subsystem::Fp
+                },
+            });
             rob.push_back(e);
             dispatched += 1;
         }
@@ -479,23 +596,59 @@ pub fn simulate(
                     let addr = oracle.effective_addr(inst);
                     // Oracle-execute.
                     let step = oracle.exec(inst, fetch_pc)?;
+                    // Record the architectural effects for retire-time
+                    // co-simulation (the store read-back is safe: exec
+                    // just validated the address).
+                    let effect = InstEffect {
+                        dest: dest.map(|d| (d, oracle.reg_raw(d))),
+                        store: if inst.op.is_store() {
+                            addr.map(|a| {
+                                let bytes = inst.op.mem_bytes().expect("store width");
+                                let lo = a as usize;
+                                let mut buf = [0u8; 8];
+                                buf[..bytes as usize]
+                                    .copy_from_slice(&oracle.mem[lo..lo + bytes as usize]);
+                                StoreEffect {
+                                    addr: a,
+                                    bytes,
+                                    data: u64::from_le_bytes(buf),
+                                }
+                            })
+                        } else {
+                            None
+                        },
+                        taken: if inst.op.is_cond_branch() {
+                            Some(matches!(step, Step::Jump(_)))
+                        } else {
+                            None
+                        },
+                    };
                     let seq = next_seq;
                     next_seq += 1;
                     if let Some(d) = dest {
                         rename.insert(d, seq);
                     }
+                    obs.on_fetch(&FetchEvent {
+                        cycle,
+                        seq,
+                        pc: fetch_pc,
+                        op: inst.op,
+                    });
                     let mut entry = Entry {
                         seq,
+                        pc: fetch_pc,
                         op: inst.op,
                         subsystem: inst.op.subsystem(),
                         srcs,
                         dest,
                         issued: false,
                         done_at: NOT_DONE,
+                        wb_emitted: false,
                         addr,
                         latency_hint: inst.op.fu_class().latency(),
                         halt: None,
                         resolves_fetch: false,
+                        effect,
                     };
                     // Branches may take the extra latency of a FuClass::Mem
                     // agen — no: branch latency is its FU class (1).

@@ -1,0 +1,102 @@
+//! Unit coverage for `TimingResult`'s derived metrics: `ipc`,
+//! `branch_accuracy`, and the window-occupancy fractions, including the
+//! zero-cycle and zero-branch edge cases that guard against division by
+//! zero creeping back in.
+
+use fpa_sim::TimingResult;
+
+fn result() -> TimingResult {
+    TimingResult {
+        cycles: 0,
+        retired: 0,
+        exit_code: 0,
+        output: String::new(),
+        int_issued: 0,
+        fp_issued: 0,
+        augmented_retired: 0,
+        int_idle_fp_busy: 0,
+        branch_predictions: 0,
+        branch_mispredictions: 0,
+        icache: (0, 0),
+        dcache: (0, 0),
+        fetch_stall_cycles: 0,
+        int_window_occupancy_sum: 0,
+        fp_window_occupancy_sum: 0,
+        copies_retired: 0,
+    }
+}
+
+#[test]
+fn ipc_is_retired_over_cycles() {
+    let mut r = result();
+    r.cycles = 400;
+    r.retired = 1000;
+    assert!((r.ipc() - 2.5).abs() < 1e-12);
+}
+
+#[test]
+fn ipc_of_zero_cycles_is_zero() {
+    let r = result();
+    assert_eq!(r.ipc(), 0.0);
+    // Degenerate but representable: retirements with no cycles must not
+    // produce infinity.
+    let mut r = result();
+    r.retired = 5;
+    assert_eq!(r.ipc(), 0.0);
+}
+
+#[test]
+fn branch_accuracy_is_fraction_correct() {
+    let mut r = result();
+    r.branch_predictions = 200;
+    r.branch_mispredictions = 30;
+    assert!((r.branch_accuracy() - 0.85).abs() < 1e-12);
+}
+
+#[test]
+fn branch_accuracy_without_branches_is_perfect() {
+    // A branch-free program mispredicts nothing: accuracy is 1, not NaN.
+    let r = result();
+    assert_eq!(r.branch_accuracy(), 1.0);
+}
+
+#[test]
+fn branch_accuracy_bounds() {
+    let mut r = result();
+    r.branch_predictions = 7;
+    r.branch_mispredictions = 7;
+    assert_eq!(r.branch_accuracy(), 0.0);
+    r.branch_mispredictions = 0;
+    assert_eq!(r.branch_accuracy(), 1.0);
+}
+
+#[test]
+fn window_occupancy_is_mean_slots_per_cycle() {
+    let mut r = result();
+    r.cycles = 8;
+    r.int_window_occupancy_sum = 40; // mean 5 slots
+    r.fp_window_occupancy_sum = 12; // mean 1.5 slots
+    assert!((r.int_window_occupancy() - 5.0).abs() < 1e-12);
+    assert!((r.fp_window_occupancy() - 1.5).abs() < 1e-12);
+}
+
+#[test]
+fn window_occupancy_of_zero_cycles_is_zero() {
+    let mut r = result();
+    r.int_window_occupancy_sum = 99;
+    r.fp_window_occupancy_sum = 99;
+    assert_eq!(r.int_window_occupancy(), 0.0);
+    assert_eq!(r.fp_window_occupancy(), 0.0);
+}
+
+#[test]
+fn display_includes_headline_metrics() {
+    let mut r = result();
+    r.cycles = 100;
+    r.retired = 250;
+    r.branch_predictions = 10;
+    let text = r.to_string();
+    assert!(text.contains("cycles"), "{text}");
+    assert!(text.contains("IPC"), "{text}");
+    assert!(text.contains("2.5"), "{text}");
+}
