@@ -1,0 +1,286 @@
+//! Simulator throughput benchmark: wall-time, simulated cycles/sec, and
+//! retired instructions/sec for every workload × scheme × machine-width
+//! cell, on both timing engines — the wakeup-driven fast path
+//! (`fpa_sim::simulate`, "after") and the frozen full-window-rescan
+//! reference (`fpa_sim::simulate_reference`, "before").
+//!
+//! ```text
+//! fpa-bench [--workloads A,B]   # default: the full integer suite
+//!           [--json PATH]       # machine-readable report (default BENCH_pr4.json)
+//!           [--floor PATH]      # CI guard: fail if fast-path MIPS < 50% of floor
+//!           [--fuel N]          # cycle budget per run
+//!           [--no-reference]    # skip the baseline engine (fast path only)
+//! ```
+//!
+//! The JSON report uses the same lossless writer as `fpa-report --json`
+//! (`fpa_harness::json::Json`): numbers render with full precision and
+//! reparse to the identical value. The floor file is a loose regression
+//! guard, not a microbenchmark gate: the build fails only when measured
+//! fast-path throughput drops below *half* the checked-in floor.
+
+use fpa_harness::compiler::Scheme;
+use fpa_harness::json::Json;
+use fpa_sim::{simulate, simulate_reference, MachineConfig, TimingResult};
+use std::time::Instant;
+
+/// Default cycle budget (matches the harness experiments).
+const DEFAULT_FUEL: u64 = 200_000_000;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fpa-bench [--workloads A,B] [--json PATH] [--floor PATH] [--fuel N] \
+         [--no-reference]"
+    );
+    std::process::exit(2)
+}
+
+/// One engine's measurement of one cell.
+struct Measure {
+    seconds: f64,
+    result: TimingResult,
+}
+
+fn timed(run: impl Fn() -> TimingResult) -> Measure {
+    let t = Instant::now();
+    let result = run();
+    Measure {
+        seconds: t.elapsed().as_secs_f64(),
+        result,
+    }
+}
+
+struct Row {
+    workload: String,
+    scheme: Scheme,
+    machine: &'static str,
+    fast: Measure,
+    reference: Option<Measure>,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("workload", self.workload.as_str())
+            .set("scheme", format!("{:?}", self.scheme).to_lowercase())
+            .set("machine", self.machine)
+            .set("cycles", self.fast.result.cycles)
+            .set("retired", self.fast.result.retired)
+            .set("fast_seconds", self.fast.seconds)
+            .set(
+                "fast_cycles_per_sec",
+                rate(self.fast.result.cycles, self.fast.seconds),
+            )
+            .set(
+                "fast_insts_per_sec",
+                rate(self.fast.result.retired, self.fast.seconds),
+            );
+        if let Some(r) = &self.reference {
+            o.set("reference_seconds", r.seconds)
+                .set("reference_cycles_per_sec", rate(r.result.cycles, r.seconds))
+                .set("reference_insts_per_sec", rate(r.result.retired, r.seconds))
+                .set(
+                    "speedup",
+                    r.seconds / self.fast.seconds.max(f64::MIN_POSITIVE),
+                );
+        }
+        o
+    }
+}
+
+fn rate(count: u64, seconds: f64) -> f64 {
+    count as f64 / seconds.max(f64::MIN_POSITIVE)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workloads: Option<Vec<String>> = None;
+    let mut json_path = "BENCH_pr4.json".to_string();
+    let mut floor_path: Option<String> = None;
+    let mut fuel = DEFAULT_FUEL;
+    let mut with_reference = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                workloads = Some(list.split(',').map(str::to_owned).collect());
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--floor" => {
+                i += 1;
+                floor_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--fuel" => {
+                i += 1;
+                fuel = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-reference" => with_reference = false,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let set: Vec<_> = match &workloads {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                fpa_workloads::by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown workload: {n}");
+                    std::process::exit(2)
+                })
+            })
+            .collect(),
+        None => fpa_workloads::integer(),
+    };
+    eprintln!("building {} workload(s)...", set.len());
+    let compiled: Vec<_> =
+        set.iter()
+            .map(|w| {
+                fpa_harness::pipeline::build(w, &fpa_partition::CostParams::default())
+                    .unwrap_or_else(|e| {
+                        eprintln!("build {}: {e}", w.name);
+                        std::process::exit(1)
+                    })
+            })
+            .collect();
+
+    type Machine = (&'static str, fn(bool) -> MachineConfig);
+    const MACHINES: [Machine; 2] = [
+        ("4-way", MachineConfig::four_way),
+        ("8-way", MachineConfig::eight_way),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for c in &compiled {
+        for &(machine, make) in &MACHINES {
+            for scheme in Scheme::ALL {
+                let (program, augmented) = match scheme {
+                    Scheme::Conventional => (&c.conventional, false),
+                    Scheme::Basic => (&c.basic, true),
+                    Scheme::Advanced => (&c.advanced, true),
+                };
+                let cfg = make(augmented);
+                let fail = |e| {
+                    eprintln!("{}/{scheme:?}/{machine}: {e}", c.name);
+                    std::process::exit(1)
+                };
+                let fast = timed(|| simulate(program, &cfg, fuel).unwrap_or_else(fail));
+                let reference = with_reference.then(|| {
+                    timed(|| simulate_reference(program, &cfg, fuel).unwrap_or_else(fail))
+                });
+                if let Some(r) = &reference {
+                    assert_eq!(
+                        fast.result, r.result,
+                        "{}/{scheme:?}/{machine}: engines disagree",
+                        c.name
+                    );
+                }
+                println!(
+                    "{:<10} {:<12} {:<6} {:>11} cyc  {:>9.1} Mcyc/s  {:>9.1} Minst/s{}",
+                    c.name,
+                    format!("{scheme:?}").to_lowercase(),
+                    machine,
+                    fast.result.cycles,
+                    rate(fast.result.cycles, fast.seconds) / 1e6,
+                    rate(fast.result.retired, fast.seconds) / 1e6,
+                    reference.as_ref().map_or(String::new(), |r| format!(
+                        "  ({:.2}x vs reference)",
+                        r.seconds / fast.seconds.max(f64::MIN_POSITIVE)
+                    )),
+                );
+                rows.push(Row {
+                    workload: c.name.clone(),
+                    scheme,
+                    machine,
+                    fast,
+                    reference,
+                });
+            }
+        }
+    }
+
+    // ---- Aggregate -------------------------------------------------------
+    let retired: u64 = rows.iter().map(|r| r.fast.result.retired).sum();
+    let cycles: u64 = rows.iter().map(|r| r.fast.result.cycles).sum();
+    let fast_secs: f64 = rows.iter().map(|r| r.fast.seconds).sum();
+    let fast_mips = rate(retired, fast_secs) / 1e6;
+    let ref_secs: f64 = rows
+        .iter()
+        .filter_map(|r| r.reference.as_ref().map(|m| m.seconds))
+        .sum();
+    println!(
+        "\naggregate: {} insts, {} cycles in {:.2}s  ->  {:.1} Minst/s, {:.1} Mcyc/s",
+        retired,
+        cycles,
+        fast_secs,
+        fast_mips,
+        rate(cycles, fast_secs) / 1e6
+    );
+    if with_reference {
+        let speedup = ref_secs / fast_secs.max(f64::MIN_POSITIVE);
+        println!(
+            "reference: {:.2}s ({:.1} Minst/s)  ->  speedup {speedup:.2}x",
+            ref_secs,
+            rate(retired, ref_secs) / 1e6
+        );
+    }
+
+    // ---- JSON report -----------------------------------------------------
+    let mut report = Json::obj();
+    report
+        .set("schema", "fpa-bench-report")
+        .set("version", 1u64)
+        .set("fuel", fuel)
+        .set("workloads", set.len())
+        .set("rows", rows.iter().map(Row::to_json).collect::<Vec<Json>>());
+    let mut agg = Json::obj();
+    agg.set("retired", retired)
+        .set("cycles", cycles)
+        .set("fast_seconds", fast_secs)
+        .set("fast_insts_per_sec", rate(retired, fast_secs))
+        .set("fast_cycles_per_sec", rate(cycles, fast_secs));
+    if with_reference {
+        agg.set("reference_seconds", ref_secs)
+            .set("reference_insts_per_sec", rate(retired, ref_secs))
+            .set("speedup", ref_secs / fast_secs.max(f64::MIN_POSITIVE));
+    }
+    report.set("aggregate", agg);
+    let rendered = report.render();
+    std::fs::write(&json_path, rendered + "\n").unwrap_or_else(|e| {
+        eprintln!("write {json_path}: {e}");
+        std::process::exit(1)
+    });
+    eprintln!("wrote {json_path}");
+
+    // ---- Floor guard -----------------------------------------------------
+    if let Some(path) = floor_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("read {path}: {e}");
+            std::process::exit(1)
+        });
+        let floor = Json::parse(&text)
+            .ok()
+            .and_then(|j| j.get("fast_mips_floor").and_then(Json::as_f64))
+            .unwrap_or_else(|| {
+                eprintln!("{path}: missing fast_mips_floor");
+                std::process::exit(1)
+            });
+        let min = floor * 0.5; // loose guard: >50% regression fails
+        if fast_mips < min {
+            eprintln!(
+                "FAIL: fast-path throughput {fast_mips:.1} Minst/s is below 50% of the \
+                 checked-in floor ({floor:.1} Minst/s; limit {min:.1})"
+            );
+            std::process::exit(1);
+        }
+        println!("floor check ok: {fast_mips:.1} Minst/s >= {min:.1} (floor {floor:.1} x 0.5)");
+    }
+}

@@ -66,20 +66,3 @@ pub use fpa_workloads as workloads;
 
 pub use fpa_harness::compiler::{frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings};
 pub use fpa_harness::engine::{ExperimentContext, MatrixReport, RunTelemetry};
-
-/// Compiles `zinc` source to a machine program under the given scheme.
-///
-/// Thin wrapper kept for source compatibility; use [`Compiler`] — it
-/// exposes the partition assignment, statistics, profile, golden output,
-/// and stage timings alongside the program.
-///
-/// # Errors
-///
-/// Returns an [`Error`] naming the stage that failed.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `fpa::Compiler::new(src).scheme(..).build()`"
-)]
-pub fn compile(src: &str, scheme: Scheme) -> Result<fpa_isa::Program, Error> {
-    Ok(Compiler::new(src).scheme(scheme).build()?.program)
-}

@@ -44,6 +44,30 @@ fn bounded_campaign_is_clean_and_exercises_offloading() {
 }
 
 #[test]
+fn cosim_failures_stay_zero_on_200_seeded_cases() {
+    // The wakeup-driven simulator fast path runs under lockstep
+    // co-simulation on every fuzz case; across 200 seeded cases not one
+    // may trip a lockstep or invariant check (FailureKind::Cosim).
+    let cfg = FuzzConfig {
+        cases: 200,
+        base_seed: 0xfa57,
+        jobs: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+        gen: GenConfig::default(),
+        corpus_dir: None,
+    };
+    let s = run_fuzz(&cfg);
+    let cosim: Vec<_> = s.failures.iter().filter(|f| f.kind == "cosim").collect();
+    assert!(
+        cosim.is_empty(),
+        "{} case(s) tripped co-simulation; first: {}",
+        cosim.len(),
+        cosim[0].message
+    );
+    // Three timing runs per case (conventional/basic/advanced, 4-way).
+    assert_eq!(s.timing_checked, u64::from(cfg.cases) * 3);
+}
+
+#[test]
 fn campaign_summary_is_identical_for_any_job_count() {
     let mk = |jobs| FuzzConfig {
         cases: 16,

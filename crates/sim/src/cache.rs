@@ -8,8 +8,18 @@ use crate::config::CacheConfig;
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `sets[set][way] = Some((tag, dirty, lru_stamp))`
-    sets: Vec<Vec<Option<(u32, bool, u64)>>>,
+    /// All ways of all sets, flattened: set `s` occupies
+    /// `ways[s * assoc .. (s + 1) * assoc]`, each way
+    /// `Some((tag, dirty, lru_stamp))`. One contiguous allocation keeps
+    /// the per-access walk free of pointer chasing.
+    ways: Vec<Option<(u32, bool, u64)>>,
+    /// `log2(line)` — the geometry is asserted power-of-two, so index
+    /// math is shifts and masks, not division.
+    line_shift: u32,
+    /// `num_sets - 1`.
+    set_mask: u32,
+    /// `log2(num_sets)`.
+    set_shift: u32,
     stamp: u64,
     /// Total accesses.
     pub accesses: u64,
@@ -36,7 +46,10 @@ impl Cache {
         );
         Cache {
             cfg,
-            sets: vec![vec![None; cfg.assoc as usize]; num_sets as usize],
+            ways: vec![None; (num_sets * cfg.assoc) as usize],
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
             stamp: 0,
             accesses: 0,
             misses: 0,
@@ -45,9 +58,9 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
-        let line = addr / self.cfg.line;
-        let set = (line as usize) % self.sets.len();
-        let tag = line / self.sets.len() as u32;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         (set, tag)
     }
 
@@ -57,7 +70,8 @@ impl Cache {
         self.accesses += 1;
         self.stamp += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let ways = &mut self.sets[set];
+        let assoc = self.cfg.assoc as usize;
+        let ways = &mut self.ways[set * assoc..(set + 1) * assoc];
         // Hit?
         for (t, dirty, lru) in ways.iter_mut().flatten() {
             if *t == tag {

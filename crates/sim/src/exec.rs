@@ -94,6 +94,7 @@ impl Machine {
     }
 
     /// Reads an integer register.
+    #[inline]
     #[must_use]
     pub fn geti(&self, r: Reg) -> i32 {
         match r {
@@ -102,6 +103,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn seti(&mut self, r: Reg, v: i32) {
         match r {
             Reg::Int(r) => {
@@ -127,6 +129,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn getraw(&self, r: Reg) -> u64 {
         match r {
             Reg::Fp(r) => self.fp_regs[r.index()],
@@ -138,6 +141,7 @@ impl Machine {
     /// registers sign-extend, FP registers return their bit pattern.
     /// This is the canonical form the co-simulation layer diffs, so both
     /// register files compare under one representation.
+    #[inline]
     #[must_use]
     pub fn reg_raw(&self, r: Reg) -> u64 {
         self.getraw(r)
@@ -150,6 +154,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn check(&self, addr: u32, bytes: u32, pc: u32) -> Result<usize, ExecError> {
         let lo = addr as usize;
         if lo + bytes as usize > self.mem.len() || addr < fpa_ir_data_base() {
@@ -177,6 +182,7 @@ impl Machine {
 
     /// The effective address of a memory instruction (pre-execution), if
     /// it is one. Used by the timing simulator for dependence checks.
+    #[inline]
     #[must_use]
     pub fn effective_addr(&self, inst: &Inst) -> Option<u32> {
         if inst.op.mem_bytes().is_some() {

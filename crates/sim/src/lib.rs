@@ -10,7 +10,12 @@
 //!   I/D caches, separate INT and FP issue windows and functional units,
 //!   register renaming, and in-order retirement. Conventional and
 //!   augmented machines differ only in whether the FP subsystem accepts
-//!   the `*A` opcodes.
+//!   the `*A` opcodes. Internally it runs a wakeup-driven fast path
+//!   (pre-decode, ready queues, indexed store forwarding, cycle
+//!   skipping).
+//! * [`reference`] — the original full-window-rescan timing engine,
+//!   frozen as the behavioural spec the fast path is proven against and
+//!   as the `fpa-bench` baseline.
 //! * [`config`] — machine parameter presets (4-way and 8-way, Table 1).
 //! * [`cache`] / [`predictor`] — the memory-hierarchy and branch-predictor
 //!   substrates.
@@ -23,6 +28,7 @@ pub mod func_sim;
 pub mod observe;
 pub mod ooo;
 pub mod predictor;
+pub mod reference;
 
 pub use config::MachineConfig;
 pub use cosim::{
@@ -32,3 +38,4 @@ pub use exec::{ExecError, Machine};
 pub use func_sim::{run_functional, FuncSimResult};
 pub use observe::{EventCounters, SimObserver};
 pub use ooo::{simulate, simulate_observed, TimingResult};
+pub use reference::simulate_reference;

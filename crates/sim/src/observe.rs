@@ -15,6 +15,14 @@
 //!   an independent functional machine;
 //! * `crate::cosim::InvariantChecker` — structural pipeline invariants
 //!   (in-order retirement, operand readiness, issue-width limits).
+//!
+//! The simulator entry points are generic over `O: SimObserver` rather
+//! than taking `&mut dyn SimObserver`, so each observer type gets its own
+//! monomorphized copy of the cycle loop. For [`NullObserver`] (what the
+//! plain `simulate` uses) every hook is an empty inline body and event
+//! construction compiles out entirely — observation is free when unused,
+//! which is what lets the same loop serve both the bare timing runs and
+//! the fully-instrumented co-simulation sweeps.
 
 use fpa_isa::{Op, Reg, Subsystem};
 

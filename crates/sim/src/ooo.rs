@@ -21,6 +21,33 @@
 //!   A load issues only when all prior store addresses are known (i.e.
 //!   every older store has issued), with store-to-load forwarding.
 //! * **Retire** — in order, up to `retire_width` per cycle.
+//!
+//! # The fast path
+//!
+//! This module implements the model with *wakeup-driven* scheduling
+//! rather than the textbook full-window rescan (which survives, frozen,
+//! in [`crate::reference`] as the behavioural spec):
+//!
+//! * the static program is **pre-decoded** once into a [`DecodedInst`]
+//!   table, so per-fetch work is table lookups instead of `Vec`-returning
+//!   operand queries;
+//! * every window entry carries an **outstanding-source counter**;
+//!   completions are bucketed by `done_at` and, when a bucket drains,
+//!   push their dependents onto an ordered ready set — the issue stage
+//!   walks only ready candidates in program order, preserving the
+//!   oldest-first select and the store-barrier rule via an ordered
+//!   `unissued_stores` set;
+//! * store-to-load forwarding queries a **word-bucketed store index**
+//!   ([`StoreIndex`]) instead of scanning the store queue backwards;
+//! * when a cycle can provably do nothing — no completion due, head not
+//!   retirable, ready set and fetch queue empty, fetch stalled or
+//!   halted — the simulator **skips** straight to the next event cycle,
+//!   accumulating occupancy sums and stall counters arithmetically.
+//!
+//! The fast path is observationally identical to the reference engine:
+//! same [`TimingResult`] field-for-field, same `SimObserver` event
+//! stream, proven by the unit tests here, the 48-cell equivalence sweep
+//! in `fpa-harness`, and lockstep co-simulation.
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
@@ -30,11 +57,12 @@ use crate::observe::{
     StoreEffect, WritebackEvent,
 };
 use crate::predictor::Gshare;
-use fpa_isa::{FuClass, Op, Program, Reg, Subsystem};
-use std::collections::{HashMap, VecDeque};
+use fpa_isa::{Op, Program, Reg, Subsystem};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// The outcome of a timing simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimingResult {
     /// Total cycles until the halt instruction retired.
     pub cycles: u64,
@@ -157,25 +185,198 @@ impl std::fmt::Display for TimingResult {
     }
 }
 
+/// One static instruction, decoded once before simulation: every
+/// property the pipeline asks about per dynamic instance, precomputed so
+/// the fetch stage does table lookups instead of re-deriving op classes
+/// and allocating operand vectors.
+#[derive(Debug, Clone, Copy)]
+struct DecodedInst {
+    subsystem: Subsystem,
+    latency_hint: u32,
+    /// Bytes moved, or 0 for non-memory ops.
+    mem_bytes: u32,
+    is_load: bool,
+    is_store: bool,
+    is_mem: bool,
+    is_cond_branch: bool,
+    is_augmented: bool,
+    is_copy: bool,
+    /// Memory ops and INT-subsystem ops occupy the INT window.
+    wants_int_window: bool,
+    /// Register sources in `uses()` order (`rs`, then `rt`).
+    uses: [Option<Reg>; 2],
+    def: Option<Reg>,
+}
+
+impl DecodedInst {
+    fn decode(op: Op, inst: &fpa_isa::Inst) -> DecodedInst {
+        let subsystem = op.subsystem();
+        let is_mem = op.mem_bytes().is_some();
+        DecodedInst {
+            subsystem,
+            latency_hint: op.fu_class().latency(),
+            mem_bytes: op.mem_bytes().unwrap_or(0),
+            is_load: op.is_load(),
+            is_store: op.is_store(),
+            is_mem,
+            is_cond_branch: op.is_cond_branch(),
+            is_augmented: op.is_augmented(),
+            is_copy: matches!(op, Op::CpToFpa | Op::CpToInt),
+            wants_int_window: is_mem || subsystem == Subsystem::Int,
+            // Writes to $0 are architecturally discarded but still rename,
+            // exactly like `Inst::defs`.
+            uses: [inst.rs, inst.rt],
+            def: inst.rd,
+        }
+    }
+}
+
+/// A reorder-buffer / fetch-queue entry of the fast path. Sources are a
+/// fixed two-slot array (the ISA reads at most `rs` and `rt`);
+/// `pending` counts sources whose producers have not completed, and
+/// `waiters` lists in-flight consumers to wake when this entry's result
+/// becomes visible.
 #[derive(Debug, Clone)]
 struct Entry {
     seq: u64,
     pc: u32,
     op: Op,
-    subsystem: Subsystem,
-    srcs: Vec<u64>,
+    srcs: [u64; 2],
+    n_srcs: u8,
+    pending: u8,
     dest: Option<Reg>,
     issued: bool,
     done_at: u64,
-    wb_emitted: bool,
     addr: Option<u32>,
-    latency_hint: u32,
     halt: Option<i32>,
     resolves_fetch: bool,
+    d: DecodedInst,
     effect: InstEffect,
+    waiters: Vec<u64>,
+}
+
+impl Entry {
+    fn srcs(&self) -> &[u64] {
+        &self.srcs[..self.n_srcs as usize]
+    }
 }
 
 const NOT_DONE: u64 = u64::MAX;
+/// Rename-table sentinel: the architectural value is not produced by any
+/// in-flight instruction.
+const NO_PRODUCER: u64 = u64::MAX;
+
+/// Word-bucketed index over the in-flight stores, giving amortized-O(1)
+/// store-to-load forwarding lookups in place of the reference engine's
+/// backwards linear scan of the whole store queue.
+///
+/// `queue` mirrors the reference store queue exactly — (seq, addr,
+/// bytes, issued) in program order — and is the authority for the
+/// `issued` flag (binary search by seq; the queue is seq-sorted because
+/// stores enter at dispatch in program order). `by_word` buckets each
+/// store under every 4-byte-aligned word its byte range touches, so a
+/// load consults only the buckets of its own words.
+/// Multiplicative hasher for the word-bucket map: the keys are word
+/// addresses, one `wrapping_mul` mixes them plenty, and the default
+/// SipHash would otherwise show up in issue-stage profiles.
+#[derive(Default)]
+struct WordHasher(u64);
+
+impl std::hash::Hasher for WordHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, w: u32) {
+        self.0 = u64::from(w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreIndex {
+    queue: VecDeque<(u64, u32, u32, bool)>,
+    by_word: HashMap<u32, VecDeque<(u64, u32, u32)>, std::hash::BuildHasherDefault<WordHasher>>,
+}
+
+impl StoreIndex {
+    fn words(addr: u32, bytes: u32) -> std::ops::RangeInclusive<u32> {
+        (addr >> 2)..=((addr + bytes - 1) >> 2)
+    }
+
+    /// Registers a store at dispatch (address known: the oracle computed
+    /// it at fetch).
+    fn insert(&mut self, seq: u64, addr: u32, bytes: u32) {
+        self.queue.push_back((seq, addr, bytes, false));
+        for w in Self::words(addr, bytes) {
+            self.by_word
+                .entry(w)
+                .or_default()
+                .push_back((seq, addr, bytes));
+        }
+    }
+
+    /// Marks a store issued (its address is now "known" to younger loads
+    /// from the *next* lookup on — within the deciding cycle the flag is
+    /// still false, matching the reference engine's scan/apply split).
+    fn mark_issued(&mut self, seq: u64) {
+        let i = self.queue.partition_point(|s| s.0 < seq);
+        debug_assert!(self.queue.get(i).is_some_and(|s| s.0 == seq));
+        self.queue[i].3 = true;
+    }
+
+    /// Drops every store at or before `seq` (stores leave at retirement,
+    /// oldest first, so each departs from the front of its buckets).
+    fn retire_through(&mut self, seq: u64) {
+        while self.queue.front().is_some_and(|s| s.0 <= seq) {
+            let (s, addr, bytes, _) = self.queue.pop_front().expect("checked");
+            for w in Self::words(addr, bytes) {
+                if let Some(b) = self.by_word.get_mut(&w) {
+                    debug_assert_eq!(b.front().map(|e| e.0), Some(s));
+                    // Emptied buckets stay in the map: the same words are
+                    // stored to again and again, and re-creating the bucket
+                    // each time is an allocation in the retire path.
+                    b.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Whether a load at `seq` covering `[addr, addr+bytes)` is forwarded:
+    /// finds the youngest older store whose byte range overlaps (the
+    /// youngest candidate per touched word, maximized across words) and
+    /// reports that store's issued flag — false means the load pays a
+    /// D-cache access instead, exactly like the reference scan.
+    fn forwarded(&self, seq: u64, addr: u32, bytes: u32) -> bool {
+        let mut best: Option<u64> = None;
+        for w in Self::words(addr, bytes) {
+            let Some(bucket) = self.by_word.get(&w) else {
+                continue;
+            };
+            for &(s, a, b) in bucket.iter().rev() {
+                if s >= seq {
+                    continue;
+                }
+                if best.is_some_and(|t| s <= t) {
+                    break; // bucket is seq-sorted: nothing younger left here
+                }
+                if ranges_overlap(a, b, addr, bytes) {
+                    best = Some(s);
+                    break;
+                }
+            }
+        }
+        best.is_some_and(|s| {
+            let i = self.queue.partition_point(|e| e.0 < s);
+            self.queue[i].3
+        })
+    }
+}
 
 /// Deliberate microarchitectural defects, injectable only through
 /// [`simulate_with_faults`]. They exist so the co-simulation layer's
@@ -190,6 +391,12 @@ pub struct FaultInjection {
     /// Ignore source-operand readiness at issue — a scoreboard/bypass
     /// bug that lets consumers issue before their producers complete.
     pub issue_ignores_readiness: bool,
+}
+
+impl FaultInjection {
+    fn any(self) -> bool {
+        self.retire_out_of_order || self.issue_ignores_readiness
+    }
 }
 
 /// Runs `program` on the configured machine for at most `max_cycles`.
@@ -211,14 +418,18 @@ pub fn simulate(
 /// [`crate::observe::SimObserver`]). Observation is passive: the returned
 /// [`TimingResult`] is identical to an unobserved run.
 ///
+/// The observer is a generic parameter (not a trait object) so the
+/// unobserved entry point monomorphizes against [`NullObserver`] and the
+/// compiler deletes every event construction from the hot loop.
+///
 /// # Errors
 ///
 /// Same as [`simulate`].
-pub fn simulate_observed(
+pub fn simulate_observed<O: SimObserver>(
     program: &Program,
     config: &MachineConfig,
     max_cycles: u64,
-    obs: &mut dyn SimObserver,
+    obs: &mut O,
 ) -> Result<TimingResult, ExecError> {
     simulate_core(program, config, max_cycles, obs, FaultInjection::default())
 }
@@ -230,47 +441,130 @@ pub fn simulate_observed(
 /// Same as [`simulate`]; an injected defect can additionally wedge the
 /// pipeline into [`ExecError::OutOfFuel`].
 #[doc(hidden)]
-pub fn simulate_with_faults(
+pub fn simulate_with_faults<O: SimObserver>(
     program: &Program,
     config: &MachineConfig,
     max_cycles: u64,
-    obs: &mut dyn SimObserver,
+    obs: &mut O,
     faults: FaultInjection,
 ) -> Result<TimingResult, ExecError> {
     simulate_core(program, config, max_cycles, obs, faults)
 }
 
 #[allow(clippy::too_many_lines)]
-fn simulate_core(
+fn simulate_core<O: SimObserver>(
     program: &Program,
     config: &MachineConfig,
     max_cycles: u64,
-    obs: &mut dyn SimObserver,
+    obs: &mut O,
     faults: FaultInjection,
 ) -> Result<TimingResult, ExecError> {
+    if faults.any() {
+        // Injected defects are expressed against the reference engine's
+        // explicit full-window scan (and break the fast path's dense-seq
+        // and wakeup bookkeeping by design).
+        return crate::reference::simulate_naive(program, config, max_cycles, obs, faults);
+    }
+    if config.max_inflight > 128 {
+        // The ready and store-barrier sets are 128-bit masks over the ROB
+        // window. Neither of the paper's machines (32- and 64-entry ROBs)
+        // comes close; a hypothetical wider configuration runs on the
+        // reference engine, which has no window bound.
+        return crate::reference::simulate_naive(program, config, max_cycles, obs, faults);
+    }
+
+    // ---- Pre-decode ------------------------------------------------------
+    let decoded: Vec<DecodedInst> = program
+        .code
+        .iter()
+        .map(|inst| DecodedInst::decode(inst.op, inst))
+        .collect();
+
     let mut oracle = Machine::new(program);
     let mut icache = Cache::new(config.icache);
     let mut dcache = Cache::new(config.dcache);
     let mut gshare = Gshare::new(config.gshare_bits);
 
-    let mut rob: VecDeque<Entry> = VecDeque::new();
-    let mut fetch_queue: VecDeque<Entry> = VecDeque::new();
+    // In-flight entries live in a fixed power-of-two slab addressed by
+    // `seq % capacity`; an entry is written once at fetch and never moves.
+    // Sequence numbers are dense, so the ROB is the range
+    // `[retired, retired + rob_len)` and the fetch queue the range
+    // `[retired + rob_len, retired + rob_len + fq_len)` — stage membership
+    // is two counters, not two queues of bulky structs.
     let fetch_queue_cap = config.fetch_width as usize;
+    let cap = (config.max_inflight as usize + fetch_queue_cap).next_power_of_two();
+    let slot_mask = cap as u64 - 1;
+    let slot = |s: u64| (s & slot_mask) as usize;
+    let vacant = Entry {
+        seq: NOT_DONE,
+        pc: 0,
+        op: Op::Add,
+        srcs: [0; 2],
+        n_srcs: 0,
+        pending: 0,
+        dest: None,
+        issued: false,
+        done_at: NOT_DONE,
+        addr: None,
+        halt: None,
+        resolves_fetch: false,
+        d: DecodedInst {
+            subsystem: Subsystem::Int,
+            latency_hint: 1,
+            mem_bytes: 0,
+            is_load: false,
+            is_store: false,
+            is_mem: false,
+            is_cond_branch: false,
+            is_augmented: false,
+            is_copy: false,
+            wants_int_window: true,
+            uses: [None, None],
+            def: None,
+        },
+        effect: InstEffect {
+            dest: None,
+            store: None,
+            taken: None,
+        },
+        waiters: Vec::new(),
+    };
+    let mut slab: Vec<Entry> = vec![vacant; cap];
+    let mut rob_len = 0usize;
+    let mut fq_len = 0usize;
 
-    let mut rename: HashMap<Reg, u64> = HashMap::new();
+    // Rename tables as dense per-file arrays: architectural register ->
+    // producing seq, or NO_PRODUCER.
+    let mut rename_int = [NO_PRODUCER; 32];
+    let mut rename_fp = [NO_PRODUCER; 32];
     let mut next_seq = 0u64;
     let mut fetch_pc = program.entry;
     let mut fetch_stall_until = 0u64;
     let mut fetch_halted = false;
-    let mut exit_code = 0i32;
 
     let mut int_window_used = 0u32;
     let mut fp_window_used = 0u32;
     let mut int_phys_free = config.int_phys - 32;
     let mut fp_phys_free = config.fp_phys - 32;
 
-    // In-flight stores: (seq, addr, bytes, issued).
-    let mut store_queue: VecDeque<(u64, u32, u32, bool)> = VecDeque::new();
+    let mut stores = StoreIndex::default();
+    // Dispatched stores that have not received an issue decision, as a
+    // bitmask over ROB-relative positions: the load barrier ("all prior
+    // store addresses known") is one mask-and against the bits below the
+    // load instead of a flag threaded through a full-window scan.
+    let mut unissued_st: u128 = 0;
+    // Unissued ROB entries whose sources are all complete, same relative
+    // encoding: the issue stage's candidate set, replacing the full-ROB
+    // scan with a trailing_zeros walk (ascending = oldest first). Both
+    // masks shift right by one per retirement as the window slides.
+    let mut ready: u128 = 0;
+    // Pending completions as a min-heap of (done_at, seq). Issue latency
+    // is always >= 1, so an event is always in the future when pushed and
+    // pops exactly at its cycle, in seq order within a cycle.
+    let mut completions: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    // Retired-out waiter vectors, recycled so steady state allocates
+    // nothing per instruction.
+    let mut waiter_pool: Vec<Vec<u64>> = Vec::new();
 
     let mut retired = 0u64;
     let mut int_issued = 0u64;
@@ -283,7 +577,9 @@ fn simulate_core(
     let mut copies_retired = 0u64;
 
     let issue_width = config.decode_width; // Table 1: "up to 4 ops/cycle"
-    let mut fault_retire_fired = false;
+
+    // Scratch buffer reused across cycles.
+    let mut decisions: Vec<(u64, u64)> = Vec::new(); // (seq, done_at)
 
     let mut cycle = 0u64;
     loop {
@@ -291,38 +587,89 @@ fn simulate_core(
             return Err(ExecError::OutOfFuel);
         }
 
+        // ---- Cycle skip --------------------------------------------------
+        // A cycle with no completion due, no retirable head, no ready
+        // candidate, and nothing to dispatch or fetch changes no state
+        // except the per-cycle counters; jump those counters arithmetically
+        // to the next cycle on which anything can happen (the earliest
+        // completion, or fetch resuming). Fetch activity always blocks the
+        // skip: a non-stalled fetch stage touches the I-cache every cycle,
+        // even when the fetch queue is full.
+        let next_completion = completions.peek().map(|&Reverse((k, _))| k);
+        if ready == 0
+            && fq_len == 0
+            && next_completion.is_none_or(|k| k > cycle)
+            && (fetch_halted || cycle < fetch_stall_until)
+            && !(rob_len > 0 && {
+                let h = &slab[slot(retired)];
+                h.issued && h.done_at <= cycle
+            })
+        {
+            let mut target = max_cycles;
+            if let Some(k) = next_completion {
+                target = target.min(k);
+            }
+            if !fetch_halted {
+                target = target.min(fetch_stall_until);
+            }
+            if target > cycle {
+                let n = target - cycle;
+                int_window_occupancy_sum += u64::from(int_window_used) * n;
+                fp_window_occupancy_sum += u64::from(fp_window_used) * n;
+                if !fetch_halted {
+                    // Every skipped cycle is < fetch_stall_until by
+                    // construction, so each would have counted as a stall.
+                    fetch_stall_cycles += n;
+                }
+                cycle = target;
+                if cycle >= max_cycles {
+                    return Err(ExecError::OutOfFuel);
+                }
+            }
+        }
+
         // ---- Writeback ---------------------------------------------------
         // Results become visible at `done_at`; announce each exactly once,
-        // before this cycle's retirements and issue-readiness checks.
-        for e in &mut rob {
-            if e.issued && !e.wb_emitted && e.done_at <= cycle {
-                e.wb_emitted = true;
-                obs.on_writeback(&WritebackEvent { cycle, seq: e.seq });
+        // in program order, before this cycle's retirements and
+        // issue-readiness checks — then wake the waiters.
+        while completions
+            .peek()
+            .is_some_and(|&Reverse((k, _))| k <= cycle)
+        {
+            let Reverse((_, seq)) = completions.pop().expect("checked");
+            obs.on_writeback(&WritebackEvent { cycle, seq });
+            let mut waiters = std::mem::take(&mut slab[slot(seq)].waiters);
+            let rob_end = retired + rob_len as u64;
+            for &w in &waiters {
+                let e = &mut slab[slot(w)];
+                e.pending -= 1;
+                if e.pending == 0 && w < rob_end {
+                    ready |= 1u128 << (w - retired);
+                }
             }
+            waiters.clear();
+            waiter_pool.push(waiters);
         }
 
         // ---- Retire ------------------------------------------------------
         let mut retired_this_cycle = 0;
-        while retired_this_cycle < config.retire_width {
-            let Some(front) = rob.front() else { break };
-            let head_done = front.issued && front.done_at <= cycle;
-            let e = if head_done {
-                rob.pop_front().expect("checked")
-            } else if faults.retire_out_of_order
-                && !fault_retire_fired
-                && rob.get(1).is_some_and(|n| n.issued && n.done_at <= cycle)
-            {
-                fault_retire_fired = true;
-                rob.remove(1).expect("checked")
-            } else {
+        while retired_this_cycle < config.retire_width && rob_len > 0 {
+            let e = &slab[slot(retired)];
+            if !(e.issued && e.done_at <= cycle) {
                 break;
-            };
+            }
             retired += 1;
             retired_this_cycle += 1;
-            if e.op.is_augmented() {
+            rob_len -= 1;
+            // The head is issued, so its ready and store-barrier bits are
+            // already clear: the masks just slide down with the window.
+            debug_assert!(ready & 1 == 0 && unissued_st & 1 == 0);
+            ready >>= 1;
+            unissued_st >>= 1;
+            if e.d.is_augmented {
                 augmented_retired += 1;
             }
-            if matches!(e.op, Op::CpToFpa | Op::CpToInt) {
+            if e.d.is_copy {
                 copies_retired += 1;
             }
             match e.dest {
@@ -330,9 +677,7 @@ fn simulate_core(
                 Some(Reg::Fp(_)) => fp_phys_free += 1,
                 None => {}
             }
-            while store_queue.front().is_some_and(|s| s.0 <= e.seq) {
-                store_queue.pop_front();
-            }
+            stores.retire_through(e.seq);
             obs.on_retire(&RetireEvent {
                 cycle,
                 seq: e.seq,
@@ -362,148 +707,127 @@ fn simulate_core(
                 });
             }
         }
-        let _ = exit_code;
 
         // ---- Issue -------------------------------------------------------
+        // Walk only the ready candidates, oldest first. Readiness (all
+        // sources complete) was established by the wakeup pass; this stage
+        // arbitrates structural resources exactly like the reference scan:
+        // FU and port budgets, total issue width, and the load barrier —
+        // a load may not issue while any older store lacks an issue
+        // decision (decisions made earlier in this same walk count, but a
+        // store issuing *this* cycle still reads as unissued to the
+        // forwarding lookup, which is resolved in the apply pass below).
         let mut int_fu = config.int_units;
         let mut fp_fu = config.fp_units;
         let mut ls = config.ls_ports;
         let mut issued_total = 0u32;
         let mut int_issued_now = 0u64;
         let mut fp_issued_now = 0u64;
-        let head_seq = rob.front().map_or(next_seq, |e| e.seq);
-        // Collect issue decisions first to keep borrows simple.
-        let mut unissued_store_seen = false;
-        let mut decisions: Vec<(usize, u64)> = Vec::new(); // (rob idx, done_at)
-        for idx in 0..rob.len() {
-            if issued_total >= issue_width {
-                break;
-            }
-            let e = &rob[idx];
-            if e.issued {
-                if e.op.is_store() && e.done_at > cycle {
-                    // still counts as issued; address known
-                }
-                continue;
-            }
-            let is_store = e.op.is_store();
-            let is_load = e.op.is_load();
-            // Source readiness.
-            let ready = faults.issue_ignores_readiness
-                || e.srcs.iter().all(|&s| {
-                    if s < head_seq {
-                        true
-                    } else {
-                        let p = &rob[(s - head_seq) as usize];
-                        p.issued && p.done_at <= cycle
+        decisions.clear();
+        if ready != 0 {
+            // Snapshot the candidate mask; decisions this cycle do not add
+            // candidates (but an issuing store does lift the barrier for
+            // loads later in the same walk, exactly like the reference).
+            let mut cand = ready;
+            while cand != 0 && issued_total < issue_width {
+                let rel = cand.trailing_zeros();
+                cand &= cand - 1;
+                let seq = retired + u64::from(rel);
+                let e = &slab[slot(seq)];
+                let d = &e.d;
+                // Structural hazards.
+                if d.is_mem {
+                    if ls == 0 {
+                        continue; // an unissued store here still bars loads
                     }
-                });
-            if !ready {
-                if is_store {
-                    unissued_store_seen = true;
-                }
-                continue;
-            }
-            // Structural hazards.
-            if is_load || is_store {
-                if ls == 0 {
-                    if is_store {
-                        unissued_store_seen = true;
+                    if d.is_load && unissued_st & ((1u128 << rel) - 1) != 0 {
+                        continue; // prior store address unknown
                     }
-                    continue;
-                }
-                if is_load && unissued_store_seen {
-                    continue; // prior store address unknown
-                }
-            } else {
-                match e.subsystem {
-                    Subsystem::Int => {
-                        if int_fu == 0 {
-                            continue;
-                        }
-                    }
-                    Subsystem::Fp => {
-                        if fp_fu == 0 {
-                            continue;
-                        }
-                    }
-                }
-            }
-            // Latency.
-            let lat = if is_load {
-                let addr = e.addr.expect("load has address");
-                let bytes = e.op.mem_bytes().unwrap_or(4);
-                let forwarded = store_queue
-                    .iter()
-                    .rev()
-                    .find(|(s, a, b, _)| *s < e.seq && ranges_overlap(*a, *b, addr, bytes))
-                    .is_some_and(|(_, _, _, issued)| *issued);
-                if forwarded {
-                    2 // address generation + forward
                 } else {
-                    1 + dcache.access(addr, false)
-                }
-            } else if is_store {
-                let addr = e.addr.expect("store has address");
-                1 + dcache.access(addr, true)
-            } else {
-                e.latency_hint
-            };
-            // Commit the decision.
-            if is_load || is_store {
-                ls -= 1;
-                int_issued_now += 1;
-            } else {
-                match e.subsystem {
-                    Subsystem::Int => {
-                        int_fu -= 1;
-                        int_issued_now += 1;
-                    }
-                    Subsystem::Fp => {
-                        fp_fu -= 1;
-                        fp_issued_now += 1;
+                    match d.subsystem {
+                        Subsystem::Int => {
+                            if int_fu == 0 {
+                                continue;
+                            }
+                        }
+                        Subsystem::Fp => {
+                            if fp_fu == 0 {
+                                continue;
+                            }
+                        }
                     }
                 }
-            }
-            issued_total += 1;
-            decisions.push((idx, cycle + u64::from(lat)));
-        }
-        for (idx, done_at) in decisions {
-            let subsystem = rob[idx].subsystem;
-            let is_mem = rob[idx].op.mem_bytes().is_some();
-            {
-                let e = &rob[idx];
-                obs.on_issue(&IssueEvent {
-                    cycle,
-                    seq: e.seq,
-                    pc: e.pc,
-                    op: e.op,
-                    subsystem,
-                    mem_port: is_mem,
-                    srcs: &e.srcs,
-                    done_at,
-                });
-            }
-            rob[idx].issued = true;
-            rob[idx].done_at = done_at;
-            if rob[idx].op.is_store() {
-                let seq = rob[idx].seq;
-                for s in &mut store_queue {
-                    if s.0 == seq {
-                        s.3 = true;
+                // Latency.
+                let lat = if d.is_load {
+                    let addr = e.addr.expect("load has address");
+                    if stores.forwarded(seq, addr, d.mem_bytes) {
+                        2 // address generation + forward
+                    } else {
+                        1 + dcache.access(addr, false)
+                    }
+                } else if d.is_store {
+                    let addr = e.addr.expect("store has address");
+                    1 + dcache.access(addr, true)
+                } else {
+                    d.latency_hint
+                };
+                // Commit the decision.
+                if d.is_mem {
+                    ls -= 1;
+                    int_issued_now += 1;
+                } else {
+                    match d.subsystem {
+                        Subsystem::Int => {
+                            int_fu -= 1;
+                            int_issued_now += 1;
+                        }
+                        Subsystem::Fp => {
+                            fp_fu -= 1;
+                            fp_issued_now += 1;
+                        }
                     }
                 }
+                if d.is_store {
+                    unissued_st &= !(1u128 << rel);
+                }
+                issued_total += 1;
+                decisions.push((seq, cycle + u64::from(lat)));
             }
-            if rob[idx].resolves_fetch {
-                // The mispredicted branch resolved: fetch restarts (the
-                // sentinel set at fetch time is replaced, not maxed).
-                fetch_stall_until = done_at;
-            }
-            // Window slot frees at issue. Memory ops live in the INT window.
-            if is_mem || subsystem == Subsystem::Int {
-                int_window_used -= 1;
-            } else {
-                fp_window_used -= 1;
+            for &(seq, done_at) in &decisions {
+                let s = slot(seq);
+                {
+                    let e = &slab[s];
+                    obs.on_issue(&IssueEvent {
+                        cycle,
+                        seq,
+                        pc: e.pc,
+                        op: e.op,
+                        subsystem: e.d.subsystem,
+                        mem_port: e.d.is_mem,
+                        srcs: e.srcs(),
+                        done_at,
+                    });
+                }
+                let e = &mut slab[s];
+                e.issued = true;
+                e.done_at = done_at;
+                let wants_int_window = e.d.wants_int_window;
+                completions.push(Reverse((done_at, seq)));
+                if e.d.is_store {
+                    stores.mark_issued(seq);
+                }
+                if e.resolves_fetch {
+                    // The mispredicted branch resolved: fetch restarts (the
+                    // sentinel set at fetch time is replaced, not maxed).
+                    fetch_stall_until = done_at;
+                }
+                // Window slot frees at issue.
+                if wants_int_window {
+                    int_window_used -= 1;
+                } else {
+                    fp_window_used -= 1;
+                }
+                ready &= !(1u128 << (seq - retired));
             }
         }
         int_issued += int_issued_now;
@@ -514,17 +838,17 @@ fn simulate_core(
 
         // ---- Dispatch ----------------------------------------------------
         let mut dispatched = 0;
-        while dispatched < config.decode_width {
-            let Some(e) = fetch_queue.front() else { break };
-            if rob.len() >= config.max_inflight as usize {
+        while dispatched < config.decode_width && fq_len > 0 {
+            if rob_len >= config.max_inflight as usize {
                 break;
             }
-            let is_mem = e.op.mem_bytes().is_some();
-            let wants_int_window = is_mem || e.subsystem == Subsystem::Int;
-            if wants_int_window && int_window_used >= config.int_window {
+            // Dispatch is a pure stage transition: the entry stays in its
+            // slab slot and the ROB/fetch-queue boundary moves past it.
+            let e = &slab[slot(retired + rob_len as u64)];
+            if e.d.wants_int_window && int_window_used >= config.int_window {
                 break;
             }
-            if !wants_int_window && fp_window_used >= config.fp_window {
+            if !e.d.wants_int_window && fp_window_used >= config.fp_window {
                 break;
             }
             match e.dest {
@@ -532,37 +856,38 @@ fn simulate_core(
                 Some(Reg::Fp(_)) if fp_phys_free == 0 => break,
                 _ => {}
             }
-            let e = fetch_queue.pop_front().expect("checked");
             match e.dest {
                 Some(Reg::Int(_)) => int_phys_free -= 1,
                 Some(Reg::Fp(_)) => fp_phys_free -= 1,
                 None => {}
             }
-            if wants_int_window {
+            if e.d.wants_int_window {
                 int_window_used += 1;
             } else {
                 fp_window_used += 1;
             }
-            if e.op.is_store() {
-                store_queue.push_back((
-                    e.seq,
-                    e.addr.expect("store addr"),
-                    e.op.mem_bytes().unwrap(),
-                    false,
-                ));
+            if e.d.is_store {
+                stores.insert(e.seq, e.addr.expect("store addr"), e.d.mem_bytes);
+                unissued_st |= 1u128 << rob_len;
             }
             obs.on_dispatch(&DispatchEvent {
                 cycle,
                 seq: e.seq,
                 pc: e.pc,
                 op: e.op,
-                window: if wants_int_window {
+                window: if e.d.wants_int_window {
                     Subsystem::Int
                 } else {
                     Subsystem::Fp
                 },
             });
-            rob.push_back(e);
+            // The entry becomes an issue candidate the moment it sits in
+            // the ROB with no outstanding sources.
+            if e.pending == 0 {
+                ready |= 1u128 << rob_len;
+            }
+            rob_len += 1;
+            fq_len -= 1;
             dispatched += 1;
         }
 
@@ -572,27 +897,35 @@ fn simulate_core(
         }
         if !fetch_halted && cycle >= fetch_stall_until {
             // One I-cache access per fetch group.
-            let line = config.icache.line;
+            let line_shift = config.icache.line.trailing_zeros();
             let iaddr = fetch_pc * 4;
             let ilat = icache.access(iaddr, false);
             if ilat > config.icache.hit_time {
                 fetch_stall_until = cycle + u64::from(ilat);
             } else {
+                let iline = iaddr >> line_shift;
                 let mut fetched = 0;
-                while fetched < config.fetch_width && fetch_queue.len() < fetch_queue_cap {
-                    if fetch_pc * 4 / line != iaddr / line {
+                while fetched < config.fetch_width && fq_len < fetch_queue_cap {
+                    if (fetch_pc * 4) >> line_shift != iline {
                         break; // crossed into the next cache line
                     }
-                    let Some(inst) = program.code.get(fetch_pc as usize) else {
+                    let Some(d) = decoded.get(fetch_pc as usize).copied() else {
                         return Err(ExecError::BadPc { pc: fetch_pc });
                     };
-                    // Rename sources and destination.
-                    let srcs: Vec<u64> = inst
-                        .uses()
-                        .iter()
-                        .filter_map(|r| rename.get(r).copied())
-                        .collect();
-                    let dest = inst.defs().first().copied();
+                    let inst = &program.code[fetch_pc as usize];
+                    // Rename sources (in `rs`, `rt` order) and destination.
+                    let mut srcs = [0u64; 2];
+                    let mut n_srcs = 0u8;
+                    for r in d.uses.iter().flatten() {
+                        let p = match r {
+                            Reg::Int(i) => rename_int[i.index()],
+                            Reg::Fp(f) => rename_fp[f.index()],
+                        };
+                        if p != NO_PRODUCER {
+                            srcs[n_srcs as usize] = p;
+                            n_srcs += 1;
+                        }
+                    }
                     let addr = oracle.effective_addr(inst);
                     // Oracle-execute.
                     let step = oracle.exec(inst, fetch_pc)?;
@@ -600,10 +933,10 @@ fn simulate_core(
                     // co-simulation (the store read-back is safe: exec
                     // just validated the address).
                     let effect = InstEffect {
-                        dest: dest.map(|d| (d, oracle.reg_raw(d))),
-                        store: if inst.op.is_store() {
+                        dest: d.def.map(|dr| (dr, oracle.reg_raw(dr))),
+                        store: if d.is_store {
                             addr.map(|a| {
-                                let bytes = inst.op.mem_bytes().expect("store width");
+                                let bytes = d.mem_bytes;
                                 let lo = a as usize;
                                 let mut buf = [0u8; 8];
                                 buf[..bytes as usize]
@@ -617,7 +950,7 @@ fn simulate_core(
                         } else {
                             None
                         },
-                        taken: if inst.op.is_cond_branch() {
+                        taken: if d.is_cond_branch {
                             Some(matches!(step, Step::Jump(_)))
                         } else {
                             None
@@ -625,8 +958,26 @@ fn simulate_core(
                     };
                     let seq = next_seq;
                     next_seq += 1;
-                    if let Some(d) = dest {
-                        rename.insert(d, seq);
+                    if let Some(dr) = d.def {
+                        match dr {
+                            Reg::Int(i) => rename_int[i.index()] = seq,
+                            Reg::Fp(f) => rename_fp[f.index()] = seq,
+                        }
+                    }
+                    // Count outstanding sources and subscribe to their
+                    // producers' completions. A producer below `retired`
+                    // has left the pipeline; one with `done_at <= cycle`
+                    // completed in an already-drained bucket.
+                    let mut pending = 0u8;
+                    for &s in &srcs[..n_srcs as usize] {
+                        if s < retired {
+                            continue;
+                        }
+                        let p = &mut slab[slot(s)];
+                        if !(p.issued && p.done_at <= cycle) {
+                            pending += 1;
+                            p.waiters.push(seq);
+                        }
                     }
                     obs.on_fetch(&FetchEvent {
                         cycle,
@@ -638,33 +989,31 @@ fn simulate_core(
                         seq,
                         pc: fetch_pc,
                         op: inst.op,
-                        subsystem: inst.op.subsystem(),
                         srcs,
-                        dest,
+                        n_srcs,
+                        pending,
+                        dest: d.def,
                         issued: false,
                         done_at: NOT_DONE,
-                        wb_emitted: false,
                         addr,
-                        latency_hint: inst.op.fu_class().latency(),
                         halt: None,
                         resolves_fetch: false,
+                        d,
                         effect,
+                        waiters: waiter_pool.pop().unwrap_or_default(),
                     };
-                    // Branches may take the extra latency of a FuClass::Mem
-                    // agen — no: branch latency is its FU class (1).
-                    let _ = FuClass::IntAlu;
                     let taken_target = match step {
                         Step::Jump(t) => Some(t),
                         Step::Next => None,
                         Step::Halt(code) => {
                             entry.halt = Some(code);
-                            exit_code = code;
                             fetch_halted = true;
-                            fetch_queue.push_back(entry);
+                            slab[slot(seq)] = entry;
+                            fq_len += 1;
                             break;
                         }
                     };
-                    if inst.op.is_cond_branch() {
+                    if d.is_cond_branch {
                         let taken = taken_target.is_some();
                         let predicted = gshare.predict(fetch_pc);
                         gshare.update(fetch_pc, taken);
@@ -675,11 +1024,13 @@ fn simulate_core(
                             entry.resolves_fetch = true;
                             fetch_stall_until = u64::MAX; // replaced at issue
                             fetch_pc = next;
-                            fetch_queue.push_back(entry);
+                            slab[slot(seq)] = entry;
+                            fq_len += 1;
                             break;
                         }
                         fetch_pc = next;
-                        fetch_queue.push_back(entry);
+                        slab[slot(seq)] = entry;
+                        fq_len += 1;
                         fetched += 1;
                         if taken {
                             break; // taken transfers end the fetch group
@@ -690,12 +1041,14 @@ fn simulate_core(
                         Some(t) => {
                             // Unconditional: predicted perfectly (Table 1).
                             fetch_pc = t;
-                            fetch_queue.push_back(entry);
+                            slab[slot(seq)] = entry;
+                            fq_len += 1;
                             break;
                         }
                         None => {
                             fetch_pc += 1;
-                            fetch_queue.push_back(entry);
+                            slab[slot(seq)] = entry;
+                            fq_len += 1;
                             fetched += 1;
                         }
                     }
@@ -716,6 +1069,7 @@ fn ranges_overlap(a: u32, alen: u32, b: u32, blen: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::simulate_reference;
     use fpa_isa::{FpReg, Inst, IntReg};
 
     fn cfg() -> MachineConfig {
@@ -957,5 +1311,106 @@ mod tests {
             simulate(&p, &cfg(), 1000).unwrap_err(),
             ExecError::OutOfFuel
         );
+    }
+
+    // ---- Fast-path vs reference equivalence ------------------------------
+
+    fn assert_equivalent(p: &Program) {
+        for config in [
+            MachineConfig::four_way(true),
+            MachineConfig::eight_way(true),
+        ] {
+            let fast = simulate(p, &config, 10_000_000).expect("fast");
+            let reference = simulate_reference(p, &config, 10_000_000).expect("reference");
+            assert_eq!(fast, reference, "fast path diverged from reference");
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_loops() {
+        assert_equivalent(&int_loop_program(false));
+        assert_equivalent(&int_loop_program(true));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_serial_chain() {
+        // Long-latency serial dependencies exercise the cycle skipper.
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        let r8: Reg = IntReg::new(8).into();
+        let r9: Reg = IntReg::new(9).into();
+        let mut code = vec![Inst::li(Op::Li, r8, 1), Inst::li(Op::Li, r9, 7)];
+        for _ in 0..300 {
+            code.push(Inst::alu_imm(Op::Addi, r8, r8, 3));
+            code.push(Inst::alu(Op::Mul, r8, r8, r8)); // 6-cycle FU
+            code.push(Inst::alu(Op::Div, r8, r8, r9)); // 12-cycle FU
+        }
+        code.push(Inst {
+            op: Op::Halt,
+            rd: None,
+            rs: Some(r8),
+            rt: None,
+            imm: 0,
+            target: 0,
+        });
+        p.code = code;
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_byte_overlap_stores() {
+        // Sub-word stores around word boundaries exercise the word-bucket
+        // forwarding index against the reference's byte-precise scan:
+        // same-word-no-overlap, cross-word, and exact-overlap cases.
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        let base: Reg = IntReg::new(8).into();
+        let v: Reg = IntReg::new(9).into();
+        let x: Reg = IntReg::new(10).into();
+        let mut code = vec![
+            Inst::li(Op::Li, base, 0x2000),
+            Inst::li(Op::Li, v, 0x41),
+            Inst::store(Op::Sw, v, IntReg::new(8), 0),
+        ];
+        for k in 0..40 {
+            // A byte store next to — but not overlapping — the loaded byte,
+            // then an overlapping one; offsets straddle word boundaries.
+            code.push(Inst::store(Op::Sb, v, IntReg::new(8), 1 + (k % 7)));
+            code.push(Inst::load(Op::Lb, x, IntReg::new(8), k % 9));
+            code.push(Inst::store(Op::Sw, v, IntReg::new(8), 4 * (k % 3)));
+            code.push(Inst::load(Op::Lw, x, IntReg::new(8), 4));
+        }
+        code.push(Inst {
+            op: Op::Halt,
+            rd: None,
+            rs: Some(x),
+            rt: None,
+            imm: 0,
+            target: 0,
+        });
+        p.code = code;
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn fast_path_out_of_fuel_matches_reference() {
+        let mut p = Program::new();
+        p.stack_top = 0x1_0000;
+        p.code = vec![Inst::jump(0)];
+        assert_eq!(
+            simulate(&p, &cfg(), 1000).unwrap_err(),
+            simulate_reference(&p, &cfg(), 1000).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn observation_is_timing_neutral() {
+        let p = int_loop_program(true);
+        let plain = run(&p);
+        let mut counters = crate::observe::EventCounters::default();
+        let observed = simulate_observed(&p, &cfg(), 10_000_000, &mut counters).expect("observed");
+        assert_eq!(plain, observed);
+        assert_eq!(counters.retired, plain.retired);
+        assert_eq!(counters.writebacks, counters.dispatched);
     }
 }

@@ -48,14 +48,14 @@ fn all_workloads_all_schemes_preserve_behaviour() {
 }
 
 #[test]
-fn deprecated_compile_wrapper_matches_builder() {
-    // `fpa::compile` survives as a thin wrapper; it must produce the same
-    // program as the builder it delegates to.
+fn builder_output_is_deterministic() {
+    // The `fpa::compile` wrapper is gone; the builder is the single entry
+    // point, and two independent builds of the same source must agree
+    // instruction-for-instruction.
     let w = fpa::workloads::by_name("compress").unwrap();
-    #[allow(deprecated)]
-    let old = fpa::compile(&w.source, Scheme::Advanced).unwrap();
-    let new = program(&w.source, Scheme::Advanced);
-    assert_eq!(old.disasm(), new.disasm());
+    let a = program(&w.source, Scheme::Advanced);
+    let b = program(&w.source, Scheme::Advanced);
+    assert_eq!(a.disasm(), b.disasm());
 }
 
 #[test]
