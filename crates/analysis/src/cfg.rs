@@ -1,0 +1,289 @@
+//! Control-flow recovery from linked machine code.
+//!
+//! The binary linter analyses [`Program`]s *after* codegen and peephole,
+//! so it cannot reuse the IR's CFG — it rediscovers function bodies and
+//! basic blocks from the symbol table and the branch/jump targets alone,
+//! the way a binary translator or link-time verifier would.
+
+use fpa_isa::{Op, Program};
+
+/// One function's contiguous span in the instruction stream.
+///
+/// Functions are contiguous in this ISA (a function spans from its entry
+/// symbol to the next function symbol). Any code before the first
+/// function symbol — the entry stub `jal main; halt` — is modelled as a
+/// synthetic function named `<entry>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSpan {
+    /// Function name from the symbol table (or `<entry>`).
+    pub name: String,
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+}
+
+/// Splits a program into function spans, in address order.
+#[must_use]
+pub fn function_spans(prog: &Program) -> Vec<FuncSpan> {
+    let mut entries: Vec<(u32, &str)> = prog
+        .symbols
+        .iter()
+        .filter(|s| s.kind == fpa_isa::SymbolKind::Function)
+        .map(|s| (s.pc, s.name.as_str()))
+        .collect();
+    entries.sort_unstable_by_key(|&(pc, _)| pc);
+    let mut spans = Vec::with_capacity(entries.len() + 1);
+    let first = entries
+        .first()
+        .map_or(prog.code.len() as u32, |&(pc, _)| pc);
+    if first > 0 {
+        spans.push(FuncSpan {
+            name: "<entry>".to_string(),
+            start: 0,
+            end: first,
+        });
+    }
+    for (i, &(pc, name)) in entries.iter().enumerate() {
+        let end = entries
+            .get(i + 1)
+            .map_or(prog.code.len() as u32, |&(next, _)| next);
+        spans.push(FuncSpan {
+            name: name.to_string(),
+            start: pc,
+            end,
+        });
+    }
+    spans
+}
+
+/// A recovered basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, Default)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block indices (within the same function).
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+/// The recovered control-flow graph of one function span.
+///
+/// Block 0 is the function entry. Control transfers whose target leaves
+/// the span (there are none in well-formed codegen output — calls use
+/// `jal`, returns `jr`) produce no edge.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The function this graph covers.
+    pub span: FuncSpan,
+    /// Blocks in address order; block 0 starts at `span.start`.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of `span` from branch/jump targets.
+    ///
+    /// Leaders are the span start, every in-span branch target, and every
+    /// instruction following a control transfer. `jal` falls through (the
+    /// callee returns); `jr`, `jalr`, and `halt` terminate their block
+    /// with no successor.
+    #[must_use]
+    pub fn build(prog: &Program, span: &FuncSpan) -> Cfg {
+        let in_span = |pc: u32| pc >= span.start && pc < span.end;
+        let mut leader = vec![false; (span.end - span.start) as usize];
+        if !leader.is_empty() {
+            leader[0] = true;
+        }
+        for pc in span.start..span.end {
+            let inst = &prog.code[pc as usize];
+            if (inst.op.is_cond_branch() || inst.op == Op::J) && in_span(inst.target) {
+                leader[(inst.target - span.start) as usize] = true;
+            }
+            if inst.op.is_control() && pc + 1 < span.end {
+                leader[(pc + 1 - span.start) as usize] = true;
+            }
+        }
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![usize::MAX; leader.len()];
+        for (off, &l) in leader.iter().enumerate() {
+            if l {
+                blocks.push(BasicBlock {
+                    start: span.start + off as u32,
+                    end: span.start + off as u32 + 1,
+                    ..BasicBlock::default()
+                });
+            } else if let Some(b) = blocks.last_mut() {
+                b.end = span.start + off as u32 + 1;
+            }
+            if !blocks.is_empty() {
+                block_of[off] = blocks.len() - 1;
+            }
+        }
+        let block_at = |pc: u32| block_of[(pc - span.start) as usize];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            let last = &prog.code[(b.end - 1) as usize];
+            let fallthrough = b.end < span.end;
+            match last.op {
+                Op::J => {
+                    if in_span(last.target) {
+                        edges.push((bi, block_at(last.target)));
+                    }
+                }
+                Op::Jr | Op::Jalr | Op::Halt => {}
+                op if op.is_cond_branch() => {
+                    if in_span(last.target) {
+                        edges.push((bi, block_at(last.target)));
+                    }
+                    if fallthrough {
+                        edges.push((bi, bi + 1));
+                    }
+                }
+                // `jal` and every non-control instruction fall through.
+                _ => {
+                    if fallthrough {
+                        edges.push((bi, bi + 1));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+                blocks[to].preds.push(from);
+            }
+        }
+        Cfg {
+            span: span.clone(),
+            blocks,
+        }
+    }
+
+    /// The block containing `pc`.
+    #[must_use]
+    pub fn block_at(&self, pc: u32) -> usize {
+        self.blocks
+            .partition_point(|b| b.end <= pc)
+            .min(self.blocks.len().saturating_sub(1))
+    }
+
+    /// A shortest entry-to-`target` path as a list of block-leader pcs —
+    /// the witness path attached to diagnostics. Empty if `target` is
+    /// unreachable from the entry block.
+    #[must_use]
+    pub fn witness_path(&self, target: usize) -> Vec<u32> {
+        let n = self.blocks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        parent[0] = 0;
+        while let Some(b) = queue.pop_front() {
+            if b == target {
+                break;
+            }
+            for &s in &self.blocks[b].succs {
+                if parent[s] == usize::MAX {
+                    parent[s] = b;
+                    queue.push_back(s);
+                }
+            }
+        }
+        if parent[target] == usize::MAX {
+            return Vec::new();
+        }
+        let mut path = vec![self.blocks[target].start];
+        let mut b = target;
+        while b != 0 {
+            b = parent[b];
+            path.push(self.blocks[b].start);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_isa::{Inst, IntReg, Op, Symbol, SymbolKind};
+
+    fn prog_with_loop() -> Program {
+        // <entry>: jal main; halt
+        // main:    li $2, 0
+        //          addiu $2, $2, 1
+        //          bnez $2, L3      (self-loop)
+        //          jr $31
+        let mut p = Program::new();
+        p.code.push(Inst::call(2));
+        p.code.push(Inst {
+            op: Op::Halt,
+            rd: None,
+            rs: Some(IntReg::V0.into()),
+            rt: None,
+            imm: 0,
+            target: 0,
+        });
+        p.symbols.push(Symbol {
+            pc: 2,
+            name: "main".into(),
+            kind: SymbolKind::Function,
+        });
+        p.code.push(Inst::li(Op::Li, IntReg::V0.into(), 0));
+        p.code.push(Inst::alu_imm(
+            Op::Addi,
+            IntReg::V0.into(),
+            IntReg::V0.into(),
+            1,
+        ));
+        p.code.push(Inst::branch(Op::Bnez, IntReg::V0.into(), 3));
+        p.code.push(Inst::jr(IntReg::RA));
+        p
+    }
+
+    #[test]
+    fn entry_stub_becomes_synthetic_function() {
+        let p = prog_with_loop();
+        let spans = function_spans(&p);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "<entry>");
+        assert_eq!((spans[0].start, spans[0].end), (0, 2));
+        assert_eq!(spans[1].name, "main");
+        assert_eq!((spans[1].start, spans[1].end), (2, 6));
+    }
+
+    #[test]
+    fn loop_backedge_is_recovered() {
+        let p = prog_with_loop();
+        let spans = function_spans(&p);
+        let cfg = Cfg::build(&p, &spans[1]);
+        // Blocks: [li], [addiu, bnez], [jr]
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[1].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks[1].preds, vec![0, 1]);
+        assert!(cfg.blocks[2].succs.is_empty());
+    }
+
+    #[test]
+    fn jal_falls_through_and_halt_terminates() {
+        let p = prog_with_loop();
+        let spans = function_spans(&p);
+        let cfg = Cfg::build(&p, &spans[0]);
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+        assert!(cfg.blocks[1].succs.is_empty());
+    }
+
+    #[test]
+    fn witness_path_runs_entry_to_target() {
+        let p = prog_with_loop();
+        let spans = function_spans(&p);
+        let cfg = Cfg::build(&p, &spans[1]);
+        assert_eq!(cfg.witness_path(2), vec![2, 3, 5]);
+        assert_eq!(cfg.witness_path(0), vec![2]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Miscompilation injection for linter mutation tests.
+//!
+//! Each [`Mutation`] models one way codegen could silently break the
+//! partition contract: dropping a boundary copy, putting an operand in
+//! the wrong register file, routing an FPa-produced value into an address
+//! computation, or forgetting to stage an argument register. The mutation
+//! tests in the harness apply these to real compiled workloads and assert
+//! the linter reports exactly the matching `FPA0xx` code — a zero-false-
+//! negative check over the whole diagnostic surface.
+//!
+//! This module is `#[doc(hidden)]`: it exists for tests, not for users.
+
+use fpa_isa::{FpReg, Inst, IntReg, Op, Program, Reg};
+
+/// The kinds of injectable miscompilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Replace a `cp_to_fpa` with a nop, leaving its FP destination
+    /// holding stale/uninitialized data (expected: FPA004).
+    DropCpToFpa,
+    /// Rewrite a source operand of an augmented op to an integer register
+    /// (expected: FPA001).
+    FlipFpaOperand,
+    /// Rewrite an integer source operand of an INT-subsystem op to a
+    /// floating-point register (expected: FPA002).
+    FlipIntOperand,
+    /// Point a load's base register at an integer register that carries
+    /// an FPa-computed value at that point, making the address
+    /// FPa-derived (expected: FPA003).
+    RetargetLoadBase,
+    /// Replace an argument-staging `move $4..$7, x` that feeds a `jal`
+    /// with a nop (expected: FPA005).
+    SkipParamPin,
+}
+
+/// One concrete mutation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// What to do.
+    pub kind: MutationKind,
+    /// The instruction to rewrite.
+    pub pc: u32,
+    /// For [`MutationKind::RetargetLoadBase`]: the new base register.
+    pub base: Option<IntReg>,
+}
+
+/// A nop that perturbs nothing the checks observe: `addiu $1, $0, 0`
+/// (defines only the codegen scratch, which is dead between uses).
+fn nop() -> Inst {
+    Inst::alu_imm(Op::Addi, IntReg::AT.into(), IntReg::ZERO.into(), 0)
+}
+
+/// Enumerates candidate sites for `kind` in `prog`, in address order.
+///
+/// Sites are heuristic: a candidate is a place where the mutation is
+/// *syntactically* applicable. Whether the corruption is observable on a
+/// reachable path (e.g. the clobbered register is actually read before
+/// being redefined) depends on the surrounding code, so tests try
+/// candidates in order until the linter fires.
+#[must_use]
+pub fn find(prog: &Program, kind: MutationKind) -> Vec<Mutation> {
+    if kind == MutationKind::RetargetLoadBase {
+        return find_retarget_sites(prog);
+    }
+    let mut out = Vec::new();
+    for (pc, inst) in prog.code.iter().enumerate() {
+        let pc = pc as u32;
+        match kind {
+            MutationKind::DropCpToFpa => {
+                if inst.op == Op::CpToFpa {
+                    out.push(Mutation {
+                        kind,
+                        pc,
+                        base: None,
+                    });
+                }
+            }
+            MutationKind::FlipFpaOperand => {
+                // Augmented ALU ops whose rs is an FP register.
+                if inst.op.is_augmented()
+                    && !inst.op.is_control()
+                    && matches!(inst.rs, Some(Reg::Fp(_)))
+                {
+                    out.push(Mutation {
+                        kind,
+                        pc,
+                        base: None,
+                    });
+                }
+            }
+            MutationKind::FlipIntOperand => {
+                // Integer ALU/store sites reading an integer rt; flipping
+                // a *source* (not a destination) cannot cascade into
+                // uninitialized-use noise elsewhere.
+                let int_alu = !inst.op.is_control()
+                    && !inst.op.is_load()
+                    && inst.op.subsystem() == fpa_isa::Subsystem::Int;
+                if int_alu && matches!(inst.rt, Some(Reg::Int(_))) {
+                    out.push(Mutation {
+                        kind,
+                        pc,
+                        base: None,
+                    });
+                }
+            }
+            MutationKind::RetargetLoadBase => unreachable!("handled above"),
+            MutationKind::SkipParamPin => {
+                // A `move` into an argument register, followed (without an
+                // intervening control transfer) by a `jal`.
+                if inst.op != Op::Move {
+                    continue;
+                }
+                let stages_arg = matches!(
+                    inst.rd,
+                    Some(Reg::Int(r)) if IntReg::args().contains(&r)
+                );
+                if !stages_arg {
+                    continue;
+                }
+                let feeds_call = prog.code[pc as usize + 1..]
+                    .iter()
+                    .take_while(|i| !i.op.is_control() || i.op == Op::Jal)
+                    .any(|i| i.op == Op::Jal);
+                if feeds_call {
+                    out.push(Mutation {
+                        kind,
+                        pc,
+                        base: None,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Retarget sites, found semantically: run the linter's own taint
+/// analysis and pair each load with an integer register that provably
+/// carries an initialized FPa-computed value at that point. Compiled
+/// code never routes such a value into an address slice, so there is no
+/// syntactic pattern to match — but any register the analysis flags is,
+/// by construction, a base the linter must reject.
+fn find_retarget_sites(prog: &Program) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for (pc, regs) in crate::lint::tainted_int_regs(prog) {
+        let inst = &prog.code[pc as usize];
+        if !inst.op.is_load() {
+            continue;
+        }
+        if let Some(&base) = regs.iter().find(|&&r| Some(Reg::Int(r)) != inst.rs) {
+            out.push(Mutation {
+                kind: MutationKind::RetargetLoadBase,
+                pc,
+                base: Some(base),
+            });
+        }
+    }
+    out
+}
+
+/// Applies `m` to `prog` in place.
+///
+/// # Panics
+///
+/// Panics if the site no longer matches (e.g. the program changed since
+/// [`find`]).
+pub fn apply(prog: &mut Program, m: &Mutation) {
+    let inst = &mut prog.code[m.pc as usize];
+    match m.kind {
+        MutationKind::DropCpToFpa => {
+            assert_eq!(inst.op, Op::CpToFpa, "stale mutation site");
+            *inst = nop();
+        }
+        MutationKind::FlipFpaOperand => {
+            assert!(inst.op.is_augmented(), "stale mutation site");
+            // $16 is callee-saved and so initialized at entry: the flip
+            // trips the file check and nothing else.
+            inst.rs = Some(IntReg::new(16).into());
+        }
+        MutationKind::FlipIntOperand => {
+            assert!(matches!(inst.rt, Some(Reg::Int(_))), "stale mutation site");
+            // $f16 is callee-saved in the FP file: same reasoning.
+            inst.rt = Some(FpReg::new(16).into());
+        }
+        MutationKind::RetargetLoadBase => {
+            assert!(inst.op.is_load(), "stale mutation site");
+            inst.rs = Some(m.base.expect("retarget needs a base").into());
+        }
+        MutationKind::SkipParamPin => {
+            assert_eq!(inst.op, Op::Move, "stale mutation site");
+            *inst = nop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_isa::{Symbol, SymbolKind};
+
+    #[test]
+    fn finds_and_applies_a_retarget_site() {
+        let mut p = Program::new();
+        p.symbols.push(Symbol {
+            pc: 0,
+            name: "main".into(),
+            kind: SymbolKind::Function,
+        });
+        p.code = vec![
+            Inst::li(Op::LiA, FpReg::new(2).into(), 1),
+            Inst::unary(Op::CpToInt, IntReg::new(8).into(), FpReg::new(2).into()),
+            Inst::load(Op::Lw, IntReg::new(9).into(), IntReg::SP, 0),
+            Inst::jr(IntReg::RA),
+        ];
+        let sites = find(&p, MutationKind::RetargetLoadBase);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].pc, 2);
+        assert_eq!(sites[0].base, Some(IntReg::new(8)));
+        apply(&mut p, &sites[0]);
+        assert_eq!(p.code[2].rs, Some(IntReg::new(8).into()));
+        // The corrupted program now trips FPA003.
+        let findings = crate::lint(&p, None, None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, crate::ErrorCode::Fpa003);
+    }
+
+    #[test]
+    fn drop_cp_to_fpa_replaces_with_nop() {
+        let mut p = Program::new();
+        p.code = vec![Inst::unary(
+            Op::CpToFpa,
+            FpReg::new(4).into(),
+            IntReg::new(8).into(),
+        )];
+        let sites = find(&p, MutationKind::DropCpToFpa);
+        assert_eq!(sites.len(), 1);
+        apply(&mut p, &sites[0]);
+        assert_eq!(p.code[0].op, Op::Addi);
+    }
+}

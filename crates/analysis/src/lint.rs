@@ -1,0 +1,814 @@
+//! The partition-soundness linter.
+//!
+//! Re-proves, from the *linked binary alone* (plus optionally the IR
+//! module and partition assignment that produced it), the invariants the
+//! paper's compiler must uphold when offloading integer work to the
+//! floating-point subsystem:
+//!
+//! 1. Values cross the INT/FPa boundary only through explicit
+//!    `cp_to_fpa`/`cp_to_int` copies — every operand of every opcode sits
+//!    in the register file the ISA demands ([`ErrorCode::Fpa001`],
+//!    [`ErrorCode::Fpa002`]).
+//! 2. Load/store address computations and indirect-jump sources are
+//!    INT-resident: no FPa-produced value flows into them
+//!    ([`ErrorCode::Fpa003`]).
+//! 3. No possibly-uninitialized register is read on any path
+//!    ([`ErrorCode::Fpa004`]).
+//! 4. Calls conform to the calling convention: argument registers are
+//!    freshly staged before every `jal`, and formal parameters are pinned
+//!    to the INT subsystem as the paper's §6.4 dummy nodes require
+//!    ([`ErrorCode::Fpa005`]).
+//! 5. The partitioner's claimed offload agrees with what codegen actually
+//!    emitted ([`ErrorCode::Fpa006`]).
+//!
+//! Precision notes: taint is introduced only by *augmented* opcodes —
+//! native floating-point arithmetic (including `cvt.w.d` feeding the
+//! ubiquitous `(int)(double)` cast) produces clean values, since those
+//! crossings exist in conventional code too. Loads also produce clean
+//! values: a value that round-trips through memory was INT-mediated (the
+//! INT subsystem computed its address), so taint does not survive a
+//! spill/reload pair.
+
+use crate::cfg::{function_spans, Cfg, FuncSpan};
+use crate::solver::{solve_forward, AbsVal, RegState};
+use fpa_ir::{Module, Ty};
+use fpa_isa::{FpReg, Inst, IntReg, Op, Program, Reg, RegFile, Subsystem, SymbolKind};
+use fpa_partition::Assignment;
+use std::fmt;
+
+/// Stable diagnostic codes. The numbering is part of the tool's contract:
+/// CI and the fuzz oracle match on these strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorCode {
+    /// Integer-file operand on an FPa-subsystem opcode (a value entered
+    /// the FP subsystem without `cp_to_fpa`).
+    Fpa001,
+    /// Floating-point-file operand on an INT-subsystem opcode (a value
+    /// left the FP subsystem without `cp_to_int`).
+    Fpa002,
+    /// FPa-produced (augmented) value reaches a load/store address base
+    /// or an indirect-jump source.
+    Fpa003,
+    /// Possibly-uninitialized register read on some path.
+    Fpa004,
+    /// Calling-convention violation: stale argument register at a call,
+    /// or a formal parameter not pinned to INT.
+    Fpa005,
+    /// The claimed partition assignment disagrees with the emitted code.
+    Fpa006,
+}
+
+impl ErrorCode {
+    /// The stable code string, e.g. `"FPA003"`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCode::Fpa001 => "FPA001",
+            ErrorCode::Fpa002 => "FPA002",
+            ErrorCode::Fpa003 => "FPA003",
+            ErrorCode::Fpa004 => "FPA004",
+            ErrorCode::Fpa005 => "FPA005",
+            ErrorCode::Fpa006 => "FPA006",
+        }
+    }
+
+    /// A short human title.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            ErrorCode::Fpa001 => "INT operand on FPa-subsystem op",
+            ErrorCode::Fpa002 => "FPa operand on INT-subsystem op",
+            ErrorCode::Fpa003 => "FPa-tainted address or jump source",
+            ErrorCode::Fpa004 => "possibly-uninitialized register use",
+            ErrorCode::Fpa005 => "calling-convention violation",
+            ErrorCode::Fpa006 => "claimed/emitted partition mismatch",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One diagnostic: a violated invariant at a concrete instruction, with a
+/// shortest entry-to-violation block path as the witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant was violated.
+    pub code: ErrorCode,
+    /// The containing function (symbol name, or `<entry>`).
+    pub function: String,
+    /// Instruction index of the violation.
+    pub pc: u32,
+    /// Human-readable detail.
+    pub message: String,
+    /// Block-leader pcs of a shortest path from the function entry to the
+    /// violating block; empty when no path exists or none is needed.
+    pub witness: Vec<u32>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} at pc {}: {}",
+            self.code,
+            self.code.title(),
+            self.function,
+            self.pc,
+            self.message
+        )?;
+        if !self.witness.is_empty() {
+            let path: Vec<String> = self.witness.iter().map(ToString::to_string).collect();
+            write!(f, " (path {})", path.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// What a `jal` does to the return-value registers.
+#[derive(Clone, Copy)]
+enum CalleeRet {
+    /// Callee unknown (no module): conservatively define both `$2`/`$f0`.
+    Unknown,
+    /// Known signature.
+    Known(Option<Ty>),
+}
+
+/// The abstract machine state at function entry. Zero, SP/FP/RA, argument
+/// registers, and callee-saved registers hold meaningful caller-provided
+/// values; everything else (scratches, return-value and caller-saved
+/// registers) is uninitialized.
+fn entry_state() -> RegState {
+    let mut s = RegState::bottom();
+    for i in 0..fpa_isa::NUM_INT_REGS as u8 {
+        s.set(Reg::Int(IntReg::new(i)), AbsVal::uninit());
+    }
+    for i in 0..fpa_isa::NUM_FP_REGS as u8 {
+        s.set(Reg::Fp(FpReg::new(i)), AbsVal::uninit());
+    }
+    let mut from_entry: Vec<Reg> = vec![IntReg::SP.into(), IntReg::FP.into(), IntReg::RA.into()];
+    from_entry.extend(IntReg::args().map(Reg::from));
+    from_entry.extend(IntReg::callee_saved().into_iter().map(Reg::from));
+    from_entry.extend(FpReg::args().map(Reg::from));
+    from_entry.extend(FpReg::callee_saved().into_iter().map(Reg::from));
+    for r in from_entry {
+        s.set(r, AbsVal::entry());
+    }
+    s
+}
+
+/// Applies one instruction's effect to the abstract state.
+fn step(state: &mut RegState, inst: &Inst, ret: CalleeRet) {
+    match inst.op {
+        Op::Jal | Op::Jalr => {
+            // Calls clobber every register the convention does not
+            // preserve: scratches, return values, arguments, and
+            // caller-saved temporaries in both files.
+            for r in 1..=15u8 {
+                state.set(Reg::Int(IntReg::new(r)), AbsVal::uninit());
+            }
+            state.set(Reg::Int(IntReg::AT2), AbsVal::uninit());
+            for f in 0..16u8 {
+                state.set(Reg::Fp(FpReg::new(f)), AbsVal::uninit());
+            }
+            let ret = if inst.op == Op::Jalr {
+                CalleeRet::Unknown
+            } else {
+                ret
+            };
+            match ret {
+                CalleeRet::Unknown => {
+                    state.set(IntReg::V0.into(), AbsVal::local());
+                    state.set(FpReg::FV0.into(), AbsVal::local());
+                }
+                CalleeRet::Known(Some(Ty::Int)) => {
+                    state.set(IntReg::V0.into(), AbsVal::local());
+                }
+                CalleeRet::Known(Some(Ty::Double)) => {
+                    state.set(FpReg::FV0.into(), AbsVal::local());
+                }
+                CalleeRet::Known(None) => {}
+            }
+            if let Some(rd) = inst.rd {
+                state.set(rd, AbsVal::local());
+            }
+        }
+        _ => {
+            let Some(rd) = inst.rd else { return };
+            let v = if inst.op.is_augmented() {
+                AbsVal::local().with(AbsVal::FPA_TAINT)
+            } else if inst.op.is_load() || native_fp_compute(inst.op) {
+                // Loads launder taint (the address was INT-computed, so
+                // the value is memory-mediated); native FP arithmetic
+                // produces genuine FP-subsystem values, the same crossing
+                // conventional code performs.
+                AbsVal::local()
+            } else {
+                // Integer ALU, li, and every move/copy propagate taint
+                // from their register sources.
+                let mut v = AbsVal::local();
+                for src in inst.uses() {
+                    if state.get(src).has(AbsVal::FPA_TAINT) {
+                        v = v.with(AbsVal::FPA_TAINT);
+                    }
+                }
+                v
+            };
+            state.set(rd, v);
+        }
+    }
+}
+
+/// Native floating-point computation (not augmented, not a move): these
+/// produce untainted values even from tainted inputs.
+fn native_fp_compute(op: Op) -> bool {
+    matches!(
+        op,
+        Op::FaddD
+            | Op::FsubD
+            | Op::FmulD
+            | Op::FdivD
+            | Op::FnegD
+            | Op::CvtDW
+            | Op::CvtWD
+            | Op::CeqD
+            | Op::CltD
+            | Op::CleD
+    )
+}
+
+/// Resolves a `jal` target to the callee's function symbol name.
+fn callee_name(prog: &Program, target: u32) -> Option<&str> {
+    prog.symbols
+        .iter()
+        .find(|s| s.kind == SymbolKind::Function && s.pc == target)
+        .map(|s| s.name.as_str())
+}
+
+fn callee_ret(prog: &Program, module: Option<&Module>, target: u32) -> CalleeRet {
+    let resolved = module.and_then(|m| {
+        let name = callee_name(prog, target)?;
+        let id = m.func_id(name)?;
+        Some(m.func(id).ret_ty)
+    });
+    match resolved {
+        Some(ret_ty) => CalleeRet::Known(ret_ty),
+        None => CalleeRet::Unknown,
+    }
+}
+
+struct FuncLinter<'a> {
+    prog: &'a Program,
+    module: Option<&'a Module>,
+    span: &'a FuncSpan,
+    cfg: Cfg,
+    findings: Vec<Finding>,
+}
+
+impl<'a> FuncLinter<'a> {
+    fn report(&mut self, code: ErrorCode, pc: u32, message: String) {
+        let witness = if self.cfg.blocks.is_empty() {
+            Vec::new()
+        } else {
+            self.cfg.witness_path(self.cfg.block_at(pc))
+        };
+        self.findings.push(Finding {
+            code,
+            function: self.span.name.clone(),
+            pc,
+            message,
+            witness,
+        });
+    }
+
+    /// Decode-level operand-file check (state-independent): FPA001/FPA002.
+    fn check_operand_files(&mut self) {
+        for pc in self.span.start..self.span.end {
+            let inst = &self.prog.code[pc as usize];
+            let spec = inst.op.operand_files();
+            let slots = [
+                ("rd", inst.rd, spec.rd),
+                ("rs", inst.rs, spec.rs),
+                ("rt", inst.rt, spec.rt),
+            ];
+            for (slot, reg, want) in slots {
+                let (Some(reg), Some(want)) = (reg, want) else {
+                    continue;
+                };
+                let actual = if reg.is_int() {
+                    RegFile::Int
+                } else {
+                    RegFile::Fp
+                };
+                if actual != want {
+                    let code = if inst.op.subsystem() == Subsystem::Fp {
+                        ErrorCode::Fpa001
+                    } else {
+                        ErrorCode::Fpa002
+                    };
+                    self.report(
+                        code,
+                        pc,
+                        format!(
+                            "`{}`: {slot} operand {reg} is in the {actual:?} file, \
+                             but {} requires {want:?} (cross only via cp_to_fpa/cp_to_int)",
+                            inst.disasm(),
+                            inst.op.mnemonic(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flow-sensitive checks over reachable blocks: FPA003/FPA004/FPA005.
+    fn check_dataflow(&mut self) {
+        if self.cfg.blocks.is_empty() {
+            return;
+        }
+        let prog = self.prog;
+        let module = self.module;
+        let transfer = |b: usize, input: &RegState| {
+            let mut st = input.clone();
+            let blk = &self.cfg.blocks[b];
+            for pc in blk.start..blk.end {
+                let inst = &prog.code[pc as usize];
+                let ret = callee_ret(prog, module, inst.target);
+                step(&mut st, inst, ret);
+            }
+            st
+        };
+        let sol = solve_forward(&self.cfg, RegState::bottom(), entry_state(), transfer);
+        for (b, blk) in self.cfg.blocks.clone().iter().enumerate() {
+            if !sol.reachable[b] {
+                continue;
+            }
+            let mut st = sol.block_in[b].clone();
+            for pc in blk.start..blk.end {
+                let inst = &prog.code[pc as usize];
+                self.check_inst(&st, pc, inst);
+                let ret = callee_ret(prog, module, inst.target);
+                step(&mut st, inst, ret);
+            }
+        }
+    }
+
+    fn check_inst(&mut self, st: &RegState, pc: u32, inst: &Inst) {
+        // FPA004: any read of a possibly-uninitialized register.
+        for r in inst.uses() {
+            if st.get(r).has(AbsVal::MAYBE_UNINIT) {
+                self.report(
+                    ErrorCode::Fpa004,
+                    pc,
+                    format!(
+                        "`{}` reads {r}, which may be uninitialized on this path",
+                        inst.disasm()
+                    ),
+                );
+            }
+        }
+        // FPA003: address/jump-source slices must be INT-resident.
+        let address_source =
+            if inst.op.is_load() || inst.op.is_store() || matches!(inst.op, Op::Jr | Op::Jalr) {
+                inst.rs
+            } else {
+                None
+            };
+        if let Some(base) = address_source {
+            if st.get(base).has(AbsVal::FPA_TAINT) {
+                let what = if inst.op.is_control() {
+                    "indirect-jump source"
+                } else {
+                    "address base"
+                };
+                self.report(
+                    ErrorCode::Fpa003,
+                    pc,
+                    format!(
+                        "`{}`: {what} {base} may hold an FPa-computed value; \
+                         address and jump slices must stay INT-resident",
+                        inst.disasm()
+                    ),
+                );
+            }
+        }
+        // FPA005: argument registers must be freshly staged at each call.
+        // The synthetic entry stub is exempt (it is not compiled code).
+        if inst.op == Op::Jal && self.span.name != "<entry>" {
+            if let Some(module) = self.module {
+                self.check_call_staging(st, pc, inst, module);
+            }
+        }
+    }
+
+    fn check_call_staging(&mut self, st: &RegState, pc: u32, inst: &Inst, module: &Module) {
+        let Some(func) = callee_name(self.prog, inst.target)
+            .and_then(|n| module.func_id(n))
+            .map(|id| module.func(id))
+        else {
+            return;
+        };
+        let mut next_int = 0usize;
+        let mut next_fp = 0usize;
+        for (i, &p) in func.params.iter().enumerate() {
+            let reg: Option<Reg> = match func.vreg_ty(p) {
+                Ty::Int if next_int < 4 => {
+                    let r = IntReg::args()[next_int];
+                    next_int += 1;
+                    Some(r.into())
+                }
+                Ty::Double if next_fp < 4 => {
+                    let r = FpReg::args()[next_fp];
+                    next_fp += 1;
+                    Some(r.into())
+                }
+                _ => None, // stack-passed: not register-checked
+            };
+            let Some(reg) = reg else { continue };
+            let v = st.get(reg);
+            if !v.has(AbsVal::LOCAL) || v.has(AbsVal::FROM_ENTRY) || v.has(AbsVal::MAYBE_UNINIT) {
+                self.report(
+                    ErrorCode::Fpa005,
+                    pc,
+                    format!(
+                        "`{}`: argument {i} of `{}` expects {reg} to be staged \
+                         before the call, but it may hold a stale value",
+                        inst.disasm(),
+                        func.name,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// For every reachable instruction, the integer registers that carry an
+/// FPa-computed value — and are definitely initialized — just before it
+/// executes. Pcs with no such register are omitted.
+///
+/// This is the mutation corruptor's site oracle: a load whose base is
+/// rewritten to one of these registers *must* trip [`ErrorCode::Fpa003`].
+/// Compiled code keeps FPa-derived values out of address slices entirely,
+/// so a purely syntactic "copy followed by load" scan finds no realistic
+/// sites; the semantic view does.
+pub(crate) fn tainted_int_regs(prog: &Program) -> Vec<(u32, Vec<IntReg>)> {
+    let mut out = Vec::new();
+    for span in &function_spans(prog) {
+        let cfg = Cfg::build(prog, span);
+        if cfg.blocks.is_empty() {
+            continue;
+        }
+        let transfer = |b: usize, input: &RegState| {
+            let mut st = input.clone();
+            let blk = &cfg.blocks[b];
+            for pc in blk.start..blk.end {
+                let inst = &prog.code[pc as usize];
+                step(&mut st, inst, CalleeRet::Unknown);
+            }
+            st
+        };
+        let sol = solve_forward(&cfg, RegState::bottom(), entry_state(), transfer);
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            if !sol.reachable[b] {
+                continue;
+            }
+            let mut st = sol.block_in[b].clone();
+            for pc in blk.start..blk.end {
+                let inst = &prog.code[pc as usize];
+                let regs: Vec<IntReg> = (1..fpa_isa::NUM_INT_REGS as u8)
+                    .map(IntReg::new)
+                    .filter(|&r| {
+                        let v = st.get(r.into());
+                        v.has(AbsVal::FPA_TAINT) && !v.has(AbsVal::MAYBE_UNINIT)
+                    })
+                    .collect();
+                if !regs.is_empty() {
+                    out.push((pc, regs));
+                }
+                step(&mut st, inst, CalleeRet::Unknown);
+            }
+        }
+    }
+    out.sort_by_key(|(pc, _)| *pc);
+    out
+}
+
+/// Counts the augmented instructions the assignment *claims* for one IR
+/// function: FPa-side integer ALU work, FPa-homed constants/addresses
+/// (`li,a`), and FPa-side branches (`beqz,a`/`bnez,a`). This mirrors the
+/// exact set of codegen sites that emit augmented opcodes; the peephole
+/// pass removes only jumps and self-moves, so the count survives to the
+/// binary unchanged.
+fn claimed_augmented(func: &fpa_ir::Function, fa: &fpa_partition::FuncAssignment) -> usize {
+    use fpa_ir::Inst as IrInst;
+    let mut n = 0usize;
+    for (_, inst) in func.insts() {
+        match inst {
+            IrInst::Bin { id, op, .. }
+                if op.operand_ty() == Ty::Int && fa.side(*id) == Subsystem::Fp =>
+            {
+                n += 1;
+            }
+            IrInst::BinImm { id, .. } if fa.side(*id) == Subsystem::Fp => n += 1,
+            IrInst::Li { dst, .. } | IrInst::La { dst, .. } if fa.home(*dst) == Subsystem::Fp => {
+                n += 1;
+            }
+            _ => {}
+        }
+    }
+    for b in func.block_ids() {
+        if let fpa_ir::Terminator::Br { id, .. } = &func.block(b).term {
+            if fa.side(*id) == Subsystem::Fp {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Module-level checks requiring the IR and assignment: parameter pinning
+/// (FPA005) and claimed-vs-emitted agreement (FPA006).
+fn check_module(
+    prog: &Program,
+    spans: &[FuncSpan],
+    module: &Module,
+    assignment: &Assignment,
+    findings: &mut Vec<Finding>,
+) {
+    for (func, fa) in module.funcs.iter().zip(&assignment.funcs) {
+        let entry_pc = prog.function_entry(&func.name);
+        // Formal parameters are the paper's dummy nodes, pre-assigned to
+        // INT (§6.4): an FPa-homed integer formal breaks the convention.
+        for (i, &p) in func.params.iter().enumerate() {
+            if func.vreg_ty(p) == Ty::Int && fa.home(p) == Subsystem::Fp {
+                findings.push(Finding {
+                    code: ErrorCode::Fpa005,
+                    function: func.name.clone(),
+                    pc: entry_pc.unwrap_or(0),
+                    message: format!(
+                        "formal parameter {i} of `{}` is assigned to the FPa \
+                         subsystem; formals must be INT-pinned",
+                        func.name
+                    ),
+                    witness: Vec::new(),
+                });
+            }
+        }
+        // Claimed vs emitted offload.
+        let Some(span) = spans.iter().find(|s| s.name == func.name) else {
+            continue;
+        };
+        let claimed = claimed_augmented(func, fa);
+        let emitted = (span.start..span.end)
+            .filter(|&pc| prog.code[pc as usize].op.is_augmented())
+            .count();
+        if claimed != emitted {
+            findings.push(Finding {
+                code: ErrorCode::Fpa006,
+                function: func.name.clone(),
+                pc: span.start,
+                message: format!(
+                    "assignment claims {claimed} augmented instruction(s) for \
+                     `{}` but the binary contains {emitted}",
+                    func.name
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Lints a linked program against the partition-soundness invariants.
+///
+/// The binary-only checks (FPA001–FPA004) always run. Passing the IR
+/// `module` enables the call-staging check, and passing both `module` and
+/// `assignment` additionally enables formal-parameter pinning (FPA005)
+/// and claimed-vs-emitted agreement (FPA006).
+///
+/// Findings are sorted by location.
+#[must_use]
+pub fn lint(
+    prog: &Program,
+    module: Option<&Module>,
+    assignment: Option<&Assignment>,
+) -> Vec<Finding> {
+    let spans = function_spans(prog);
+    let mut findings = Vec::new();
+    for span in &spans {
+        let cfg = Cfg::build(prog, span);
+        let mut fl = FuncLinter {
+            prog,
+            module,
+            span,
+            cfg,
+            findings: Vec::new(),
+        };
+        fl.check_operand_files();
+        fl.check_dataflow();
+        findings.extend(fl.findings);
+    }
+    if let (Some(m), Some(a)) = (module, assignment) {
+        check_module(prog, &spans, m, a, &mut findings);
+    }
+    findings.sort_by_key(|x| (x.pc, x.code));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpa_isa::{Symbol, SymbolKind};
+
+    fn reg(i: u8) -> Reg {
+        IntReg::new(i).into()
+    }
+
+    fn freg(i: u8) -> Reg {
+        FpReg::new(i).into()
+    }
+
+    fn func_prog(body: Vec<Inst>) -> Program {
+        let mut p = Program::new();
+        p.symbols.push(Symbol {
+            pc: 0,
+            name: "main".into(),
+            kind: SymbolKind::Function,
+        });
+        p.code = body;
+        p
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<ErrorCode> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn clean_function_has_no_findings() {
+        let p = func_prog(vec![
+            Inst::alu_imm(Op::Addi, reg(8), reg(0), 5),
+            Inst::store(Op::Sw, reg(8), IntReg::SP, 0),
+            Inst::load(Op::Lw, reg(9), IntReg::SP, 0),
+            Inst::jr(IntReg::RA),
+        ]);
+        assert!(lint(&p, None, None).is_empty());
+    }
+
+    #[test]
+    fn int_operand_on_augmented_op_is_fpa001() {
+        let p = func_prog(vec![
+            Inst::li(Op::LiA, freg(3), 1),
+            // rs is an integer register on an FPa-subsystem opcode.
+            Inst::alu(Op::AddA, freg(2), reg(16), freg(3)),
+            Inst::jr(IntReg::RA),
+        ]);
+        let f = lint(&p, None, None);
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa001]);
+        assert_eq!(f[0].pc, 1);
+        assert!(f[0].message.contains("cp_to_fpa"));
+    }
+
+    #[test]
+    fn fp_operand_on_int_op_is_fpa002() {
+        let p = func_prog(vec![
+            // rt is a (callee-saved, so initialized) fp register on addu.
+            Inst::alu(Op::Add, reg(8), reg(16), freg(16)),
+            Inst::jr(IntReg::RA),
+        ]);
+        let f = lint(&p, None, None);
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa002]);
+    }
+
+    #[test]
+    fn tainted_load_base_is_fpa003() {
+        let p = func_prog(vec![
+            Inst::li(Op::LiA, freg(2), 64),
+            Inst::unary(Op::CpToInt, reg(8), freg(2)),
+            Inst::load(Op::Lw, reg(9), IntReg::new(8), 0),
+            Inst::jr(IntReg::RA),
+        ]);
+        let f = lint(&p, None, None);
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa003]);
+        assert_eq!(f[0].pc, 2);
+    }
+
+    #[test]
+    fn taint_is_laundered_by_native_fp_compute() {
+        // cvt.w.d of a genuine double, copied to INT and used as an
+        // address: the conventional (int)(double) cast pattern. Clean.
+        let p = func_prog(vec![
+            Inst::unary(Op::CvtWD, freg(2), freg(16)),
+            Inst::unary(Op::CpToInt, reg(8), freg(2)),
+            Inst::load(Op::Lw, reg(9), IntReg::new(8), 0),
+            Inst::jr(IntReg::RA),
+        ]);
+        assert!(lint(&p, None, None).is_empty());
+    }
+
+    #[test]
+    fn uninitialized_use_on_one_path_is_fpa004_with_witness() {
+        let p = func_prog(vec![
+            Inst::branch(Op::Beqz, reg(16), 2), // skip the def of $8
+            Inst::alu_imm(Op::Addi, reg(8), reg(0), 1),
+            Inst::unary(Op::Move, reg(9), reg(8)), // join: $8 maybe uninit
+            Inst::jr(IntReg::RA),
+        ]);
+        let f = lint(&p, None, None);
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa004]);
+        assert_eq!(f[0].pc, 2);
+        assert_eq!(f[0].witness, vec![0, 2]);
+    }
+
+    fn ir_func(name: &str, n_int_params: usize, ret: Option<Ty>) -> fpa_ir::Function {
+        let mut f = fpa_ir::Function::new(name, ret);
+        for _ in 0..n_int_params {
+            let p = f.new_vreg(Ty::Int);
+            f.params.push(p);
+        }
+        let rid = f.new_inst_id();
+        f.new_block(fpa_ir::Terminator::Ret {
+            id: rid,
+            value: None,
+        });
+        f
+    }
+
+    fn module_of(funcs: Vec<fpa_ir::Function>) -> (Module, Assignment) {
+        let mut m = Module::new();
+        m.funcs = funcs;
+        let a = Assignment::conventional(&m);
+        (m, a)
+    }
+
+    /// main stages $4 then calls callee(1 int param): clean. Dropping the
+    /// staging move leaves $4 holding main's own entry value: FPA005.
+    #[test]
+    fn stale_argument_register_is_fpa005() {
+        let build = |stage: bool| {
+            let mut p = Program::new();
+            p.code.push(Inst::call(2)); // <entry>: jal main
+            p.code.push(Inst {
+                op: Op::Halt,
+                rd: None,
+                rs: Some(reg(2)),
+                rt: None,
+                imm: 0,
+                target: 0,
+            });
+            p.symbols.push(Symbol {
+                pc: 2,
+                name: "main".into(),
+                kind: SymbolKind::Function,
+            });
+            p.code.push(Inst::alu_imm(Op::Addi, reg(10), reg(0), 7));
+            if stage {
+                p.code.push(Inst::unary(Op::Move, reg(4), reg(10)));
+            } else {
+                p.code.push(Inst::alu_imm(Op::Addi, reg(1), reg(0), 0));
+            }
+            p.code.push(Inst::call(6)); // jal callee
+            p.code.push(Inst::bare(Op::Halt));
+            p.symbols.push(Symbol {
+                pc: 6,
+                name: "callee".into(),
+                kind: SymbolKind::Function,
+            });
+            p.code.push(Inst::jr(IntReg::RA));
+            p
+        };
+        let (m, a) = module_of(vec![
+            ir_func("main", 0, Some(Ty::Int)),
+            ir_func("callee", 1, Some(Ty::Int)),
+        ]);
+        assert!(lint(&build(true), Some(&m), Some(&a)).is_empty());
+        let f = lint(&build(false), Some(&m), Some(&a));
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa005]);
+        assert_eq!(f[0].pc, 4);
+    }
+
+    /// A binary containing an augmented op under an assignment that claims
+    /// none: FPA006.
+    #[test]
+    fn claimed_emitted_disagreement_is_fpa006() {
+        let mut p = func_prog(vec![Inst::li(Op::LiA, freg(2), 3), Inst::jr(IntReg::RA)]);
+        p.entry = 0;
+        let (m, a) = module_of(vec![ir_func("main", 0, Some(Ty::Int))]);
+        let f = lint(&p, Some(&m), Some(&a));
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa006]);
+        assert!(f[0].message.contains("claims 0"));
+        assert!(f[0].message.contains("contains 1"));
+    }
+
+    /// FPa-homed integer formal parameter: FPA005 from the module check.
+    #[test]
+    fn fpa_homed_formal_is_fpa005() {
+        let p = func_prog(vec![Inst::jr(IntReg::RA)]);
+        let (m, mut a) = module_of(vec![ir_func("main", 1, None)]);
+        a.funcs[0].vreg_side[0] = Subsystem::Fp;
+        let f = lint(&p, Some(&m), Some(&a));
+        assert_eq!(codes(&f), vec![ErrorCode::Fpa005]);
+        assert!(f[0].message.contains("INT-pinned"));
+    }
+}

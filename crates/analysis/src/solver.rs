@@ -1,0 +1,296 @@
+//! A generic forward dataflow solver over join-semilattice domains.
+//!
+//! This lifts the worklist machinery that `fpa-ir`'s reaching-definitions
+//! solver hardcodes into a reusable component: any domain implementing
+//! [`JoinLattice`] can be pushed to a fixpoint over a recovered [`Cfg`].
+//! Worklist membership is tracked with the same [`BitSet`] the IR-level
+//! solvers use.
+
+use crate::cfg::Cfg;
+use fpa_ir::dataflow::BitSet;
+
+/// A join-semilattice value: `join_with` computes the least upper bound
+/// in place and reports whether anything changed.
+pub trait JoinLattice: Clone {
+    /// `self = self ⊔ other`; returns `true` if `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+}
+
+/// The fixpoint solution of a forward analysis: one domain value at the
+/// entry of every block, plus reachability from the function entry.
+#[derive(Debug, Clone)]
+pub struct Solution<D> {
+    /// Domain value at each block entry. Unreachable blocks keep ⊥.
+    pub block_in: Vec<D>,
+    /// Whether each block is reachable from the entry block.
+    pub reachable: Vec<bool>,
+}
+
+/// Runs a forward worklist analysis to fixpoint.
+///
+/// `bottom` is ⊥ (the identity of the join); `entry_state` is the value at
+/// the function entry; `transfer` maps a block index and its entry value to
+/// its exit value. Blocks unreachable from block 0 are never visited and
+/// retain ⊥ — diagnostic passes should consult [`Solution::reachable`]
+/// before reporting on a block.
+pub fn solve_forward<D, F>(cfg: &Cfg, bottom: D, entry_state: D, transfer: F) -> Solution<D>
+where
+    D: JoinLattice,
+    F: Fn(usize, &D) -> D,
+{
+    let n = cfg.blocks.len();
+    let mut block_in = vec![bottom; n];
+    let mut reachable = vec![false; n];
+    if n == 0 {
+        return Solution {
+            block_in,
+            reachable,
+        };
+    }
+    block_in[0].join_with(&entry_state);
+    reachable[0] = true;
+    let mut in_list = BitSet::new(n);
+    let mut worklist = std::collections::VecDeque::from([0usize]);
+    in_list.insert(0);
+    while let Some(b) = worklist.pop_front() {
+        in_list.remove(b);
+        let out = transfer(b, &block_in[b]);
+        for &s in &cfg.blocks[b].succs {
+            let first_visit = !reachable[s];
+            reachable[s] = true;
+            if (block_in[s].join_with(&out) || first_visit) && in_list.insert(s) {
+                worklist.push_back(s);
+            }
+        }
+    }
+    Solution {
+        block_in,
+        reachable,
+    }
+}
+
+/// Abstract value for one architectural register: a small powerset lattice
+/// encoded as a bitfield, ordered by set inclusion. Join is bitwise-or.
+///
+/// The bits track the three properties the partition-soundness checks
+/// need: *may this register be uninitialized?* (definite-initialization),
+/// *does it still hold its value from function entry?* (calling-convention
+/// staging), and *may it carry an FPa-subsystem-produced value?* (taint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbsVal(u8);
+
+impl AbsVal {
+    /// ⊥ — no facts; the value of a register on an unreached path.
+    pub const BOTTOM: AbsVal = AbsVal(0);
+    /// The register may be uninitialized on some path.
+    pub const MAYBE_UNINIT: u8 = 1;
+    /// The register may still hold its function-entry value.
+    pub const FROM_ENTRY: u8 = 2;
+    /// The register may hold a value computed inside this function.
+    pub const LOCAL: u8 = 4;
+    /// The register may hold a value produced by an *augmented* (FPa
+    /// subsystem) operation. Copies propagate this; loads clear it —
+    /// values are untainted once they round-trip through memory, matching
+    /// the paper's rule that memory traffic is always INT-mediated.
+    pub const FPA_TAINT: u8 = 8;
+
+    /// A value with exactly the given bits.
+    #[must_use]
+    pub const fn new(bits: u8) -> AbsVal {
+        AbsVal(bits)
+    }
+
+    /// A freshly computed, fully initialized local value with no taint.
+    #[must_use]
+    pub const fn local() -> AbsVal {
+        AbsVal(Self::LOCAL)
+    }
+
+    /// A register holding its value from function entry.
+    #[must_use]
+    pub const fn entry() -> AbsVal {
+        AbsVal(Self::FROM_ENTRY)
+    }
+
+    /// An uninitialized register.
+    #[must_use]
+    pub const fn uninit() -> AbsVal {
+        AbsVal(Self::MAYBE_UNINIT)
+    }
+
+    /// Tests a property bit.
+    #[must_use]
+    pub const fn has(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns this value with `bit` added.
+    #[must_use]
+    pub const fn with(self, bit: u8) -> AbsVal {
+        AbsVal(self.0 | bit)
+    }
+
+    /// Returns this value with `bit` cleared.
+    #[must_use]
+    pub const fn without(self, bit: u8) -> AbsVal {
+        AbsVal(self.0 & !bit)
+    }
+
+    /// The join (bitwise union) of two values.
+    #[must_use]
+    pub const fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal(self.0 | other.0)
+    }
+}
+
+/// Per-register machine state: one [`AbsVal`] for each of the 32 integer
+/// and 32 floating-point architectural registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegState {
+    regs: [AbsVal; fpa_isa::NUM_INT_REGS + fpa_isa::NUM_FP_REGS],
+}
+
+impl RegState {
+    /// All-⊥ state (the solver's bottom element).
+    #[must_use]
+    pub fn bottom() -> RegState {
+        RegState {
+            regs: [AbsVal::BOTTOM; fpa_isa::NUM_INT_REGS + fpa_isa::NUM_FP_REGS],
+        }
+    }
+
+    fn slot(r: fpa_isa::Reg) -> usize {
+        match r {
+            fpa_isa::Reg::Int(i) => i.index(),
+            fpa_isa::Reg::Fp(f) => fpa_isa::NUM_INT_REGS + f.index(),
+        }
+    }
+
+    /// The abstract value of `r`.
+    #[must_use]
+    pub fn get(&self, r: fpa_isa::Reg) -> AbsVal {
+        self.regs[Self::slot(r)]
+    }
+
+    /// Strong update: `r` now holds exactly `v`. Writes to `$0` are
+    /// discarded, as in the hardware.
+    pub fn set(&mut self, r: fpa_isa::Reg, v: AbsVal) {
+        if matches!(r, fpa_isa::Reg::Int(i) if i.is_zero()) {
+            return;
+        }
+        self.regs[Self::slot(r)] = v;
+    }
+}
+
+impl JoinLattice for RegState {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
+            let j = a.join(*b);
+            changed |= j != *a;
+            *a = j;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, FuncSpan};
+    use fpa_isa::{FpReg, IntReg, Reg};
+
+    #[test]
+    fn absval_join_is_union() {
+        let a = AbsVal::local();
+        let b = AbsVal::uninit();
+        let j = a.join(b);
+        assert!(j.has(AbsVal::LOCAL) && j.has(AbsVal::MAYBE_UNINIT));
+        assert!(!j.has(AbsVal::FPA_TAINT));
+        assert_eq!(j.without(AbsVal::MAYBE_UNINIT), a);
+    }
+
+    #[test]
+    fn regstate_zero_register_is_immutable() {
+        let mut s = RegState::bottom();
+        s.set(Reg::Int(IntReg::ZERO), AbsVal::new(AbsVal::FPA_TAINT));
+        assert_eq!(s.get(Reg::Int(IntReg::ZERO)), AbsVal::BOTTOM);
+        s.set(Reg::Fp(FpReg::new(0)), AbsVal::local());
+        assert_eq!(s.get(Reg::Fp(FpReg::new(0))), AbsVal::local());
+    }
+
+    /// A hand-built diamond: 0 -> {1, 2} -> 3. The two arms write different
+    /// lattice values into the same counter; the join block must see both.
+    #[test]
+    fn solver_joins_at_merge_points() {
+        let span = FuncSpan {
+            name: "f".into(),
+            start: 0,
+            end: 4,
+        };
+        let mk = |start: u32, succs: Vec<usize>| crate::cfg::BasicBlock {
+            start,
+            end: start + 1,
+            succs,
+            preds: Vec::new(),
+        };
+        let cfg = Cfg {
+            span,
+            blocks: vec![
+                mk(0, vec![1, 2]),
+                mk(1, vec![3]),
+                mk(2, vec![3]),
+                mk(3, vec![]),
+            ],
+        };
+        #[derive(Clone, PartialEq, Debug)]
+        struct Set(u8);
+        impl JoinLattice for Set {
+            fn join_with(&mut self, other: &Self) -> bool {
+                let old = self.0;
+                self.0 |= other.0;
+                self.0 != old
+            }
+        }
+        let sol = solve_forward(&cfg, Set(0), Set(1), |b, d| match b {
+            1 => Set(d.0 | 2),
+            2 => Set(d.0 | 4),
+            _ => d.clone(),
+        });
+        assert_eq!(sol.block_in[3], Set(1 | 2 | 4));
+        assert!(sol.reachable.iter().all(|&r| r));
+    }
+
+    /// Blocks not reachable from the entry stay at bottom and are marked
+    /// unreachable, so diagnostic passes can skip them.
+    #[test]
+    fn solver_skips_unreachable_blocks() {
+        let span = FuncSpan {
+            name: "f".into(),
+            start: 0,
+            end: 2,
+        };
+        let cfg = Cfg {
+            span,
+            blocks: vec![
+                crate::cfg::BasicBlock {
+                    start: 0,
+                    end: 1,
+                    succs: vec![],
+                    preds: vec![],
+                },
+                crate::cfg::BasicBlock {
+                    start: 1,
+                    end: 2,
+                    succs: vec![],
+                    preds: vec![],
+                },
+            ],
+        };
+        let sol = solve_forward(&cfg, RegState::bottom(), RegState::bottom(), |_, d| {
+            d.clone()
+        });
+        assert!(sol.reachable[0]);
+        assert!(!sol.reachable[1]);
+    }
+}

@@ -124,6 +124,8 @@ pub struct FuzzSummary {
     pub advanced_builds: u64,
     /// Timing-simulator runs checked under lockstep co-simulation.
     pub timing_checked: u64,
+    /// Binaries statically verified by the partition-soundness linter.
+    pub lint_checked: u64,
     /// Corpus files written this run.
     pub written: Vec<PathBuf>,
 }
@@ -148,6 +150,7 @@ impl FuzzSummary {
         j.set("total_retired", self.total_retired);
         j.set("advanced_builds", self.advanced_builds);
         j.set("timing_checked", self.timing_checked);
+        j.set("lint_checked", self.lint_checked);
         j.set("mean_lines", self.mean_lines);
         let fails: Vec<Json> = self
             .failures
@@ -230,6 +233,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
                 summary.total_retired += stats.conventional_total;
                 summary.advanced_builds += u64::from(stats.advanced_builds);
                 summary.timing_checked += u64::from(stats.timing_checked);
+                summary.lint_checked += u64::from(stats.lint_checked);
             }
             CaseOutcome::Fail(f) => {
                 total_lines += f.original_lines;

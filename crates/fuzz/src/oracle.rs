@@ -22,6 +22,11 @@
 //! independent functional execution and the pipeline's structural
 //! invariants are audited, so the fuzzer also hunts for
 //! timing-simulator bugs, not just compiler bugs.
+//!
+//! Finally, every emitted binary is **statically verified** by the
+//! `fpa-analysis` partition-soundness linter against the IR module and
+//! assignment it was compiled from — a translation-validation stage that
+//! catches miscompiles on paths the generated input never executes.
 
 use fpa_harness::{Compiler, Scheme};
 use fpa_partition::CostParams;
@@ -58,6 +63,9 @@ pub enum FailureKind {
     /// The timing simulator violated a lockstep or microarchitectural
     /// invariant check under co-simulation.
     Cosim,
+    /// The static partition-soundness linter (`fpa-analysis`) reported a
+    /// `FPA0xx` finding against an emitted binary.
+    Lint,
 }
 
 impl FailureKind {
@@ -71,6 +79,7 @@ impl FailureKind {
             FailureKind::Exit => "exit",
             FailureKind::Invariant => "invariant",
             FailureKind::Cosim => "cosim",
+            FailureKind::Lint => "lint",
         }
     }
 }
@@ -117,6 +126,8 @@ pub struct OracleStats {
     pub advanced_builds: u32,
     /// Timing-simulator runs checked under lockstep co-simulation.
     pub timing_checked: u32,
+    /// Binaries statically verified by the partition-soundness linter.
+    pub lint_checked: u32,
 }
 
 fn truncate(s: &str, limit: usize) -> String {
@@ -160,6 +171,28 @@ fn compare(
         });
     }
     Ok(r)
+}
+
+/// Statically verifies one emitted binary against the IR module and
+/// assignment it was compiled from. Any `FPA0xx` finding is a
+/// miscompilation the dynamic stages may not have exercised (the broken
+/// path might be cold on this input) — which is exactly why the linter
+/// rides along as its own oracle stage.
+fn lint_check(
+    config: &str,
+    prog: &fpa_isa::Program,
+    module: &fpa_ir::Module,
+    assignment: &fpa_partition::Assignment,
+) -> Result<(), OracleFailure> {
+    let findings = fpa_analysis::lint(prog, Some(module), Some(assignment));
+    if let Some(first) = findings.first() {
+        return Err(OracleFailure {
+            kind: FailureKind::Lint,
+            config: format!("{config}(lint)"),
+            message: format!("{} finding(s); first: {first}", findings.len()),
+        });
+    }
+    Ok(())
 }
 
 /// Runs `prog` on the 4-way timing machine under full lockstep
@@ -299,6 +332,33 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
         stats.timing_checked += 1;
     }
 
+    // Static-verification stage: the linter re-proves the partition
+    // invariants on each emitted binary, catching miscompiles on paths
+    // the generated input never executes.
+    for (scheme, prog, module, assignment) in [
+        (
+            "conventional",
+            &suite.conventional,
+            &suite.module,
+            &suite.conv_assignment,
+        ),
+        (
+            "basic",
+            &suite.basic,
+            &suite.module,
+            &suite.basic_assignment,
+        ),
+        (
+            "advanced",
+            &suite.advanced,
+            &suite.advanced_module,
+            &suite.advanced_assignment,
+        ),
+    ] {
+        lint_check(scheme, prog, module, assignment)?;
+        stats.lint_checked += 1;
+    }
+
     // Advanced scheme across the cost-parameter sweep. Each point can pick
     // a different partition; all must stay observably equivalent. The
     // module verifier runs inside every `build()`.
@@ -323,7 +383,9 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
             &suite.golden_output,
             suite.golden_exit,
         )?;
+        lint_check(&config, &arts.program, &arts.module, &arts.assignment)?;
         stats.advanced_builds += 1;
+        stats.lint_checked += 1;
     }
 
     Ok(stats)

@@ -1,0 +1,56 @@
+//! Golden-diagnostics pin: the partition-soundness linter must report an
+//! **empty** finding set for every program in `fuzz/corpus/` under every
+//! scheme. The corpus holds hand-minimized reproducers of past compiler
+//! bugs — exactly the programs whose shapes once broke the pipeline — so
+//! any finding here is either a regressed miscompile or a linter false
+//! positive, and both are release blockers.
+
+use fpa_fuzz::corpus;
+use fpa_harness::Compiler;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn every_corpus_program_lints_clean_under_every_scheme() {
+    let files = corpus::list(&corpus_dir()).expect("list corpus");
+    assert!(files.len() >= 10, "corpus too small: {}", files.len());
+    for path in files {
+        let src =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let suite = Compiler::new(&src)
+            .build_suite()
+            .unwrap_or_else(|e| panic!("build {}: {e}", path.display()));
+        for (scheme, prog, module, assignment) in [
+            (
+                "conventional",
+                &suite.conventional,
+                &suite.module,
+                &suite.conv_assignment,
+            ),
+            (
+                "basic",
+                &suite.basic,
+                &suite.module,
+                &suite.basic_assignment,
+            ),
+            (
+                "advanced",
+                &suite.advanced,
+                &suite.advanced_module,
+                &suite.advanced_assignment,
+            ),
+        ] {
+            let findings = fpa_analysis::lint(prog, Some(module), Some(assignment));
+            assert!(
+                findings.is_empty(),
+                "{} ({scheme}): expected zero findings, got {:?}",
+                path.display(),
+                findings.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+}

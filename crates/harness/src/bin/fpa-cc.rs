@@ -6,6 +6,7 @@
 //! fpa-cc program.zc --emit ir           # dump optimized IR
 //! fpa-cc program.zc --emit asm          # dump annotated disassembly
 //! fpa-cc program.zc --emit stats        # offload / timing statistics
+//! fpa-cc program.zc --lint              # verify partition soundness
 //! ```
 //!
 //! A thin shell over [`fpa_harness::compiler::Compiler`]; the pipeline
@@ -16,7 +17,8 @@ use fpa_sim::{run_functional, simulate, MachineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fpa-cc <file.zc> [--scheme conventional|basic|advanced] [--emit run|ir|asm|stats]"
+        "usage: fpa-cc <file.zc> [--scheme conventional|basic|advanced] \
+         [--emit run|ir|asm|stats] [--lint]"
     );
     std::process::exit(2)
 }
@@ -26,6 +28,7 @@ fn main() {
     let mut path = None;
     let mut scheme = Scheme::Advanced;
     let mut emit = "run".to_owned();
+    let mut do_lint = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -37,6 +40,7 @@ fn main() {
                 Some(e) => emit = e.clone(),
                 None => usage(),
             },
+            "--lint" => do_lint = true,
             _ if path.is_none() && !a.starts_with('-') => path = Some(a.clone()),
             _ => usage(),
         }
@@ -64,6 +68,22 @@ fn main() {
         eprintln!("fpa-cc: {e}");
         std::process::exit(1)
     });
+    if do_lint {
+        let findings = fpa_analysis::lint(&art.program, Some(&art.module), Some(&art.assignment));
+        for f in &findings {
+            eprintln!("fpa-cc: {f}");
+        }
+        if findings.is_empty() {
+            eprintln!(
+                "fpa-cc: lint clean ({} scheme, {} instructions)",
+                scheme,
+                art.program.static_size()
+            );
+            std::process::exit(0);
+        }
+        eprintln!("fpa-cc: {} lint finding(s)", findings.len());
+        std::process::exit(1);
+    }
     let prog = art.program;
 
     match emit.as_str() {

@@ -6,7 +6,8 @@
 //!            [--jobs N]          # worker threads (default: all cores)
 //!            [--json [PATH]]     # also write the machine-readable report
 //!            [--check]           # lockstep co-simulation + invariant sweep
-//!            [--workloads A,B]   # restrict --check to named workloads
+//!            [--lint]            # partition-soundness lint sweep
+//!            [--workloads A,B]   # restrict --check/--lint to named workloads
 //! ```
 //!
 //! Workloads are compiled once into a shared artifact store
@@ -18,6 +19,11 @@
 //! every workload x scheme x machine cell re-runs under the lockstep and
 //! invariant checkers ([`fpa_harness::check`]), and the process exits
 //! non-zero if any cell reports a violation.
+//!
+//! `--lint` replaces it with the static partition-soundness sweep:
+//! every workload x scheme binary is verified against its IR module and
+//! assignment by the `fpa-analysis` linter ([`fpa_harness::lint`]), and
+//! the process exits non-zero on any `FPA0xx` finding.
 
 use fpa_harness::engine::{default_jobs, ExperimentContext, MatrixReport};
 use fpa_harness::experiments::fp_programs;
@@ -27,7 +33,7 @@ use fpa_partition::CostParams;
 fn usage() -> ! {
     eprintln!(
         "usage: fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all] \
-         [--jobs N] [--json [PATH]] [--check] [--workloads A,B]"
+         [--jobs N] [--json [PATH]] [--check] [--lint] [--workloads A,B]"
     );
     std::process::exit(2)
 }
@@ -38,11 +44,13 @@ fn main() {
     let mut jobs = default_jobs();
     let mut json_path: Option<String> = None;
     let mut check = false;
+    let mut lint = false;
     let mut workloads: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--check" => check = true,
+            "--lint" => lint = true,
             "--workloads" => {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
@@ -72,6 +80,9 @@ fn main() {
     }
     if check {
         run_check(workloads.as_deref(), jobs, what.as_deref());
+    }
+    if lint {
+        run_lint(workloads.as_deref(), jobs, what.as_deref());
     }
     let what = what.unwrap_or_else(|| "all".to_owned());
     if !matches!(
@@ -185,6 +196,45 @@ fn run_check(filter: Option<&[String]>, jobs: usize, what: Option<&str>) -> ! {
         std::process::exit(1);
     }
     eprintln!("all {} cells clean", rows.len());
+    std::process::exit(0);
+}
+
+/// The `--lint` mode: builds the (optionally filtered) workload set and
+/// statically verifies every scheme binary against its IR module and
+/// partition assignment. Exits 0 when clean, 1 on any finding.
+fn run_lint(filter: Option<&[String]>, jobs: usize, what: Option<&str>) -> ! {
+    if what.is_some() {
+        eprintln!("fpa-report: --lint does not take a figure target");
+        usage();
+    }
+    let set: Vec<fpa_workloads::Workload> = match filter {
+        None => fpa_workloads::integer(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                fpa_workloads::by_name(n).unwrap_or_else(|| {
+                    eprintln!("fpa-report: unknown workload '{n}'");
+                    usage()
+                })
+            })
+            .collect(),
+    };
+    eprintln!(
+        "linting {} workload(s) x 3 schemes, {jobs} worker(s)...",
+        set.len()
+    );
+    let ctx = ExperimentContext::new(&set, &CostParams::default(), jobs).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    });
+    let rows = fpa_harness::lint_matrix(&ctx);
+    print!("{}", report::lint(&rows));
+    let dirty: usize = rows.iter().map(|r| r.findings.len()).sum();
+    if dirty > 0 {
+        eprintln!("fpa-report: {dirty} lint finding(s)");
+        std::process::exit(1);
+    }
+    eprintln!("all {} cells lint-clean", rows.len());
     std::process::exit(0);
 }
 

@@ -194,6 +194,10 @@ pub struct Artifacts {
     pub scheme: Scheme,
     /// The machine program.
     pub program: Program,
+    /// The optimized (and, for the advanced scheme, transformed) IR the
+    /// backend compiled — kept so the binary linter can check the emitted
+    /// code against its source of truth.
+    pub module: Module,
     /// The partition assignment the backend compiled against.
     pub assignment: Assignment,
     /// IR-level partition statistics under the profile's block weights.
@@ -219,6 +223,18 @@ pub struct SuiteArtifacts {
     pub basic: Program,
     /// Advanced-scheme binary.
     pub advanced: Program,
+    /// The optimized IR the conventional and basic binaries were compiled
+    /// from.
+    pub module: Module,
+    /// The advanced-transformed IR (copies/duplication applied) behind
+    /// the advanced binary.
+    pub advanced_module: Module,
+    /// The conventional (all-INT) assignment.
+    pub conv_assignment: Assignment,
+    /// The basic-scheme assignment.
+    pub basic_assignment: Assignment,
+    /// The advanced-scheme assignment.
+    pub advanced_assignment: Assignment,
     /// IR-level stats of the basic partition.
     pub basic_stats: PartitionStats,
     /// IR-level stats of the advanced partition.
@@ -324,6 +340,7 @@ impl<'a> Compiler<'a> {
         Ok(Artifacts {
             scheme: self.scheme,
             program,
+            module: m,
             assignment,
             stats,
             profile,
@@ -374,6 +391,11 @@ impl<'a> Compiler<'a> {
             conventional,
             basic,
             advanced,
+            module: m,
+            advanced_module: m2,
+            conv_assignment,
+            basic_assignment,
+            advanced_assignment: adv_assignment,
             basic_stats,
             advanced_stats,
             profile,

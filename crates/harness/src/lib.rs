@@ -23,6 +23,7 @@ pub mod compiler;
 pub mod engine;
 pub mod experiments;
 pub mod json;
+pub mod lint;
 pub mod pipeline;
 pub mod report;
 
@@ -33,4 +34,5 @@ pub use experiments::{
     ablate_cost_params, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way, fp_programs,
     overheads, AblationRow, Fig8Row, OverheadRow, SpeedupRow,
 };
+pub use lint::{lint_matrix, lint_workload, LintRow};
 pub use pipeline::{build, BuildError, CompiledWorkload};

@@ -3,9 +3,9 @@
 //! regimes from a single frontend pass.
 
 use crate::compiler::{Compiler, Scheme, StageTimings};
-use fpa_ir::Profile;
+use fpa_ir::{Module, Profile};
 use fpa_isa::Program;
-use fpa_partition::{CostParams, PartitionStats};
+use fpa_partition::{Assignment, CostParams, PartitionStats};
 use fpa_workloads::Workload;
 
 /// A pipeline failure (alias of the system-wide [`crate::compiler::Error`]).
@@ -22,6 +22,16 @@ pub struct CompiledWorkload {
     pub basic: Program,
     /// Advanced-scheme binary.
     pub advanced: Program,
+    /// The optimized IR module behind the conventional and basic binaries.
+    pub module: Module,
+    /// The advanced-transformed IR behind the advanced binary.
+    pub advanced_module: Module,
+    /// The conventional (all-INT) assignment.
+    pub conv_assignment: Assignment,
+    /// The basic-scheme assignment.
+    pub basic_assignment: Assignment,
+    /// The advanced-scheme assignment.
+    pub advanced_assignment: Assignment,
     /// Interpreter profile of the optimized module (feeds the cost model).
     pub profile: Profile,
     /// Golden observable output (from the IR interpreter).
@@ -81,6 +91,35 @@ impl CompiledWorkload {
         }
         Ok(())
     }
+
+    /// The three (scheme, binary, IR module, assignment) views the
+    /// partition-soundness linter checks: the conventional and basic
+    /// binaries were compiled from the shared optimized module under
+    /// their respective assignments, the advanced binary from the
+    /// transformed module under the cost-model assignment.
+    #[must_use]
+    pub fn lint_views(&self) -> [(Scheme, &Program, &Module, &Assignment); 3] {
+        [
+            (
+                Scheme::Conventional,
+                &self.conventional,
+                &self.module,
+                &self.conv_assignment,
+            ),
+            (
+                Scheme::Basic,
+                &self.basic,
+                &self.module,
+                &self.basic_assignment,
+            ),
+            (
+                Scheme::Advanced,
+                &self.advanced,
+                &self.advanced_module,
+                &self.advanced_assignment,
+            ),
+        ]
+    }
 }
 
 /// Compiles `workload` conventionally and under both partitioning
@@ -106,6 +145,11 @@ pub fn build(workload: &Workload, params: &CostParams) -> Result<CompiledWorkloa
         conventional: suite.conventional,
         basic: suite.basic,
         advanced: suite.advanced,
+        module: suite.module,
+        advanced_module: suite.advanced_module,
+        conv_assignment: suite.conv_assignment,
+        basic_assignment: suite.basic_assignment,
+        advanced_assignment: suite.advanced_assignment,
         profile: suite.profile,
         golden_output: suite.golden_output,
         golden_exit: suite.golden_exit,

@@ -2,8 +2,44 @@
 
 use crate::check::CheckRow;
 use crate::experiments::{Fig8Row, OverheadRow, SpeedupRow};
+use crate::lint::LintRow;
 use fpa_sim::MachineConfig;
 use std::fmt::Write as _;
+
+/// Renders the partition-soundness lint sweep (`fpa-report --lint`): one
+/// row per (workload, scheme) cell, with each dirty cell's first few
+/// findings inline.
+#[must_use]
+pub fn lint(rows: &[LintRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Partition-soundness lint (FPA001-FPA006)");
+    let _ = writeln!(
+        s,
+        "{:<12}{:<14}{:>10}{:>10}",
+        "benchmark", "scheme", "insts", "findings"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12}{:<14}{:>10}{:>10}",
+            r.workload,
+            r.scheme.label(),
+            r.insts,
+            if r.clean() {
+                "ok".to_string()
+            } else {
+                r.findings.len().to_string()
+            }
+        );
+        for f in r.findings.iter().take(3) {
+            let _ = writeln!(s, "    !! {f}");
+        }
+        if r.findings.len() > 3 {
+            let _ = writeln!(s, "    .. and {} more", r.findings.len() - 3);
+        }
+    }
+    s
+}
 
 /// Renders the co-simulation check sweep (`fpa-report --check`): one row
 /// per (workload, machine, scheme) cell, with each dirty cell's first

@@ -1,0 +1,115 @@
+//! Mutation tests for the partition-soundness linter: inject one
+//! miscompilation into a real compiled workload and assert the linter
+//! reports exactly the matching `FPA0xx` code — a zero-false-negative
+//! check over the whole diagnostic surface.
+//!
+//! Each corruption kind (`fpa_analysis::corrupt`) models one way codegen
+//! could silently break the partition contract. Most candidate sites are
+//! syntactic, and a site only *observably* corrupts the program if the
+//! clobbered value is read on a reachable path — so each test walks the
+//! candidates in address order until the linter fires, then pins the
+//! finding's code. The clean build is always verified finding-free
+//! first, so a firing can only come from the injected corruption.
+
+use fpa_analysis::corrupt::{self, MutationKind};
+use fpa_analysis::{lint, ErrorCode, Finding};
+use fpa_harness::{Artifacts, Compiler, Scheme};
+use fpa_partition::Assignment;
+
+/// Compiles `workload` under `scheme`, asserting the clean build lints
+/// with zero findings.
+fn clean_build(workload: &str, scheme: Scheme) -> Artifacts {
+    let w = fpa_workloads::by_name(workload).unwrap();
+    let art = Compiler::new(&w.source).scheme(scheme).build().unwrap();
+    let findings = lint(&art.program, Some(&art.module), Some(&art.assignment));
+    assert!(
+        findings.is_empty(),
+        "clean {workload} ({scheme}) build must lint clean, got {findings:?}"
+    );
+    art
+}
+
+/// Applies candidates of `kind` one at a time (each to a fresh copy of
+/// the clean binary) until the linter fires, and returns that firing's
+/// findings. Panics if no candidate is observable — that would be a
+/// false negative.
+fn first_firing(art: &Artifacts, kind: MutationKind) -> Vec<Finding> {
+    let sites = corrupt::find(&art.program, kind);
+    assert!(!sites.is_empty(), "no {kind:?} candidate sites found");
+    for site in &sites {
+        let mut prog = art.program.clone();
+        corrupt::apply(&mut prog, site);
+        let findings = lint(&prog, Some(&art.module), Some(&art.assignment));
+        if !findings.is_empty() {
+            return findings;
+        }
+    }
+    panic!("no {kind:?} candidate produced a finding (false negative)");
+}
+
+/// Asserts every finding carries `want` — the injected bug is reported
+/// with its own code, not a cascade of unrelated diagnostics.
+fn assert_all(findings: &[Finding], want: ErrorCode) {
+    assert!(
+        findings.iter().any(|f| f.code == want),
+        "expected {want:?}, got {findings:?}"
+    );
+    for f in findings {
+        assert_eq!(f.code, want, "cascaded diagnostic: {f}");
+    }
+}
+
+#[test]
+fn flipped_fpa_operand_is_reported_as_fpa001() {
+    let art = clean_build("m88ksim", Scheme::Basic);
+    let findings = first_firing(&art, MutationKind::FlipFpaOperand);
+    assert_all(&findings, ErrorCode::Fpa001);
+}
+
+#[test]
+fn flipped_int_operand_is_reported_as_fpa002() {
+    let art = clean_build("m88ksim", Scheme::Basic);
+    let findings = first_firing(&art, MutationKind::FlipIntOperand);
+    assert_all(&findings, ErrorCode::Fpa002);
+}
+
+#[test]
+fn retargeted_load_base_is_reported_as_fpa003() {
+    // Only the advanced scheme offloads integer work, so only it has
+    // FPa-computed values live in integer registers to re-point a load
+    // base at. compress's hash loops keep such a value live across
+    // loads; most workloads copy FPa results straight into a return
+    // register and offer no window.
+    let art = clean_build("compress", Scheme::Advanced);
+    let findings = first_firing(&art, MutationKind::RetargetLoadBase);
+    assert_all(&findings, ErrorCode::Fpa003);
+}
+
+#[test]
+fn dropped_boundary_copy_is_reported_as_fpa004() {
+    let art = clean_build("m88ksim", Scheme::Advanced);
+    let findings = first_firing(&art, MutationKind::DropCpToFpa);
+    assert_all(&findings, ErrorCode::Fpa004);
+}
+
+#[test]
+fn skipped_parameter_pin_is_reported_as_fpa005() {
+    let art = clean_build("li", Scheme::Conventional);
+    let findings = first_firing(&art, MutationKind::SkipParamPin);
+    assert_all(&findings, ErrorCode::Fpa005);
+}
+
+#[test]
+fn claimed_emitted_disagreement_is_reported_as_fpa006() {
+    // No binary corruption here: lie about the *assignment* instead. The
+    // basic binary retires augmented opcodes, but the conventional
+    // assignment claims the whole module is INT-resident — the
+    // claimed-vs-emitted reconciliation must notice.
+    let art = clean_build("m88ksim", Scheme::Basic);
+    let all_int = Assignment::conventional(&art.module);
+    let findings = lint(&art.program, Some(&art.module), Some(&all_int));
+    assert!(
+        findings.iter().any(|f| f.code == ErrorCode::Fpa006),
+        "expected FPA006, got {findings:?}"
+    );
+}

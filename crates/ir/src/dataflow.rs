@@ -55,6 +55,13 @@ impl BitSet {
         changed
     }
 
+    /// `self &= other` (set intersection, the meet of must-analyses).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
     /// `self &= !other`.
     pub fn subtract(&mut self, other: &BitSet) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {

@@ -29,7 +29,9 @@ impl std::error::Error for VerifyError {}
 /// Verifies a whole module.
 ///
 /// Checks: block targets in range, operand/result types, immediate-form
-/// validity, call signatures, global indices, and unique instruction ids.
+/// validity, call signatures, global indices, unique instruction ids,
+/// and definite initialization (no register read before it is defined
+/// on every path from entry).
 ///
 /// # Errors
 ///
@@ -239,6 +241,91 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), VerifyErr
                 }
             }
         }
+    }
+    verify_definite_init(func)
+}
+
+/// Definite-initialization: every register read must be preceded by a
+/// definition on **every** path from the function entry. This is the
+/// must-variant of the reaching-definitions problem the RDG is built
+/// from (intersection at joins instead of union), and the IR-level twin
+/// of the binary linter's `FPA004` check: the frontend zero-initializes
+/// locals and every later stage only rewrites defined values, so a
+/// use-before-def here is a compiler bug, not a source-program property.
+///
+/// Runs after the structural checks above, so every referenced register
+/// index is known to be in range.
+fn verify_definite_init(func: &Function) -> Result<(), VerifyError> {
+    let cfg = crate::cfg::Cfg::new(func);
+    let nv = func.num_vregs();
+    let nb = func.blocks.len();
+    let mut entry_in = crate::dataflow::BitSet::new(nv);
+    for p in &func.params {
+        entry_in.insert(p.index());
+    }
+    // Forward must-analysis to fixpoint: OUT[b] = IN[b] ∪ defs(b),
+    // IN[b] = ∩ OUT[preds]. `None` is ⊤ (not yet computed), the identity
+    // of the intersection — it also covers unreachable predecessors.
+    let block_in = |outs: &[Option<crate::dataflow::BitSet>], b: crate::func::BlockId| {
+        if b == crate::func::BlockId::ENTRY {
+            return Some(entry_in.clone());
+        }
+        let mut known = cfg.preds(b).iter().filter_map(|p| outs[p.index()].as_ref());
+        let mut set = known.next()?.clone();
+        for o in known {
+            set.intersect_with(o);
+        }
+        Some(set)
+    };
+    let mut outs: Vec<Option<crate::dataflow::BitSet>> = vec![None; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo() {
+            let Some(mut set) = block_in(&outs, b) else {
+                continue;
+            };
+            for inst in &func.block(b).insts {
+                if let Some(d) = inst.dst() {
+                    set.insert(d.index());
+                }
+            }
+            if outs[b.index()].as_ref() != Some(&set) {
+                outs[b.index()] = Some(set);
+                changed = true;
+            }
+        }
+    }
+    // Reporting pass over reachable blocks, replaying each block from its
+    // final entry set.
+    for &b in cfg.rpo() {
+        let Some(mut set) = block_in(&outs, b) else {
+            continue;
+        };
+        let check = |uses: Vec<crate::func::VReg>, set: &crate::dataflow::BitSet, at: String| {
+            for v in uses {
+                if !set.contains(v.index()) {
+                    return Err(VerifyError {
+                        func: func.name.clone(),
+                        message: format!(
+                            "{v} is read {at}, but is not defined on every path from entry"
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for inst in &func.block(b).insts {
+            check(inst.uses(), &set, format!("at {}", inst.id()))?;
+            if let Some(d) = inst.dst() {
+                set.insert(d.index());
+            }
+        }
+        check(
+            func.block(b).term.uses(),
+            &set,
+            format!("in the terminator of {b}"),
+        )?;
     }
     Ok(())
 }

@@ -310,6 +310,105 @@ fn rejects_branch_to_missing_block() {
     expect_error(&m, "missing block");
 }
 
+// ---- definite initialization (use before def along a path) ------------
+
+/// A straight-line use of a declared-but-never-defined register.
+#[test]
+fn rejects_use_of_never_defined_register() {
+    let mut m = ok_module();
+    let f = &mut m.funcs[0];
+    let ghost = f.new_vreg(Ty::Int);
+    let dst = f.new_vreg(Ty::Int);
+    let id = f.new_inst_id();
+    f.block_mut(BlockId::ENTRY).insts.insert(
+        0,
+        Inst::Move {
+            id,
+            dst,
+            src: ghost,
+        },
+    );
+    expect_error(&m, "not defined on every path");
+}
+
+/// A diamond where only one arm defines the register the join block
+/// reads: defined on *a* path, but not on *every* path. This is the
+/// cross-block dominance violation a per-block scan cannot see.
+#[test]
+fn rejects_use_defined_on_only_one_path() {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+    let entry = b.block();
+    let then_arm = b.block();
+    let else_arm = b.block();
+    let join = b.block();
+    b.switch_to(entry);
+    let c = b.li(1);
+    b.br(c, then_arm, else_arm);
+    b.switch_to(then_arm);
+    let x = b.li(42); // defines x on this arm only
+    b.jump(join);
+    b.switch_to(else_arm);
+    b.jump(join);
+    b.switch_to(join);
+    b.ret(Some(x)); // x undefined when control came via else_arm
+    m.funcs.push(b.finish());
+    expect_error(&m, "not defined on every path");
+}
+
+/// The same diamond with both arms defining the register is accepted:
+/// the meet is an intersection, not a dominance test.
+#[test]
+fn accepts_use_defined_on_every_path() {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+    let entry = b.block();
+    let then_arm = b.block();
+    let else_arm = b.block();
+    let join = b.block();
+    b.switch_to(entry);
+    let c = b.li(1);
+    b.br(c, then_arm, else_arm);
+    b.switch_to(then_arm);
+    let x = b.li(42);
+    b.jump(join);
+    b.switch_to(else_arm);
+    // Define the same vreg on this arm too: both paths now cover it.
+    let seven = b.li(7);
+    b.mov_to(x, seven);
+    b.jump(join);
+    b.switch_to(join);
+    b.ret(Some(x));
+    m.funcs.push(b.finish());
+    verify_module(&m).expect("defined on both arms must verify");
+}
+
+/// A loop whose body reads a register defined before entry to the loop
+/// is accepted — the backedge must not erase facts from the preheader.
+#[test]
+fn accepts_loop_carried_use_defined_before_loop() {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("main", Some(Ty::Int));
+    let entry = b.block();
+    let header = b.block();
+    let body = b.block();
+    let exit = b.block();
+    b.switch_to(entry);
+    let i = b.li(0);
+    b.jump(header);
+    b.switch_to(header);
+    let c = b.bin_imm(BinOp::Slt, i, 4);
+    b.br(c, body, exit);
+    b.switch_to(body);
+    let i2 = b.bin_imm(BinOp::Add, i, 1);
+    b.mov_to(i, i2);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(Some(i));
+    m.funcs.push(b.finish());
+    verify_module(&m).expect("loop-carried counter must verify");
+}
+
 // ---- call signatures and globals --------------------------------------
 
 #[test]

@@ -33,7 +33,7 @@ pub mod program;
 pub mod reg;
 
 pub use inst::Inst;
-pub use op::{FuClass, Op, Subsystem};
+pub use op::{FuClass, Op, OperandFiles, RegFile, Subsystem};
 pub use program::{DataItem, Program, Symbol, SymbolKind};
 pub use reg::{FpReg, IntReg, Reg};
 

@@ -70,6 +70,27 @@ impl FuClass {
     }
 }
 
+/// A register file, as named by an operand slot (see [`Op::operand_files`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegFile {
+    /// The integer file `$0`–`$31`.
+    Int,
+    /// The floating-point file `$f0`–`$f31`.
+    Fp,
+}
+
+/// The register file each operand slot (`rd`, `rs`, `rt`) of an opcode
+/// must come from; `None` when the slot is unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandFiles {
+    /// Expected file of the destination register.
+    pub rd: Option<RegFile>,
+    /// Expected file of the first source register.
+    pub rs: Option<RegFile>,
+    /// Expected file of the second source (or store-value) register.
+    pub rt: Option<RegFile>,
+}
+
 /// A machine opcode.
 ///
 /// Naming follows MIPS (`Addi` = add immediate, …). Opcodes suffixed `A`
@@ -444,6 +465,63 @@ impl Op {
         }
     }
 
+    /// The register file each operand slot of this opcode must name, or
+    /// `None` when the slot is unused (or unconstrained) for this opcode.
+    ///
+    /// This is the ISA-level ground truth the binary linter
+    /// (`fpa-analysis`) checks emitted code against: an instruction whose
+    /// `rd`/`rs`/`rt` sits in the wrong file crossed the INT/FPa boundary
+    /// without an explicit `cp_to_fpa`/`cp_to_int`.
+    #[must_use]
+    pub fn operand_files(self) -> OperandFiles {
+        use Op::*;
+        use RegFile::{Fp, Int};
+        let spec = |rd, rs, rt| OperandFiles { rd, rs, rt };
+        match self {
+            // Integer ALU, three-register and immediate forms.
+            Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sll | Srl | Sra | Mul | Div | Rem => {
+                spec(Some(Int), Some(Int), Some(Int))
+            }
+            Addi | Andi | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai | Move => {
+                spec(Some(Int), Some(Int), None)
+            }
+            Li => spec(Some(Int), None, None),
+            // Memory: the base (`rs`) is always integer; the data register
+            // matches the opcode's file.
+            Lw | Lb | Lbu => spec(Some(Int), Some(Int), None),
+            Lwf | Ld => spec(Some(Fp), Some(Int), None),
+            Sw | Sb => spec(None, Some(Int), Some(Int)),
+            Swf | Sd => spec(None, Some(Int), Some(Fp)),
+            // Control flow.
+            Beqz | Bnez => spec(None, Some(Int), None),
+            Beq | Bne => spec(None, Some(Int), Some(Int)),
+            J => spec(None, None, None),
+            Jal => spec(Some(Int), None, None),
+            Jr => spec(None, Some(Int), None),
+            Jalr => spec(Some(Int), Some(Int), None),
+            // Inter-file copies: the only legal file crossings.
+            CpToFpa => spec(Some(Fp), Some(Int), None),
+            CpToInt => spec(Some(Int), Some(Fp), None),
+            // True floating-point arithmetic.
+            FaddD | FsubD | FmulD | FdivD | CeqD | CltD | CleD => {
+                spec(Some(Fp), Some(Fp), Some(Fp))
+            }
+            FnegD | FmovD | CvtDW | CvtWD => spec(Some(Fp), Some(Fp), None),
+            // The 22 augmented opcodes: FP registers only.
+            AddA | SubA | AndA | OrA | XorA | SltA | SltuA | SllA | SrlA | SraA => {
+                spec(Some(Fp), Some(Fp), Some(Fp))
+            }
+            AddiA | AndiA | OriA | XoriA | SltiA | SltiuA | SlliA | SrliA | SraiA => {
+                spec(Some(Fp), Some(Fp), None)
+            }
+            LiA => spec(Some(Fp), None, None),
+            BeqzA | BnezA => spec(None, Some(Fp), None),
+            // Host-call pseudo-ops.
+            Print | PrintChar | Halt => spec(None, Some(Int), None),
+            PrintFp => spec(None, Some(Fp), None),
+        }
+    }
+
     /// The assembler mnemonic.
     #[must_use]
     pub fn mnemonic(self) -> &'static str {
@@ -621,6 +699,28 @@ mod tests {
                 op.mnemonic()
             );
         }
+    }
+
+    #[test]
+    fn operand_files_match_subsystems() {
+        for op in Op::ALL {
+            let spec = op.operand_files();
+            if op.is_augmented() {
+                // Augmented opcodes touch only the FP file.
+                for slot in [spec.rd, spec.rs, spec.rt].into_iter().flatten() {
+                    assert_eq!(slot, RegFile::Fp, "{op}");
+                }
+            }
+            if op.is_load() || op.is_store() {
+                // Memory addresses always come from the integer file.
+                assert_eq!(spec.rs, Some(RegFile::Int), "{op} base must be int");
+            }
+        }
+        // The copies are the only INT-subsystem ops with a cross-file pair.
+        assert_eq!(Op::CpToFpa.operand_files().rd, Some(RegFile::Fp));
+        assert_eq!(Op::CpToFpa.operand_files().rs, Some(RegFile::Int));
+        assert_eq!(Op::CpToInt.operand_files().rd, Some(RegFile::Int));
+        assert_eq!(Op::CpToInt.operand_files().rs, Some(RegFile::Fp));
     }
 
     #[test]
