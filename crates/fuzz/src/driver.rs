@@ -17,6 +17,7 @@ use crate::corpus::Reproducer;
 use crate::gen::{generate, GenConfig};
 use crate::oracle::{check_source, OracleStats};
 use crate::shrink;
+use fpa_harness::cell::CellId;
 use fpa_harness::engine::parallel_map;
 use fpa_harness::json::Json;
 use fpa_testutil::Rng;
@@ -91,6 +92,9 @@ pub struct CaseFailure {
     pub kind: String,
     /// Full failure description (configuration + message).
     pub message: String,
+    /// The simulation cell that diverged, when the failing oracle stage
+    /// ran a nameable (workload, scheme, width) cell.
+    pub cell: Option<CellId>,
     /// Source lines before shrinking.
     pub original_lines: usize,
     /// Source lines after shrinking.
@@ -161,6 +165,9 @@ impl FuzzSummary {
                 o.set("seed", format!("{:#x}", f.seed));
                 o.set("kind", f.kind.clone());
                 o.set("message", f.message.clone());
+                if let Some(cell) = &f.cell {
+                    o.set("cell", cell.to_json());
+                }
                 o.set("original_lines", f.original_lines);
                 o.set("minimized_lines", f.minimized_lines);
                 o.set("shrink_steps", u64::from(f.shrink_steps));
@@ -199,6 +206,7 @@ fn run_case(case: u32, cfg: &FuzzConfig) -> CaseOutcome {
                 seed,
                 kind: kind.label().to_string(),
                 message: final_failure.to_string(),
+                cell: final_failure.cell.clone(),
                 original_lines: lines,
                 minimized_lines: min.source_lines(),
                 shrink_steps: steps,

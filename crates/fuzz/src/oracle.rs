@@ -28,9 +28,12 @@
 //! assignment it was compiled from — a translation-validation stage that
 //! catches miscompiles on paths the generated input never executes.
 
+use fpa_harness::cell::{
+    run_cells, CellError, CellId, CellMode, CellSource, CellSpec, WidthPreset,
+};
 use fpa_harness::{Compiler, Scheme};
 use fpa_partition::CostParams;
-use fpa_sim::{run_functional, MachineConfig};
+use fpa_sim::run_functional;
 use std::fmt;
 
 /// Advanced-scheme cost-parameter sweep checked for every program, in
@@ -94,6 +97,10 @@ pub struct OracleFailure {
     pub config: String,
     /// Details (expected vs got, or the underlying error).
     pub message: String,
+    /// The simulation cell that diverged, when the failing stage ran a
+    /// nameable (workload, scheme, width) cell — the co-simulated timing
+    /// stage. `None` for build/lint/sweep failures.
+    pub cell: Option<CellId>,
 }
 
 impl fmt::Display for OracleFailure {
@@ -151,6 +158,7 @@ fn compare(
         kind: FailureKind::Exec,
         config: config.to_string(),
         message: e.to_string(),
+        cell: None,
     })?;
     if r.output != golden_output {
         return Err(OracleFailure {
@@ -161,6 +169,7 @@ fn compare(
                 truncate(golden_output, 160),
                 truncate(&r.output, 160)
             ),
+            cell: None,
         });
     }
     if r.exit_code != golden_exit {
@@ -168,6 +177,7 @@ fn compare(
             kind: FailureKind::Exit,
             config: config.to_string(),
             message: format!("expected {golden_exit}, got {}", r.exit_code),
+            cell: None,
         });
     }
     Ok(r)
@@ -190,59 +200,79 @@ fn lint_check(
             kind: FailureKind::Lint,
             config: format!("{config}(lint)"),
             message: format!("{} finding(s); first: {first}", findings.len()),
+            cell: None,
         });
     }
     Ok(())
 }
 
-/// Runs `prog` on the 4-way timing machine under full lockstep
-/// co-simulation and demands a violation-free run whose observable
-/// behaviour matches the golden interpreter output.
-fn cosim_check(
-    scheme: &str,
-    prog: &fpa_isa::Program,
-    augmented: bool,
+/// The label co-simulation cells carry for a generated (unnamed)
+/// program. Campaign-level reports key failures by `(case, cell)`, so
+/// the in-oracle label stays fixed.
+pub const GENERATED_WORKLOAD: &str = "generated";
+
+/// The three builds of one generated program, addressable as a
+/// [`CellSource`] so the co-simulated timing stage batches through the
+/// same [`run_cells`] path as the experiment matrix.
+struct SuitePrograms<'a> {
+    conventional: &'a fpa_isa::Program,
+    basic: &'a fpa_isa::Program,
+    advanced: &'a fpa_isa::Program,
+}
+
+impl CellSource for SuitePrograms<'_> {
+    fn resolve(&self, id: &CellId) -> Option<&fpa_isa::Program> {
+        (id.workload == GENERATED_WORKLOAD).then_some(match id.scheme {
+            Scheme::Conventional => self.conventional,
+            Scheme::Basic => self.basic,
+            Scheme::Advanced => self.advanced,
+        })
+    }
+}
+
+/// Validates one co-simulated cell: a violation-free run whose
+/// observable behaviour matches the golden interpreter output.
+fn cosim_validate(
+    id: &CellId,
+    report: &fpa_sim::CosimReport,
     golden_output: &str,
     golden_exit: i32,
 ) -> Result<(), OracleFailure> {
-    let config = format!("{scheme}(timing)");
-    let cfg = MachineConfig::four_way(augmented);
-    let report = fpa_sim::cosimulate(prog, &cfg, ORACLE_FUEL).map_err(|e| OracleFailure {
-        kind: FailureKind::Exec,
+    let config = format!("{}(timing)", id.scheme.label());
+    let fail = |kind, message| OracleFailure {
+        kind,
         config: config.clone(),
-        message: e.to_string(),
-    })?;
+        message,
+        cell: Some(id.clone()),
+    };
     if !report.clean() {
         let first = report
             .violations
             .first()
             .map_or_else(|| "(not stored)".to_string(), ToString::to_string);
-        return Err(OracleFailure {
-            kind: FailureKind::Cosim,
-            config,
-            message: format!(
+        return Err(fail(
+            FailureKind::Cosim,
+            format!(
                 "{} co-simulation violation(s); first: {first}",
                 report.total_violations
             ),
-        });
+        ));
     }
     if report.result.output != golden_output {
-        return Err(OracleFailure {
-            kind: FailureKind::Output,
-            config,
-            message: format!(
+        return Err(fail(
+            FailureKind::Output,
+            format!(
                 "expected {:?}, got {:?}",
                 truncate(golden_output, 160),
                 truncate(&report.result.output, 160)
             ),
-        });
+        ));
     }
     if report.result.exit_code != golden_exit {
-        return Err(OracleFailure {
-            kind: FailureKind::Exit,
-            config,
-            message: format!("expected {golden_exit}, got {}", report.result.exit_code),
-        });
+        return Err(fail(
+            FailureKind::Exit,
+            format!("expected {golden_exit}, got {}", report.result.exit_code),
+        ));
     }
     Ok(())
 }
@@ -265,6 +295,7 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
                 .scheme()
                 .map_or_else(|| "frontend".to_string(), |s| s.label().to_string()),
             message: e.to_string(),
+            cell: None,
         })?;
     let mut stats = OracleStats::default();
 
@@ -282,6 +313,7 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
                 "conventional build retired {} augmented instructions (must be 0)",
                 conv.augmented
             ),
+            cell: None,
         });
     }
     stats.conventional_total = conv.total;
@@ -294,6 +326,7 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
                 "basic scheme inserted {} copies (must be 0)",
                 suite.basic_stats.static_copies
             ),
+            cell: None,
         });
     }
     let basic = compare(
@@ -315,20 +348,36 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
     stats.advanced_builds = 1;
 
     // Timing-simulator stage: every default-parameter build co-simulates
-    // on the 4-way machine. A violation here is a *simulator* bug (or a
-    // miscompile only visible under out-of-order timing).
-    for (scheme, prog, augmented) in [
-        ("conventional", &suite.conventional, false),
-        ("basic", &suite.basic, true),
-        ("advanced", &suite.advanced, true),
-    ] {
-        cosim_check(
-            scheme,
-            prog,
-            augmented,
-            &suite.golden_output,
-            suite.golden_exit,
-        )?;
+    // on the 4-way machine, batched through the cell API. A violation
+    // here is a *simulator* bug (or a miscompile only visible under
+    // out-of-order timing).
+    let progs = SuitePrograms {
+        conventional: &suite.conventional,
+        basic: &suite.basic,
+        advanced: &suite.advanced,
+    };
+    let specs: Vec<CellSpec> = Scheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            CellSpec::new(
+                CellId::new(GENERATED_WORKLOAD, scheme, WidthPreset::FourWay),
+                CellMode::Cosim,
+                ORACLE_FUEL,
+            )
+        })
+        .collect();
+    let cells = run_cells(&progs, &specs, 1).map_err(|e| match e {
+        CellError::Exec { id, source } => OracleFailure {
+            kind: FailureKind::Exec,
+            config: format!("{}(timing)", id.scheme.label()),
+            message: source.to_string(),
+            cell: Some(id),
+        },
+        CellError::UnknownCell(id) => panic!("cell {id} names no suite program"),
+    })?;
+    for r in &cells {
+        let report = r.payload.cosim().expect("cosim cell");
+        cosim_validate(&r.id, report, &suite.golden_output, suite.golden_exit)?;
         stats.timing_checked += 1;
     }
 
@@ -376,6 +425,7 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
                 kind: FailureKind::Build,
                 config: config.clone(),
                 message: e.to_string(),
+                cell: None,
             })?;
         compare(
             &config,

@@ -1,29 +1,26 @@
 //! Lockstep co-simulation sweep over the experiment matrix — the engine
 //! behind `fpa-report --check`.
 //!
-//! Every (workload, scheme, machine-width) cell re-runs its timing
+//! Every [`CellId`] (workload, scheme, machine-width) re-runs its timing
 //! simulation under the full [`fpa_sim::cosim`] harness: the lockstep
 //! checker diffs each retirement against an independent functional
 //! execution, the invariant checker audits the pipeline's structural
 //! rules, and the final output/exit code is additionally compared
-//! against the workload's golden interpreter run. Cells fan across the
-//! same worker pool as the figure matrix.
+//! against the workload's golden interpreter run. Cells batch through
+//! the same [`crate::cell::run_cells`] path as the figure matrix.
 
+use crate::cell::{run_cells, CellError, CellId, CellMode, CellSpec, WidthPreset};
 use crate::compiler::Scheme;
-use crate::engine::{parallel_map, ExperimentContext};
+use crate::engine::ExperimentContext;
 use crate::experiments::TIMING_FUEL;
 use crate::pipeline::CompiledWorkload;
-use fpa_sim::{cosimulate, ExecError, MachineConfig, Violation};
+use fpa_sim::{CosimReport, ExecError, Violation};
 
 /// One checked (workload, scheme, machine) cell.
 #[derive(Debug, Clone)]
 pub struct CheckRow {
-    /// Workload name.
-    pub workload: String,
-    /// Which binary ran.
-    pub scheme: Scheme,
-    /// Machine preset label (`"4-way"` or `"8-way"`).
-    pub machine: &'static str,
+    /// Which cell ran.
+    pub id: CellId,
     /// Cycles the run took.
     pub cycles: u64,
     /// Instructions retired.
@@ -42,30 +39,11 @@ impl CheckRow {
     }
 }
 
-/// A machine preset: display label plus constructor (taking the
-/// augmented flag).
-type MachinePreset = (&'static str, fn(bool) -> MachineConfig);
-
-/// The machine presets a check sweep covers.
-const MACHINES: [MachinePreset; 2] = [
-    ("4-way", MachineConfig::four_way),
-    ("8-way", MachineConfig::eight_way),
-];
-
-fn check_cell(
-    c: &CompiledWorkload,
-    scheme: Scheme,
-    machine: &'static str,
-    make: fn(bool) -> MachineConfig,
-) -> Result<CheckRow, ExecError> {
-    let (program, augmented) = match scheme {
-        Scheme::Conventional => (&c.conventional, false),
-        Scheme::Basic => (&c.basic, true),
-        Scheme::Advanced => (&c.advanced, true),
-    };
-    let cfg = make(augmented);
-    let report = cosimulate(program, &cfg, TIMING_FUEL)?;
-    let mut violations = report.violations;
+/// Folds one cell's co-simulation report into a [`CheckRow`], appending
+/// synthetic violations when the timing run disagrees with the
+/// workload's golden interpreter output or exit code.
+fn check_row(id: CellId, c: &CompiledWorkload, report: &CosimReport) -> CheckRow {
+    let mut violations = report.violations.clone();
     let mut total = report.total_violations;
     // The lockstep checker proves timing == functional; this closes the
     // loop back to the IR interpreter's golden run.
@@ -99,15 +77,13 @@ fn check_cell(
             ),
         );
     }
-    Ok(CheckRow {
-        workload: c.name.clone(),
-        scheme,
-        machine,
+    CheckRow {
+        id,
         cycles: report.result.cycles,
         retired: report.result.retired,
         violations,
         total_violations: total,
-    })
+    }
 }
 
 fn truncated(s: &str) -> String {
@@ -120,7 +96,7 @@ fn truncated(s: &str) -> String {
 }
 
 /// Runs every (workload, scheme, machine) cell of `ctx` under lockstep
-/// co-simulation, fanning cells across the context's worker pool. Rows
+/// co-simulation, batching cells across the context's worker pool. Rows
 /// come back in (workload, machine, scheme) order.
 ///
 /// # Errors
@@ -128,19 +104,31 @@ fn truncated(s: &str) -> String {
 /// Returns the first simulation failure (by cell order). Checker
 /// violations are *not* errors — they are reported in the rows.
 pub fn check_matrix(ctx: &ExperimentContext) -> Result<Vec<CheckRow>, ExecError> {
-    let mut cells = Vec::new();
+    let mut specs = Vec::new();
     for c in ctx.compiled() {
-        for &(machine, make) in &MACHINES {
+        for width in WidthPreset::ALL {
             for scheme in Scheme::ALL {
-                cells.push((c, scheme, machine, make));
+                specs.push(CellSpec::new(
+                    CellId::new(c.name.clone(), scheme, width),
+                    CellMode::Cosim,
+                    TIMING_FUEL,
+                ));
             }
         }
     }
-    parallel_map(&cells, ctx.jobs(), |&(c, scheme, machine, make)| {
-        check_cell(c, scheme, machine, make)
-    })
-    .into_iter()
-    .collect()
+    let results = run_cells(ctx.compiled(), &specs, ctx.jobs()).map_err(CellError::into_exec)?;
+    Ok(results
+        .into_iter()
+        .map(|r| {
+            let c = ctx
+                .compiled()
+                .iter()
+                .find(|c| c.name == r.id.workload)
+                .expect("cell resolved from this store");
+            let report = r.payload.cosim().expect("cosim cell");
+            check_row(r.id.clone(), c, report)
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -158,10 +146,8 @@ mod tests {
         for row in &rows {
             assert!(
                 row.clean(),
-                "{} {} on {}: {:?}",
-                row.workload,
-                row.scheme,
-                row.machine,
+                "{}: {:?}",
+                row.id,
                 row.violations
                     .iter()
                     .map(ToString::to_string)

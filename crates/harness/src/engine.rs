@@ -15,14 +15,16 @@
 //! back ([`MatrixReport::from_json`]) with the hand-rolled `crate::json`
 //! reader/writer.
 
-use crate::compiler::{frontend_runs, StageTimings};
+use crate::cell::{run_cells, CellError, CellId, CellMode, CellSpec, WidthPreset};
+use crate::compiler::{frontend_runs, Scheme, StageTimings};
 use crate::experiments::{
-    fig8_row, overhead_row, speedup_row_detailed, Fig8Row, OverheadRow, SpeedupRow,
+    fig8_row_from, overhead_row_from, speedup_row_from, Fig8Row, OverheadRow, SpeedupRow,
+    FUNC_FUEL, TIMING_FUEL,
 };
 use crate::json::Json;
 use crate::pipeline::{build, BuildError, CompiledWorkload};
 use fpa_partition::CostParams;
-use fpa_sim::{EventCounters, MachineConfig};
+use fpa_sim::EventCounters;
 use fpa_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -123,21 +125,6 @@ pub struct MatrixReport {
     pub telemetry: Vec<RunTelemetry>,
 }
 
-/// One (figure, workload) cell of the matrix.
-enum Cell {
-    Fig8(usize),
-    Fig9(usize),
-    Fig10(usize),
-    Overhead(usize),
-}
-
-enum CellResult {
-    Fig8(Fig8Row),
-    Fig9(Box<(SpeedupRow, RunTelemetry)>),
-    Fig10(SpeedupRow),
-    Overhead(OverheadRow),
-}
-
 /// A build-once artifact cache plus the worker pool that consumes it.
 ///
 /// Construction compiles every workload exactly once (asserted by
@@ -199,8 +186,57 @@ impl ExperimentContext {
         self.build_seconds
     }
 
+    /// The ten simulation cells behind one workload's row in every
+    /// figure, heaviest first so the pool drains evenly. Fixed indices
+    /// (documented here, relied on by [`ExperimentContext::matrix`]):
+    ///
+    /// | idx | cell                                               | feeds        |
+    /// |-----|----------------------------------------------------|--------------|
+    /// | 0–2 | 8-way timing, conventional/basic/advanced          | fig10        |
+    /// | 3–5 | 4-way timing, conventional/basic/advanced+observer | fig9, telem. |
+    /// | 6   | 4-way timing, conventional binary on the           | overheads    |
+    /// |     | *augmented* machine (§7.2's i-cache comparison)    |              |
+    /// | 7–9 | functional, basic/advanced/conventional            | fig8, ovh.   |
+    ///
+    /// The advanced 4-way run (index 5) is shared between fig9,
+    /// telemetry and the overhead row's i-cache column — one simulation,
+    /// three consumers.
+    fn workload_specs(name: &str) -> [CellSpec; 10] {
+        let id = |scheme, width| CellId::new(name.to_string(), scheme, width);
+        let t = |scheme, width| CellSpec::new(id(scheme, width), CellMode::Timing, TIMING_FUEL);
+        let f = |scheme| {
+            CellSpec::new(
+                id(scheme, WidthPreset::FourWay),
+                CellMode::Functional,
+                FUNC_FUEL,
+            )
+        };
+        [
+            t(Scheme::Conventional, WidthPreset::EightWay),
+            t(Scheme::Basic, WidthPreset::EightWay),
+            t(Scheme::Advanced, WidthPreset::EightWay),
+            t(Scheme::Conventional, WidthPreset::FourWay),
+            t(Scheme::Basic, WidthPreset::FourWay),
+            CellSpec::new(
+                id(Scheme::Advanced, WidthPreset::FourWay),
+                CellMode::TimingObserved,
+                TIMING_FUEL,
+            ),
+            CellSpec {
+                id: id(Scheme::Conventional, WidthPreset::FourWay),
+                mode: CellMode::Timing,
+                augmented: Some(true),
+                fuel: TIMING_FUEL,
+            },
+            f(Scheme::Basic),
+            f(Scheme::Advanced),
+            f(Scheme::Conventional),
+        ]
+    }
+
     /// Computes the full figure/table matrix, fanning one task per
-    /// (figure, workload) cell across the worker pool.
+    /// simulation cell across the worker pool via
+    /// [`crate::cell::run_cells`].
     ///
     /// # Errors
     ///
@@ -208,33 +244,39 @@ impl ExperimentContext {
     pub fn matrix(&self) -> Result<MatrixReport, fpa_sim::ExecError> {
         let t = Instant::now();
         let n = self.compiled.len();
-        // Heavier cells first so the pool drains evenly.
-        let mut cells = Vec::with_capacity(4 * n);
-        for i in 0..n {
-            cells.push(Cell::Fig10(i));
-            cells.push(Cell::Fig9(i));
-            cells.push(Cell::Overhead(i));
-            cells.push(Cell::Fig8(i));
-        }
-        let results = parallel_map(&cells, self.jobs, |cell| self.compute(cell));
+        let specs: Vec<CellSpec> = self
+            .compiled
+            .iter()
+            .flat_map(|c| Self::workload_specs(&c.name))
+            .collect();
+        let results =
+            run_cells(self.compiled.as_slice(), &specs, self.jobs).map_err(CellError::into_exec)?;
 
         let mut fig8 = Vec::with_capacity(n);
         let mut fig9 = Vec::with_capacity(n);
         let mut fig10 = Vec::with_capacity(n);
         let mut overheads = Vec::with_capacity(n);
         let mut telemetry = Vec::with_capacity(n);
-        // Results arrive in cell order; route by variant. Workload order
-        // is preserved because cells were pushed in workload order.
-        for r in results {
-            match r? {
-                CellResult::Fig8(row) => fig8.push(row),
-                CellResult::Fig9(b) => {
-                    fig9.push(b.0);
-                    telemetry.push(b.1);
-                }
-                CellResult::Fig10(row) => fig10.push(row),
-                CellResult::Overhead(row) => overheads.push(row),
-            }
+        for (c, r) in self.compiled.iter().zip(results.chunks_exact(10)) {
+            let tm = |i: usize| r[i].payload.timing().expect("timing cell");
+            let fr = |i: usize| r[i].payload.functional().expect("functional cell");
+            fig10.push(speedup_row_from(&c.name, tm(0), tm(1), tm(2)));
+            let adv = tm(5);
+            fig9.push(speedup_row_from(&c.name, tm(3), tm(4), adv));
+            telemetry.push(RunTelemetry {
+                name: c.name.clone(),
+                timings: c.timings,
+                sim_seconds: r[3].seconds + r[4].seconds + r[5].seconds,
+                cycles_4way: (tm(3).cycles, tm(4).cycles, adv.cycles),
+                fetch_stall_cycles: adv.fetch_stall_cycles,
+                int_window_occupancy: adv.int_window_occupancy(),
+                fp_window_occupancy: adv.fp_window_occupancy(),
+                copies_retired: adv.copies_retired,
+                static_copies: c.advanced_stats.static_copies,
+                events: *r[5].payload.events().expect("observed cell"),
+            });
+            overheads.push(overhead_row_from(c, fr(9), fr(8), tm(6), adv));
+            fig8.push(fig8_row_from(&c.name, fr(7), fr(8)));
         }
         Ok(MatrixReport {
             jobs: self.jobs,
@@ -247,43 +289,6 @@ impl ExperimentContext {
             overheads,
             telemetry,
         })
-    }
-
-    fn compute(&self, cell: &Cell) -> Result<CellResult, fpa_sim::ExecError> {
-        match *cell {
-            Cell::Fig8(i) => Ok(CellResult::Fig8(fig8_row(&self.compiled[i])?)),
-            Cell::Fig9(i) => {
-                let c = &self.compiled[i];
-                let t = Instant::now();
-                let (row, [conv, basic, adv], events) = speedup_row_detailed(
-                    c,
-                    &MachineConfig::four_way(false),
-                    &MachineConfig::four_way(true),
-                )?;
-                let telemetry = RunTelemetry {
-                    name: c.name.clone(),
-                    timings: c.timings,
-                    sim_seconds: t.elapsed().as_secs_f64(),
-                    cycles_4way: (conv.cycles, basic.cycles, adv.cycles),
-                    fetch_stall_cycles: adv.fetch_stall_cycles,
-                    int_window_occupancy: adv.int_window_occupancy(),
-                    fp_window_occupancy: adv.fp_window_occupancy(),
-                    copies_retired: adv.copies_retired,
-                    static_copies: c.advanced_stats.static_copies,
-                    events,
-                };
-                Ok(CellResult::Fig9(Box::new((row, telemetry))))
-            }
-            Cell::Fig10(i) => {
-                let (row, _, _) = speedup_row_detailed(
-                    &self.compiled[i],
-                    &MachineConfig::eight_way(false),
-                    &MachineConfig::eight_way(true),
-                )?;
-                Ok(CellResult::Fig10(row))
-            }
-            Cell::Overhead(i) => Ok(CellResult::Overhead(overhead_row(&self.compiled[i])?)),
-        }
     }
 }
 

@@ -1,13 +1,16 @@
 //! The paper's experiments, one function per table/figure.
 //!
-//! Each figure also has a per-workload `*_row` function so the experiment
-//! engine (`crate::engine`) can fan individual (figure, workload) cells
-//! across a worker pool; the whole-figure functions here are thin loops
-//! over the row functions.
+//! Every figure is a batch of [`crate::cell::CellSpec`]s through the
+//! unified [`crate::cell::run_cells`] API; the row-assembly helpers
+//! (`*_row_from`) hold the paper's formulas in exactly one place, shared
+//! with the parallel experiment engine (`crate::engine`), which fans the
+//! same cells across a worker pool.
 
+use crate::cell::{run_cells, CellError, CellId, CellMode, CellSpec, WidthPreset};
+use crate::compiler::Scheme;
 use crate::pipeline::{build, BuildError, CompiledWorkload};
 use fpa_partition::CostParams;
-use fpa_sim::{run_functional, simulate, simulate_observed, EventCounters, MachineConfig};
+use fpa_sim::{EventCounters, ExecError, FuncSimResult, MachineConfig, TimingResult};
 use fpa_workloads::Workload;
 
 /// Functional-simulation fuel (instructions).
@@ -61,12 +64,70 @@ pub struct OverheadRow {
     pub icache_miss_rates: (f64, f64),
 }
 
-fn pct(new: f64, old: f64) -> f64 {
+pub(crate) fn pct(new: f64, old: f64) -> f64 {
     if old == 0.0 {
         0.0
     } else {
         (new / old - 1.0) * 100.0
     }
+}
+
+// ---- Row assembly (the single home of each figure's formulas) ---------
+
+/// Assembles a Figure 8 row from the basic and advanced functional runs.
+pub(crate) fn fig8_row_from(name: &str, basic: &FuncSimResult, adv: &FuncSimResult) -> Fig8Row {
+    Fig8Row {
+        name: name.to_string(),
+        basic_pct: basic.fp_fraction() * 100.0,
+        advanced_pct: adv.fp_fraction() * 100.0,
+    }
+}
+
+/// Assembles a Figure 9/10 row from the three timing runs.
+pub(crate) fn speedup_row_from(
+    name: &str,
+    conv: &TimingResult,
+    basic: &TimingResult,
+    adv: &TimingResult,
+) -> SpeedupRow {
+    debug_assert_eq!(conv.output, basic.output);
+    debug_assert_eq!(conv.output, adv.output);
+    SpeedupRow {
+        name: name.to_string(),
+        basic_pct: pct(conv.cycles as f64, basic.cycles as f64),
+        advanced_pct: pct(conv.cycles as f64, adv.cycles as f64),
+        conventional_cycles: conv.cycles,
+        int_idle_fp_busy_frac: adv.int_idle_fp_busy as f64 / adv.cycles as f64,
+    }
+}
+
+/// Assembles a §7.2 overhead row. `tc`/`ta` are the conventional and
+/// advanced binaries timed on the *augmented* 4-way machine (the table
+/// compares i-cache behaviour on one fixed machine).
+pub(crate) fn overhead_row_from(
+    c: &CompiledWorkload,
+    conv: &FuncSimResult,
+    adv: &FuncSimResult,
+    tc: &TimingResult,
+    ta: &TimingResult,
+) -> OverheadRow {
+    let miss_rate = |(a, m): (u64, u64)| if a == 0 { 0.0 } else { m as f64 / a as f64 };
+    OverheadRow {
+        name: c.name.clone(),
+        dynamic_increase_pct: pct(adv.total as f64, conv.total as f64),
+        copy_pct: adv.copies as f64 / adv.total as f64 * 100.0,
+        static_increase_pct: pct(c.static_sizes.2 as f64, c.static_sizes.0 as f64),
+        load_change_pct: pct(adv.loads as f64, conv.loads as f64),
+        icache_miss_rates: (miss_rate(tc.icache), miss_rate(ta.icache)),
+    }
+}
+
+fn timing(r: &crate::cell::CellResult) -> &TimingResult {
+    r.payload.timing().expect("timing cell")
+}
+
+fn functional(r: &crate::cell::CellResult) -> &FuncSimResult {
+    r.payload.functional().expect("functional cell")
 }
 
 /// Builds every workload in `set` (propagating the first failure).
@@ -85,14 +146,22 @@ pub fn build_all(set: &[Workload]) -> Result<Vec<CompiledWorkload>, BuildError> 
 /// # Errors
 ///
 /// Returns the first simulation failure.
-pub fn fig8_row(c: &CompiledWorkload) -> Result<Fig8Row, fpa_sim::ExecError> {
-    let basic = run_functional(&c.basic, FUNC_FUEL)?;
-    let adv = run_functional(&c.advanced, FUNC_FUEL)?;
-    Ok(Fig8Row {
-        name: c.name.clone(),
-        basic_pct: basic.fp_fraction() * 100.0,
-        advanced_pct: adv.fp_fraction() * 100.0,
-    })
+#[deprecated(note = "single-cell entry point; batch specs through `crate::cell::run_cells`")]
+pub fn fig8_row(c: &CompiledWorkload) -> Result<Fig8Row, ExecError> {
+    let specs = [
+        CellSpec::new(
+            CellId::new(c.name.clone(), Scheme::Basic, WidthPreset::FourWay),
+            CellMode::Functional,
+            FUNC_FUEL,
+        ),
+        CellSpec::new(
+            CellId::new(c.name.clone(), Scheme::Advanced, WidthPreset::FourWay),
+            CellMode::Functional,
+            FUNC_FUEL,
+        ),
+    ];
+    let r = run_cells(std::slice::from_ref(c), &specs, 1).map_err(CellError::into_exec)?;
+    Ok(fig8_row_from(&c.name, functional(&r[0]), functional(&r[1])))
 }
 
 /// Figure 8: the size of the FPa partition as a percentage of dynamic
@@ -100,11 +169,24 @@ pub fn fig8_row(c: &CompiledWorkload) -> Result<Fig8Row, fpa_sim::ExecError> {
 ///
 /// # Errors
 ///
-/// Returns the first simulation failure as a boxed error.
-pub fn fig8_partition_size(
-    compiled: &[CompiledWorkload],
-) -> Result<Vec<Fig8Row>, fpa_sim::ExecError> {
-    compiled.iter().map(fig8_row).collect()
+/// Returns the first simulation failure.
+pub fn fig8_partition_size(compiled: &[CompiledWorkload]) -> Result<Vec<Fig8Row>, ExecError> {
+    let mut specs = Vec::with_capacity(2 * compiled.len());
+    for c in compiled {
+        for scheme in [Scheme::Basic, Scheme::Advanced] {
+            specs.push(CellSpec::new(
+                CellId::new(c.name.clone(), scheme, WidthPreset::FourWay),
+                CellMode::Functional,
+                FUNC_FUEL,
+            ));
+        }
+    }
+    let results = run_cells(compiled, &specs, 1).map_err(CellError::into_exec)?;
+    Ok(compiled
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(c, r)| fig8_row_from(&c.name, functional(&r[0]), functional(&r[1])))
+        .collect())
 }
 
 /// One workload's speedup cell, plus the three timing results it came
@@ -115,36 +197,66 @@ pub fn fig8_partition_size(
 /// # Errors
 ///
 /// Returns the first simulation failure.
+#[deprecated(note = "single-cell entry point; batch specs through `crate::cell::run_cells`")]
 pub fn speedup_row_detailed(
     c: &CompiledWorkload,
     conv_cfg: &MachineConfig,
     aug_cfg: &MachineConfig,
-) -> Result<(SpeedupRow, [fpa_sim::TimingResult; 3], EventCounters), fpa_sim::ExecError> {
-    let conv = simulate(&c.conventional, conv_cfg, TIMING_FUEL)?;
-    let basic = simulate(&c.basic, aug_cfg, TIMING_FUEL)?;
+) -> Result<(SpeedupRow, [TimingResult; 3], EventCounters), ExecError> {
+    // Both real call sites pass Table 1 presets; recognize them and go
+    // through the batch API. A custom config pair (none exist today)
+    // falls back to direct session-routed runs.
+    if let (Some((wc, ac)), Some((wa, aa))) = (
+        WidthPreset::matching(conv_cfg),
+        WidthPreset::matching(aug_cfg),
+    ) {
+        if wc == wa {
+            let spec = |scheme, mode, augmented| CellSpec {
+                id: CellId::new(c.name.clone(), scheme, wc),
+                mode,
+                augmented: Some(augmented),
+                fuel: TIMING_FUEL,
+            };
+            let specs = [
+                spec(Scheme::Conventional, CellMode::Timing, ac),
+                spec(Scheme::Basic, CellMode::Timing, aa),
+                spec(Scheme::Advanced, CellMode::TimingObserved, aa),
+            ];
+            let r = run_cells(std::slice::from_ref(c), &specs, 1).map_err(CellError::into_exec)?;
+            let (conv, basic, adv) = (timing(&r[0]), timing(&r[1]), timing(&r[2]));
+            let row = speedup_row_from(&c.name, conv, basic, adv);
+            let events = *r[2].payload.events().expect("observed cell");
+            return Ok((row, [conv.clone(), basic.clone(), adv.clone()], events));
+        }
+    }
+    let conv = fpa_sim::simulate(&c.conventional, conv_cfg, TIMING_FUEL)?;
+    let basic = fpa_sim::simulate(&c.basic, aug_cfg, TIMING_FUEL)?;
     let mut events = EventCounters::default();
-    let adv = simulate_observed(&c.advanced, aug_cfg, TIMING_FUEL, &mut events)?;
-    debug_assert_eq!(conv.output, basic.output);
-    debug_assert_eq!(conv.output, adv.output);
-    let row = SpeedupRow {
-        name: c.name.clone(),
-        basic_pct: pct(conv.cycles as f64, basic.cycles as f64),
-        advanced_pct: pct(conv.cycles as f64, adv.cycles as f64),
-        conventional_cycles: conv.cycles,
-        int_idle_fp_busy_frac: adv.int_idle_fp_busy as f64 / adv.cycles as f64,
-    };
+    let adv = fpa_sim::simulate_observed(&c.advanced, aug_cfg, TIMING_FUEL, &mut events)?;
+    let row = speedup_row_from(&c.name, &conv, &basic, &adv);
     Ok((row, [conv, basic, adv], events))
 }
 
 fn speedups(
     compiled: &[CompiledWorkload],
-    conv_cfg: &MachineConfig,
-    aug_cfg: &MachineConfig,
-) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
-    compiled
+    width: WidthPreset,
+) -> Result<Vec<SpeedupRow>, ExecError> {
+    let mut specs = Vec::with_capacity(3 * compiled.len());
+    for c in compiled {
+        for scheme in Scheme::ALL {
+            specs.push(CellSpec::new(
+                CellId::new(c.name.clone(), scheme, width),
+                CellMode::Timing,
+                TIMING_FUEL,
+            ));
+        }
+    }
+    let results = run_cells(compiled, &specs, 1).map_err(CellError::into_exec)?;
+    Ok(compiled
         .iter()
-        .map(|c| speedup_row_detailed(c, conv_cfg, aug_cfg).map(|(row, _, _)| row))
-        .collect()
+        .zip(results.chunks_exact(3))
+        .map(|(c, r)| speedup_row_from(&c.name, timing(&r[0]), timing(&r[1]), timing(&r[2])))
+        .collect())
 }
 
 /// Figure 9: percent speedup on the 4-way (2 int + 2 fp) machine.
@@ -152,14 +264,8 @@ fn speedups(
 /// # Errors
 ///
 /// Returns the first simulation failure.
-pub fn fig9_speedup_4way(
-    compiled: &[CompiledWorkload],
-) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
-    speedups(
-        compiled,
-        &MachineConfig::four_way(false),
-        &MachineConfig::four_way(true),
-    )
+pub fn fig9_speedup_4way(compiled: &[CompiledWorkload]) -> Result<Vec<SpeedupRow>, ExecError> {
+    speedups(compiled, WidthPreset::FourWay)
 }
 
 /// Figure 10: percent speedup on the 8-way (4 int + 4 fp) machine.
@@ -167,14 +273,26 @@ pub fn fig9_speedup_4way(
 /// # Errors
 ///
 /// Returns the first simulation failure.
-pub fn fig10_speedup_8way(
-    compiled: &[CompiledWorkload],
-) -> Result<Vec<SpeedupRow>, fpa_sim::ExecError> {
-    speedups(
-        compiled,
-        &MachineConfig::eight_way(false),
-        &MachineConfig::eight_way(true),
-    )
+pub fn fig10_speedup_8way(compiled: &[CompiledWorkload]) -> Result<Vec<SpeedupRow>, ExecError> {
+    speedups(compiled, WidthPreset::EightWay)
+}
+
+/// The four cells behind one workload's §7.2 overhead row, in order:
+/// functional conventional, functional advanced, timing conventional and
+/// timing advanced (both on the augmented 4-way machine).
+fn overhead_specs(c: &CompiledWorkload) -> [CellSpec; 4] {
+    let id = |scheme| CellId::new(c.name.clone(), scheme, WidthPreset::FourWay);
+    [
+        CellSpec::new(id(Scheme::Conventional), CellMode::Functional, FUNC_FUEL),
+        CellSpec::new(id(Scheme::Advanced), CellMode::Functional, FUNC_FUEL),
+        CellSpec {
+            id: id(Scheme::Conventional),
+            mode: CellMode::Timing,
+            augmented: Some(true),
+            fuel: TIMING_FUEL,
+        },
+        CellSpec::new(id(Scheme::Advanced), CellMode::Timing, TIMING_FUEL),
+    ]
 }
 
 /// One workload's §7.2 overhead row.
@@ -182,21 +300,17 @@ pub fn fig10_speedup_8way(
 /// # Errors
 ///
 /// Returns the first simulation failure.
-pub fn overhead_row(c: &CompiledWorkload) -> Result<OverheadRow, fpa_sim::ExecError> {
-    let cfg = MachineConfig::four_way(true);
-    let conv = run_functional(&c.conventional, FUNC_FUEL)?;
-    let adv = run_functional(&c.advanced, FUNC_FUEL)?;
-    let tc = simulate(&c.conventional, &cfg, TIMING_FUEL)?;
-    let ta = simulate(&c.advanced, &cfg, TIMING_FUEL)?;
-    let miss_rate = |(a, m): (u64, u64)| if a == 0 { 0.0 } else { m as f64 / a as f64 };
-    Ok(OverheadRow {
-        name: c.name.clone(),
-        dynamic_increase_pct: pct(adv.total as f64, conv.total as f64),
-        copy_pct: adv.copies as f64 / adv.total as f64 * 100.0,
-        static_increase_pct: pct(c.static_sizes.2 as f64, c.static_sizes.0 as f64),
-        load_change_pct: pct(adv.loads as f64, conv.loads as f64),
-        icache_miss_rates: (miss_rate(tc.icache), miss_rate(ta.icache)),
-    })
+#[deprecated(note = "single-cell entry point; batch specs through `crate::cell::run_cells`")]
+pub fn overhead_row(c: &CompiledWorkload) -> Result<OverheadRow, ExecError> {
+    let specs = overhead_specs(c);
+    let r = run_cells(std::slice::from_ref(c), &specs, 1).map_err(CellError::into_exec)?;
+    Ok(overhead_row_from(
+        c,
+        functional(&r[0]),
+        functional(&r[1]),
+        timing(&r[2]),
+        timing(&r[3]),
+    ))
 }
 
 /// §7.2: instruction overheads of the advanced scheme.
@@ -204,8 +318,22 @@ pub fn overhead_row(c: &CompiledWorkload) -> Result<OverheadRow, fpa_sim::ExecEr
 /// # Errors
 ///
 /// Returns the first simulation failure.
-pub fn overheads(compiled: &[CompiledWorkload]) -> Result<Vec<OverheadRow>, fpa_sim::ExecError> {
-    compiled.iter().map(overhead_row).collect()
+pub fn overheads(compiled: &[CompiledWorkload]) -> Result<Vec<OverheadRow>, ExecError> {
+    let specs: Vec<CellSpec> = compiled.iter().flat_map(overhead_specs).collect();
+    let results = run_cells(compiled, &specs, 1).map_err(CellError::into_exec)?;
+    Ok(compiled
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(c, r)| {
+            overhead_row_from(
+                c,
+                functional(&r[0]),
+                functional(&r[1]),
+                timing(&r[2]),
+                timing(&r[3]),
+            )
+        })
+        .collect())
 }
 
 /// §7.5: the floating-point programs, reported like Figure 8 + Figure 9
@@ -249,6 +377,30 @@ mod tests {
         let m88 = f9.iter().find(|r| r.name == "m88ksim").unwrap();
         assert!(m88.advanced_pct > 0.5, "m88ksim should gain: {m88:?}");
     }
+
+    /// The deprecated single-cell forwards must agree exactly with the
+    /// batched whole-figure functions they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwards_match_batched_figures() {
+        let set = vec![fpa_workloads::by_name("li").unwrap()];
+        let compiled = build_all(&set).unwrap();
+        let c = &compiled[0];
+        assert_eq!(
+            fig8_row(c).unwrap(),
+            fig8_partition_size(&compiled).unwrap()[0]
+        );
+        assert_eq!(overhead_row(c).unwrap(), overheads(&compiled).unwrap()[0]);
+        let (row, [conv, _, adv], events) = speedup_row_detailed(
+            c,
+            &MachineConfig::four_way(false),
+            &MachineConfig::four_way(true),
+        )
+        .unwrap();
+        assert_eq!(row, fig9_speedup_4way(&compiled).unwrap()[0]);
+        assert_eq!(conv.cycles, row.conventional_cycles);
+        assert_eq!(events.retired, adv.retired);
+    }
 }
 
 /// One point of the cost-model ablation (§6.1's empirical calibration).
@@ -275,12 +427,21 @@ pub struct AblationRow {
 /// Returns the first pipeline or simulation failure.
 pub fn ablate_cost_params(names: &[&str]) -> Result<Vec<AblationRow>, Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
-    let conv_cfg = MachineConfig::four_way(false);
-    let aug_cfg = MachineConfig::four_way(true);
     for name in names {
         let w = fpa_workloads::by_name(name).ok_or("unknown workload")?;
         let conv = build(&w, &CostParams::default())?;
-        let base = simulate(&conv.conventional, &conv_cfg, TIMING_FUEL)?;
+        let base_spec = [CellSpec::new(
+            CellId::new(
+                conv.name.clone(),
+                Scheme::Conventional,
+                WidthPreset::FourWay,
+            ),
+            CellMode::Timing,
+            TIMING_FUEL,
+        )];
+        let base =
+            run_cells(std::slice::from_ref(&conv), &base_spec, 1).map_err(CellError::into_exec)?;
+        let base_cycles = timing(&base[0]).cycles;
         for o_copy in [3.0, 4.0, 5.0, 6.0] {
             for o_dupl in [1.5, 3.0f64.min(o_copy - 0.5)] {
                 let params = CostParams {
@@ -289,14 +450,19 @@ pub fn ablate_cost_params(names: &[&str]) -> Result<Vec<AblationRow>, Box<dyn st
                     balance_cap: None,
                 };
                 let c = build(&w, &params)?;
-                let f = run_functional(&c.advanced, FUNC_FUEL)?;
-                let t = simulate(&c.advanced, &aug_cfg, TIMING_FUEL)?;
+                let id = CellId::new(c.name.clone(), Scheme::Advanced, WidthPreset::FourWay);
+                let specs = [
+                    CellSpec::new(id.clone(), CellMode::Functional, FUNC_FUEL),
+                    CellSpec::new(id, CellMode::Timing, TIMING_FUEL),
+                ];
+                let r =
+                    run_cells(std::slice::from_ref(&c), &specs, 1).map_err(CellError::into_exec)?;
                 rows.push(AblationRow {
                     name: w.name.clone(),
                     o_copy,
                     o_dupl,
-                    offload_pct: f.fp_fraction() * 100.0,
-                    speedup_pct: (base.cycles as f64 / t.cycles as f64 - 1.0) * 100.0,
+                    offload_pct: functional(&r[0]).fp_fraction() * 100.0,
+                    speedup_pct: (base_cycles as f64 / timing(&r[1]).cycles as f64 - 1.0) * 100.0,
                 });
             }
         }

@@ -18,6 +18,7 @@
 //! fpa-report all
 //! ```
 
+pub mod cell;
 pub mod check;
 pub mod compiler;
 pub mod engine;
@@ -27,6 +28,10 @@ pub mod lint;
 pub mod pipeline;
 pub mod report;
 
+pub use cell::{
+    run_cells, CellError, CellId, CellMode, CellPayload, CellResult, CellSource, CellSpec,
+    WidthPreset,
+};
 pub use check::{check_matrix, CheckRow};
 pub use compiler::{frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings};
 pub use engine::{ExperimentContext, MatrixReport, RunTelemetry};

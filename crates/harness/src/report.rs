@@ -57,9 +57,9 @@ pub fn check(rows: &[CheckRow]) -> String {
         let _ = writeln!(
             s,
             "{:<12}{:>8}  {:<12}{:>14}{:>12}{:>12}",
-            r.workload,
-            r.machine,
-            r.scheme.label(),
+            r.id.workload,
+            r.id.width.label(),
+            r.id.scheme.label(),
             r.cycles,
             r.retired,
             if r.clean() {

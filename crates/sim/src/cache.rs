@@ -57,6 +57,21 @@ impl Cache {
         }
     }
 
+    /// Re-initialises this cache to the empty state for `cfg`, reusing
+    /// the way array when the geometry is unchanged.
+    pub fn reset(&mut self, cfg: CacheConfig) {
+        if self.cfg == cfg {
+            self.ways.fill(None);
+        } else {
+            *self = Cache::new(cfg);
+            return;
+        }
+        self.stamp = 0;
+        self.accesses = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
@@ -66,6 +81,11 @@ impl Cache {
 
     /// Accesses `addr`; returns the access latency in cycles. `write`
     /// marks the line dirty (write-allocate on miss).
+    ///
+    /// The hit path inlines into the simulator's per-cycle loop (fetch
+    /// touches the I-cache every unstalled cycle); the fill stays
+    /// out of line so the hot path carries only the tag scan.
+    #[inline(always)]
     pub fn access(&mut self, addr: u32, write: bool) -> u32 {
         self.accesses += 1;
         self.stamp += 1;
@@ -80,8 +100,15 @@ impl Cache {
                 return self.cfg.hit_time;
             }
         }
-        // Miss: fill the LRU (or an invalid) way.
+        self.fill(set, tag, write)
+    }
+
+    /// Miss: fill the LRU (or an invalid) way.
+    #[inline(never)]
+    fn fill(&mut self, set: usize, tag: u32, write: bool) -> u32 {
         self.misses += 1;
+        let assoc = self.cfg.assoc as usize;
+        let ways = &mut self.ways[set * assoc..(set + 1) * assoc];
         let victim = ways
             .iter()
             .enumerate()

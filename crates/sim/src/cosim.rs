@@ -31,7 +31,7 @@ use crate::exec::{ExecError, Machine, Step};
 use crate::observe::{
     DispatchEvent, EventCounters, FetchEvent, IssueEvent, RetireEvent, SimObserver, WritebackEvent,
 };
-use crate::ooo::{simulate_observed, TimingResult};
+use crate::ooo::TimingResult;
 use fpa_isa::{Op, Program, Subsystem};
 use std::collections::VecDeque;
 use std::fmt;
@@ -41,7 +41,7 @@ const MAX_STORED: usize = 32;
 
 /// One co-simulation or invariant violation: cycle-stamped and
 /// instruction-identified.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Cycle the violation was detected.
     pub cycle: u64,
@@ -940,7 +940,7 @@ impl SimObserver for CosimObserver {
 }
 
 /// Outcome of one co-simulated timing run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CosimReport {
     /// The timing result (identical to an unobserved [`crate::simulate`]).
     pub result: TimingResult,
@@ -964,6 +964,9 @@ impl CosimReport {
 /// Runs `program` through the timing simulator under full lockstep
 /// co-simulation and invariant checking.
 ///
+/// Uses the calling thread's shared [`crate::session::SimSession`]; see
+/// [`crate::SimSession::cosimulate`] for explicit batched use.
+///
 /// # Errors
 ///
 /// Same as [`crate::simulate`].
@@ -972,15 +975,7 @@ pub fn cosimulate(
     config: &MachineConfig,
     max_cycles: u64,
 ) -> Result<CosimReport, ExecError> {
-    let mut obs = CosimObserver::new(program, config);
-    let result = simulate_observed(program, config, max_cycles, &mut obs)?;
-    let violations = obs.finish(&result);
-    Ok(CosimReport {
-        result,
-        violations,
-        total_violations: obs.total_violations(),
-        events: obs.events,
-    })
+    crate::session::with_session(|s| s.cosimulate(program, config, max_cycles))
 }
 
 #[cfg(test)]

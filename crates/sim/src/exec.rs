@@ -78,19 +78,30 @@ impl Machine {
     /// pointer at the top of memory.
     #[must_use]
     pub fn new(program: &Program) -> Machine {
-        let mut mem = vec![0u8; program.stack_top as usize];
-        for d in &program.data {
-            let lo = d.addr as usize;
-            mem[lo..lo + d.bytes.len()].copy_from_slice(&d.bytes);
-        }
         let mut m = Machine {
             int_regs: [0; 32],
             fp_regs: [0; 32],
-            mem,
+            mem: Vec::new(),
             output: String::new(),
         };
-        m.int_regs[IntReg::SP.index()] = program.stack_top as i32;
+        m.reset(program);
         m
+    }
+
+    /// Re-initialises this machine for `program`, reusing the memory and
+    /// output allocations from previous runs. Equivalent to
+    /// `*self = Machine::new(program)` without the allocation churn.
+    pub fn reset(&mut self, program: &Program) {
+        self.int_regs = [0; 32];
+        self.fp_regs = [0; 32];
+        self.mem.clear();
+        self.mem.resize(program.stack_top as usize, 0);
+        for d in &program.data {
+            let lo = d.addr as usize;
+            self.mem[lo..lo + d.bytes.len()].copy_from_slice(&d.bytes);
+        }
+        self.output.clear();
+        self.int_regs[IntReg::SP.index()] = program.stack_top as i32;
     }
 
     /// Reads an integer register.
@@ -104,7 +115,7 @@ impl Machine {
     }
 
     #[inline]
-    fn seti(&mut self, r: Reg, v: i32) {
+    pub(crate) fn seti(&mut self, r: Reg, v: i32) {
         match r {
             Reg::Int(r) => {
                 if !r.is_zero() {
@@ -115,14 +126,14 @@ impl Machine {
         }
     }
 
-    fn getd(&self, r: Reg) -> f64 {
+    pub(crate) fn getd(&self, r: Reg) -> f64 {
         match r {
             Reg::Fp(r) => f64::from_bits(self.fp_regs[r.index()]),
             Reg::Int(r) => f64::from_bits(self.int_regs[r.index()] as u32 as u64),
         }
     }
 
-    fn setd(&mut self, r: Reg, v: f64) {
+    pub(crate) fn setd(&mut self, r: Reg, v: f64) {
         match r {
             Reg::Fp(r) => self.fp_regs[r.index()] = v.to_bits(),
             Reg::Int(_) => unreachable!("double written to integer register"),
@@ -130,7 +141,7 @@ impl Machine {
     }
 
     #[inline]
-    fn getraw(&self, r: Reg) -> u64 {
+    pub(crate) fn getraw(&self, r: Reg) -> u64 {
         match r {
             Reg::Fp(r) => self.fp_regs[r.index()],
             Reg::Int(r) => self.int_regs[r.index()] as i64 as u64,
@@ -147,7 +158,7 @@ impl Machine {
         self.getraw(r)
     }
 
-    fn setraw(&mut self, r: Reg, v: u64) {
+    pub(crate) fn setraw(&mut self, r: Reg, v: u64) {
         match r {
             Reg::Fp(r) => self.fp_regs[r.index()] = v,
             Reg::Int(_) => unreachable!("raw 64-bit written to integer register"),
@@ -155,7 +166,7 @@ impl Machine {
     }
 
     #[inline]
-    fn check(&self, addr: u32, bytes: u32, pc: u32) -> Result<usize, ExecError> {
+    pub(crate) fn check(&self, addr: u32, bytes: u32, pc: u32) -> Result<usize, ExecError> {
         let lo = addr as usize;
         if lo + bytes as usize > self.mem.len() || addr < fpa_ir_data_base() {
             Err(ExecError::BadAddress { addr, pc })
@@ -174,7 +185,7 @@ impl Machine {
         Ok(u32::from_le_bytes(self.mem[lo..lo + 4].try_into().unwrap()))
     }
 
-    fn write_u32(&mut self, addr: u32, v: u32, pc: u32) -> Result<(), ExecError> {
+    pub(crate) fn write_u32(&mut self, addr: u32, v: u32, pc: u32) -> Result<(), ExecError> {
         let lo = self.check(addr, 4, pc)?;
         self.mem[lo..lo + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())

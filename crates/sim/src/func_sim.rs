@@ -7,12 +7,12 @@
 //! per-basic-block execution counts through the program's block markers,
 //! which feed the advanced scheme's cost model.
 
-use crate::exec::{ExecError, Machine, Step};
-use fpa_isa::{Program, Subsystem};
+use crate::exec::ExecError;
+use fpa_isa::Program;
 use std::collections::HashMap;
 
 /// The result of a functional run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncSimResult {
     /// `main`'s return value.
     pub exit_code: i32,
@@ -55,67 +55,16 @@ pub const DEFAULT_FUEL: u64 = 5_000_000_000;
 
 /// Runs `program` to completion.
 ///
+/// Uses the calling thread's shared [`crate::session::SimSession`]
+/// (direct-threaded dispatch over a cached pre-decoded program); see
+/// [`crate::SimSession::run_functional`] for explicit batched use.
+///
 /// # Errors
 ///
 /// Returns an [`ExecError`] on memory faults, division by zero, invalid
 /// control transfers, or fuel exhaustion.
 pub fn run_functional(program: &Program, fuel: u64) -> Result<FuncSimResult, ExecError> {
-    let mut m = Machine::new(program);
-    let mut pc = program.entry;
-    let mut total = 0u64;
-    let mut fp_subsystem = 0u64;
-    let mut augmented = 0u64;
-    let mut copies = 0u64;
-    let mut loads = 0u64;
-    let mut stores = 0u64;
-    let mut block_counts: HashMap<(String, u32), u64> = HashMap::new();
-
-    loop {
-        if total >= fuel {
-            return Err(ExecError::OutOfFuel);
-        }
-        if let Some((func, block)) = program.block_markers.get(&pc) {
-            *block_counts.entry((func.clone(), *block)).or_insert(0) += 1;
-        }
-        let Some(inst) = program.code.get(pc as usize) else {
-            return Err(ExecError::BadPc { pc });
-        };
-        total += 1;
-        let op = inst.op;
-        if op.subsystem() == Subsystem::Fp {
-            fp_subsystem += 1;
-        }
-        if op.is_augmented() {
-            augmented += 1;
-        }
-        if matches!(op, fpa_isa::Op::CpToFpa | fpa_isa::Op::CpToInt) {
-            copies += 1;
-        }
-        if op.is_load() {
-            loads += 1;
-        }
-        if op.is_store() {
-            stores += 1;
-        }
-        match m.exec(inst, pc)? {
-            Step::Next => pc += 1,
-            Step::Jump(t) => pc = t,
-            Step::Halt(code) => {
-                return Ok(FuncSimResult {
-                    exit_code: code,
-                    output: m.output,
-                    memory: m.mem,
-                    total,
-                    fp_subsystem,
-                    augmented,
-                    copies,
-                    loads,
-                    stores,
-                    block_counts,
-                });
-            }
-        }
-    }
+    crate::session::with_session(|s| s.run_functional(program, fuel))
 }
 
 #[cfg(test)]

@@ -23,12 +23,14 @@
 pub mod cache;
 pub mod config;
 pub mod cosim;
+mod dispatch;
 pub mod exec;
 pub mod func_sim;
 pub mod observe;
 pub mod ooo;
 pub mod predictor;
 pub mod reference;
+pub mod session;
 
 pub use config::MachineConfig;
 pub use cosim::{
@@ -39,3 +41,4 @@ pub use func_sim::{run_functional, FuncSimResult};
 pub use observe::{EventCounters, SimObserver};
 pub use ooo::{simulate, simulate_observed, TimingResult};
 pub use reference::simulate_reference;
+pub use session::{with_session, SimSession};

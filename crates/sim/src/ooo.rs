@@ -37,8 +37,9 @@
 //!   walks only ready candidates in program order, preserving the
 //!   oldest-first select and the store-barrier rule via an ordered
 //!   `unissued_stores` set;
-//! * store-to-load forwarding queries a **word-bucketed store index**
-//!   ([`StoreIndex`]) instead of scanning the store queue backwards;
+//! * store-to-load forwarding walks the in-flight store queue
+//!   ([`StoreIndex`]) backwards — never longer than the in-flight
+//!   window, so a contiguous scan beats any indexed structure;
 //! * when a cycle can provably do nothing — no completion due, head not
 //!   retirable, ready set and fetch queue empty, fetch stalled or
 //!   halted — the simulator **skips** straight to the next event cycle,
@@ -51,15 +52,16 @@
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
+use crate::dispatch::{DecodedInst, PreProgram};
 use crate::exec::{ExecError, Machine, Step};
 use crate::observe::{
-    DispatchEvent, FetchEvent, InstEffect, IssueEvent, NullObserver, RetireEvent, SimObserver,
-    StoreEffect, WritebackEvent,
+    DispatchEvent, FetchEvent, InstEffect, IssueEvent, RetireEvent, SimObserver, StoreEffect,
+    WritebackEvent,
 };
 use crate::predictor::Gshare;
 use fpa_isa::{Op, Program, Reg, Subsystem};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// The outcome of a timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,57 +187,13 @@ impl std::fmt::Display for TimingResult {
     }
 }
 
-/// One static instruction, decoded once before simulation: every
-/// property the pipeline asks about per dynamic instance, precomputed so
-/// the fetch stage does table lookups instead of re-deriving op classes
-/// and allocating operand vectors.
-#[derive(Debug, Clone, Copy)]
-struct DecodedInst {
-    subsystem: Subsystem,
-    latency_hint: u32,
-    /// Bytes moved, or 0 for non-memory ops.
-    mem_bytes: u32,
-    is_load: bool,
-    is_store: bool,
-    is_mem: bool,
-    is_cond_branch: bool,
-    is_augmented: bool,
-    is_copy: bool,
-    /// Memory ops and INT-subsystem ops occupy the INT window.
-    wants_int_window: bool,
-    /// Register sources in `uses()` order (`rs`, then `rt`).
-    uses: [Option<Reg>; 2],
-    def: Option<Reg>,
-}
-
-impl DecodedInst {
-    fn decode(op: Op, inst: &fpa_isa::Inst) -> DecodedInst {
-        let subsystem = op.subsystem();
-        let is_mem = op.mem_bytes().is_some();
-        DecodedInst {
-            subsystem,
-            latency_hint: op.fu_class().latency(),
-            mem_bytes: op.mem_bytes().unwrap_or(0),
-            is_load: op.is_load(),
-            is_store: op.is_store(),
-            is_mem,
-            is_cond_branch: op.is_cond_branch(),
-            is_augmented: op.is_augmented(),
-            is_copy: matches!(op, Op::CpToFpa | Op::CpToInt),
-            wants_int_window: is_mem || subsystem == Subsystem::Int,
-            // Writes to $0 are architecturally discarded but still rename,
-            // exactly like `Inst::defs`.
-            uses: [inst.rs, inst.rt],
-            def: inst.rd,
-        }
-    }
-}
-
 /// A reorder-buffer / fetch-queue entry of the fast path. Sources are a
 /// fixed two-slot array (the ISA reads at most `rs` and `rt`);
 /// `pending` counts sources whose producers have not completed, and
 /// `waiters` lists in-flight consumers to wake when this entry's result
-/// becomes visible.
+/// becomes visible. `done_at` stays [`NOT_DONE`] until the instruction
+/// issues, so one comparison against the current cycle answers both "has
+/// it issued?" and "has it completed?".
 #[derive(Debug, Clone)]
 struct Entry {
     seq: u64,
@@ -245,7 +203,6 @@ struct Entry {
     n_srcs: u8,
     pending: u8,
     dest: Option<Reg>,
-    issued: bool,
     done_at: u64,
     addr: Option<u32>,
     halt: Option<i32>,
@@ -266,64 +223,66 @@ const NOT_DONE: u64 = u64::MAX;
 /// in-flight instruction.
 const NO_PRODUCER: u64 = u64::MAX;
 
-/// Word-bucketed index over the in-flight stores, giving amortized-O(1)
-/// store-to-load forwarding lookups in place of the reference engine's
-/// backwards linear scan of the whole store queue.
-///
-/// `queue` mirrors the reference store queue exactly — (seq, addr,
-/// bytes, issued) in program order — and is the authority for the
-/// `issued` flag (binary search by seq; the queue is seq-sorted because
-/// stores enter at dispatch in program order). `by_word` buckets each
-/// store under every 4-byte-aligned word its byte range touches, so a
-/// load consults only the buckets of its own words.
-/// Multiplicative hasher for the word-bucket map: the keys are word
-/// addresses, one `wrapping_mul` mixes them plenty, and the default
-/// SipHash would otherwise show up in issue-stage profiles.
-#[derive(Default)]
-struct WordHasher(u64);
-
-impl std::hash::Hasher for WordHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-
-    fn write_u32(&mut self, w: u32) {
-        self.0 = u64::from(w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// The slab's initial entry value: never read before being overwritten at
+/// fetch, but the slab must be filled with *something* Cloneable.
+fn vacant_entry() -> Entry {
+    Entry {
+        seq: NOT_DONE,
+        pc: 0,
+        op: Op::Add,
+        srcs: [0; 2],
+        n_srcs: 0,
+        pending: 0,
+        dest: None,
+        done_at: NOT_DONE,
+        addr: None,
+        halt: None,
+        resolves_fetch: false,
+        d: DecodedInst {
+            subsystem: Subsystem::Int,
+            latency_hint: 1,
+            mem_bytes: 0,
+            is_load: false,
+            is_store: false,
+            is_mem: false,
+            is_cond_branch: false,
+            is_augmented: false,
+            is_copy: false,
+            wants_int_window: true,
+            uses: [None, None],
+            def: None,
+        },
+        effect: InstEffect::default(),
+        waiters: Vec::new(),
     }
 }
 
+/// The in-flight store queue: (seq, addr, bytes, issued) in program
+/// order, mirroring the reference engine's store queue exactly.
+///
+/// Forwarding lookups walk it backwards. The queue can never outgrow the
+/// in-flight window (stores enter at dispatch, leave at retirement), and
+/// both Table 1 machines cap that window at 64, so a contiguous reverse
+/// scan of a few dozen 16-byte entries beats any indexed structure — an
+/// earlier word-bucketed hash index here cost more in hashing and bucket
+/// chasing than the scan it avoided, and dominated issue-stage profiles.
 #[derive(Debug, Default)]
 struct StoreIndex {
     queue: VecDeque<(u64, u32, u32, bool)>,
-    by_word: HashMap<u32, VecDeque<(u64, u32, u32)>, std::hash::BuildHasherDefault<WordHasher>>,
 }
 
 impl StoreIndex {
-    fn words(addr: u32, bytes: u32) -> std::ops::RangeInclusive<u32> {
-        (addr >> 2)..=((addr + bytes - 1) >> 2)
-    }
-
     /// Registers a store at dispatch (address known: the oracle computed
     /// it at fetch).
+    #[inline]
     fn insert(&mut self, seq: u64, addr: u32, bytes: u32) {
         self.queue.push_back((seq, addr, bytes, false));
-        for w in Self::words(addr, bytes) {
-            self.by_word
-                .entry(w)
-                .or_default()
-                .push_back((seq, addr, bytes));
-        }
     }
 
     /// Marks a store issued (its address is now "known" to younger loads
     /// from the *next* lookup on — within the deciding cycle the flag is
     /// still false, matching the reference engine's scan/apply split).
+    #[inline]
     fn mark_issued(&mut self, seq: u64) {
         let i = self.queue.partition_point(|s| s.0 < seq);
         debug_assert!(self.queue.get(i).is_some_and(|s| s.0 == seq));
@@ -331,50 +290,144 @@ impl StoreIndex {
     }
 
     /// Drops every store at or before `seq` (stores leave at retirement,
-    /// oldest first, so each departs from the front of its buckets).
+    /// oldest first, so each departs from the front).
+    #[inline]
     fn retire_through(&mut self, seq: u64) {
         while self.queue.front().is_some_and(|s| s.0 <= seq) {
-            let (s, addr, bytes, _) = self.queue.pop_front().expect("checked");
-            for w in Self::words(addr, bytes) {
-                if let Some(b) = self.by_word.get_mut(&w) {
-                    debug_assert_eq!(b.front().map(|e| e.0), Some(s));
-                    // Emptied buckets stay in the map: the same words are
-                    // stored to again and again, and re-creating the bucket
-                    // each time is an allocation in the retire path.
-                    b.pop_front();
-                }
-            }
+            self.queue.pop_front();
         }
     }
 
+    /// Empties the queue for a new run, keeping its allocation.
+    fn reset(&mut self) {
+        self.queue.clear();
+    }
+
     /// Whether a load at `seq` covering `[addr, addr+bytes)` is forwarded:
-    /// finds the youngest older store whose byte range overlaps (the
-    /// youngest candidate per touched word, maximized across words) and
+    /// finds the youngest older store whose byte range overlaps and
     /// reports that store's issued flag — false means the load pays a
     /// D-cache access instead, exactly like the reference scan.
+    #[inline]
     fn forwarded(&self, seq: u64, addr: u32, bytes: u32) -> bool {
-        let mut best: Option<u64> = None;
-        for w in Self::words(addr, bytes) {
-            let Some(bucket) = self.by_word.get(&w) else {
+        for &(s, a, b, issued) in self.queue.iter().rev() {
+            if s >= seq {
                 continue;
-            };
-            for &(s, a, b) in bucket.iter().rev() {
-                if s >= seq {
-                    continue;
-                }
-                if best.is_some_and(|t| s <= t) {
-                    break; // bucket is seq-sorted: nothing younger left here
-                }
-                if ranges_overlap(a, b, addr, bytes) {
-                    best = Some(s);
+            }
+            if ranges_overlap(a, b, addr, bytes) {
+                return issued;
+            }
+        }
+        false
+    }
+}
+
+/// Completion-time bucket ring: the issue stage schedules a writeback at
+/// `done_at = cycle + latency`, and every latency on the machine is a
+/// few dozen cycles at most, so pending completions always lie in a
+/// short window above the current cycle. A ring of `RING_LEN` buckets
+/// indexed by `done_at % RING_LEN` makes scheduling O(1) and the
+/// per-cycle "anything due?" probe a single emptiness test, replacing a
+/// binary heap whose push/pop sift showed up on every instruction. A
+/// latency beyond the ring (possible only with pathological cache
+/// configurations) spills to an overflow heap, keeping the structure
+/// correct for any config.
+///
+/// Drains sort the bucket by seq, preserving the heap's (done_at, seq)
+/// writeback order exactly.
+#[derive(Debug)]
+struct CompletionRing {
+    /// `buckets[d % RING_LEN]` holds the seqs completing at cycle `d`.
+    /// The invariant that at most one absolute cycle occupies a bucket
+    /// holds because pushes target `(cycle, cycle + RING_LEN)` and every
+    /// cycle's bucket is drained before the ring wraps back to it (the
+    /// cycle skip never jumps past a pending completion).
+    buckets: Vec<Vec<u64>>,
+    /// Total seqs across buckets and overflow.
+    len: usize,
+    /// Completions scheduled ≥ `RING_LEN` cycles out.
+    overflow: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Drain scratch, reused across cycles.
+    scratch: Vec<u64>,
+}
+
+const RING_LEN: u64 = 64;
+
+impl CompletionRing {
+    fn new() -> CompletionRing {
+        CompletionRing {
+            buckets: vec![Vec::new(); RING_LEN as usize],
+            len: 0,
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.overflow.clear();
+        self.scratch.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, cycle: u64, done_at: u64, seq: u64) {
+        debug_assert!(done_at > cycle);
+        if done_at - cycle < RING_LEN {
+            self.buckets[(done_at % RING_LEN) as usize].push(seq);
+        } else {
+            self.overflow.push(Reverse((done_at, seq)));
+        }
+        self.len += 1;
+    }
+
+    /// Whether any completion is due at (or overdue before) `cycle`.
+    #[inline]
+    fn any_due(&self, cycle: u64) -> bool {
+        !self.buckets[(cycle % RING_LEN) as usize].is_empty()
+            || self
+                .overflow
+                .peek()
+                .is_some_and(|&Reverse((k, _))| k <= cycle)
+    }
+
+    /// The earliest cycle strictly after `cycle` with a completion due,
+    /// if any completion is pending at all. Only called from the
+    /// cycle-skip path, where the machine is otherwise idle.
+    fn next_after(&self, cycle: u64) -> Option<u64> {
+        let mut next = None;
+        if self.len > self.overflow.len() {
+            for d in (cycle + 1)..(cycle + RING_LEN) {
+                if !self.buckets[(d % RING_LEN) as usize].is_empty() {
+                    next = Some(d);
                     break;
                 }
             }
         }
-        best.is_some_and(|s| {
-            let i = self.queue.partition_point(|e| e.0 < s);
-            self.queue[i].3
-        })
+        if let Some(&Reverse((k, _))) = self.overflow.peek() {
+            next = Some(next.map_or(k, |n| n.min(k)));
+        }
+        next
+    }
+
+    /// Removes and returns (seq-sorted, in `self.scratch`) everything due
+    /// at `cycle`.
+    #[inline]
+    fn drain_due(&mut self, cycle: u64) -> &[u64] {
+        self.scratch.clear();
+        self.scratch
+            .append(&mut self.buckets[(cycle % RING_LEN) as usize]);
+        while let Some(&Reverse((k, seq))) = self.overflow.peek() {
+            if k > cycle {
+                break;
+            }
+            self.overflow.pop();
+            self.scratch.push(seq);
+        }
+        self.len -= self.scratch.len();
+        self.scratch.sort_unstable();
+        &self.scratch
     }
 }
 
@@ -399,7 +452,52 @@ impl FaultInjection {
     }
 }
 
+/// Arena-reused simulator state, owned by a [`crate::session::SimSession`]
+/// and threaded through every run: the architectural machine (register
+/// files + memory image), both cache tag arrays, the branch predictor,
+/// the in-flight entry slab with its waiter vectors, the completion heap,
+/// the store index, and the scratch buffers. Every piece is reset — not
+/// reallocated — at the top of [`simulate_core`], so steady-state
+/// simulation across cells allocates nothing.
+#[derive(Debug)]
+pub(crate) struct SessionBufs {
+    pub(crate) machine: Machine,
+    icache: Option<Cache>,
+    dcache: Option<Cache>,
+    gshare: Option<Gshare>,
+    slab: Vec<Entry>,
+    completions: CompletionRing,
+    stores: StoreIndex,
+    decisions: Vec<(u64, u64)>,
+    pub(crate) pc_counts: Vec<u64>,
+}
+
+impl SessionBufs {
+    pub(crate) fn new() -> SessionBufs {
+        SessionBufs {
+            machine: Machine {
+                int_regs: [0; 32],
+                fp_regs: [0; 32],
+                mem: Vec::new(),
+                output: String::new(),
+            },
+            icache: None,
+            dcache: None,
+            gshare: None,
+            slab: Vec::new(),
+            completions: CompletionRing::new(),
+            stores: StoreIndex::default(),
+            decisions: Vec::new(),
+            pc_counts: Vec::new(),
+        }
+    }
+}
+
 /// Runs `program` on the configured machine for at most `max_cycles`.
+///
+/// Uses the calling thread's shared [`crate::session::SimSession`], so
+/// repeated calls reuse simulator state; see [`crate::SimSession`] for
+/// explicit batched use.
 ///
 /// # Errors
 ///
@@ -411,7 +509,7 @@ pub fn simulate(
     config: &MachineConfig,
     max_cycles: u64,
 ) -> Result<TimingResult, ExecError> {
-    simulate_observed(program, config, max_cycles, &mut NullObserver)
+    crate::session::with_session(|s| s.simulate(program, config, max_cycles))
 }
 
 /// Like [`simulate`], but emits every pipeline event to `obs` (see
@@ -431,7 +529,7 @@ pub fn simulate_observed<O: SimObserver>(
     max_cycles: u64,
     obs: &mut O,
 ) -> Result<TimingResult, ExecError> {
-    simulate_core(program, config, max_cycles, obs, FaultInjection::default())
+    crate::session::with_session(|s| s.simulate_observed(program, config, max_cycles, obs))
 }
 
 /// Test-only entry point: [`simulate_observed`] with injected defects.
@@ -448,16 +546,66 @@ pub fn simulate_with_faults<O: SimObserver>(
     obs: &mut O,
     faults: FaultInjection,
 ) -> Result<TimingResult, ExecError> {
-    simulate_core(program, config, max_cycles, obs, faults)
+    crate::session::with_session(|s| {
+        s.simulate_with_faults(program, config, max_cycles, obs, faults)
+    })
 }
 
-#[allow(clippy::too_many_lines)]
-fn simulate_core<O: SimObserver>(
+/// Bitmask over ROB-relative positions, abstracting the mask width so the
+/// engine can run on `u64` masks (single-uop shifts) whenever the window
+/// fits. Both Table 1 machines (32- and 64-entry windows) do; only a
+/// hypothetical wider configuration pays for `u128` arithmetic.
+trait RobMask:
+    Copy
+    + PartialEq
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitOrAssign
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitAndAssign
+    + std::ops::Not<Output = Self>
+    + std::ops::ShrAssign<u32>
+    + std::ops::Sub<Output = Self>
+{
+    const ZERO: Self;
+    const ONE: Self;
+    fn bit(i: u32) -> Self;
+    fn trailing_zeros(self) -> u32;
+}
+
+impl RobMask for u64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    #[inline(always)]
+    fn bit(i: u32) -> Self {
+        1 << i
+    }
+    #[inline(always)]
+    fn trailing_zeros(self) -> u32 {
+        u64::trailing_zeros(self)
+    }
+}
+
+impl RobMask for u128 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    #[inline(always)]
+    fn bit(i: u32) -> Self {
+        1 << i
+    }
+    #[inline(always)]
+    fn trailing_zeros(self) -> u32 {
+        u128::trailing_zeros(self)
+    }
+}
+
+pub(crate) fn simulate_core<O: SimObserver>(
     program: &Program,
+    pre: &PreProgram,
     config: &MachineConfig,
     max_cycles: u64,
     obs: &mut O,
     faults: FaultInjection,
+    bufs: &mut SessionBufs,
 ) -> Result<TimingResult, ExecError> {
     if faults.any() {
         // Injected defects are expressed against the reference engine's
@@ -466,70 +614,73 @@ fn simulate_core<O: SimObserver>(
         return crate::reference::simulate_naive(program, config, max_cycles, obs, faults);
     }
     if config.max_inflight > 128 {
-        // The ready and store-barrier sets are 128-bit masks over the ROB
+        // The ready and store-barrier sets are bitmasks over the ROB
         // window. Neither of the paper's machines (32- and 64-entry ROBs)
         // comes close; a hypothetical wider configuration runs on the
         // reference engine, which has no window bound.
         return crate::reference::simulate_naive(program, config, max_cycles, obs, faults);
     }
+    if config.max_inflight <= 64 {
+        simulate_masked::<O, u64>(program, pre, config, max_cycles, obs, bufs)
+    } else {
+        simulate_masked::<O, u128>(program, pre, config, max_cycles, obs, bufs)
+    }
+}
 
-    // ---- Pre-decode ------------------------------------------------------
-    let decoded: Vec<DecodedInst> = program
-        .code
-        .iter()
-        .map(|inst| DecodedInst::decode(inst.op, inst))
-        .collect();
+#[allow(clippy::too_many_lines)]
+fn simulate_masked<O: SimObserver, M: RobMask>(
+    program: &Program,
+    pre: &PreProgram,
+    config: &MachineConfig,
+    max_cycles: u64,
+    obs: &mut O,
+    bufs: &mut SessionBufs,
+) -> Result<TimingResult, ExecError> {
+    // ---- Arena reset -----------------------------------------------------
+    // Every run starts from the architectural reset state; the session
+    // buffers only save the allocations, never state, which the session
+    // hygiene property test checks end to end.
+    let decoded = &pre.pre;
+    bufs.machine.reset(program);
+    match bufs.icache.as_mut() {
+        Some(c) => c.reset(config.icache),
+        None => bufs.icache = Some(Cache::new(config.icache)),
+    }
+    match bufs.dcache.as_mut() {
+        Some(c) => c.reset(config.dcache),
+        None => bufs.dcache = Some(Cache::new(config.dcache)),
+    }
+    match bufs.gshare.as_mut() {
+        Some(g) => g.reset(config.gshare_bits),
+        None => bufs.gshare = Some(Gshare::new(config.gshare_bits)),
+    }
+    bufs.completions.clear();
+    bufs.stores.reset();
+    let oracle = &mut bufs.machine;
+    let icache = bufs.icache.as_mut().expect("initialized above");
+    let dcache = bufs.dcache.as_mut().expect("initialized above");
+    let gshare = bufs.gshare.as_mut().expect("initialized above");
+    let completions = &mut bufs.completions;
+    let stores = &mut bufs.stores;
+    let decisions = &mut bufs.decisions;
 
-    let mut oracle = Machine::new(program);
-    let mut icache = Cache::new(config.icache);
-    let mut dcache = Cache::new(config.dcache);
-    let mut gshare = Gshare::new(config.gshare_bits);
-
-    // In-flight entries live in a fixed power-of-two slab addressed by
+    // In-flight entries live in a power-of-two slab addressed by
     // `seq % capacity`; an entry is written once at fetch and never moves.
     // Sequence numbers are dense, so the ROB is the range
     // `[retired, retired + rob_len)` and the fetch queue the range
     // `[retired + rob_len, retired + rob_len + fq_len)` — stage membership
-    // is two counters, not two queues of bulky structs.
+    // is two counters, not two queues of bulky structs. The slab grows
+    // monotonically to the largest configuration seen by the session; an
+    // oversized slab is harmless (live sequence numbers still map to
+    // distinct slots) and stale entries are fully rewritten at fetch.
     let fetch_queue_cap = config.fetch_width as usize;
-    let cap = (config.max_inflight as usize + fetch_queue_cap).next_power_of_two();
-    let slot_mask = cap as u64 - 1;
+    let needed = (config.max_inflight as usize + fetch_queue_cap).next_power_of_two();
+    if bufs.slab.len() < needed {
+        bufs.slab.resize(needed, vacant_entry());
+    }
+    let slab = &mut bufs.slab;
+    let slot_mask = slab.len() as u64 - 1;
     let slot = |s: u64| (s & slot_mask) as usize;
-    let vacant = Entry {
-        seq: NOT_DONE,
-        pc: 0,
-        op: Op::Add,
-        srcs: [0; 2],
-        n_srcs: 0,
-        pending: 0,
-        dest: None,
-        issued: false,
-        done_at: NOT_DONE,
-        addr: None,
-        halt: None,
-        resolves_fetch: false,
-        d: DecodedInst {
-            subsystem: Subsystem::Int,
-            latency_hint: 1,
-            mem_bytes: 0,
-            is_load: false,
-            is_store: false,
-            is_mem: false,
-            is_cond_branch: false,
-            is_augmented: false,
-            is_copy: false,
-            wants_int_window: true,
-            uses: [None, None],
-            def: None,
-        },
-        effect: InstEffect {
-            dest: None,
-            store: None,
-            taken: None,
-        },
-        waiters: Vec::new(),
-    };
-    let mut slab: Vec<Entry> = vec![vacant; cap];
     let mut rob_len = 0usize;
     let mut fq_len = 0usize;
 
@@ -547,24 +698,16 @@ fn simulate_core<O: SimObserver>(
     let mut int_phys_free = config.int_phys - 32;
     let mut fp_phys_free = config.fp_phys - 32;
 
-    let mut stores = StoreIndex::default();
     // Dispatched stores that have not received an issue decision, as a
     // bitmask over ROB-relative positions: the load barrier ("all prior
     // store addresses known") is one mask-and against the bits below the
     // load instead of a flag threaded through a full-window scan.
-    let mut unissued_st: u128 = 0;
+    let mut unissued_st = M::ZERO;
     // Unissued ROB entries whose sources are all complete, same relative
     // encoding: the issue stage's candidate set, replacing the full-ROB
     // scan with a trailing_zeros walk (ascending = oldest first). Both
     // masks shift right by one per retirement as the window slides.
-    let mut ready: u128 = 0;
-    // Pending completions as a min-heap of (done_at, seq). Issue latency
-    // is always >= 1, so an event is always in the future when pushed and
-    // pops exactly at its cycle, in seq order within a cycle.
-    let mut completions: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-    // Retired-out waiter vectors, recycled so steady state allocates
-    // nothing per instruction.
-    let mut waiter_pool: Vec<Vec<u64>> = Vec::new();
+    let mut ready = M::ZERO;
 
     let mut retired = 0u64;
     let mut int_issued = 0u64;
@@ -577,9 +720,6 @@ fn simulate_core<O: SimObserver>(
     let mut copies_retired = 0u64;
 
     let issue_width = config.decode_width; // Table 1: "up to 4 ops/cycle"
-
-    // Scratch buffer reused across cycles.
-    let mut decisions: Vec<(u64, u64)> = Vec::new(); // (seq, done_at)
 
     let mut cycle = 0u64;
     loop {
@@ -595,18 +735,17 @@ fn simulate_core<O: SimObserver>(
         // completion, or fetch resuming). Fetch activity always blocks the
         // skip: a non-stalled fetch stage touches the I-cache every cycle,
         // even when the fetch queue is full.
-        let next_completion = completions.peek().map(|&Reverse((k, _))| k);
-        if ready == 0
+        if ready == M::ZERO
             && fq_len == 0
-            && next_completion.is_none_or(|k| k > cycle)
+            && !completions.any_due(cycle)
             && (fetch_halted || cycle < fetch_stall_until)
             && !(rob_len > 0 && {
                 let h = &slab[slot(retired)];
-                h.issued && h.done_at <= cycle
+                h.done_at <= cycle
             })
         {
             let mut target = max_cycles;
-            if let Some(k) = next_completion {
+            if let Some(k) = completions.next_after(cycle) {
                 target = target.min(k);
             }
             if !fetch_halted {
@@ -632,30 +771,30 @@ fn simulate_core<O: SimObserver>(
         // Results become visible at `done_at`; announce each exactly once,
         // in program order, before this cycle's retirements and
         // issue-readiness checks — then wake the waiters.
-        while completions
-            .peek()
-            .is_some_and(|&Reverse((k, _))| k <= cycle)
-        {
-            let Reverse((_, seq)) = completions.pop().expect("checked");
+        for &seq in completions.drain_due(cycle) {
             obs.on_writeback(&WritebackEvent { cycle, seq });
-            let mut waiters = std::mem::take(&mut slab[slot(seq)].waiters);
+            let s_idx = slot(seq);
+            let mut waiters = std::mem::take(&mut slab[s_idx].waiters);
             let rob_end = retired + rob_len as u64;
             for &w in &waiters {
                 let e = &mut slab[slot(w)];
                 e.pending -= 1;
                 if e.pending == 0 && w < rob_end {
-                    ready |= 1u128 << (w - retired);
+                    ready |= M::bit((w - retired) as u32);
                 }
             }
+            // Hand the (cleared) vector straight back to its slot: the
+            // next instruction to occupy the slot inherits the capacity,
+            // so steady state never allocates a waiter list.
             waiters.clear();
-            waiter_pool.push(waiters);
+            slab[s_idx].waiters = waiters;
         }
 
         // ---- Retire ------------------------------------------------------
         let mut retired_this_cycle = 0;
         while retired_this_cycle < config.retire_width && rob_len > 0 {
             let e = &slab[slot(retired)];
-            if !(e.issued && e.done_at <= cycle) {
+            if e.done_at > cycle {
                 break;
             }
             retired += 1;
@@ -663,7 +802,7 @@ fn simulate_core<O: SimObserver>(
             rob_len -= 1;
             // The head is issued, so its ready and store-barrier bits are
             // already clear: the masks just slide down with the window.
-            debug_assert!(ready & 1 == 0 && unissued_st & 1 == 0);
+            debug_assert!(ready & M::ONE == M::ZERO && unissued_st & M::ONE == M::ZERO);
             ready >>= 1;
             unissued_st >>= 1;
             if e.d.is_augmented {
@@ -677,7 +816,11 @@ fn simulate_core<O: SimObserver>(
                 Some(Reg::Fp(_)) => fp_phys_free += 1,
                 None => {}
             }
-            stores.retire_through(e.seq);
+            if e.d.is_store {
+                // Older stores are already gone (in-order retirement), so
+                // the retiring store is exactly the queue head.
+                stores.retire_through(e.seq);
+            }
             obs.on_retire(&RetireEvent {
                 cycle,
                 seq: e.seq,
@@ -691,7 +834,7 @@ fn simulate_core<O: SimObserver>(
                     cycles: cycle + 1,
                     retired,
                     exit_code: code,
-                    output: oracle.output,
+                    output: std::mem::take(&mut oracle.output),
                     int_issued,
                     fp_issued,
                     augmented_retired,
@@ -724,14 +867,14 @@ fn simulate_core<O: SimObserver>(
         let mut int_issued_now = 0u64;
         let mut fp_issued_now = 0u64;
         decisions.clear();
-        if ready != 0 {
+        if ready != M::ZERO {
             // Snapshot the candidate mask; decisions this cycle do not add
             // candidates (but an issuing store does lift the barrier for
             // loads later in the same walk, exactly like the reference).
             let mut cand = ready;
-            while cand != 0 && issued_total < issue_width {
+            while cand != M::ZERO && issued_total < issue_width {
                 let rel = cand.trailing_zeros();
-                cand &= cand - 1;
+                cand &= cand - M::ONE;
                 let seq = retired + u64::from(rel);
                 let e = &slab[slot(seq)];
                 let d = &e.d;
@@ -740,7 +883,7 @@ fn simulate_core<O: SimObserver>(
                     if ls == 0 {
                         continue; // an unissued store here still bars loads
                     }
-                    if d.is_load && unissued_st & ((1u128 << rel) - 1) != 0 {
+                    if d.is_load && unissued_st & (M::bit(rel) - M::ONE) != M::ZERO {
                         continue; // prior store address unknown
                     }
                 } else {
@@ -788,12 +931,12 @@ fn simulate_core<O: SimObserver>(
                     }
                 }
                 if d.is_store {
-                    unissued_st &= !(1u128 << rel);
+                    unissued_st &= !M::bit(rel);
                 }
                 issued_total += 1;
                 decisions.push((seq, cycle + u64::from(lat)));
             }
-            for &(seq, done_at) in &decisions {
+            for &(seq, done_at) in decisions.iter() {
                 let s = slot(seq);
                 {
                     let e = &slab[s];
@@ -809,10 +952,9 @@ fn simulate_core<O: SimObserver>(
                     });
                 }
                 let e = &mut slab[s];
-                e.issued = true;
                 e.done_at = done_at;
                 let wants_int_window = e.d.wants_int_window;
-                completions.push(Reverse((done_at, seq)));
+                completions.push(cycle, done_at, seq);
                 if e.d.is_store {
                     stores.mark_issued(seq);
                 }
@@ -827,7 +969,7 @@ fn simulate_core<O: SimObserver>(
                 } else {
                     fp_window_used -= 1;
                 }
-                ready &= !(1u128 << (seq - retired));
+                ready &= !M::bit((seq - retired) as u32);
             }
         }
         int_issued += int_issued_now;
@@ -868,7 +1010,7 @@ fn simulate_core<O: SimObserver>(
             }
             if e.d.is_store {
                 stores.insert(e.seq, e.addr.expect("store addr"), e.d.mem_bytes);
-                unissued_st |= 1u128 << rob_len;
+                unissued_st |= M::bit(rob_len as u32);
             }
             obs.on_dispatch(&DispatchEvent {
                 cycle,
@@ -884,7 +1026,7 @@ fn simulate_core<O: SimObserver>(
             // The entry becomes an issue candidate the moment it sits in
             // the ROB with no outstanding sources.
             if e.pending == 0 {
-                ready |= 1u128 << rob_len;
+                ready |= M::bit(rob_len as u32);
             }
             rob_len += 1;
             fq_len -= 1;
@@ -909,10 +1051,12 @@ fn simulate_core<O: SimObserver>(
                     if (fetch_pc * 4) >> line_shift != iline {
                         break; // crossed into the next cache line
                     }
-                    let Some(d) = decoded.get(fetch_pc as usize).copied() else {
-                        return Err(ExecError::BadPc { pc: fetch_pc });
+                    let pc = fetch_pc;
+                    let Some(pi) = decoded.get(pc as usize) else {
+                        return Err(ExecError::BadPc { pc });
                     };
-                    let inst = &program.code[fetch_pc as usize];
+                    let d = &pi.d;
+                    let x = &pi.x;
                     // Rename sources (in `rs`, `rt` order) and destination.
                     let mut srcs = [0u64; 2];
                     let mut n_srcs = 0u8;
@@ -926,35 +1070,44 @@ fn simulate_core<O: SimObserver>(
                             n_srcs += 1;
                         }
                     }
-                    let addr = oracle.effective_addr(inst);
-                    // Oracle-execute.
-                    let step = oracle.exec(inst, fetch_pc)?;
+                    let addr = if d.is_mem {
+                        Some(oracle.geti(x.a).wrapping_add(x.imm) as u32)
+                    } else {
+                        None
+                    };
+                    // Oracle-execute through the threaded handler.
+                    let step = crate::dispatch::exec_pre(oracle, x, pi.op, pc)?;
                     // Record the architectural effects for retire-time
                     // co-simulation (the store read-back is safe: exec
-                    // just validated the address).
-                    let effect = InstEffect {
-                        dest: d.def.map(|dr| (dr, oracle.reg_raw(dr))),
-                        store: if d.is_store {
-                            addr.map(|a| {
-                                let bytes = d.mem_bytes;
-                                let lo = a as usize;
-                                let mut buf = [0u8; 8];
-                                buf[..bytes as usize]
-                                    .copy_from_slice(&oracle.mem[lo..lo + bytes as usize]);
-                                StoreEffect {
-                                    addr: a,
-                                    bytes,
-                                    data: u64::from_le_bytes(buf),
-                                }
-                            })
-                        } else {
-                            None
-                        },
-                        taken: if d.is_cond_branch {
-                            Some(matches!(step, Step::Jump(_)))
-                        } else {
-                            None
-                        },
+                    // just validated the address) — skipped entirely for
+                    // observers that never look at them.
+                    let effect = if O::WANTS_EFFECTS {
+                        InstEffect {
+                            dest: d.def.map(|dr| (dr, oracle.reg_raw(dr))),
+                            store: if d.is_store {
+                                addr.map(|a| {
+                                    let bytes = d.mem_bytes;
+                                    let lo = a as usize;
+                                    let mut buf = [0u8; 8];
+                                    buf[..bytes as usize]
+                                        .copy_from_slice(&oracle.mem[lo..lo + bytes as usize]);
+                                    StoreEffect {
+                                        addr: a,
+                                        bytes,
+                                        data: u64::from_le_bytes(buf),
+                                    }
+                                })
+                            } else {
+                                None
+                            },
+                            taken: if d.is_cond_branch {
+                                Some(matches!(step, Step::Jump(_)))
+                            } else {
+                                None
+                            },
+                        }
+                    } else {
+                        InstEffect::default()
                     };
                     let seq = next_seq;
                     next_seq += 1;
@@ -974,7 +1127,7 @@ fn simulate_core<O: SimObserver>(
                             continue;
                         }
                         let p = &mut slab[slot(s)];
-                        if !(p.issued && p.done_at <= cycle) {
+                        if p.done_at > cycle {
                             pending += 1;
                             p.waiters.push(seq);
                         }
@@ -982,75 +1135,79 @@ fn simulate_core<O: SimObserver>(
                     obs.on_fetch(&FetchEvent {
                         cycle,
                         seq,
-                        pc: fetch_pc,
-                        op: inst.op,
+                        pc,
+                        op: pi.op,
                     });
-                    let mut entry = Entry {
-                        seq,
-                        pc: fetch_pc,
-                        op: inst.op,
-                        srcs,
-                        n_srcs,
-                        pending,
-                        dest: d.def,
-                        issued: false,
-                        done_at: NOT_DONE,
-                        addr,
-                        halt: None,
-                        resolves_fetch: false,
-                        d,
-                        effect,
-                        waiters: waiter_pool.pop().unwrap_or_default(),
-                    };
-                    let taken_target = match step {
-                        Step::Jump(t) => Some(t),
-                        Step::Next => None,
+                    // Control flow: decide the next fetch pc, whether this
+                    // instruction ends the fetch group, and whether it
+                    // counts against the fetch width (taken transfers,
+                    // mispredicts, and the halt do not).
+                    let mut halt = None;
+                    let mut resolves_fetch = false;
+                    let mut end_group = true;
+                    let mut counts_fetched = false;
+                    match step {
                         Step::Halt(code) => {
-                            entry.halt = Some(code);
+                            halt = Some(code);
                             fetch_halted = true;
-                            slab[slot(seq)] = entry;
-                            fq_len += 1;
-                            break;
                         }
-                    };
-                    if d.is_cond_branch {
-                        let taken = taken_target.is_some();
-                        let predicted = gshare.predict(fetch_pc);
-                        gshare.update(fetch_pc, taken);
-                        let next = taken_target.unwrap_or(fetch_pc + 1);
-                        if predicted != taken {
-                            // Mispredict: fetch stalls until this branch
-                            // resolves, then restarts on the correct path.
-                            entry.resolves_fetch = true;
-                            fetch_stall_until = u64::MAX; // replaced at issue
-                            fetch_pc = next;
-                            slab[slot(seq)] = entry;
-                            fq_len += 1;
-                            break;
+                        _ => {
+                            let taken_target = match step {
+                                Step::Jump(t) => Some(t),
+                                _ => None,
+                            };
+                            if d.is_cond_branch {
+                                let taken = taken_target.is_some();
+                                fetch_pc = taken_target.unwrap_or(pc + 1);
+                                if gshare.update(pc, taken) {
+                                    counts_fetched = true;
+                                    // Taken transfers end the fetch group.
+                                    end_group = taken;
+                                } else {
+                                    // Mispredict: fetch stalls until this
+                                    // branch resolves, then restarts on
+                                    // the correct path.
+                                    resolves_fetch = true;
+                                    fetch_stall_until = u64::MAX; // replaced at issue
+                                }
+                            } else if let Some(t) = taken_target {
+                                // Unconditional: predicted perfectly (Table 1).
+                                fetch_pc = t;
+                            } else {
+                                fetch_pc = pc + 1;
+                                counts_fetched = true;
+                                end_group = false;
+                            }
                         }
-                        fetch_pc = next;
-                        slab[slot(seq)] = entry;
-                        fq_len += 1;
-                        fetched += 1;
-                        if taken {
-                            break; // taken transfers end the fetch group
-                        }
-                        continue;
                     }
-                    match taken_target {
-                        Some(t) => {
-                            // Unconditional: predicted perfectly (Table 1).
-                            fetch_pc = t;
-                            slab[slot(seq)] = entry;
-                            fq_len += 1;
-                            break;
-                        }
-                        None => {
-                            fetch_pc += 1;
-                            slab[slot(seq)] = entry;
-                            fq_len += 1;
-                            fetched += 1;
-                        }
+                    // One in-place write into the slab slot; the recycled
+                    // waiter vector keeps its capacity (cleared when its
+                    // previous occupant wrote back).
+                    let e = &mut slab[slot(seq)];
+                    e.seq = seq;
+                    e.pc = pc;
+                    e.op = pi.op;
+                    e.srcs = srcs;
+                    e.n_srcs = n_srcs;
+                    e.pending = pending;
+                    e.dest = d.def;
+                    e.done_at = NOT_DONE;
+                    e.addr = addr;
+                    e.halt = halt;
+                    e.resolves_fetch = resolves_fetch;
+                    e.d = *d;
+                    // A stale effect is never read by an observer that
+                    // declared `WANTS_EFFECTS = false`, so skip the write.
+                    if O::WANTS_EFFECTS {
+                        e.effect = effect;
+                    }
+                    e.waiters.clear();
+                    fq_len += 1;
+                    if counts_fetched {
+                        fetched += 1;
+                    }
+                    if end_group {
+                        break;
                     }
                 }
             }

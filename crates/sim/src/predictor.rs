@@ -28,6 +28,20 @@ impl Gshare {
         }
     }
 
+    /// Re-initialises this predictor to the weakly-not-taken state for a
+    /// `bits`-wide table, reusing the counter array when sized right.
+    pub fn reset(&mut self, bits: u32) {
+        if self.bits == bits {
+            self.counters.fill(1);
+        } else {
+            self.counters = vec![1; 1usize << bits];
+            self.bits = bits;
+        }
+        self.history = 0;
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+
     fn index(&self, pc: u32) -> usize {
         let mask = (1u32 << self.bits) - 1;
         ((pc ^ self.history) & mask) as usize
@@ -41,6 +55,7 @@ impl Gshare {
 
     /// Records the actual outcome, updating counters, history, and stats.
     /// Returns whether the prediction was correct.
+    #[inline]
     pub fn update(&mut self, pc: u32, taken: bool) -> bool {
         let idx = self.index(pc);
         let predicted = self.counters[idx] >= 2;

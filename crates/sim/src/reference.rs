@@ -76,11 +76,11 @@ pub fn simulate_reference(
 }
 
 #[allow(clippy::too_many_lines)]
-pub(crate) fn simulate_naive(
+pub(crate) fn simulate_naive<O: SimObserver>(
     program: &Program,
     config: &MachineConfig,
     max_cycles: u64,
-    obs: &mut dyn SimObserver,
+    obs: &mut O,
     faults: FaultInjection,
 ) -> Result<TimingResult, ExecError> {
     let mut oracle = Machine::new(program);
