@@ -30,5 +30,5 @@ pub mod lint;
 pub mod solver;
 
 pub use cfg::{function_spans, Cfg, FuncSpan};
-pub use lint::{lint, ErrorCode, Finding};
+pub use lint::{lint, lint_with_touches, ErrorCode, Finding, RuleTouches};
 pub use solver::{solve_forward, AbsVal, JoinLattice, RegState, Solution};

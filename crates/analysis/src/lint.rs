@@ -72,6 +72,29 @@ impl ErrorCode {
         }
     }
 
+    /// All codes, in numeric order.
+    pub const ALL: [ErrorCode; 6] = [
+        ErrorCode::Fpa001,
+        ErrorCode::Fpa002,
+        ErrorCode::Fpa003,
+        ErrorCode::Fpa004,
+        ErrorCode::Fpa005,
+        ErrorCode::Fpa006,
+    ];
+
+    /// Zero-based index of the code (`FPA001` → 0, …, `FPA006` → 5).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ErrorCode::Fpa001 => 0,
+            ErrorCode::Fpa002 => 1,
+            ErrorCode::Fpa003 => 2,
+            ErrorCode::Fpa004 => 3,
+            ErrorCode::Fpa005 => 4,
+            ErrorCode::Fpa006 => 5,
+        }
+    }
+
     /// A short human title.
     #[must_use]
     pub fn title(self) -> &'static str {
@@ -125,6 +148,42 @@ impl fmt::Display for Finding {
             write!(f, " (path {})", path.join(" -> "))?;
         }
         Ok(())
+    }
+}
+
+/// Per-rule examination telemetry: how many candidate sites each
+/// `FPA001`–`FPA006` check actually looked at, whether or not it fired.
+///
+/// A clean binary produces zero [`Finding`]s by design, so findings alone
+/// say nothing about *which linter paths a program exercised*. The touch
+/// counters do: an operand-file check per operand slot, a taint check per
+/// address/jump base, an initialization check per register read, a
+/// staging check per register-passed argument, and a claimed-vs-emitted
+/// comparison per function. Coverage-guided fuzzing buckets these counts
+/// into features, steering generation toward programs that push inputs
+/// through rarely-exercised rule paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleTouches {
+    /// Sites examined per rule, indexed by [`ErrorCode::index`].
+    pub sites: [u64; 6],
+}
+
+impl RuleTouches {
+    fn touch(&mut self, code: ErrorCode) {
+        self.sites[code.index()] += 1;
+    }
+
+    /// Sites examined for `code`.
+    #[must_use]
+    pub fn sites_for(&self, code: ErrorCode) -> u64 {
+        self.sites[code.index()]
+    }
+
+    /// Accumulates another run's touches into this one.
+    pub fn merge(&mut self, other: &RuleTouches) {
+        for (a, b) in self.sites.iter_mut().zip(other.sites) {
+            *a += b;
+        }
     }
 }
 
@@ -266,6 +325,7 @@ struct FuncLinter<'a> {
     span: &'a FuncSpan,
     cfg: Cfg,
     findings: Vec<Finding>,
+    touches: RuleTouches,
 }
 
 impl<'a> FuncLinter<'a> {
@@ -303,12 +363,13 @@ impl<'a> FuncLinter<'a> {
                 } else {
                     RegFile::Fp
                 };
+                let code = if inst.op.subsystem() == Subsystem::Fp {
+                    ErrorCode::Fpa001
+                } else {
+                    ErrorCode::Fpa002
+                };
+                self.touches.touch(code);
                 if actual != want {
-                    let code = if inst.op.subsystem() == Subsystem::Fp {
-                        ErrorCode::Fpa001
-                    } else {
-                        ErrorCode::Fpa002
-                    };
                     self.report(
                         code,
                         pc,
@@ -359,6 +420,7 @@ impl<'a> FuncLinter<'a> {
     fn check_inst(&mut self, st: &RegState, pc: u32, inst: &Inst) {
         // FPA004: any read of a possibly-uninitialized register.
         for r in inst.uses() {
+            self.touches.touch(ErrorCode::Fpa004);
             if st.get(r).has(AbsVal::MAYBE_UNINIT) {
                 self.report(
                     ErrorCode::Fpa004,
@@ -378,6 +440,7 @@ impl<'a> FuncLinter<'a> {
                 None
             };
         if let Some(base) = address_source {
+            self.touches.touch(ErrorCode::Fpa003);
             if st.get(base).has(AbsVal::FPA_TAINT) {
                 let what = if inst.op.is_control() {
                     "indirect-jump source"
@@ -428,6 +491,7 @@ impl<'a> FuncLinter<'a> {
                 _ => None, // stack-passed: not register-checked
             };
             let Some(reg) = reg else { continue };
+            self.touches.touch(ErrorCode::Fpa005);
             let v = st.get(reg);
             if !v.has(AbsVal::LOCAL) || v.has(AbsVal::FROM_ENTRY) || v.has(AbsVal::MAYBE_UNINIT) {
                 self.report(
@@ -537,12 +601,14 @@ fn check_module(
     module: &Module,
     assignment: &Assignment,
     findings: &mut Vec<Finding>,
+    touches: &mut RuleTouches,
 ) {
     for (func, fa) in module.funcs.iter().zip(&assignment.funcs) {
         let entry_pc = prog.function_entry(&func.name);
         // Formal parameters are the paper's dummy nodes, pre-assigned to
         // INT (§6.4): an FPa-homed integer formal breaks the convention.
         for (i, &p) in func.params.iter().enumerate() {
+            touches.touch(ErrorCode::Fpa005);
             if func.vreg_ty(p) == Ty::Int && fa.home(p) == Subsystem::Fp {
                 findings.push(Finding {
                     code: ErrorCode::Fpa005,
@@ -561,6 +627,7 @@ fn check_module(
         let Some(span) = spans.iter().find(|s| s.name == func.name) else {
             continue;
         };
+        touches.touch(ErrorCode::Fpa006);
         let claimed = claimed_augmented(func, fa);
         let emitted = (span.start..span.end)
             .filter(|&pc| prog.code[pc as usize].op.is_augmented())
@@ -595,8 +662,21 @@ pub fn lint(
     module: Option<&Module>,
     assignment: Option<&Assignment>,
 ) -> Vec<Finding> {
+    lint_with_touches(prog, module, assignment).0
+}
+
+/// [`lint`], additionally returning the per-rule [`RuleTouches`]
+/// telemetry: how many candidate sites each check examined. The findings
+/// are identical to [`lint`]'s.
+#[must_use]
+pub fn lint_with_touches(
+    prog: &Program,
+    module: Option<&Module>,
+    assignment: Option<&Assignment>,
+) -> (Vec<Finding>, RuleTouches) {
     let spans = function_spans(prog);
     let mut findings = Vec::new();
+    let mut touches = RuleTouches::default();
     for span in &spans {
         let cfg = Cfg::build(prog, span);
         let mut fl = FuncLinter {
@@ -605,16 +685,18 @@ pub fn lint(
             span,
             cfg,
             findings: Vec::new(),
+            touches: RuleTouches::default(),
         };
         fl.check_operand_files();
         fl.check_dataflow();
         findings.extend(fl.findings);
+        touches.merge(&fl.touches);
     }
     if let (Some(m), Some(a)) = (module, assignment) {
-        check_module(prog, &spans, m, a, &mut findings);
+        check_module(prog, &spans, m, a, &mut findings, &mut touches);
     }
     findings.sort_by_key(|x| (x.pc, x.code));
-    findings
+    (findings, touches)
 }
 
 #[cfg(test)]
@@ -654,6 +736,30 @@ mod tests {
             Inst::jr(IntReg::RA),
         ]);
         assert!(lint(&p, None, None).is_empty());
+    }
+
+    #[test]
+    fn touches_count_examined_sites_even_on_clean_code() {
+        let p = func_prog(vec![
+            Inst::alu_imm(Op::Addi, reg(8), reg(0), 5),
+            Inst::store(Op::Sw, reg(8), IntReg::SP, 0),
+            Inst::load(Op::Lw, reg(9), IntReg::SP, 0),
+            Inst::jr(IntReg::RA),
+        ]);
+        let (findings, touches) = lint_with_touches(&p, None, None);
+        assert!(findings.is_empty());
+        // Operand-file slots were examined (addi/sw/lw operands are all
+        // INT-subsystem checks), both memory ops had their address base
+        // taint-checked plus the jr's jump source, and every register
+        // read got an initialization check.
+        assert!(touches.sites_for(ErrorCode::Fpa002) > 0);
+        assert_eq!(touches.sites_for(ErrorCode::Fpa001), 0);
+        assert_eq!(touches.sites_for(ErrorCode::Fpa003), 3);
+        assert!(touches.sites_for(ErrorCode::Fpa004) >= 4);
+        // No module/assignment: the call/claim checks saw nothing.
+        assert_eq!(touches.sites_for(ErrorCode::Fpa006), 0);
+        // Touch telemetry is deterministic.
+        assert_eq!(touches, lint_with_touches(&p, None, None).1);
     }
 
     #[test]

@@ -7,9 +7,185 @@
 //! file replays by feeding the *whole* file straight back through the
 //! oracle — no separate metadata sidecar to drift out of sync.
 
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Why a corpus pin could not be loaded. Every variant names the file
+/// and the parse context — a malformed pin must fail a replay run with
+/// an actionable message, never a panic.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The file could not be read.
+    Io {
+        /// The pin path.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file is not valid UTF-8.
+    Utf8 {
+        /// The pin path.
+        path: PathBuf,
+    },
+    /// A recognized provenance header field failed to parse.
+    Header {
+        /// The pin path.
+        path: PathBuf,
+        /// 1-based line number of the bad header line.
+        line: usize,
+        /// The offending line text.
+        text: String,
+        /// What went wrong.
+        what: String,
+    },
+    /// The file contains no source (only comments / blank lines).
+    Empty {
+        /// The pin path.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |p: &Path| p.display().to_string();
+        match self {
+            CorpusError::Io { path, source } => {
+                write!(f, "{}: cannot read corpus pin: {source}", name(path))
+            }
+            CorpusError::Utf8 { path } => {
+                write!(f, "{}: corpus pin is not valid UTF-8", name(path))
+            }
+            CorpusError::Header {
+                path,
+                line,
+                text,
+                what,
+            } => write!(
+                f,
+                "{}:{line}: malformed pin header ({what}): {text:?}",
+                name(path)
+            ),
+            CorpusError::Empty { path } => write!(
+                f,
+                "{}: corpus pin has no source lines (comments only)",
+                name(path)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A loaded corpus pin: the full replayable text plus whatever
+/// provenance the header carried. Hand-written pins may have free-text
+/// headers (all fields `None`); generated pins carry seeds and kind.
+#[derive(Debug, Clone)]
+pub struct Pin {
+    /// The pin path.
+    pub path: PathBuf,
+    /// The whole file text — comments included; replay feeds this
+    /// straight to the oracle (the `zinc` lexer skips comments).
+    pub text: String,
+    /// `kind:` header field, when present.
+    pub kind: Option<String>,
+    /// `case-seed:` header field, when present.
+    pub case_seed: Option<u64>,
+}
+
+fn parse_hex_field(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse::<u64>().ok()
+    }
+}
+
+/// Loads and validates one corpus pin.
+///
+/// Lenient where pins legitimately differ (hand-written regression pins
+/// carry free-text headers), strict where a malformed file would
+/// otherwise panic or silently replay garbage:
+///
+/// - unreadable file, non-UTF-8 content → error naming the file;
+/// - a `kind:` / `case-seed:` header present but unparseable → error
+///   naming the file, line, and field;
+/// - no non-comment source lines at all → error (nothing to replay).
+///
+/// # Errors
+///
+/// Returns a [`CorpusError`] with file name and parse context.
+pub fn load(path: &Path) -> Result<Pin, CorpusError> {
+    let bytes = fs::read(path).map_err(|source| CorpusError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let text = String::from_utf8(bytes).map_err(|_| CorpusError::Utf8 {
+        path: path.to_path_buf(),
+    })?;
+
+    let mut kind = None;
+    let mut case_seed = None;
+    let mut has_source = false;
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let Some(comment) = trimmed.strip_prefix("//") else {
+            if !trimmed.is_empty() {
+                has_source = true;
+            }
+            continue;
+        };
+        let comment = comment.trim();
+        let header_err = |what: String| CorpusError::Header {
+            path: path.to_path_buf(),
+            line: i + 1,
+            text: line.to_string(),
+            what,
+        };
+        if let Some(v) = comment.strip_prefix("kind:") {
+            let v = v.trim();
+            if v.is_empty() || v.contains(char::is_whitespace) {
+                return Err(header_err("expected a single failure-kind label".into()));
+            }
+            kind = Some(v.to_string());
+        } else if let Some(rest) = comment.strip_prefix("case-seed:") {
+            // Appears both standalone and inline in the provenance line
+            // `base-seed: ..  case: ..  case-seed: ..`; take the first
+            // whitespace-delimited token after the field name.
+            let tok = rest.split_whitespace().next().unwrap_or("");
+            case_seed = Some(
+                parse_hex_field(tok)
+                    .ok_or_else(|| header_err(format!("invalid case-seed value {tok:?}")))?,
+            );
+        } else if let Some(inline) = comment.split("case-seed:").nth(1) {
+            let tok = inline.split_whitespace().next().unwrap_or("");
+            case_seed = Some(
+                parse_hex_field(tok)
+                    .ok_or_else(|| header_err(format!("invalid case-seed value {tok:?}")))?,
+            );
+        }
+    }
+    if !has_source {
+        return Err(CorpusError::Empty {
+            path: path.to_path_buf(),
+        });
+    }
+    Ok(Pin {
+        path: path.to_path_buf(),
+        text,
+        kind,
+        case_seed,
+    })
+}
 
 /// One minimized failure, ready to be written to the corpus.
 #[derive(Debug, Clone)]
@@ -111,5 +287,75 @@ mod tests {
         assert!(text.contains("kind: output"));
         assert!(text.ends_with("}\n"));
         assert_eq!(r.file_name(), "case0042_seed00000000deadbeef.zc");
+    }
+
+    fn write_temp(name: &str, contents: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join("fpa-fuzz-corpus-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_parses_a_generated_pin() {
+        let r = Reproducer {
+            base_seed: 0x2a,
+            case: 7,
+            case_seed: 0xbeef,
+            kind: "cosim".into(),
+            failure: "advanced(timing): boom".into(),
+            shrink_steps: 3,
+            source: "int main() { return 0; }\n".into(),
+        };
+        let path = write_temp("ok_pin.zc", r.render().as_bytes());
+        let pin = load(&path).expect("well-formed pin loads");
+        assert_eq!(pin.kind.as_deref(), Some("cosim"));
+        assert_eq!(pin.case_seed, Some(0xbeef));
+        assert!(pin.text.contains("int main"));
+    }
+
+    #[test]
+    fn load_accepts_hand_written_free_text_headers() {
+        let path = write_temp(
+            "hand_pin.zc",
+            b"// fpa-fuzz regression pin\n// exercises byte-store truncation\nint main() { return 0; }\n",
+        );
+        let pin = load(&path).expect("free-text headers are fine");
+        assert_eq!(pin.kind, None);
+        assert_eq!(pin.case_seed, None);
+    }
+
+    #[test]
+    fn load_reports_missing_file_with_its_name() {
+        let path = PathBuf::from("/nonexistent/dir/nope.zc");
+        let e = load(&path).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("nope.zc"), "message names the file: {msg}");
+        assert!(msg.contains("cannot read"), "message says why: {msg}");
+    }
+
+    #[test]
+    fn load_reports_malformed_seed_with_line_context() {
+        let path = write_temp(
+            "bad_seed.zc",
+            b"// fpa-fuzz minimized reproducer\n// base-seed: 0x1  case: 2  case-seed: 0xZZ\nint main() { return 0; }\n",
+        );
+        let e = load(&path).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("bad_seed.zc:2"), "file and line: {msg}");
+        assert!(msg.contains("case-seed"), "names the field: {msg}");
+        assert!(msg.contains("0xZZ"), "quotes the bad value: {msg}");
+    }
+
+    #[test]
+    fn load_rejects_non_utf8_and_comment_only_pins() {
+        let bad = write_temp("bin_pin.zc", &[0x2f, 0x2f, 0xff, 0xfe, 0x0a]);
+        assert!(matches!(load(&bad), Err(CorpusError::Utf8 { .. })));
+
+        let empty = write_temp("empty_pin.zc", b"// nothing here\n\n// still nothing\n");
+        let e = load(&empty).unwrap_err();
+        assert!(matches!(e, CorpusError::Empty { .. }));
+        assert!(e.to_string().contains("no source lines"));
     }
 }

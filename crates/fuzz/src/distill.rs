@@ -1,0 +1,303 @@
+//! Corpus distillation: a minimal case set preserving full coverage.
+//!
+//! A campaign's live corpus (its coverage-novel cases) grows with every
+//! run; most members are eventually subsumed by later, richer cases.
+//! [`distill`] selects a subset whose signatures union to the same
+//! [`CoverageMap`] in two passes:
+//!
+//! 1. **Greedy cover** — repeatedly take the case adding the most
+//!    still-uncovered features (ties broken by lowest `(lineage, step)`,
+//!    so the result is deterministic and favors earlier, simpler cases);
+//! 2. **Reduction** — walk the selection once and drop any case whose
+//!    features the rest of the selection already covers.
+//!
+//! After reduction every surviving case contributes at least one feature
+//! no other survivor has — dropping *any single* distilled case strictly
+//! shrinks the union (the property the mutation test asserts). One
+//! reduction pass suffices: removing a case only ever *reduces* the
+//! redundancy of the others, so no second pass can find a new victim.
+//!
+//! [`write_pins`] rewrites the distilled set as `.zc` pins under a
+//! corpus directory (regenerated from genomes, provenance in the
+//! header), replacing whatever coverage pins were there before. Failure
+//! reproducers are never touched — they pin real bugs, not coverage.
+
+use crate::campaign::Genome;
+use crate::coverage::{CoverageMap, CoverageSignature};
+use fpa_harness::json::Json;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One coverage-novel case: where it ran, how to regenerate it, and what
+/// it covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NovelCase {
+    /// Owning lineage.
+    pub lineage: u32,
+    /// Step within the lineage.
+    pub step: u32,
+    /// Global case index.
+    pub case: u32,
+    /// The genome that regenerates the program.
+    pub genome: Genome,
+    /// The case's coverage signature.
+    pub signature: CoverageSignature,
+}
+
+impl NovelCase {
+    /// JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("lineage", u64::from(self.lineage));
+        o.set("step", u64::from(self.step));
+        o.set("case", u64::from(self.case));
+        o.set("genome", self.genome.to_json());
+        o.set(
+            "signature",
+            self.signature
+                .features
+                .iter()
+                .map(|f| Json::from(format!("{f:016x}")))
+                .collect::<Vec<Json>>(),
+        );
+        o
+    }
+
+    /// Parses [`NovelCase::to_json`] output.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<NovelCase> {
+        let mut features = Vec::new();
+        for f in v.get("signature")?.as_arr()? {
+            features.push(u64::from_str_radix(f.as_str()?, 16).ok()?);
+        }
+        Some(NovelCase {
+            lineage: v.get("lineage")?.as_u64()? as u32,
+            step: v.get("step")?.as_u64()? as u32,
+            case: v.get("case")?.as_u64()? as u32,
+            genome: Genome::from_json(v.get("genome")?)?,
+            signature: CoverageSignature { features },
+        })
+    }
+}
+
+/// A distilled pin: a selected [`NovelCase`] (by value).
+pub type DistilledCase = NovelCase;
+
+/// Distills `corpus` to a minimal subset with the same coverage union.
+/// Deterministic: the result depends only on the input set (any order).
+#[must_use]
+pub fn distill(corpus: &[NovelCase]) -> Vec<DistilledCase> {
+    // Canonical processing order: by (lineage, step). Input order must
+    // not matter (shards may deliver lineages in any order).
+    let mut order: Vec<&NovelCase> = corpus.iter().collect();
+    order.sort_by_key(|c| (c.lineage, c.step));
+
+    let target: BTreeSet<u64> = order
+        .iter()
+        .flat_map(|c| c.signature.features.iter().copied())
+        .collect();
+
+    // Pass 1: greedy max-new-coverage.
+    let mut covered: BTreeSet<u64> = BTreeSet::new();
+    let mut selected: Vec<&NovelCase> = Vec::new();
+    let mut remaining: Vec<&NovelCase> = order.clone();
+    while covered.len() < target.len() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let gain = c
+                    .signature
+                    .features
+                    .iter()
+                    .filter(|f| !covered.contains(f))
+                    .count();
+                (i, gain)
+            })
+            // max_by_key takes the *last* max; earlier (lineage, step)
+            // wins ties, so compare (gain, Reverse(position)).
+            .max_by_key(|&(i, gain)| (gain, std::cmp::Reverse(i)))
+            .expect("uncovered features imply a remaining case");
+        let best = remaining.remove(best_idx);
+        covered.extend(best.signature.features.iter().copied());
+        selected.push(best);
+    }
+
+    // Pass 2: one reduction sweep. A case survives only if it owns at
+    // least one feature no other *current* survivor covers.
+    let mut keep: Vec<bool> = vec![true; selected.len()];
+    for i in 0..selected.len() {
+        let others: BTreeSet<u64> = selected
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i && keep[j])
+            .flat_map(|(_, c)| c.signature.features.iter().copied())
+            .collect();
+        if selected[i]
+            .signature
+            .features
+            .iter()
+            .all(|f| others.contains(f))
+        {
+            keep[i] = false;
+        }
+    }
+
+    let mut out: Vec<DistilledCase> = selected
+        .into_iter()
+        .zip(keep)
+        .filter(|&(_, k)| k)
+        .map(|(c, _)| c.clone())
+        .collect();
+    out.sort_by_key(|c| (c.lineage, c.step));
+    out
+}
+
+/// The union coverage of a set of cases.
+#[must_use]
+pub fn union_coverage(cases: &[NovelCase]) -> CoverageMap {
+    let mut map = CoverageMap::new();
+    for c in cases {
+        map.add(&c.signature);
+    }
+    map
+}
+
+/// File name of a distilled pin.
+#[must_use]
+pub fn pin_file_name(c: &DistilledCase) -> String {
+    format!(
+        "cov_l{:03}_s{:04}_seed{:016x}.zc",
+        c.lineage, c.step, c.genome.seed
+    )
+}
+
+/// Rewrites `dir` (conventionally `fuzz/corpus/coverage/`) with the
+/// distilled pins: removes previous `.zc` files there, then writes one
+/// pin per case, its program regenerated from the genome and the genome
+/// itself recorded in the header for exact replay.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_pins(cases: &[DistilledCase], dir: &Path) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    for old in crate::corpus::list(dir)? {
+        fs::remove_file(old)?;
+    }
+    let mut written = Vec::new();
+    for c in cases {
+        let mut text = String::new();
+        text.push_str("// fpa-fuzz distilled coverage pin\n");
+        text.push_str(&format!(
+            "// lineage: {}  step: {}  case: {}\n",
+            c.lineage, c.step, c.case
+        ));
+        text.push_str(&format!("// case-seed: {:#x}\n", c.genome.seed));
+        // The JSON renderer is multi-line; collapse the genome to one
+        // `//` line so it stays inside the comment header.
+        let genome: Vec<String> = c
+            .genome
+            .to_json()
+            .render()
+            .lines()
+            .map(|l| l.trim().to_string())
+            .collect();
+        text.push_str(&format!("// genome: {}\n", genome.join(" ")));
+        text.push_str(&format!("// features: {}\n", c.signature.len()));
+        text.push_str(&c.genome.program().render());
+        let path = dir.join(pin_file_name(c));
+        fs::write(&path, text)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+
+    fn case(lineage: u32, step: u32, features: &[u64]) -> NovelCase {
+        NovelCase {
+            lineage,
+            step,
+            case: lineage * 100 + step,
+            genome: Genome {
+                seed: u64::from(lineage) << 32 | u64::from(step),
+                cfg: GenConfig::default(),
+            },
+            signature: CoverageSignature {
+                features: features.to_vec(),
+            },
+        }
+    }
+
+    #[test]
+    fn distill_preserves_union_and_drops_subsumed() {
+        let corpus = vec![
+            case(0, 0, &[1, 2]),
+            case(0, 1, &[1, 2, 3]), // subsumes the first
+            case(1, 0, &[4]),
+            case(1, 1, &[2, 4]), // fully covered by others
+        ];
+        let sel = distill(&corpus);
+        assert_eq!(
+            union_coverage(&sel).len(),
+            union_coverage(&corpus).len(),
+            "distillation must preserve the union"
+        );
+        let ids: Vec<(u32, u32)> = sel.iter().map(|c| (c.lineage, c.step)).collect();
+        assert_eq!(ids, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn dropping_any_distilled_case_strictly_shrinks_coverage() {
+        let corpus = vec![
+            case(0, 0, &[1, 2, 3]),
+            case(0, 1, &[3, 4]),
+            case(0, 2, &[1, 4]),
+            case(1, 0, &[5, 6]),
+            case(1, 1, &[6]),
+            case(2, 0, &[7]),
+        ];
+        let sel = distill(&corpus);
+        let full = union_coverage(&sel).len();
+        for i in 0..sel.len() {
+            let without: Vec<NovelCase> = sel
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            assert!(
+                union_coverage(&without).len() < full,
+                "case {i} is redundant in the distilled set"
+            );
+        }
+    }
+
+    #[test]
+    fn distill_is_input_order_independent() {
+        let mut corpus = vec![
+            case(0, 0, &[1, 2]),
+            case(0, 3, &[2, 3]),
+            case(1, 1, &[3, 4, 5]),
+            case(2, 2, &[1, 5]),
+        ];
+        let a = distill(&corpus);
+        corpus.reverse();
+        let b = distill(&corpus);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn novel_case_roundtrips_through_json() {
+        let c = case(3, 14, &[9, 0xdead_beef]);
+        let back = NovelCase::from_json(&c.to_json()).expect("parse");
+        assert_eq!(c, back);
+    }
+}

@@ -14,8 +14,9 @@
 
 use crate::ast::GProgram;
 use crate::corpus::Reproducer;
+use crate::coverage::{CoverageMap, CoverageSignature};
 use crate::gen::{generate, GenConfig};
-use crate::oracle::{check_source, OracleStats};
+use crate::oracle::{check_case, check_source, OracleStats};
 use crate::shrink;
 use fpa_harness::cell::CellId;
 use fpa_harness::engine::parallel_map;
@@ -130,6 +131,10 @@ pub struct FuzzSummary {
     pub timing_checked: u64,
     /// Binaries statically verified by the partition-soundness linter.
     pub lint_checked: u64,
+    /// Union of per-case structural coverage signatures (see
+    /// [`crate::coverage`]) — the blind baseline the coverage-guided
+    /// campaign engine is measured against.
+    pub coverage: CoverageMap,
     /// Corpus files written this run.
     pub written: Vec<PathBuf>,
 }
@@ -155,6 +160,7 @@ impl FuzzSummary {
         j.set("advanced_builds", self.advanced_builds);
         j.set("timing_checked", self.timing_checked);
         j.set("lint_checked", self.lint_checked);
+        j.set("coverage_features", self.coverage.len());
         j.set("mean_lines", self.mean_lines);
         let fails: Vec<Json> = self
             .failures
@@ -181,16 +187,27 @@ impl FuzzSummary {
 
 /// Outcome of a single case (internal to the pool).
 enum CaseOutcome {
-    Pass { stats: OracleStats, lines: usize },
-    Fail(Box<CaseFailure>),
+    Pass {
+        stats: OracleStats,
+        signature: CoverageSignature,
+        lines: usize,
+    },
+    Fail {
+        failure: Box<CaseFailure>,
+        signature: CoverageSignature,
+    },
 }
 
 fn run_case(case: u32, cfg: &FuzzConfig) -> CaseOutcome {
     let seed = case_seed(cfg.base_seed, case);
     let prog = generate(&mut Rng::new(seed), &cfg.gen);
     let lines = prog.source_lines();
-    match check_source(&prog.render()) {
-        Ok(stats) => CaseOutcome::Pass { stats, lines },
+    match check_case(&prog.render()) {
+        Ok(checked) => CaseOutcome::Pass {
+            stats: checked.stats,
+            signature: checked.signature,
+            lines,
+        },
         Err(first) => {
             // Minimize, holding the failure *kind* fixed so shrinking
             // cannot wander to an unrelated error.
@@ -201,17 +218,21 @@ fn run_case(case: u32, cfg: &FuzzConfig) -> CaseOutcome {
             );
             let final_failure =
                 check_source(&min.render()).expect_err("shrinking preserves failure kind");
-            CaseOutcome::Fail(Box::new(CaseFailure {
-                case,
-                seed,
-                kind: kind.label().to_string(),
-                message: final_failure.to_string(),
-                cell: final_failure.cell.clone(),
-                original_lines: lines,
-                minimized_lines: min.source_lines(),
-                shrink_steps: steps,
-                minimized_source: min.render(),
-            }))
+            let signature = CoverageSignature::from_failure(kind.label(), &first.config);
+            CaseOutcome::Fail {
+                failure: Box::new(CaseFailure {
+                    case,
+                    seed,
+                    kind: kind.label().to_string(),
+                    message: final_failure.to_string(),
+                    cell: final_failure.cell.clone(),
+                    original_lines: lines,
+                    minimized_lines: min.source_lines(),
+                    shrink_steps: steps,
+                    minimized_source: min.render(),
+                }),
+                signature,
+            }
         }
     }
 }
@@ -232,7 +253,11 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
     let mut total_lines = 0usize;
     for o in outcomes {
         match o {
-            CaseOutcome::Pass { stats, lines } => {
+            CaseOutcome::Pass {
+                stats,
+                signature,
+                lines,
+            } => {
                 total_lines += lines;
                 if stats.advanced_augmented > 0 {
                     summary.offloaded_cases += 1;
@@ -242,10 +267,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
                 summary.advanced_builds += u64::from(stats.advanced_builds);
                 summary.timing_checked += u64::from(stats.timing_checked);
                 summary.lint_checked += u64::from(stats.lint_checked);
+                summary.coverage.add(&signature);
             }
-            CaseOutcome::Fail(f) => {
-                total_lines += f.original_lines;
-                summary.failures.push(*f);
+            CaseOutcome::Fail { failure, signature } => {
+                total_lines += failure.original_lines;
+                summary.coverage.add(&signature);
+                summary.failures.push(*failure);
             }
         }
     }

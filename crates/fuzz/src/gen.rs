@@ -15,13 +15,96 @@ use crate::ast::{
     DBinOp, DCmpOp, DExpr, ElemKind, GArg, GArray, GFunc, GProgram, GScalar, GStmt, GTy, IBinOp,
     IExpr, ScalarInit,
 };
+use fpa_harness::json::Json;
 use fpa_testutil::Rng;
+
+/// Grammar production weights: the relative probability of each
+/// statement / expression production. These are the feedback surface of
+/// coverage-guided fuzzing — the campaign engine mutates and splices
+/// weight tables of coverage-novel parents, steering the grammar toward
+/// shapes that reach new structural features while every generated
+/// program stays safe by construction (the productions themselves are
+/// unchanged; only their mix varies).
+///
+/// The defaults reproduce the historical fixed distribution exactly
+/// (each table sums to 100 and the selection consumes one `below(total)`
+/// draw, so default-weight generation is byte-identical to the
+/// pre-feedback generator for any seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenWeights {
+    /// Statement productions: assign-int, assign-double, store, if, for,
+    /// while, break/continue, return, call, print, printc, printd.
+    pub stmt: [u32; 12],
+    /// Integer expression productions: literal, variable, load, neg, not,
+    /// binop, div/rem, double-compare, from-double, call.
+    pub iexpr: [u32; 10],
+    /// Double expression productions: literal, variable, load, neg,
+    /// binop, from-int, call.
+    pub dexpr: [u32; 7],
+}
+
+impl Default for GenWeights {
+    fn default() -> GenWeights {
+        GenWeights {
+            stmt: [14, 8, 10, 14, 12, 7, 4, 4, 6, 9, 5, 7],
+            iexpr: [16, 14, 10, 4, 4, 26, 6, 6, 6, 8],
+            dexpr: [18, 16, 10, 5, 28, 13, 10],
+        }
+    }
+}
+
+/// Per-entry cap on a mutated weight. Keeps any single production from
+/// drowning out the rest while still allowing order-of-magnitude bias.
+const WEIGHT_CAP: u32 = 40;
+
+fn mutate_table<const N: usize>(table: &mut [u32; N], rng: &mut Rng) {
+    let edits = 1 + rng.index(3);
+    for _ in 0..edits {
+        let i = rng.index(N);
+        let delta = 1 + rng.below(8) as u32;
+        table[i] = if rng.bool() {
+            (table[i] + delta).min(WEIGHT_CAP)
+        } else {
+            table[i].saturating_sub(delta)
+        };
+    }
+    if table.iter().all(|&w| w == 0) {
+        table[rng.index(N)] = 1;
+    }
+}
+
+fn splice_table<const N: usize>(a: &[u32; N], b: &[u32; N], rng: &mut Rng) -> [u32; N] {
+    // One-point crossover: prefix from one parent, suffix from the other.
+    let cut = rng.index(N + 1);
+    let mut out = *a;
+    out[cut..].copy_from_slice(&b[cut..]);
+    if out.iter().all(|&w| w == 0) {
+        out[rng.index(N)] = 1;
+    }
+    out
+}
+
+fn table_to_json<const N: usize>(t: &[u32; N]) -> Vec<Json> {
+    t.iter().map(|&w| Json::from(u64::from(w))).collect()
+}
+
+fn table_from_json<const N: usize>(v: &Json) -> Option<[u32; N]> {
+    let arr = v.as_arr()?;
+    if arr.len() != N {
+        return None;
+    }
+    let mut out = [0u32; N];
+    for (slot, j) in out.iter_mut().zip(arr) {
+        *slot = u32::try_from(j.as_u64()?).ok()?;
+    }
+    Some(out)
+}
 
 /// Size knobs for the generator. The defaults keep every case small
 /// enough that a full oracle check (six builds, seven executions) runs in
 /// milliseconds, while still exercising loops, branches, calls, memory
 /// traffic, and int/double mixing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenConfig {
     /// Helper functions besides `main` (0..=this).
     pub max_helpers: usize,
@@ -40,6 +123,8 @@ pub struct GenConfig {
     /// `for` trip-count cap inside helpers (smaller: helpers can be
     /// called from `main`'s loops, so their work multiplies).
     pub helper_loop_iters: i32,
+    /// Grammar production weights.
+    pub weights: GenWeights,
 }
 
 impl Default for GenConfig {
@@ -53,7 +138,154 @@ impl Default for GenConfig {
             max_globals: 4,
             main_loop_iters: 6,
             helper_loop_iters: 4,
+            weights: GenWeights::default(),
         }
+    }
+}
+
+/// Hard bounds every mutated configuration stays inside, keeping any
+/// evolved case's oracle check bounded (termination is structural —
+/// counted `for`s and fueled `while`s — so these caps only bound cost,
+/// not safety).
+const SIZE_BOUNDS: [(usize, usize); 8] = [
+    (0, 4),  // max_helpers
+    (2, 12), // max_stmts
+    (1, 3),  // max_nest
+    (1, 4),  // max_expr_depth
+    (1, 5),  // max_arrays
+    (1, 8),  // max_globals
+    (1, 10), // main_loop_iters
+    (1, 6),  // helper_loop_iters
+];
+
+impl GenConfig {
+    fn sizes(&self) -> [usize; 8] {
+        [
+            self.max_helpers,
+            self.max_stmts,
+            self.max_nest as usize,
+            self.max_expr_depth as usize,
+            self.max_arrays,
+            self.max_globals,
+            self.main_loop_iters as usize,
+            self.helper_loop_iters as usize,
+        ]
+    }
+
+    fn with_sizes(mut self, s: [usize; 8]) -> GenConfig {
+        self.max_helpers = s[0];
+        self.max_stmts = s[1];
+        self.max_nest = s[2] as u32;
+        self.max_expr_depth = s[3] as u32;
+        self.max_arrays = s[4];
+        self.max_globals = s[5];
+        self.main_loop_iters = s[6] as i32;
+        self.helper_loop_iters = s[7] as i32;
+        self
+    }
+
+    /// A mutated copy: one or two operations, each either nudging a few
+    /// weight entries or stepping a size knob within [`SIZE_BOUNDS`].
+    /// Size knobs get a double share — structural size is what unlocks
+    /// new coverage buckets (log2 size classes need 2× growth).
+    /// Deterministic in `rng`.
+    #[must_use]
+    pub fn mutate(&self, rng: &mut Rng) -> GenConfig {
+        let mut out = self.clone();
+        let ops = 1 + rng.below(2);
+        for _ in 0..ops {
+            match rng.below(5) {
+                0 => mutate_table(&mut out.weights.stmt, rng),
+                1 => mutate_table(&mut out.weights.iexpr, rng),
+                2 => mutate_table(&mut out.weights.dexpr, rng),
+                _ => {
+                    let mut s = out.sizes();
+                    let i = rng.index(s.len());
+                    let (lo, hi) = SIZE_BOUNDS[i];
+                    s[i] = if rng.bool() {
+                        (s[i] + 1).min(hi)
+                    } else {
+                        s[i].saturating_sub(1).max(lo)
+                    };
+                    out = out.with_sizes(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// A freshly explored configuration: every size knob sampled
+    /// uniformly within [`SIZE_BOUNDS`] and every weight table perturbed.
+    /// Campaign lineages use this to spread their starting points across
+    /// the whole configuration space — incremental [`GenConfig::mutate`]
+    /// steps are a symmetric random walk and on their own never leave the
+    /// default neighborhood within a lineage's budget. Deterministic in
+    /// `rng`.
+    #[must_use]
+    pub fn explore(rng: &mut Rng) -> GenConfig {
+        let mut s = [0usize; 8];
+        for (slot, (lo, hi)) in s.iter_mut().zip(SIZE_BOUNDS) {
+            *slot = lo + rng.index(hi - lo + 1);
+        }
+        let mut out = GenConfig::default().with_sizes(s);
+        mutate_table(&mut out.weights.stmt, rng);
+        mutate_table(&mut out.weights.iexpr, rng);
+        mutate_table(&mut out.weights.dexpr, rng);
+        out
+    }
+
+    /// A spliced child of two parents: each weight table crosses over at
+    /// a random point, each size knob comes from either parent.
+    /// Deterministic in `rng`.
+    #[must_use]
+    pub fn splice(&self, other: &GenConfig, rng: &mut Rng) -> GenConfig {
+        let mut out = self.clone();
+        out.weights.stmt = splice_table(&self.weights.stmt, &other.weights.stmt, rng);
+        out.weights.iexpr = splice_table(&self.weights.iexpr, &other.weights.iexpr, rng);
+        out.weights.dexpr = splice_table(&self.weights.dexpr, &other.weights.dexpr, rng);
+        let (a, b) = (self.sizes(), other.sizes());
+        let mut s = a;
+        for i in 0..s.len() {
+            s[i] = if rng.bool() { a[i] } else { b[i] };
+        }
+        out.with_sizes(s)
+    }
+
+    /// JSON form (campaign reports record each novel case's genome so
+    /// `fpa-fuzz distill` can regenerate its program bit-for-bit).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        let s = self.sizes();
+        o.set(
+            "sizes",
+            s.iter()
+                .map(|&v| Json::from(v as u64))
+                .collect::<Vec<Json>>(),
+        );
+        o.set("stmt", table_to_json(&self.weights.stmt));
+        o.set("iexpr", table_to_json(&self.weights.iexpr));
+        o.set("dexpr", table_to_json(&self.weights.dexpr));
+        o
+    }
+
+    /// Reconstructs a configuration from [`GenConfig::to_json`] output.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<GenConfig> {
+        let sizes: [u32; 8] = table_from_json(v.get("sizes")?)?;
+        let mut s = [0usize; 8];
+        for (slot, &x) in s.iter_mut().zip(&sizes) {
+            *slot = x as usize;
+        }
+        let cfg = GenConfig {
+            weights: GenWeights {
+                stmt: table_from_json(v.get("stmt")?)?,
+                iexpr: table_from_json(v.get("iexpr")?)?,
+                dexpr: table_from_json(v.get("dexpr")?)?,
+            },
+            ..GenConfig::default()
+        };
+        Some(cfg.with_sizes(s))
     }
 }
 
@@ -159,6 +391,22 @@ impl Gen<'_> {
             .collect()
     }
 
+    /// Cumulative weighted production pick: one `below(total)` draw mapped
+    /// through the table's prefix sums. With the default tables (sum 100)
+    /// this consumes exactly the draw the historical `below(100)` range
+    /// match did, keeping default-weight generation byte-identical.
+    fn pick<const N: usize>(&mut self, table: [u32; N]) -> usize {
+        let total: u64 = table.iter().map(|&w| u64::from(w)).sum();
+        let mut draw = self.rng.below(total.max(1));
+        for (i, &w) in table.iter().enumerate() {
+            if draw < u64::from(w) {
+                return i;
+            }
+            draw -= u64::from(w);
+        }
+        N - 1
+    }
+
     fn gen_iexpr(&mut self, sc: &Scope, depth: u32) -> IExpr {
         if depth == 0 {
             return if !sc.int_vars.is_empty() && self.rng.bool() {
@@ -168,16 +416,16 @@ impl Gen<'_> {
             };
         }
         let d = depth - 1;
-        match self.rng.below(100) {
-            0..=15 => IExpr::Lit(self.int_lit()),
-            16..=29 => {
+        match self.pick(self.cfg.weights.iexpr) {
+            0 => IExpr::Lit(self.int_lit()),
+            1 => {
                 if sc.int_vars.is_empty() {
                     IExpr::Lit(self.int_lit())
                 } else {
                     IExpr::Var(self.rng.choose(&sc.int_vars).clone())
                 }
             }
-            30..=39 => {
+            2 => {
                 let candidates = self.int_arrays();
                 if candidates.is_empty() {
                     IExpr::Lit(self.int_lit())
@@ -191,14 +439,14 @@ impl Gen<'_> {
                     }
                 }
             }
-            40..=43 => IExpr::Neg(Box::new(self.gen_iexpr(sc, d))),
-            44..=47 => IExpr::Not(Box::new(self.gen_iexpr(sc, d))),
-            48..=73 => IExpr::Bin {
+            3 => IExpr::Neg(Box::new(self.gen_iexpr(sc, d))),
+            4 => IExpr::Not(Box::new(self.gen_iexpr(sc, d))),
+            5 => IExpr::Bin {
                 op: *self.rng.choose(&IBinOp::ALL),
                 l: Box::new(self.gen_iexpr(sc, d)),
                 r: Box::new(self.gen_iexpr(sc, d)),
             },
-            74..=79 => {
+            6 => {
                 let (l, r) = (self.gen_iexpr(sc, d), self.gen_iexpr(sc, d));
                 if self.rng.bool() {
                     IExpr::Div {
@@ -212,12 +460,12 @@ impl Gen<'_> {
                     }
                 }
             }
-            80..=85 => IExpr::DCmp {
+            7 => IExpr::DCmp {
                 op: *self.rng.choose(&DCmpOp::ALL),
                 l: Box::new(self.gen_dexpr(sc, d)),
                 r: Box::new(self.gen_dexpr(sc, d)),
             },
-            86..=91 => IExpr::FromD(Box::new(self.gen_dexpr(sc, d))),
+            8 => IExpr::FromD(Box::new(self.gen_dexpr(sc, d))),
             _ => {
                 let callable = self.sigs_returning(Some(GTy::Int));
                 if callable.is_empty() {
@@ -242,16 +490,16 @@ impl Gen<'_> {
             };
         }
         let d = depth - 1;
-        match self.rng.below(100) {
-            0..=17 => DExpr::Lit(self.dbl_lit()),
-            18..=33 => {
+        match self.pick(self.cfg.weights.dexpr) {
+            0 => DExpr::Lit(self.dbl_lit()),
+            1 => {
                 if sc.dbl_vars.is_empty() {
                     DExpr::Lit(self.dbl_lit())
                 } else {
                     DExpr::Var(self.rng.choose(&sc.dbl_vars).clone())
                 }
             }
-            34..=43 => {
+            2 => {
                 let candidates = self.dbl_arrays();
                 if candidates.is_empty() {
                     DExpr::Lit(self.dbl_lit())
@@ -265,13 +513,13 @@ impl Gen<'_> {
                     }
                 }
             }
-            44..=48 => DExpr::Neg(Box::new(self.gen_dexpr(sc, d))),
-            49..=76 => DExpr::Bin {
+            3 => DExpr::Neg(Box::new(self.gen_dexpr(sc, d))),
+            4 => DExpr::Bin {
                 op: *self.rng.choose(&DBinOp::ALL),
                 l: Box::new(self.gen_dexpr(sc, d)),
                 r: Box::new(self.gen_dexpr(sc, d)),
             },
-            77..=89 => DExpr::FromI(Box::new(self.gen_iexpr(sc, d))),
+            5 => DExpr::FromI(Box::new(self.gen_iexpr(sc, d))),
             _ => {
                 let callable = self.sigs_returning(Some(GTy::Double));
                 if callable.is_empty() {
@@ -303,9 +551,9 @@ impl Gen<'_> {
         let ed = self.cfg.max_expr_depth;
         let can_nest = nest < self.cfg.max_nest;
         loop {
-            match self.rng.below(100) {
+            match self.pick(self.cfg.weights.stmt) {
                 // -- assignments ------------------------------------------
-                0..=13 => {
+                0 => {
                     if sc.int_assign.is_empty() {
                         continue;
                     }
@@ -315,7 +563,7 @@ impl Gen<'_> {
                         e: self.gen_iexpr(sc, ed),
                     };
                 }
-                14..=21 => {
+                1 => {
                     if sc.dbl_assign.is_empty() {
                         continue;
                     }
@@ -326,7 +574,7 @@ impl Gen<'_> {
                     };
                 }
                 // -- stores -----------------------------------------------
-                22..=31 => {
+                2 => {
                     if self.arrays.is_empty() {
                         continue;
                     }
@@ -350,7 +598,7 @@ impl Gen<'_> {
                     };
                 }
                 // -- control flow -----------------------------------------
-                32..=45 => {
+                3 => {
                     if !can_nest {
                         continue;
                     }
@@ -367,7 +615,7 @@ impl Gen<'_> {
                         else_s,
                     };
                 }
-                46..=57 => {
+                4 => {
                     if !can_nest {
                         continue;
                     }
@@ -381,7 +629,7 @@ impl Gen<'_> {
                     let body = self.gen_block(sc, 1, 3, nest + 1, true);
                     return GStmt::For { var, count, body };
                 }
-                58..=64 => {
+                5 => {
                     if !can_nest {
                         continue;
                     }
@@ -400,7 +648,7 @@ impl Gen<'_> {
                         body,
                     };
                 }
-                65..=68 => {
+                6 => {
                     if !in_loop {
                         continue;
                     }
@@ -410,7 +658,7 @@ impl Gen<'_> {
                         GStmt::Continue
                     };
                 }
-                69..=72 => {
+                7 => {
                     // Early return, only under a condition (nest >= 1) so a
                     // function body is never trivially cut short.
                     if nest == 0 {
@@ -424,7 +672,7 @@ impl Gen<'_> {
                     return GStmt::Return(val);
                 }
                 // -- calls ------------------------------------------------
-                73..=78 => {
+                8 => {
                     if self.sigs.is_empty() {
                         continue;
                     }
@@ -435,8 +683,8 @@ impl Gen<'_> {
                     };
                 }
                 // -- observability ----------------------------------------
-                79..=87 => return GStmt::Print(self.gen_iexpr(sc, ed)),
-                88..=92 => return GStmt::PrintC(self.gen_iexpr(sc, ed.min(2))),
+                9 => return GStmt::Print(self.gen_iexpr(sc, ed)),
+                10 => return GStmt::PrintC(self.gen_iexpr(sc, ed.min(2))),
                 _ => return GStmt::PrintD(self.gen_dexpr(sc, ed)),
             }
         }

@@ -28,14 +28,25 @@
 //! for a fixed seed at any job count.
 
 pub mod ast;
+pub mod campaign;
 pub mod corpus;
+pub mod coverage;
+pub mod distill;
 pub mod driver;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
 pub use ast::GProgram;
+pub use campaign::{
+    merge_shards, run_campaign, CampaignConfig, CampaignFailure, MergedReport, ShardReport,
+};
+pub use corpus::CorpusError;
+pub use coverage::{extract, CoverageMap, CoverageSignature};
+pub use distill::{distill, union_coverage, write_pins, DistilledCase, NovelCase};
 pub use driver::{case_seed, parse_seed, run_fuzz, CaseFailure, FuzzConfig, FuzzSummary};
-pub use gen::{generate, GenConfig};
-pub use oracle::{check_source, FailureKind, OracleFailure, OracleStats, COST_SWEEP};
+pub use gen::{generate, GenConfig, GenWeights};
+pub use oracle::{
+    check_case, check_source, CheckedCase, FailureKind, OracleFailure, OracleStats, COST_SWEEP,
+};
 pub use shrink::{candidates, minimize};

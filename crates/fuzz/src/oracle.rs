@@ -135,6 +135,23 @@ pub struct OracleStats {
     pub timing_checked: u32,
     /// Binaries statically verified by the partition-soundness linter.
     pub lint_checked: u32,
+    /// Sites examined per linter rule (`FPA001`..`FPA006`), summed over
+    /// every linted binary — the linter's rule-path coverage telemetry.
+    pub lint_touches: [u64; 6],
+    /// Cycles of the three co-simulated timing runs, in
+    /// [`Scheme::ALL`] order (conventional, basic, advanced).
+    pub timing_cycles: [u64; 3],
+}
+
+/// A passing oracle check plus its structural coverage signature — what
+/// the coverage-guided campaign engine consumes per case.
+#[derive(Debug, Clone)]
+pub struct CheckedCase {
+    /// Dynamic/static telemetry from the oracle stages.
+    pub stats: OracleStats,
+    /// The structural coverage signature extracted from the suite
+    /// artifacts (see [`crate::coverage::extract`]).
+    pub signature: crate::coverage::CoverageSignature,
 }
 
 fn truncate(s: &str, limit: usize) -> String {
@@ -193,8 +210,8 @@ fn lint_check(
     prog: &fpa_isa::Program,
     module: &fpa_ir::Module,
     assignment: &fpa_partition::Assignment,
-) -> Result<(), OracleFailure> {
-    let findings = fpa_analysis::lint(prog, Some(module), Some(assignment));
+) -> Result<fpa_analysis::RuleTouches, OracleFailure> {
+    let (findings, touches) = fpa_analysis::lint_with_touches(prog, Some(module), Some(assignment));
     if let Some(first) = findings.first() {
         return Err(OracleFailure {
             kind: FailureKind::Lint,
@@ -203,7 +220,7 @@ fn lint_check(
             cell: None,
         });
     }
-    Ok(())
+    Ok(touches)
 }
 
 /// The label co-simulation cells carry for a generated (unnamed)
@@ -286,6 +303,18 @@ fn cosim_validate(
 ///
 /// Returns the first [`OracleFailure`] found.
 pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
+    check_case(src).map(|c| c.stats)
+}
+
+/// [`check_source`] plus coverage extraction: the structural signature
+/// of the suite artifacts rides back with the stats. This is the entry
+/// point the campaign engine uses — the signature is a pure function of
+/// the artifacts, so it is deterministic for a given source.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] found.
+pub fn check_case(src: &str) -> Result<CheckedCase, OracleFailure> {
     // One frontend pass, three builds, plus the golden interpreter run.
     let suite = Compiler::new(src)
         .build_suite()
@@ -378,33 +407,24 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
     for r in &cells {
         let report = r.payload.cosim().expect("cosim cell");
         cosim_validate(&r.id, report, &suite.golden_output, suite.golden_exit)?;
+        let slot = match r.id.scheme {
+            Scheme::Conventional => 0,
+            Scheme::Basic => 1,
+            Scheme::Advanced => 2,
+        };
+        stats.timing_cycles[slot] = report.result.cycles;
         stats.timing_checked += 1;
     }
 
     // Static-verification stage: the linter re-proves the partition
     // invariants on each emitted binary, catching miscompiles on paths
-    // the generated input never executes.
-    for (scheme, prog, module, assignment) in [
-        (
-            "conventional",
-            &suite.conventional,
-            &suite.module,
-            &suite.conv_assignment,
-        ),
-        (
-            "basic",
-            &suite.basic,
-            &suite.module,
-            &suite.basic_assignment,
-        ),
-        (
-            "advanced",
-            &suite.advanced,
-            &suite.advanced_module,
-            &suite.advanced_assignment,
-        ),
-    ] {
-        lint_check(scheme, prog, module, assignment)?;
+    // the generated input never executes. Examined-site counts feed the
+    // coverage signature.
+    for (scheme, prog, module, assignment) in suite.scheme_views() {
+        let touches = lint_check(scheme.label(), prog, module, assignment)?;
+        for (slot, code) in fpa_analysis::ErrorCode::ALL.into_iter().enumerate() {
+            stats.lint_touches[slot] += touches.sites_for(code);
+        }
         stats.lint_checked += 1;
     }
 
@@ -433,12 +453,16 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
             &suite.golden_output,
             suite.golden_exit,
         )?;
-        lint_check(&config, &arts.program, &arts.module, &arts.assignment)?;
+        let touches = lint_check(&config, &arts.program, &arts.module, &arts.assignment)?;
+        for (slot, code) in fpa_analysis::ErrorCode::ALL.into_iter().enumerate() {
+            stats.lint_touches[slot] += touches.sites_for(code);
+        }
         stats.advanced_builds += 1;
         stats.lint_checked += 1;
     }
 
-    Ok(stats)
+    let signature = crate::coverage::extract(&suite, &stats);
+    Ok(CheckedCase { stats, signature })
 }
 
 #[cfg(test)]

@@ -24,31 +24,13 @@ fn every_corpus_program_lints_clean_under_every_scheme() {
         let suite = Compiler::new(&src)
             .build_suite()
             .unwrap_or_else(|e| panic!("build {}: {e}", path.display()));
-        for (scheme, prog, module, assignment) in [
-            (
-                "conventional",
-                &suite.conventional,
-                &suite.module,
-                &suite.conv_assignment,
-            ),
-            (
-                "basic",
-                &suite.basic,
-                &suite.module,
-                &suite.basic_assignment,
-            ),
-            (
-                "advanced",
-                &suite.advanced,
-                &suite.advanced_module,
-                &suite.advanced_assignment,
-            ),
-        ] {
+        for (scheme, prog, module, assignment) in suite.scheme_views() {
             let findings = fpa_analysis::lint(prog, Some(module), Some(assignment));
             assert!(
                 findings.is_empty(),
-                "{} ({scheme}): expected zero findings, got {:?}",
+                "{} ({}): expected zero findings, got {:?}",
                 path.display(),
+                scheme.label(),
                 findings.iter().map(ToString::to_string).collect::<Vec<_>>()
             );
         }

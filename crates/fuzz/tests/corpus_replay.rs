@@ -1,11 +1,13 @@
 //! Replays every program in the repository's `fuzz/corpus/` through the
 //! three-scheme differential oracle. The corpus holds minimized
 //! regression pins (and any reproducers written by past `fpa-fuzz`
-//! runs whose fixes have landed), so every file must check clean.
+//! runs whose fixes have landed), so every file must check clean. The
+//! distilled coverage pins under `fuzz/corpus/coverage/` must replay
+//! too: they are the minimal case set preserving a reference campaign's
+//! full structural coverage.
 
 use fpa_fuzz::corpus;
 use fpa_fuzz::oracle::check_source;
-use std::fs;
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -27,12 +29,33 @@ fn every_corpus_program_passes_the_three_scheme_oracle() {
     let files = corpus::list(&corpus_dir()).expect("list corpus");
     let mut checked = 0;
     for path in files {
-        let src =
-            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-        if let Err(f) = check_source(&src) {
+        let pin = corpus::load(&path).unwrap_or_else(|e| panic!("corpus pin failed to load: {e}"));
+        if let Err(f) = check_source(&pin.text) {
             panic!("corpus regression {}: {f}", path.display());
         }
         checked += 1;
     }
     assert!(checked >= 10, "only {checked} corpus programs replayed");
+}
+
+#[test]
+fn every_distilled_coverage_pin_passes_the_oracle() {
+    let dir = corpus_dir().join("coverage");
+    let files = corpus::list(&dir).expect("list coverage pins");
+    assert!(
+        !files.is_empty(),
+        "fuzz/corpus/coverage is empty; regenerate with `fpa-fuzz distill`"
+    );
+    for path in files {
+        let pin =
+            corpus::load(&path).unwrap_or_else(|e| panic!("coverage pin failed to load: {e}"));
+        assert!(
+            pin.case_seed.is_some(),
+            "coverage pin {} lost its case-seed header",
+            path.display()
+        );
+        if let Err(f) = check_source(&pin.text) {
+            panic!("distilled coverage pin {}: {f}", path.display());
+        }
+    }
 }

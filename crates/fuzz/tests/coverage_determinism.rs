@@ -1,0 +1,97 @@
+//! Coverage-signature determinism: the structural signature of a case
+//! is a pure function of its source. It must not depend on worker
+//! count, on which shard or lineage evaluated the case, or on simulator
+//! session state left behind by earlier cases (the session-hygiene
+//! property, extended from raw simulation results to the derived
+//! coverage features).
+
+use fpa_fuzz::{
+    case_seed, check_case, generate, merge_shards, run_campaign, CampaignConfig, CoverageSignature,
+    GenConfig,
+};
+use fpa_harness::engine::parallel_map;
+use fpa_testutil::Rng;
+
+const SEED: u64 = 0x5eed;
+
+fn case_sources(n: u32) -> Vec<String> {
+    (0..n)
+        .map(|case| generate(&mut Rng::new(case_seed(SEED, case)), &GenConfig::default()).render())
+        .collect()
+}
+
+fn signature_of(src: &str) -> CoverageSignature {
+    check_case(src)
+        .expect("default-config cases pass the oracle")
+        .signature
+}
+
+#[test]
+fn signature_is_independent_of_jobs_and_interleaving() {
+    let sources = case_sources(8);
+
+    // Baseline: sequential, fresh process state per nothing — each call
+    // reuses the calling thread's session, which is exactly what the
+    // property must tolerate.
+    let baseline: Vec<CoverageSignature> = sources.iter().map(|s| signature_of(s)).collect();
+
+    // Any worker count must reproduce the same signatures: each worker
+    // thread carries its own warmed session, and cases land on
+    // different workers for different `jobs` values.
+    for jobs in [1usize, 3, 8] {
+        let got = parallel_map(&sources, jobs, |s| signature_of(s));
+        assert_eq!(got, baseline, "signatures diverged at jobs={jobs}");
+    }
+
+    // Interleaved revisits through one warmed thread: outside-in order,
+    // twice, must still agree case-by-case.
+    let mut order = Vec::new();
+    let (mut lo, mut hi) = (0, sources.len());
+    while lo < hi {
+        order.push(lo);
+        lo += 1;
+        if lo < hi {
+            hi -= 1;
+            order.push(hi);
+        }
+    }
+    for pass in 0..2 {
+        for &k in &order {
+            assert_eq!(
+                signature_of(&sources[k]),
+                baseline[k],
+                "case {k} signature diverged on interleaved pass {pass}"
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_signatures_replay_from_genomes_alone() {
+    // Whatever shard/lineage/population context evaluated a case inside
+    // a campaign, regenerating the program from its recorded genome in
+    // a fresh context must reproduce the exact signature the campaign
+    // stored.
+    let cfg = CampaignConfig {
+        cases: 48,
+        base_seed: SEED,
+        jobs: 4,
+        ..CampaignConfig::default()
+    };
+    let merged = merge_shards(&[run_campaign(&cfg)]).expect("merge");
+    assert!(
+        !merged.novel.is_empty(),
+        "a 48-case campaign should record novel cases"
+    );
+    for novel in &merged.novel {
+        let src = novel.genome.program().render();
+        assert_eq!(
+            signature_of(&src),
+            novel.signature,
+            "novel case (lineage {}, step {}) signature does not replay \
+             from its genome",
+            novel.lineage,
+            novel.step
+        );
+    }
+}

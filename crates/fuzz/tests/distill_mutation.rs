@@ -1,0 +1,83 @@
+//! Distillation minimality, checked by mutation: the distilled corpus
+//! of a real campaign must preserve the campaign's full novel-case
+//! coverage, and dropping *any single* distilled case must strictly
+//! shrink the union — i.e. every survivor earns its place. The written
+//! pins must also replay: loading each `.zc` back through the corpus
+//! loader and the oracle reproduces the recorded coverage signature.
+
+use fpa_fuzz::{
+    check_case, corpus, distill, merge_shards, run_campaign, union_coverage, CampaignConfig,
+};
+use std::path::PathBuf;
+
+#[test]
+fn dropping_any_distilled_case_strictly_shrinks_coverage() {
+    let merged = merge_shards(&[run_campaign(&CampaignConfig {
+        cases: 120,
+        base_seed: 0x5eed,
+        jobs: 4,
+        ..CampaignConfig::default()
+    })])
+    .expect("merge");
+    let distilled = distill(&merged.novel);
+    assert!(!distilled.is_empty(), "campaign produced no novel cases");
+    assert!(
+        distilled.len() < merged.novel.len(),
+        "distillation should discard at least one redundant case \
+         ({} novel, {} distilled)",
+        merged.novel.len(),
+        distilled.len()
+    );
+
+    // Coverage-preserving: the distilled set reaches every feature the
+    // full novel corpus reached.
+    let full = union_coverage(&merged.novel);
+    assert_eq!(union_coverage(&distilled), full);
+
+    // Mutation: drop any one case and some feature goes dark.
+    for i in 0..distilled.len() {
+        let mut reduced = distilled.clone();
+        let dropped = reduced.remove(i);
+        let shrunk = union_coverage(&reduced);
+        assert!(
+            shrunk.len() < full.len(),
+            "distilled case {} (lineage {}, step {}) is redundant: \
+             dropping it loses no coverage",
+            i,
+            dropped.lineage,
+            dropped.step
+        );
+    }
+}
+
+#[test]
+fn distilled_pins_replay_through_loader_and_oracle() {
+    let merged = merge_shards(&[run_campaign(&CampaignConfig {
+        cases: 60,
+        base_seed: 0xd157,
+        jobs: 4,
+        ..CampaignConfig::default()
+    })])
+    .expect("merge");
+    let distilled = distill(&merged.novel);
+    assert!(!distilled.is_empty());
+
+    let dir: PathBuf = std::env::temp_dir().join("fpa-fuzz-distill-replay-test");
+    let written = fpa_fuzz::write_pins(&distilled, &dir).expect("write pins");
+    assert_eq!(written.len(), distilled.len());
+
+    let files = corpus::list(&dir).expect("list pins");
+    assert_eq!(files.len(), distilled.len());
+    for (path, case) in files.iter().zip(&distilled) {
+        let pin = corpus::load(path).expect("distilled pin loads cleanly");
+        assert_eq!(pin.case_seed, Some(case.genome.seed));
+        let checked = check_case(&pin.text).expect("distilled pin passes the oracle");
+        assert_eq!(
+            checked.signature,
+            case.signature,
+            "pin {} does not reproduce its recorded signature",
+            path.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -249,6 +249,48 @@ pub struct SuiteArtifacts {
     pub timings: StageTimings,
 }
 
+impl SuiteArtifacts {
+    /// The per-scheme (binary, IR module, assignment) views, in
+    /// [`Scheme::ALL`] order. This is the exact pairing the binary linter
+    /// and coverage-signature extraction need: the conventional and basic
+    /// binaries were compiled from the shared optimized module, the
+    /// advanced binary from its transformed clone.
+    #[must_use]
+    pub fn scheme_views(&self) -> [(Scheme, &Program, &Module, &Assignment); 3] {
+        [
+            (
+                Scheme::Conventional,
+                &self.conventional,
+                &self.module,
+                &self.conv_assignment,
+            ),
+            (
+                Scheme::Basic,
+                &self.basic,
+                &self.module,
+                &self.basic_assignment,
+            ),
+            (
+                Scheme::Advanced,
+                &self.advanced,
+                &self.advanced_module,
+                &self.advanced_assignment,
+            ),
+        ]
+    }
+
+    /// IR-level partition statistics for an offloading scheme (`None`
+    /// for the conventional build, which has no partition decision).
+    #[must_use]
+    pub fn partition_stats(&self, scheme: Scheme) -> Option<&PartitionStats> {
+        match scheme {
+            Scheme::Conventional => None,
+            Scheme::Basic => Some(&self.basic_stats),
+            Scheme::Advanced => Some(&self.advanced_stats),
+        }
+    }
+}
+
 static FRONTEND_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of frontend (parse + optimize + verify) executions in this

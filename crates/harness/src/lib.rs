@@ -33,7 +33,9 @@ pub use cell::{
     WidthPreset,
 };
 pub use check::{check_matrix, CheckRow};
-pub use compiler::{frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings};
+pub use compiler::{
+    frontend_runs, Artifacts, Compiler, Error, Scheme, StageTimings, SuiteArtifacts,
+};
 pub use engine::{ExperimentContext, MatrixReport, RunTelemetry};
 pub use experiments::{
     ablate_cost_params, fig10_speedup_8way, fig8_partition_size, fig9_speedup_4way, fp_programs,
