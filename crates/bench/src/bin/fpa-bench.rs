@@ -204,6 +204,7 @@ fn main() {
                     Scheme::Conventional => &c.conventional,
                     Scheme::Basic => &c.basic,
                     Scheme::Advanced => &c.advanced,
+                    Scheme::Optimal => &c.optimal,
                 })
                 .expect("cell came from this store");
             let cfg = r.id.width.config(r.id.scheme != Scheme::Conventional);

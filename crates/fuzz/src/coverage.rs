@@ -68,6 +68,7 @@ const TAG_LINT: u64 = 5;
 const TAG_OUTCOME: u64 = 6;
 const TAG_TIMING: u64 = 7;
 const TAG_FAILURE: u64 = 8;
+const TAG_OPTIMAL: u64 = 9;
 
 fn slice_kind_code(k: SliceKind) -> u64 {
     match k {
@@ -268,10 +269,67 @@ pub fn extract(suite: &SuiteArtifacts, stats: &OracleStats) -> CoverageSignature
         ));
     }
 
+    // -- exact-vs-heuristic partition deltas ---------------------------
+    optimal_delta_features(suite, stats, &mut set);
+
     // -- oracle-stage outcomes -----------------------------------------
     outcome_features(suite, stats, &mut set);
 
     CoverageSignature::from_set(set)
+}
+
+/// Features describing how far the advanced heuristic lands from the
+/// exact min-cut partition on this program. Programs where the two
+/// disagree are precisely the ones exercising the heuristic's blind
+/// spots, so the campaign engine keeps them around as seeds.
+fn optimal_delta_features(suite: &SuiteArtifacts, stats: &OracleStats, set: &mut BTreeSet<u64>) {
+    // Per-function count of instructions the exact partition places on a
+    // different subsystem than the advanced heuristic. Both assignments
+    // cover the same shared-module instruction ids (duplicated clones
+    // live only in the transformed modules), so the symmetric difference
+    // is well-defined.
+    for (fi, (oa, aa)) in suite
+        .optimal_assignment
+        .funcs
+        .iter()
+        .zip(&suite.advanced_assignment.funcs)
+        .enumerate()
+    {
+        let differing = oa
+            .inst_side
+            .iter()
+            .filter(|(id, &side)| aa.inst_side.get(id).is_some_and(|&s| s != side))
+            .count();
+        set.insert(feature(TAG_OPTIMAL, &[fi as u64, bucket(differing as u64)]));
+    }
+
+    // Offload-fraction octile pair (advanced, optimal): the coarse shape
+    // of the disagreement.
+    set.insert(feature(
+        TAG_OPTIMAL,
+        &[
+            1 << 32,
+            octile(suite.advanced_stats.fp_fraction()),
+            octile(suite.optimal_stats.fp_fraction()),
+        ],
+    ));
+
+    // Dynamic-work deltas: did the exact partition offload or copy a
+    // different order of magnitude of work than the heuristic?
+    set.insert(feature(
+        TAG_OPTIMAL,
+        &[
+            2 << 32,
+            bucket(stats.advanced_augmented.abs_diff(stats.optimal_augmented)),
+        ],
+    ));
+    set.insert(feature(
+        TAG_OPTIMAL,
+        &[
+            3 << 32,
+            bucket(stats.advanced_copies.abs_diff(stats.optimal_copies)),
+        ],
+    ));
 }
 
 fn rdg_features(func: &Function, set: &mut BTreeSet<u64>) {
@@ -393,6 +451,7 @@ fn scheme_code(s: Scheme) -> u64 {
         Scheme::Conventional => 0,
         Scheme::Basic => 1,
         Scheme::Advanced => 2,
+        Scheme::Optimal => 3,
     }
 }
 

@@ -1,11 +1,12 @@
-//! The three-scheme differential oracle.
+//! The four-scheme differential oracle.
 //!
 //! [`check_source`] compiles one `zinc` program conventionally, with the
-//! basic partitioning scheme, and with the advanced scheme under a sweep
-//! of cost parameters, then runs every binary through functional
-//! simulation and demands observable equivalence with the IR
-//! interpreter's golden run (same printed output, same exit code). It
-//! also asserts the per-scheme structural invariants:
+//! basic partitioning scheme, with the exact min-cut (optimal) scheme,
+//! and with the advanced scheme under a sweep of cost parameters, then
+//! runs every binary through functional simulation and demands
+//! observable equivalence with the IR interpreter's golden run (same
+//! printed output, same exit code). It also asserts the per-scheme
+//! structural invariants:
 //!
 //! - the conventional build retires **zero** augmented (`*A`) opcodes;
 //! - the basic scheme inserts **zero** copy instructions (the paper's
@@ -125,6 +126,10 @@ pub struct OracleStats {
     pub advanced_augmented: u64,
     /// Dynamic copies executed by the advanced build.
     pub advanced_copies: u64,
+    /// Augmented instructions retired by the exact min-cut build.
+    pub optimal_augmented: u64,
+    /// Dynamic copies executed by the exact min-cut build.
+    pub optimal_copies: u64,
     /// Augmented instructions retired by the basic build.
     pub basic_augmented: u64,
     /// Total instructions retired by the conventional build.
@@ -138,9 +143,9 @@ pub struct OracleStats {
     /// Sites examined per linter rule (`FPA001`..`FPA006`), summed over
     /// every linted binary — the linter's rule-path coverage telemetry.
     pub lint_touches: [u64; 6],
-    /// Cycles of the three co-simulated timing runs, in
-    /// [`Scheme::ALL`] order (conventional, basic, advanced).
-    pub timing_cycles: [u64; 3],
+    /// Cycles of the four co-simulated timing runs, in
+    /// [`Scheme::ALL`] order (conventional, basic, advanced, optimal).
+    pub timing_cycles: [u64; 4],
 }
 
 /// A passing oracle check plus its structural coverage signature — what
@@ -228,13 +233,14 @@ fn lint_check(
 /// the in-oracle label stays fixed.
 pub const GENERATED_WORKLOAD: &str = "generated";
 
-/// The three builds of one generated program, addressable as a
+/// The four builds of one generated program, addressable as a
 /// [`CellSource`] so the co-simulated timing stage batches through the
 /// same [`run_cells`] path as the experiment matrix.
 struct SuitePrograms<'a> {
     conventional: &'a fpa_isa::Program,
     basic: &'a fpa_isa::Program,
     advanced: &'a fpa_isa::Program,
+    optimal: &'a fpa_isa::Program,
 }
 
 impl CellSource for SuitePrograms<'_> {
@@ -243,6 +249,7 @@ impl CellSource for SuitePrograms<'_> {
             Scheme::Conventional => self.conventional,
             Scheme::Basic => self.basic,
             Scheme::Advanced => self.advanced,
+            Scheme::Optimal => self.optimal,
         })
     }
 }
@@ -295,9 +302,9 @@ fn cosim_validate(
 }
 
 /// Checks one `zinc` source against the full oracle: golden interpreter
-/// run vs conventional, basic, advanced (default parameters), and every
-/// [`COST_SWEEP`] point, plus the per-scheme invariants and a lockstep
-/// co-simulated timing run of each default-parameter build.
+/// run vs conventional, basic, advanced, optimal (default parameters),
+/// and every [`COST_SWEEP`] point, plus the per-scheme invariants and a
+/// lockstep co-simulated timing run of each default-parameter build.
 ///
 /// # Errors
 ///
@@ -315,7 +322,7 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
 ///
 /// Returns the first [`OracleFailure`] found.
 pub fn check_case(src: &str) -> Result<CheckedCase, OracleFailure> {
-    // One frontend pass, three builds, plus the golden interpreter run.
+    // One frontend pass, four builds, plus the golden interpreter run.
     let suite = Compiler::new(src)
         .build_suite()
         .map_err(|e| OracleFailure {
@@ -376,6 +383,15 @@ pub fn check_case(src: &str) -> Result<CheckedCase, OracleFailure> {
     stats.advanced_copies = adv.copies;
     stats.advanced_builds = 1;
 
+    let opt = compare(
+        "optimal",
+        &suite.optimal,
+        &suite.golden_output,
+        suite.golden_exit,
+    )?;
+    stats.optimal_augmented = opt.augmented;
+    stats.optimal_copies = opt.copies;
+
     // Timing-simulator stage: every default-parameter build co-simulates
     // on the 4-way machine, batched through the cell API. A violation
     // here is a *simulator* bug (or a miscompile only visible under
@@ -384,6 +400,7 @@ pub fn check_case(src: &str) -> Result<CheckedCase, OracleFailure> {
         conventional: &suite.conventional,
         basic: &suite.basic,
         advanced: &suite.advanced,
+        optimal: &suite.optimal,
     };
     let specs: Vec<CellSpec> = Scheme::ALL
         .into_iter()
@@ -411,6 +428,7 @@ pub fn check_case(src: &str) -> Result<CheckedCase, OracleFailure> {
             Scheme::Conventional => 0,
             Scheme::Basic => 1,
             Scheme::Advanced => 2,
+            Scheme::Optimal => 3,
         };
         stats.timing_cycles[slot] = report.result.cycles;
         stats.timing_checked += 1;

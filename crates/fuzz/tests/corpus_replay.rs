@@ -1,5 +1,5 @@
 //! Replays every program in the repository's `fuzz/corpus/` through the
-//! three-scheme differential oracle. The corpus holds minimized
+//! four-scheme differential oracle. The corpus holds minimized
 //! regression pins (and any reproducers written by past `fpa-fuzz`
 //! runs whose fixes have landed), so every file must check clean. The
 //! distilled coverage pins under `fuzz/corpus/coverage/` must replay
@@ -25,7 +25,7 @@ fn corpus_is_seeded() {
 }
 
 #[test]
-fn every_corpus_program_passes_the_three_scheme_oracle() {
+fn every_corpus_program_passes_the_four_scheme_oracle() {
     let files = corpus::list(&corpus_dir()).expect("list corpus");
     let mut checked = 0;
     for path in files {

@@ -39,8 +39,8 @@ fn bounded_campaign_is_clean_and_exercises_offloading() {
     );
     // Every case checks the default advanced build plus the 3-point sweep.
     assert_eq!(s.advanced_builds, u64::from(cfg.cases) * 4);
-    // ...and co-simulates all three default builds on the timing machine.
-    assert_eq!(s.timing_checked, u64::from(cfg.cases) * 3);
+    // ...and co-simulates all four default builds on the timing machine.
+    assert_eq!(s.timing_checked, u64::from(cfg.cases) * 4);
 }
 
 #[test]
@@ -63,8 +63,8 @@ fn cosim_failures_stay_zero_on_200_seeded_cases() {
         cosim.len(),
         cosim[0].message
     );
-    // Three timing runs per case (conventional/basic/advanced, 4-way).
-    assert_eq!(s.timing_checked, u64::from(cfg.cases) * 3);
+    // Four timing runs per case (conventional/basic/advanced/optimal, 4-way).
+    assert_eq!(s.timing_checked, u64::from(cfg.cases) * 4);
 }
 
 #[test]

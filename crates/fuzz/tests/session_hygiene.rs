@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 const FUEL: u64 = 50_000_000;
 
-/// Every corpus reproducer that still compiles, × 3 schemes, with the
+/// Every corpus reproducer that still compiles, × 4 schemes, with the
 /// scheme-appropriate augmented flag.
 fn corpus_programs() -> Vec<(Program, bool)> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus");
@@ -34,9 +34,10 @@ fn corpus_programs() -> Vec<(Program, bool)> {
         programs.push((suite.conventional, false));
         programs.push((suite.basic, true));
         programs.push((suite.advanced, true));
+        programs.push((suite.optimal, true));
     }
     assert!(
-        programs.len() >= 3 * files.len() / 2,
+        programs.len() >= 2 * files.len(),
         "most corpus reproducers should still build ({} programs from {} files)",
         programs.len(),
         files.len()

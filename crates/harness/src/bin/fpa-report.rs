@@ -2,7 +2,7 @@
 //! figures through the parallel experiment engine.
 //!
 //! ```text
-//! fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all]
+//! fpa-report [table1|table2|fig8|fig9|fig10|overheads|optgap|ablation|fp|all]
 //!            [--jobs N]          # worker threads (default: all cores)
 //!            [--json [PATH]]     # also write the machine-readable report
 //!            [--check]           # lockstep co-simulation + invariant sweep
@@ -32,7 +32,7 @@ use fpa_partition::CostParams;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fpa-report [table1|table2|fig8|fig9|fig10|overheads|ablation|fp|all] \
+        "usage: fpa-report [table1|table2|fig8|fig9|fig10|overheads|optgap|ablation|fp|all] \
          [--jobs N] [--json [PATH]] [--check] [--lint] [--workloads A,B]"
     );
     std::process::exit(2)
@@ -87,7 +87,16 @@ fn main() {
     let what = what.unwrap_or_else(|| "all".to_owned());
     if !matches!(
         what.as_str(),
-        "table1" | "table2" | "fig8" | "fig9" | "fig10" | "overheads" | "ablation" | "fp" | "all"
+        "table1"
+            | "table2"
+            | "fig8"
+            | "fig9"
+            | "fig10"
+            | "overheads"
+            | "optgap"
+            | "ablation"
+            | "fp"
+            | "all"
     ) {
         eprintln!("fpa-report: unknown target '{what}'");
         usage();
@@ -95,7 +104,7 @@ fn main() {
     let needs_builds = json_path.is_some()
         || matches!(
             what.as_str(),
-            "fig8" | "fig9" | "fig10" | "overheads" | "all"
+            "fig8" | "fig9" | "fig10" | "overheads" | "optgap" | "all"
         );
 
     if matches!(what.as_str(), "table1" | "all") {
@@ -106,7 +115,7 @@ fn main() {
     }
     if needs_builds {
         eprintln!(
-            "building 8 integer workloads (conventional/basic/advanced), {jobs} worker(s)..."
+            "building 8 integer workloads (conventional/basic/advanced/optimal), {jobs} worker(s)..."
         );
         let ctx = ExperimentContext::new(&fpa_workloads::integer(), &CostParams::default(), jobs)
             .unwrap_or_else(|e| {
@@ -135,6 +144,15 @@ fn main() {
         }
         if matches!(what.as_str(), "overheads" | "all") {
             println!("{}", report::overheads(&m.overheads));
+        }
+        if matches!(what.as_str(), "optgap" | "all") {
+            eprintln!("timing the exact min-cut binaries for the optimality-gap table...");
+            let rows =
+                fpa_harness::experiments::optimality_gap(ctx.compiled()).unwrap_or_else(|e| {
+                    eprintln!("simulation failed: {e}");
+                    std::process::exit(1);
+                });
+            println!("{}", report::optimality_gap(&rows));
         }
         if let Some(path) = &json_path {
             write_json(path, &m);
@@ -178,7 +196,7 @@ fn run_check(filter: Option<&[String]>, jobs: usize, what: Option<&str>) -> ! {
             .collect(),
     };
     eprintln!(
-        "co-simulating {} workload(s) x 3 schemes x 2 machines, {jobs} worker(s)...",
+        "co-simulating {} workload(s) x 4 schemes x 2 machines, {jobs} worker(s)...",
         set.len()
     );
     let ctx = ExperimentContext::new(&set, &CostParams::default(), jobs).unwrap_or_else(|e| {
@@ -220,7 +238,7 @@ fn run_lint(filter: Option<&[String]>, jobs: usize, what: Option<&str>) -> ! {
             .collect(),
     };
     eprintln!(
-        "linting {} workload(s) x 3 schemes, {jobs} worker(s)...",
+        "linting {} workload(s) x 4 schemes, {jobs} worker(s)...",
         set.len()
     );
     let ctx = ExperimentContext::new(&set, &CostParams::default(), jobs).unwrap_or_else(|e| {

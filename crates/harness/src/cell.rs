@@ -327,6 +327,7 @@ impl CellSource for [CompiledWorkload] {
             Scheme::Conventional => &c.conventional,
             Scheme::Basic => &c.basic,
             Scheme::Advanced => &c.advanced,
+            Scheme::Optimal => &c.optimal,
         })
     }
 }

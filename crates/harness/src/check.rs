@@ -141,8 +141,8 @@ mod tests {
         let set = vec![fpa_workloads::by_name("li").unwrap()];
         let ctx = ExperimentContext::new(&set, &CostParams::default(), 1).unwrap();
         let rows = check_matrix(&ctx).unwrap();
-        // 1 workload x 2 machines x 3 schemes.
-        assert_eq!(rows.len(), 6);
+        // 1 workload x 2 machines x 4 schemes.
+        assert_eq!(rows.len(), 8);
         for row in &rows {
             assert!(
                 row.clean(),

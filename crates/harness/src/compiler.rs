@@ -21,7 +21,8 @@ use fpa_codegen::compile_module_timed;
 use fpa_ir::{Interp, Module, Profile};
 use fpa_isa::Program;
 use fpa_partition::{
-    partition_advanced, partition_basic, Assignment, BlockFreq, CostParams, PartitionStats,
+    partition_advanced, partition_basic, partition_optimal, Assignment, BlockFreq, CostParams,
+    PartitionStats,
 };
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,11 +38,20 @@ pub enum Scheme {
     /// The paper's advanced scheme (§6): profile-driven copies and
     /// duplication (profiled with the built-in interpreter).
     Advanced,
+    /// Exact partitioning: the advanced scheme's profit model solved to
+    /// optimality as a minimum s-t cut (max-flow over the RDG). Bounds
+    /// how much the greedy heuristics leave on the table.
+    Optimal,
 }
 
 impl Scheme {
     /// All schemes, in presentation order.
-    pub const ALL: [Scheme; 3] = [Scheme::Conventional, Scheme::Basic, Scheme::Advanced];
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Conventional,
+        Scheme::Basic,
+        Scheme::Advanced,
+        Scheme::Optimal,
+    ];
 
     /// Stable lowercase label (used in reports and JSON).
     #[must_use]
@@ -50,6 +60,7 @@ impl Scheme {
             Scheme::Conventional => "conventional",
             Scheme::Basic => "basic",
             Scheme::Advanced => "advanced",
+            Scheme::Optimal => "optimal",
         }
     }
 }
@@ -67,7 +78,7 @@ impl std::str::FromStr for Scheme {
         Scheme::ALL
             .into_iter()
             .find(|scheme| scheme.label() == s)
-            .ok_or_else(|| format!("unknown scheme `{s}` (conventional|basic|advanced)"))
+            .ok_or_else(|| format!("unknown scheme `{s}` (conventional|basic|advanced|optimal)"))
     }
 }
 
@@ -212,9 +223,9 @@ pub struct Artifacts {
     pub timings: StageTimings,
 }
 
-/// One workload compiled under all three schemes from a **single**
-/// frontend pass (the advanced scheme's destructive transform runs on a
-/// clone of the optimized module).
+/// One workload compiled under all four schemes from a **single**
+/// frontend pass (the advanced and optimal schemes' destructive
+/// transforms each run on their own clone of the optimized module).
 #[derive(Debug, Clone)]
 pub struct SuiteArtifacts {
     /// Conventional binary (no offloading).
@@ -223,29 +234,37 @@ pub struct SuiteArtifacts {
     pub basic: Program,
     /// Advanced-scheme binary.
     pub advanced: Program,
+    /// Optimal-scheme (exact min-cut) binary.
+    pub optimal: Program,
     /// The optimized IR the conventional and basic binaries were compiled
     /// from.
     pub module: Module,
     /// The advanced-transformed IR (copies/duplication applied) behind
     /// the advanced binary.
     pub advanced_module: Module,
+    /// The optimal-transformed IR behind the optimal binary.
+    pub optimal_module: Module,
     /// The conventional (all-INT) assignment.
     pub conv_assignment: Assignment,
     /// The basic-scheme assignment.
     pub basic_assignment: Assignment,
     /// The advanced-scheme assignment.
     pub advanced_assignment: Assignment,
+    /// The optimal-scheme assignment.
+    pub optimal_assignment: Assignment,
     /// IR-level stats of the basic partition.
     pub basic_stats: PartitionStats,
     /// IR-level stats of the advanced partition.
     pub advanced_stats: PartitionStats,
+    /// IR-level stats of the optimal partition.
+    pub optimal_stats: PartitionStats,
     /// The interpreter profile shared by every scheme.
     pub profile: Profile,
     /// Golden observable output from the IR interpreter.
     pub golden_output: String,
     /// Golden exit code.
     pub golden_exit: i32,
-    /// Per-stage timings summed over the three builds.
+    /// Per-stage timings summed over the four builds.
     pub timings: StageTimings,
 }
 
@@ -254,9 +273,9 @@ impl SuiteArtifacts {
     /// [`Scheme::ALL`] order. This is the exact pairing the binary linter
     /// and coverage-signature extraction need: the conventional and basic
     /// binaries were compiled from the shared optimized module, the
-    /// advanced binary from its transformed clone.
+    /// advanced and optimal binaries from their transformed clones.
     #[must_use]
-    pub fn scheme_views(&self) -> [(Scheme, &Program, &Module, &Assignment); 3] {
+    pub fn scheme_views(&self) -> [(Scheme, &Program, &Module, &Assignment); 4] {
         [
             (
                 Scheme::Conventional,
@@ -276,6 +295,12 @@ impl SuiteArtifacts {
                 &self.advanced_module,
                 &self.advanced_assignment,
             ),
+            (
+                Scheme::Optimal,
+                &self.optimal,
+                &self.optimal_module,
+                &self.optimal_assignment,
+            ),
         ]
     }
 
@@ -287,6 +312,7 @@ impl SuiteArtifacts {
             Scheme::Conventional => None,
             Scheme::Basic => Some(&self.basic_stats),
             Scheme::Advanced => Some(&self.advanced_stats),
+            Scheme::Optimal => Some(&self.optimal_stats),
         }
     }
 }
@@ -371,6 +397,11 @@ impl<'a> Compiler<'a> {
                 fpa_ir::verify::verify_module(&m).map_err(Error::Verify)?;
                 a
             }
+            Scheme::Optimal => {
+                let a = partition_optimal(&mut m, &freq, &self.params);
+                fpa_ir::verify::verify_module(&m).map_err(Error::Verify)?;
+                a
+            }
         };
         timings.partition = t.elapsed();
 
@@ -392,9 +423,9 @@ impl<'a> Compiler<'a> {
         })
     }
 
-    /// Builds the conventional, basic, and advanced programs from **one**
-    /// frontend pass and **one** profiling run. The selected scheme is
-    /// ignored; all three are produced.
+    /// Builds the conventional, basic, advanced, and optimal programs
+    /// from **one** frontend pass and **one** profiling run. The selected
+    /// scheme is ignored; all four are produced.
     ///
     /// # Errors
     ///
@@ -408,16 +439,21 @@ impl<'a> Compiler<'a> {
         let t = Instant::now();
         let conv_assignment = Assignment::conventional(&m);
         let basic_assignment = partition_basic(&m);
-        // The advanced scheme transforms the module in place; clone the
-        // optimized module so the conventional/basic builds stay untouched
-        // (and the frontend runs exactly once).
+        // The advanced and optimal schemes transform the module in place;
+        // each gets its own clone of the optimized module so the
+        // conventional/basic builds stay untouched (and the frontend runs
+        // exactly once).
         let mut m2 = m.clone();
         let adv_assignment = partition_advanced(&mut m2, &freq, &self.params);
         fpa_ir::verify::verify_module(&m2).map_err(Error::Verify)?;
+        let mut m3 = m.clone();
+        let opt_assignment = partition_optimal(&mut m3, &freq, &self.params);
+        fpa_ir::verify::verify_module(&m3).map_err(Error::Verify)?;
         timings.partition = t.elapsed();
 
         let basic_stats = PartitionStats::compute(&m, &basic_assignment, &freq);
         let advanced_stats = PartitionStats::compute(&m2, &adv_assignment, &freq);
+        let optimal_stats = PartitionStats::compute(&m3, &opt_assignment, &freq);
 
         let mut backend = |module: &Module, a: &Assignment| {
             let (p, ct) = compile_module_timed(module, a);
@@ -428,18 +464,23 @@ impl<'a> Compiler<'a> {
         let conventional = backend(&m, &conv_assignment);
         let basic = backend(&m, &basic_assignment);
         let advanced = backend(&m2, &adv_assignment);
+        let optimal = backend(&m3, &opt_assignment);
 
         Ok(SuiteArtifacts {
             conventional,
             basic,
             advanced,
+            optimal,
             module: m,
             advanced_module: m2,
+            optimal_module: m3,
             conv_assignment,
             basic_assignment,
             advanced_assignment: adv_assignment,
+            optimal_assignment: opt_assignment,
             basic_stats,
             advanced_stats,
+            optimal_stats,
             profile,
             golden_output: golden.output,
             golden_exit: golden.exit_code,
@@ -507,6 +548,7 @@ mod tests {
             (Scheme::Conventional, &suite.conventional),
             (Scheme::Basic, &suite.basic),
             (Scheme::Advanced, &suite.advanced),
+            (Scheme::Optimal, &suite.optimal),
         ] {
             let single = Compiler::new(SRC).scheme(scheme).build().unwrap();
             assert_eq!(

@@ -241,9 +241,11 @@ fn speedups(
     compiled: &[CompiledWorkload],
     width: WidthPreset,
 ) -> Result<Vec<SpeedupRow>, ExecError> {
+    // The paper's figures compare conventional vs basic vs advanced; the
+    // optimal scheme is reported separately (the optimality-gap table).
     let mut specs = Vec::with_capacity(3 * compiled.len());
     for c in compiled {
-        for scheme in Scheme::ALL {
+        for scheme in [Scheme::Conventional, Scheme::Basic, Scheme::Advanced] {
             specs.push(CellSpec::new(
                 CellId::new(c.name.clone(), scheme, width),
                 CellMode::Timing,
@@ -349,6 +351,63 @@ pub fn fp_programs() -> Result<(Vec<Fig8Row>, Vec<SpeedupRow>), Box<dyn std::err
     Ok((sizes, speed))
 }
 
+/// One row of the optimality-gap table: how close the paper's heuristics
+/// come to the exact min-cut partition, in simulated cycles on the 4-way
+/// machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalityGapRow {
+    /// Workload name.
+    pub name: String,
+    /// Cycles of the basic-scheme binary.
+    pub basic_cycles: u64,
+    /// Cycles of the advanced-scheme binary.
+    pub advanced_cycles: u64,
+    /// Cycles of the exact min-cut binary.
+    pub optimal_cycles: u64,
+    /// Percent of advanced cycles shaved by the exact partition:
+    /// `(advanced - optimal) / advanced * 100`. Positive means the
+    /// heuristic left cycles on the table; small negative values are
+    /// microarchitectural effects the offload cost model cannot see
+    /// (cache layout, port contention), not a modeling bug — the model
+    /// objective itself is provably minimized (see `tests/optimality.rs`).
+    pub gap_pct: f64,
+}
+
+/// The optimality-gap table: every workload's basic/advanced/optimal
+/// binaries timed on the 4-way machine.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn optimality_gap(compiled: &[CompiledWorkload]) -> Result<Vec<OptimalityGapRow>, ExecError> {
+    let mut specs = Vec::with_capacity(3 * compiled.len());
+    for c in compiled {
+        for scheme in [Scheme::Basic, Scheme::Advanced, Scheme::Optimal] {
+            specs.push(CellSpec::new(
+                CellId::new(c.name.clone(), scheme, WidthPreset::FourWay),
+                CellMode::Timing,
+                TIMING_FUEL,
+            ));
+        }
+    }
+    let results = run_cells(compiled, &specs, 1).map_err(CellError::into_exec)?;
+    Ok(compiled
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(c, r)| {
+            let (basic, adv, opt) = (timing(&r[0]), timing(&r[1]), timing(&r[2]));
+            debug_assert_eq!(basic.output, opt.output);
+            OptimalityGapRow {
+                name: c.name.clone(),
+                basic_cycles: basic.cycles,
+                advanced_cycles: adv.cycles,
+                optimal_cycles: opt.cycles,
+                gap_pct: (adv.cycles as f64 - opt.cycles as f64) / adv.cycles as f64 * 100.0,
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +435,21 @@ mod tests {
         }
         let m88 = f9.iter().find(|r| r.name == "m88ksim").unwrap();
         assert!(m88.advanced_pct > 0.5, "m88ksim should gain: {m88:?}");
+    }
+
+    /// The gap table's cells must be real runs with consistent shapes;
+    /// the modeled-objective dominance proof lives in `tests/optimality.rs`.
+    #[test]
+    fn optimality_gap_shape_on_one_workload() {
+        let set = vec![fpa_workloads::by_name("li").unwrap()];
+        let compiled = build_all(&set).unwrap();
+        let rows = optimality_gap(&compiled).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.basic_cycles > 0 && r.advanced_cycles > 0 && r.optimal_cycles > 0);
+        let expected =
+            (r.advanced_cycles as f64 - r.optimal_cycles as f64) / r.advanced_cycles as f64 * 100.0;
+        assert!((r.gap_pct - expected).abs() < 1e-12, "{r:?}");
     }
 
     /// The deprecated single-cell forwards must agree exactly with the

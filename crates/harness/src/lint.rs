@@ -35,7 +35,7 @@ impl LintRow {
     }
 }
 
-/// Lints all three scheme binaries of one compiled workload, each
+/// Lints all four scheme binaries of one compiled workload, each
 /// against its own IR module and assignment.
 #[must_use]
 pub fn lint_workload(c: &CompiledWorkload) -> Vec<LintRow> {
@@ -73,8 +73,8 @@ mod tests {
         let set = vec![fpa_workloads::by_name("li").unwrap()];
         let ctx = ExperimentContext::new(&set, &CostParams::default(), 1).unwrap();
         let rows = lint_matrix(&ctx);
-        // 1 workload x 3 schemes.
-        assert_eq!(rows.len(), 3);
+        // 1 workload x 4 schemes.
+        assert_eq!(rows.len(), 4);
         for row in &rows {
             assert!(
                 row.clean(),

@@ -1,5 +1,5 @@
 //! Workload-level wrapper over the unified [`Compiler`]
-//! (`crate::compiler`): one call builds a workload under all three
+//! (`crate::compiler`): one call builds a workload under all four
 //! regimes from a single frontend pass.
 
 use crate::compiler::{Compiler, Scheme, StageTimings};
@@ -11,7 +11,7 @@ use fpa_workloads::Workload;
 /// A pipeline failure (alias of the system-wide [`crate::compiler::Error`]).
 pub use crate::compiler::Error as BuildError;
 
-/// A workload compiled under all three regimes.
+/// A workload compiled under all four regimes.
 #[derive(Debug, Clone)]
 pub struct CompiledWorkload {
     /// The workload name.
@@ -22,29 +22,37 @@ pub struct CompiledWorkload {
     pub basic: Program,
     /// Advanced-scheme binary.
     pub advanced: Program,
+    /// Optimal-scheme (exact min-cut) binary.
+    pub optimal: Program,
     /// The optimized IR module behind the conventional and basic binaries.
     pub module: Module,
     /// The advanced-transformed IR behind the advanced binary.
     pub advanced_module: Module,
+    /// The optimal-transformed IR behind the optimal binary.
+    pub optimal_module: Module,
     /// The conventional (all-INT) assignment.
     pub conv_assignment: Assignment,
     /// The basic-scheme assignment.
     pub basic_assignment: Assignment,
     /// The advanced-scheme assignment.
     pub advanced_assignment: Assignment,
+    /// The optimal-scheme assignment.
+    pub optimal_assignment: Assignment,
     /// Interpreter profile of the optimized module (feeds the cost model).
     pub profile: Profile,
     /// Golden observable output (from the IR interpreter).
     pub golden_output: String,
     /// Golden exit code.
     pub golden_exit: i32,
-    /// Static instruction counts (conventional, basic, advanced).
-    pub static_sizes: (usize, usize, usize),
+    /// Static instruction counts (conventional, basic, advanced, optimal).
+    pub static_sizes: (usize, usize, usize, usize),
     /// IR-level stats of the basic partition.
     pub basic_stats: PartitionStats,
     /// IR-level stats of the advanced partition.
     pub advanced_stats: PartitionStats,
-    /// Per-stage compile timings (summed over the three builds).
+    /// IR-level stats of the optimal partition.
+    pub optimal_stats: PartitionStats,
+    /// Per-stage compile timings (summed over the four builds).
     pub timings: StageTimings,
 }
 
@@ -66,6 +74,7 @@ impl CompiledWorkload {
             (Scheme::Conventional, &self.conventional),
             (Scheme::Basic, &self.basic),
             (Scheme::Advanced, &self.advanced),
+            (Scheme::Optimal, &self.optimal),
         ] {
             let wrap = |e: BuildError| e.in_workload(&self.name);
             let r = fpa_sim::run_functional(prog, fuel)
@@ -92,13 +101,13 @@ impl CompiledWorkload {
         Ok(())
     }
 
-    /// The three (scheme, binary, IR module, assignment) views the
+    /// The four (scheme, binary, IR module, assignment) views the
     /// partition-soundness linter checks: the conventional and basic
     /// binaries were compiled from the shared optimized module under
-    /// their respective assignments, the advanced binary from the
-    /// transformed module under the cost-model assignment.
+    /// their respective assignments, the advanced and optimal binaries
+    /// from their transformed modules under their cost-model assignments.
     #[must_use]
-    pub fn lint_views(&self) -> [(Scheme, &Program, &Module, &Assignment); 3] {
+    pub fn lint_views(&self) -> [(Scheme, &Program, &Module, &Assignment); 4] {
         [
             (
                 Scheme::Conventional,
@@ -118,15 +127,22 @@ impl CompiledWorkload {
                 &self.advanced_module,
                 &self.advanced_assignment,
             ),
+            (
+                Scheme::Optimal,
+                &self.optimal,
+                &self.optimal_module,
+                &self.optimal_assignment,
+            ),
         ]
     }
 }
 
-/// Compiles `workload` conventionally and under both partitioning
-/// schemes, using an interpreter profile for the advanced cost model
-/// (exactly the paper's methodology, §6.1/§7.1). The frontend and the
-/// profiler each run once; the advanced scheme transforms a clone of the
-/// shared optimized module.
+/// Compiles `workload` conventionally and under the basic, advanced,
+/// and exact (min-cut) partitioning schemes, using an interpreter
+/// profile for the cost models (exactly the paper's methodology,
+/// §6.1/§7.1). The frontend and the profiler each run once; the
+/// advanced and optimal schemes each transform a clone of the shared
+/// optimized module.
 ///
 /// # Errors
 ///
@@ -141,20 +157,25 @@ pub fn build(workload: &Workload, params: &CostParams) -> Result<CompiledWorkloa
             suite.conventional.static_size(),
             suite.basic.static_size(),
             suite.advanced.static_size(),
+            suite.optimal.static_size(),
         ),
         conventional: suite.conventional,
         basic: suite.basic,
         advanced: suite.advanced,
+        optimal: suite.optimal,
         module: suite.module,
         advanced_module: suite.advanced_module,
+        optimal_module: suite.optimal_module,
         conv_assignment: suite.conv_assignment,
         basic_assignment: suite.basic_assignment,
         advanced_assignment: suite.advanced_assignment,
+        optimal_assignment: suite.optimal_assignment,
         profile: suite.profile,
         golden_output: suite.golden_output,
         golden_exit: suite.golden_exit,
         basic_stats: suite.basic_stats,
         advanced_stats: suite.advanced_stats,
+        optimal_stats: suite.optimal_stats,
         timings: suite.timings,
     })
 }
@@ -167,7 +188,7 @@ mod tests {
     const FUEL: u64 = 100_000_000;
 
     #[test]
-    fn all_three_builds_of_compress_agree_with_golden() {
+    fn all_four_builds_of_compress_agree_with_golden() {
         let w = fpa_workloads::by_name("compress").unwrap();
         let c = build(&w, &CostParams::default()).unwrap();
         // `check` propagates a structured error naming the workload and

@@ -1,7 +1,7 @@
 //! Plain-text rendering of experiment results.
 
 use crate::check::CheckRow;
-use crate::experiments::{Fig8Row, OverheadRow, SpeedupRow};
+use crate::experiments::{Fig8Row, OptimalityGapRow, OverheadRow, SpeedupRow};
 use crate::lint::LintRow;
 use fpa_sim::MachineConfig;
 use std::fmt::Write as _;
@@ -235,6 +235,30 @@ pub fn overheads(rows: &[OverheadRow]) -> String {
     s
 }
 
+/// Renders the optimality-gap table: heuristic schemes vs the exact
+/// min-cut partition, in 4-way-machine cycles.
+#[must_use]
+pub fn optimality_gap(rows: &[OptimalityGapRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Optimality gap: heuristics vs exact min-cut (4-way machine)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12}{:>14}{:>14}{:>14}{:>10}",
+        "benchmark", "basic cyc", "advanced cyc", "optimal cyc", "gap"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>14}{:>14}{:>14}{:>+9.2}%",
+            r.name, r.basic_cycles, r.advanced_cycles, r.optimal_cycles, r.gap_pct
+        );
+    }
+    s
+}
+
 /// Renders the cost-model ablation rows.
 #[must_use]
 pub fn ablation(rows: &[crate::experiments::AblationRow]) -> String {
@@ -300,5 +324,19 @@ mod tests {
         );
         assert!(t.contains("5.5%"));
         assert!(t.contains("12.4%"));
+    }
+
+    #[test]
+    fn optimality_gap_rendering() {
+        let t = optimality_gap(&[OptimalityGapRow {
+            name: "compress".to_string(),
+            basic_cycles: 1200,
+            advanced_cycles: 1100,
+            optimal_cycles: 1078,
+            gap_pct: 2.0,
+        }]);
+        assert!(t.contains("compress"));
+        assert!(t.contains("1078"));
+        assert!(t.contains("+2.00%"));
     }
 }

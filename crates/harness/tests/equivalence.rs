@@ -18,7 +18,7 @@ use fpa_partition::CostParams;
 use fpa_sim::{simulate, simulate_reference, MachineConfig};
 
 #[test]
-fn fast_path_matches_reference_on_all_48_cells() {
+fn fast_path_matches_reference_on_all_64_cells() {
     let set = fpa_workloads::integer();
     let jobs = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
     let ctx = ExperimentContext::new(&set, &CostParams::default(), jobs).expect("pipeline");
@@ -36,13 +36,14 @@ fn fast_path_matches_reference_on_all_48_cells() {
             }
         }
     }
-    assert_eq!(cells.len(), 48, "expected the full 48-cell matrix");
+    assert_eq!(cells.len(), 64, "expected the full 64-cell matrix");
 
     let mismatches: Vec<String> = parallel_map(&cells, jobs, |&(c, scheme, machine, make)| {
         let (program, augmented) = match scheme {
             Scheme::Conventional => (&c.conventional, false),
             Scheme::Basic => (&c.basic, true),
             Scheme::Advanced => (&c.advanced, true),
+            Scheme::Optimal => (&c.optimal, true),
         };
         let cfg = make(augmented);
         let fast = simulate(program, &cfg, TIMING_FUEL).expect("fast path");

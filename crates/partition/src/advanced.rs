@@ -93,7 +93,7 @@ pub fn partition_advanced(
 
 /// How a boundary definition communicates its value to FPa.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Choice {
+pub(crate) enum Choice {
     Copy,
     Dup,
 }
@@ -448,7 +448,7 @@ pub fn partition_advanced_func(
 /// Whether `v`'s instruction may be cloned into the FP subsystem: pure,
 /// FPa-supported computation, or a load value (re-delivered via `l.w` into
 /// the FP file adjacent to the original, so no store can intervene).
-fn dup_allowed(rdg: &Rdg, insts: &HashMap<InstId, Inst>, v: NodeId) -> bool {
+pub(crate) fn dup_allowed(rdg: &Rdg, insts: &HashMap<InstId, Inst>, v: NodeId) -> bool {
     match rdg.kind(v) {
         NodeKind::LoadValue(_) => true,
         NodeKind::Plain(id) => match insts.get(&id) {
@@ -499,7 +499,7 @@ impl Twins {
 
 /// Rewrites the function — inserting copies/duplicates and retargeting
 /// FPa-side uses — then derives the final assignment.
-fn materialize(
+pub(crate) fn materialize(
     func: &mut Function,
     rdg: &Rdg,
     classes: &[NodeClass],

@@ -14,8 +14,15 @@
 //!   per-duplicate overhead `o_dupl`, empirically best in `[3,6]` and
 //!   `[1.5,3]` respectively — Section 6.1).
 //!
-//! Both produce an [`Assignment`] consumed by `fpa-codegen`: a subsystem
-//! per instruction plus a home register file per virtual register.
+//! Beyond the paper, [`optimal::partition_optimal`] solves the same
+//! profit model *exactly* as a minimum s-t cut (Dinic's max-flow over the
+//! RDG), bounding how much the greedy schemes leave on the table, and
+//! [`exhaustive::exhaustive_minimum`] brute-forces small RDGs as an
+//! independent oracle for the min-cut solver.
+//!
+//! All schemes produce an [`Assignment`] consumed by `fpa-codegen`: a
+//! subsystem per instruction plus a home register file per virtual
+//! register.
 //! Execution frequencies come from an interpreter [`fpa_ir::Profile`] or,
 //! for uncovered functions, the paper's probabilistic estimate
 //! `n_B = p_B * 5^d_B` ([`freq::BlockFreq`]).
@@ -23,11 +30,15 @@
 pub mod advanced;
 pub mod assignment;
 pub mod basic;
+pub mod exhaustive;
 pub mod freq;
+pub mod optimal;
 pub mod stats;
 
 pub use advanced::{partition_advanced, CostParams};
 pub use assignment::{Assignment, FuncAssignment};
 pub use basic::partition_basic;
+pub use exhaustive::exhaustive_minimum;
 pub use freq::BlockFreq;
+pub use optimal::{partition_optimal, CostModel};
 pub use stats::PartitionStats;

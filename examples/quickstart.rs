@@ -1,4 +1,4 @@
-//! Quickstart: compile one program three ways, compare offload and speed.
+//! Quickstart: compile one program four ways, compare offload and speed.
 //!
 //! ```text
 //! cargo run --example quickstart
