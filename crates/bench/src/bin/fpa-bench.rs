@@ -13,6 +13,21 @@
 //!           [--no-reference]    # skip the baseline engine (fast path only)
 //! ```
 //!
+//! With `--compile`, it benchmarks the compiler through the persistent
+//! artifact store instead: a cold pass compiles every workload's full
+//! suite into an empty store, then a fresh store handle replays the
+//! same compile matrix warm (disk hits, hash-verified) and again from
+//! the memory tier. The report (default `BENCH_pr9.json`) carries
+//! per-stage cold timings and the cold/warm speedups; any `load` array
+//! already present in the report file (written by `fpa-load --merge`)
+//! is preserved.
+//!
+//! ```text
+//! fpa-bench --compile [--workloads A,B] [--json PATH]
+//!           [--store DIR]            # reuse a store dir (default: fresh temp)
+//!           [--min-warm-speedup X]   # gate: fail if warm disk replay < X times cold
+//! ```
+//!
 //! The fast path runs through the batched [`fpa_harness::cell`] API —
 //! one [`fpa_sim::SimSession`] per worker thread, decoded programs
 //! cached across cells — which is exactly how the experiment matrix
@@ -42,7 +57,9 @@ const DEFAULT_REPEAT: u32 = 3;
 fn usage() -> ! {
     eprintln!(
         "usage: fpa-bench [--workloads A,B] [--json PATH] [--floor PATH] [--fuel N] \
-         [--repeat N] [--no-reference]"
+         [--repeat N] [--no-reference]\n\
+         \x20      fpa-bench --compile [--workloads A,B] [--json PATH] [--store DIR] \
+         [--min-warm-speedup X]"
     );
     std::process::exit(2)
 }
@@ -89,11 +106,14 @@ fn rate(count: u64, seconds: f64) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workloads: Option<Vec<String>> = None;
-    let mut json_path = "BENCH_pr6.json".to_string();
+    let mut json_path: Option<String> = None;
     let mut floor_path: Option<String> = None;
     let mut fuel = DEFAULT_FUEL;
     let mut repeat = DEFAULT_REPEAT;
     let mut with_reference = true;
+    let mut compile_mode = false;
+    let mut store_dir: Option<String> = None;
+    let mut min_warm_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,7 +124,7 @@ fn main() {
             }
             "--json" => {
                 i += 1;
-                json_path = args.get(i).unwrap_or_else(|| usage()).clone();
+                json_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
             }
             "--floor" => {
                 i += 1;
@@ -126,6 +146,19 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--no-reference" => with_reference = false,
+            "--compile" => compile_mode = true,
+            "--store" => {
+                i += 1;
+                store_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--min-warm-speedup" => {
+                i += 1;
+                min_warm_speedup = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
         i += 1;
@@ -143,6 +176,12 @@ fn main() {
             .collect(),
         None => fpa_workloads::integer(),
     };
+    if compile_mode {
+        let json_path = json_path.unwrap_or_else(|| "BENCH_pr9.json".to_string());
+        compile_bench(&set, &json_path, store_dir.as_deref(), min_warm_speedup);
+        return;
+    }
+    let json_path = json_path.unwrap_or_else(|| "BENCH_pr6.json".to_string());
     eprintln!("building {} workload(s)...", set.len());
     let compiled: Vec<_> =
         set.iter()
@@ -317,5 +356,190 @@ fn main() {
             std::process::exit(1);
         }
         println!("floor check ok: {fast_mips:.1} Minst/s >= {min:.1} (floor {floor:.1} x 0.5)");
+    }
+}
+
+// ---- Compile benchmark (`--compile`) ------------------------------------
+
+/// One timed pass of the whole workload set through `store`. Returns
+/// (total seconds, per-workload seconds) and asserts every compile
+/// reported the expected store outcome.
+fn compile_pass(
+    store: &fpa_harness::ArtifactStore,
+    set: &[fpa_workloads::Workload],
+    expect_hit: bool,
+    label: &str,
+) -> (f64, Vec<f64>) {
+    let params = fpa_partition::CostParams::default();
+    let mut per = Vec::with_capacity(set.len());
+    let mut total = 0.0;
+    for w in set {
+        let t = Instant::now();
+        let (_suite, outcome) = store.suite(&w.source, &params).unwrap_or_else(|e| {
+            eprintln!("{label} compile {}: {e}", w.name);
+            std::process::exit(1)
+        });
+        let secs = t.elapsed().as_secs_f64();
+        if outcome.is_hit() != expect_hit {
+            eprintln!(
+                "{label} pass: {} reported {}, expected a {}",
+                w.name,
+                outcome.label(),
+                if expect_hit { "hit" } else { "miss" }
+            );
+            std::process::exit(1);
+        }
+        per.push(secs);
+        total += secs;
+    }
+    (total, per)
+}
+
+/// Benchmarks the compile matrix through the artifact store: one cold
+/// pass into an empty store, one warm pass through a fresh handle (disk
+/// tier), one more through the same handle (memory tier).
+fn compile_bench(
+    set: &[fpa_workloads::Workload],
+    json_path: &str,
+    store_dir: Option<&str>,
+    min_warm_speedup: Option<f64>,
+) {
+    let dir: std::path::PathBuf = store_dir.map_or_else(
+        || std::env::temp_dir().join("fpa-bench-compile-store"),
+        std::path::PathBuf::from,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let open = || {
+        fpa_harness::ArtifactStore::open(&dir).unwrap_or_else(|e| {
+            eprintln!("open store {}: {e}", dir.display());
+            std::process::exit(1)
+        })
+    };
+
+    // Cold: every suite is a miss; stage timings come from the compiles
+    // themselves (gathered again below from the stored artifacts).
+    eprintln!(
+        "cold pass: {} workload(s) into {}",
+        set.len(),
+        dir.display()
+    );
+    let cold_store = open();
+    let (cold_total, cold_per) = compile_pass(&cold_store, set, false, "cold");
+
+    // Stage breakdown of the cold compiles, summed across workloads.
+    let params = fpa_partition::CostParams::default();
+    let mut stage_totals = [0.0f64; 6];
+    for w in set {
+        let (suite, _) = cold_store.suite(&w.source, &params).unwrap_or_else(|e| {
+            eprintln!("stage read {}: {e}", w.name);
+            std::process::exit(1)
+        });
+        let t = &suite.timings;
+        for (slot, d) in stage_totals.iter_mut().zip([
+            t.parse,
+            t.optimize,
+            t.profile,
+            t.partition,
+            t.regalloc,
+            t.emit,
+        ]) {
+            *slot += d.as_secs_f64();
+        }
+    }
+
+    // Warm (disk): a fresh handle has an empty memory tier, so every
+    // request is a hash-verified disk read + decode.
+    let warm_store = open();
+    let (disk_total, disk_per) = compile_pass(&warm_store, set, true, "warm-disk");
+    // Warm (mem): the same handle again — now the LRU serves everything.
+    let (mem_total, _) = compile_pass(&warm_store, set, true, "warm-mem");
+
+    let schemes = fpa_harness::Scheme::ALL.len();
+    let matrix_cells = set.len() * schemes * fpa_harness::WidthPreset::ALL.len();
+    let disk_speedup = cold_total / disk_total.max(f64::MIN_POSITIVE);
+    let mem_speedup = cold_total / mem_total.max(f64::MIN_POSITIVE);
+    println!(
+        "compile matrix: {} workload(s) x {} scheme(s) ({matrix_cells} matrix cells)",
+        set.len(),
+        schemes
+    );
+    println!("  cold:      {:>8.2} ms", cold_total * 1e3);
+    println!(
+        "  warm disk: {:>8.2} ms  ({disk_speedup:.1}x)",
+        disk_total * 1e3
+    );
+    println!(
+        "  warm mem:  {:>8.2} ms  ({mem_speedup:.1}x)",
+        mem_total * 1e3
+    );
+
+    // Preserve a `load` array fpa-load --merge may already have written.
+    let load = std::fs::read_to_string(json_path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| j.get("load").cloned())
+        .unwrap_or(Json::Arr(Vec::new()));
+
+    let mut compile = Json::obj();
+    compile
+        .set("workloads", set.len())
+        .set("schemes", schemes)
+        .set("matrix_cells", matrix_cells)
+        .set("cold_seconds", cold_total)
+        .set("warm_disk_seconds", disk_total)
+        .set("warm_mem_seconds", mem_total)
+        .set("warm_disk_speedup", disk_speedup)
+        .set("warm_mem_speedup", mem_speedup);
+    let mut stages = Json::obj();
+    for (name, secs) in [
+        "parse",
+        "optimize",
+        "profile",
+        "partition",
+        "regalloc",
+        "emit",
+    ]
+    .iter()
+    .zip(stage_totals)
+    {
+        stages.set(name, secs);
+    }
+    compile.set("cold_stage_seconds", stages);
+    compile.set(
+        "per_workload",
+        set.iter()
+            .zip(cold_per.iter().zip(&disk_per))
+            .map(|(w, (cold, disk))| {
+                let mut o = Json::obj();
+                o.set("name", w.name.as_str())
+                    .set("cold_seconds", *cold)
+                    .set("warm_disk_seconds", *disk);
+                o
+            })
+            .collect::<Vec<Json>>(),
+    );
+    let mut report = Json::obj();
+    report
+        .set("schema", "fpa-bench-pr9")
+        .set("version", 1u64)
+        .set("compile", compile)
+        .set("load", load);
+    std::fs::write(json_path, report.render()).unwrap_or_else(|e| {
+        eprintln!("write {json_path}: {e}");
+        std::process::exit(1)
+    });
+    eprintln!("wrote {json_path}");
+    if store_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    if let Some(min) = min_warm_speedup {
+        if disk_speedup < min {
+            eprintln!(
+                "FAIL: warm disk replay is only {disk_speedup:.2}x cold (required {min:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("warm-speedup check ok: {disk_speedup:.1}x >= {min:.1}x");
     }
 }

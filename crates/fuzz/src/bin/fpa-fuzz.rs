@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! fpa-fuzz [--cases M] [--seed S] [--jobs N] [--lineages L]
-//!          [--shards N --shard-id K] [--blind]
+//!          [--shards N --shard-id K] [--blind] [--store DIR]
 //!          [--corpus DIR | --no-corpus] [--json PATH]
 //! fpa-fuzz merge SHARD.json... [--json PATH] [--corpus DIR]
 //! fpa-fuzz distill [--cases M] [--seed S] [--jobs N] [--lineages L]
 //!                  [--out DIR] [--json PATH]
 //! ```
+//!
+//! `--store DIR` routes every suite build through the persistent
+//! artifact store at `DIR` (same cache `fpa-report --store` and
+//! `fpa-serve` use), so replaying a corpus or re-running a campaign
+//! skips recompiling sources the store has seen. Reports stay
+//! byte-identical with or without a store: the JSON carries the
+//! *deterministic* `store_requests`/`store_repeats` counters, while the
+//! live hit/miss tallies go to stderr.
 //!
 //! The default mode runs a **coverage-guided campaign**: the case budget
 //! splits across independent feedback lineages whose grammar-weight
@@ -39,7 +47,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: fpa-fuzz [--cases M] [--seed S] [--jobs N] [--lineages L]\n\
-         \x20               [--shards N --shard-id K] [--blind]\n\
+         \x20               [--shards N --shard-id K] [--blind] [--store DIR]\n\
          \x20               [--corpus DIR | --no-corpus] [--json PATH]\n\
          \x20      fpa-fuzz merge SHARD.json... [--json PATH] [--corpus DIR]\n\
          \x20      fpa-fuzz distill [--cases M] [--seed S] [--jobs N] [--lineages L]\n\
@@ -56,6 +64,7 @@ struct Options {
     shards: u32,
     shard_id: Option<u32>,
     blind: bool,
+    store: Option<PathBuf>,
     corpus: Option<PathBuf>,
     json_path: Option<PathBuf>,
     out_dir: PathBuf,
@@ -71,6 +80,7 @@ fn parse_options(args: &[String]) -> Options {
         shards: 1,
         shard_id: None,
         blind: false,
+        store: None,
         corpus: Some(PathBuf::from("fuzz/corpus")),
         json_path: None,
         out_dir: PathBuf::from("fuzz/corpus/coverage"),
@@ -105,6 +115,7 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--shard-id" => o.shard_id = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             "--blind" => o.blind = true,
+            "--store" => o.store = Some(PathBuf::from(take(&mut i))),
             "--corpus" => o.corpus = Some(PathBuf::from(take(&mut i))),
             "--no-corpus" => o.corpus = None,
             "--json" => o.json_path = Some(PathBuf::from(take(&mut i))),
@@ -116,6 +127,37 @@ fn parse_options(args: &[String]) -> Options {
         i += 1;
     }
     o
+}
+
+/// Installs the ambient artifact store when `--store` was given; every
+/// oracle suite build then goes through it.
+fn init_store(o: &Options) -> Result<(), ExitCode> {
+    let Some(dir) = &o.store else { return Ok(()) };
+    match fpa_harness::ArtifactStore::open(dir) {
+        Ok(store) => {
+            fpa_harness::set_ambient(Some(std::sync::Arc::new(store)));
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!(
+                "fpa-fuzz: cannot open artifact store {}: {e}",
+                dir.display()
+            );
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Prints the live (nondeterministic) store tallies to stderr; the
+/// deterministic counters live in the JSON report.
+fn report_store_stats() {
+    if let Some(store) = fpa_harness::artifact::ambient() {
+        let s = store.stats();
+        eprintln!(
+            "fpa-fuzz: store: {} mem hit(s), {} disk hit(s), {} miss(es), {} coalesced, {} corrupt evicted",
+            s.hits_mem, s.hits_disk, s.misses, s.coalesced, s.corrupt_evicted
+        );
+    }
 }
 
 fn write_json(path: &Path, j: &Json) -> Result<(), ExitCode> {
@@ -162,6 +204,10 @@ fn report_merged(report: &MergedReport, secs: f64, jobs: usize) -> ExitCode {
         report.offloaded_cases, report.total_augmented
     );
     println!("  retired (conv)        {:>8}", report.total_retired);
+    println!(
+        "  store requests        {:>8}   ({} repeated suite keys)",
+        report.store_requests, report.store_repeats
+    );
     if report.ok() {
         println!("  divergences           {:>8}", 0);
         ExitCode::SUCCESS
@@ -232,6 +278,9 @@ fn cmd_merge(o: &Options) -> ExitCode {
 }
 
 fn cmd_distill(o: &Options) -> ExitCode {
+    if let Err(code) = init_store(o) {
+        return code;
+    }
     let cfg = CampaignConfig {
         cases: o.cases,
         base_seed: o.seed,
@@ -246,6 +295,7 @@ fn cmd_distill(o: &Options) -> ExitCode {
     let shard = run_campaign(&cfg);
     let merged = merge_shards(std::slice::from_ref(&shard)).expect("single shard always merges");
     let secs = start.elapsed().as_secs_f64();
+    report_store_stats();
 
     let distilled = fpa_fuzz::distill(&merged.novel);
     println!(
@@ -283,6 +333,9 @@ fn cmd_distill(o: &Options) -> ExitCode {
 }
 
 fn cmd_blind(o: &Options) -> ExitCode {
+    if let Err(code) = init_store(o) {
+        return code;
+    }
     let cfg = FuzzConfig {
         cases: o.cases,
         base_seed: o.seed,
@@ -293,6 +346,7 @@ fn cmd_blind(o: &Options) -> ExitCode {
     let start = std::time::Instant::now();
     let summary = run_fuzz(&cfg);
     let secs = start.elapsed().as_secs_f64();
+    report_store_stats();
 
     println!(
         "fpa-fuzz: {} cases (blind), seed {:#x}, {} jobs, {:.1}s",
@@ -310,6 +364,10 @@ fn cmd_blind(o: &Options) -> ExitCode {
         summary.offloaded_cases, summary.total_augmented
     );
     println!("  retired (conv)        {:>8}", summary.total_retired);
+    println!(
+        "  store requests        {:>8}   ({} repeated suite keys)",
+        summary.store_requests, summary.store_repeats
+    );
 
     if let Some(path) = &o.json_path {
         if let Err(code) = write_json(path, &summary.to_json()) {
@@ -342,6 +400,9 @@ fn cmd_blind(o: &Options) -> ExitCode {
 }
 
 fn cmd_campaign(o: &Options) -> ExitCode {
+    if let Err(code) = init_store(o) {
+        return code;
+    }
     let shard_id = o.shard_id.unwrap_or(0);
     if o.shards > 1 && o.shard_id.is_none() {
         eprintln!("fpa-fuzz: --shards requires --shard-id");
@@ -367,6 +428,7 @@ fn cmd_campaign(o: &Options) -> ExitCode {
     let start = std::time::Instant::now();
     let shard = run_campaign(&cfg);
     let secs = start.elapsed().as_secs_f64();
+    report_store_stats();
 
     if o.shards > 1 {
         // Shard mode: emit the shard report; merging (and corpus

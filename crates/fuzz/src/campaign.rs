@@ -207,6 +207,13 @@ pub struct LineageResult {
     pub timing_checked: u64,
     /// Binaries statically linted.
     pub lint_checked: u64,
+    /// Suite builds routed through the artifact-store path (one per
+    /// case; shrink replays are not counted).
+    pub store_requests: u64,
+    /// Cases whose suite key repeated an earlier case of this lineage —
+    /// deterministic cache-traffic telemetry (lineage-local by
+    /// construction, so it merges identically under any shard split).
+    pub store_repeats: u64,
     /// Source lines summed over all cases (for mean-lines reporting).
     pub total_lines: u64,
     /// Minimized failures, in step order.
@@ -228,6 +235,8 @@ impl LineageResult {
         o.set("advanced_builds", self.advanced_builds);
         o.set("timing_checked", self.timing_checked);
         o.set("lint_checked", self.lint_checked);
+        o.set("store_requests", self.store_requests);
+        o.set("store_repeats", self.store_repeats);
         o.set("total_lines", self.total_lines);
         o.set(
             "failures",
@@ -265,6 +274,8 @@ impl LineageResult {
             advanced_builds: v.get("advanced_builds")?.as_u64()?,
             timing_checked: v.get("timing_checked")?.as_u64()?,
             lint_checked: v.get("lint_checked")?.as_u64()?,
+            store_requests: v.get("store_requests")?.as_u64()?,
+            store_repeats: v.get("store_repeats")?.as_u64()?,
             total_lines: v.get("total_lines")?.as_u64()?,
             failures,
             novel,
@@ -291,12 +302,13 @@ pub struct ShardReport {
 }
 
 impl ShardReport {
-    /// Machine-readable shard report (schema `fpa-fuzz-shard`, v1).
+    /// Machine-readable shard report (schema `fpa-fuzz-shard`, v2; v1
+    /// lacked the per-lineage `store_*` counters).
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
         j.set("schema", "fpa-fuzz-shard");
-        j.set("version", 1.0);
+        j.set("version", 2.0);
         j.set("cases", u64::from(self.cases));
         j.set("base_seed", format!("{:#x}", self.base_seed));
         j.set("lineages", u64::from(self.lineages));
@@ -359,6 +371,11 @@ pub struct MergedReport {
     pub timing_checked: u64,
     /// Binaries statically linted.
     pub lint_checked: u64,
+    /// Suite builds routed through the artifact-store path.
+    pub store_requests: u64,
+    /// Requests whose suite key repeated an earlier case of the same
+    /// lineage (answered by a warm store without compiling).
+    pub store_repeats: u64,
     /// Mean source lines per case.
     pub mean_lines: f64,
     /// All failures, ordered by `(lineage, step)`.
@@ -374,14 +391,15 @@ impl MergedReport {
         self.failures.is_empty()
     }
 
-    /// Machine-readable campaign report (schema `fpa-fuzz-report`, v2 —
-    /// v1 is the blind driver's). Canonical: equal campaigns render
-    /// byte-identically.
+    /// Machine-readable campaign report (schema `fpa-fuzz-report`, v3 —
+    /// v2 is the blind driver's; earlier campaign reports were v2
+    /// without the `store_*` counters). Canonical: equal campaigns
+    /// render byte-identically.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
         j.set("schema", "fpa-fuzz-report");
-        j.set("version", 2.0);
+        j.set("version", 3.0);
         j.set("cases", u64::from(self.cases));
         j.set("base_seed", format!("{:#x}", self.base_seed));
         j.set("lineages", u64::from(self.lineages));
@@ -393,6 +411,8 @@ impl MergedReport {
         j.set("advanced_builds", self.advanced_builds);
         j.set("timing_checked", self.timing_checked);
         j.set("lint_checked", self.lint_checked);
+        j.set("store_requests", self.store_requests);
+        j.set("store_repeats", self.store_repeats);
         j.set("mean_lines", self.mean_lines);
         j.set(
             "failures",
@@ -474,10 +494,16 @@ fn run_lineage(cfg: &CampaignConfig, lineage: u32) -> LineageResult {
         advanced_builds: 0,
         timing_checked: 0,
         lint_checked: 0,
+        store_requests: 0,
+        store_repeats: 0,
         total_lines: 0,
         failures: Vec::new(),
         novel: Vec::new(),
     };
+    // Lineage-local suite-key history: cache-traffic telemetry stays a
+    // pure function of this lineage's cases, whatever shard runs it.
+    let mut seen_keys: std::collections::HashSet<fpa_harness::artifact::Key> =
+        std::collections::HashSet::new();
 
     for step in 0..steps {
         // Genome selection: fresh (lineage base config, new seed) while
@@ -519,7 +545,12 @@ fn run_lineage(cfg: &CampaignConfig, lineage: u32) -> LineageResult {
         let prog = genome.program();
         let lines = prog.source_lines();
         out.total_lines += lines as u64;
-        match check_case(&prog.render()) {
+        let src = prog.render();
+        out.store_requests += 1;
+        if !seen_keys.insert(crate::oracle::case_store_key(&src)) {
+            out.store_repeats += 1;
+        }
+        match check_case(&src) {
             Ok(checked) => {
                 let stats = checked.stats;
                 if stats.advanced_augmented > 0 {
@@ -652,6 +683,8 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<MergedReport, MergeError> 
         advanced_builds: 0,
         timing_checked: 0,
         lint_checked: 0,
+        store_requests: 0,
+        store_repeats: 0,
         mean_lines: 0.0,
         failures: Vec::new(),
         novel: Vec::new(),
@@ -667,6 +700,8 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<MergedReport, MergeError> 
         merged.advanced_builds += r.advanced_builds;
         merged.timing_checked += r.timing_checked;
         merged.lint_checked += r.lint_checked;
+        merged.store_requests += r.store_requests;
+        merged.store_repeats += r.store_repeats;
         total_lines += r.total_lines;
         total_steps += u64::from(r.steps);
         merged.failures.extend(r.failures.iter().cloned());
@@ -736,6 +771,8 @@ mod tests {
             advanced_builds: 0,
             timing_checked: 0,
             lint_checked: 0,
+            store_requests: 0,
+            store_repeats: 0,
             total_lines: 0,
             failures: Vec::new(),
             novel: Vec::new(),

@@ -16,12 +16,14 @@ use crate::ast::GProgram;
 use crate::corpus::Reproducer;
 use crate::coverage::{CoverageMap, CoverageSignature};
 use crate::gen::{generate, GenConfig};
-use crate::oracle::{check_case, check_source, OracleStats};
+use crate::oracle::{case_store_key, check_case, check_source, OracleStats};
 use crate::shrink;
+use fpa_harness::artifact::Key;
 use fpa_harness::cell::CellId;
 use fpa_harness::engine::parallel_map;
 use fpa_harness::json::Json;
 use fpa_testutil::Rng;
+use std::collections::HashSet;
 use std::path::PathBuf;
 
 /// Campaign configuration.
@@ -131,6 +133,14 @@ pub struct FuzzSummary {
     pub timing_checked: u64,
     /// Binaries statically verified by the partition-soundness linter.
     pub lint_checked: u64,
+    /// Suite builds routed through the artifact-store path (one per
+    /// case; shrink replays are not counted).
+    pub store_requests: u64,
+    /// Cases whose suite key repeated an earlier case of this run — the
+    /// requests a warm artifact store answers without compiling.
+    /// Derived from the generated sources alone, so the summary stays
+    /// byte-identical with or without a store configured.
+    pub store_repeats: u64,
     /// Union of per-case structural coverage signatures (see
     /// [`crate::coverage`]) — the blind baseline the coverage-guided
     /// campaign engine is measured against.
@@ -146,12 +156,13 @@ impl FuzzSummary {
         self.failures.is_empty()
     }
 
-    /// Machine-readable summary (schema `fpa-fuzz-report`, v1).
+    /// Machine-readable summary (schema `fpa-fuzz-report`, v2; v1 lacked
+    /// the `store_*` cache-traffic counters).
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
         j.set("schema", "fpa-fuzz-report");
-        j.set("version", 1.0);
+        j.set("version", 2.0);
         j.set("cases", u64::from(self.cases));
         j.set("base_seed", format!("{:#x}", self.base_seed));
         j.set("offloaded_cases", u64::from(self.offloaded_cases));
@@ -160,6 +171,8 @@ impl FuzzSummary {
         j.set("advanced_builds", self.advanced_builds);
         j.set("timing_checked", self.timing_checked);
         j.set("lint_checked", self.lint_checked);
+        j.set("store_requests", self.store_requests);
+        j.set("store_repeats", self.store_repeats);
         j.set("coverage_features", self.coverage.len());
         j.set("mean_lines", self.mean_lines);
         let fails: Vec<Json> = self
@@ -191,10 +204,12 @@ enum CaseOutcome {
         stats: OracleStats,
         signature: CoverageSignature,
         lines: usize,
+        key: Key,
     },
     Fail {
         failure: Box<CaseFailure>,
         signature: CoverageSignature,
+        key: Key,
     },
 }
 
@@ -202,11 +217,14 @@ fn run_case(case: u32, cfg: &FuzzConfig) -> CaseOutcome {
     let seed = case_seed(cfg.base_seed, case);
     let prog = generate(&mut Rng::new(seed), &cfg.gen);
     let lines = prog.source_lines();
-    match check_case(&prog.render()) {
+    let src = prog.render();
+    let key = case_store_key(&src);
+    match check_case(&src) {
         Ok(checked) => CaseOutcome::Pass {
             stats: checked.stats,
             signature: checked.signature,
             lines,
+            key,
         },
         Err(first) => {
             // Minimize, holding the failure *kind* fixed so shrinking
@@ -232,6 +250,7 @@ fn run_case(case: u32, cfg: &FuzzConfig) -> CaseOutcome {
                     minimized_source: min.render(),
                 }),
                 signature,
+                key,
             }
         }
     }
@@ -251,13 +270,24 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
         ..FuzzSummary::default()
     };
     let mut total_lines = 0usize;
+    // Cache-traffic accounting folds in case order: a repeated suite key
+    // is a request a warm store answers without compiling.
+    let mut seen_keys: HashSet<Key> = HashSet::new();
+    let mut count_key = |summary: &mut FuzzSummary, key: Key| {
+        summary.store_requests += 1;
+        if !seen_keys.insert(key) {
+            summary.store_repeats += 1;
+        }
+    };
     for o in outcomes {
         match o {
             CaseOutcome::Pass {
                 stats,
                 signature,
                 lines,
+                key,
             } => {
+                count_key(&mut summary, key);
                 total_lines += lines;
                 if stats.advanced_augmented > 0 {
                     summary.offloaded_cases += 1;
@@ -269,7 +299,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
                 summary.lint_checked += u64::from(stats.lint_checked);
                 summary.coverage.add(&signature);
             }
-            CaseOutcome::Fail { failure, signature } => {
+            CaseOutcome::Fail {
+                failure,
+                signature,
+                key,
+            } => {
+                count_key(&mut summary, key);
                 total_lines += failure.original_lines;
                 summary.coverage.add(&signature);
                 summary.failures.push(*failure);

@@ -47,6 +47,7 @@ pub use distill::{distill, union_coverage, write_pins, DistilledCase, NovelCase}
 pub use driver::{case_seed, parse_seed, run_fuzz, CaseFailure, FuzzConfig, FuzzSummary};
 pub use gen::{generate, GenConfig, GenWeights};
 pub use oracle::{
-    check_case, check_source, CheckedCase, FailureKind, OracleFailure, OracleStats, COST_SWEEP,
+    case_store_key, check_case, check_source, CheckedCase, FailureKind, OracleFailure, OracleStats,
+    COST_SWEEP,
 };
 pub use shrink::{candidates, minimize};

@@ -32,7 +32,7 @@
 use fpa_harness::cell::{
     run_cells, CellError, CellId, CellMode, CellSource, CellSpec, WidthPreset,
 };
-use fpa_harness::{Compiler, Scheme};
+use fpa_harness::{build_suite_cached, Compiler, Scheme};
 use fpa_partition::CostParams;
 use fpa_sim::run_functional;
 use std::fmt;
@@ -313,6 +313,17 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
     check_case(src).map(|c| c.stats)
 }
 
+/// The artifact-store key this case's suite build is cached under
+/// (default cost parameters — the oracle's suite configuration).
+/// Campaign drivers count duplicate keys per evolution chain to report
+/// cache traffic deterministically: the counts depend only on the
+/// generated sources, never on shard splits, job counts, or what a
+/// shared store already holds.
+#[must_use]
+pub fn case_store_key(src: &str) -> fpa_harness::artifact::Key {
+    fpa_harness::artifact::suite_key(src, &CostParams::default())
+}
+
 /// [`check_source`] plus coverage extraction: the structural signature
 /// of the suite artifacts rides back with the stats. This is the entry
 /// point the campaign engine uses — the signature is a pure function of
@@ -322,10 +333,12 @@ pub fn check_source(src: &str) -> Result<OracleStats, OracleFailure> {
 ///
 /// Returns the first [`OracleFailure`] found.
 pub fn check_case(src: &str) -> Result<CheckedCase, OracleFailure> {
-    // One frontend pass, four builds, plus the golden interpreter run.
-    let suite = Compiler::new(src)
-        .build_suite()
-        .map_err(|e| OracleFailure {
+    // One frontend pass, four builds, plus the golden interpreter run —
+    // through the ambient artifact store when one is configured
+    // (`FPA_STORE_DIR`), so corpus replays and duplicate-heavy campaigns
+    // compile each distinct source once.
+    let (suite, _store) =
+        build_suite_cached(src, &CostParams::default()).map_err(|e| OracleFailure {
             kind: FailureKind::Build,
             config: e
                 .scheme()

@@ -8,6 +8,7 @@
 //!            [--check]           # lockstep co-simulation + invariant sweep
 //!            [--lint]            # partition-soundness lint sweep
 //!            [--workloads A,B]   # restrict --check/--lint to named workloads
+//!            [--store DIR]       # persistent artifact store (compile cache)
 //! ```
 //!
 //! Workloads are compiled once into a shared artifact store
@@ -33,7 +34,7 @@ use fpa_partition::CostParams;
 fn usage() -> ! {
     eprintln!(
         "usage: fpa-report [table1|table2|fig8|fig9|fig10|overheads|optgap|ablation|fp|all] \
-         [--jobs N] [--json [PATH]] [--check] [--lint] [--workloads A,B]"
+         [--jobs N] [--json [PATH]] [--check] [--lint] [--workloads A,B] [--store DIR]"
     );
     std::process::exit(2)
 }
@@ -46,6 +47,7 @@ fn main() {
     let mut check = false;
     let mut lint = false;
     let mut workloads: Option<Vec<String>> = None;
+    let mut store_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +65,10 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--store" => {
+                i += 1;
+                store_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
             "--json" => {
                 // Optional value: `--json out.json` or bare `--json`.
                 json_path = match args.get(i + 1) {
@@ -77,6 +83,13 @@ fn main() {
             _ => usage(),
         }
         i += 1;
+    }
+    if let Some(dir) = &store_dir {
+        let store = fpa_harness::ArtifactStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("fpa-report: cannot open artifact store {dir}: {e}");
+            std::process::exit(1);
+        });
+        fpa_harness::set_ambient(Some(std::sync::Arc::new(store)));
     }
     if check {
         run_check(workloads.as_deref(), jobs, what.as_deref());

@@ -226,7 +226,7 @@ pub struct Artifacts {
 /// One workload compiled under all four schemes from a **single**
 /// frontend pass (the advanced and optimal schemes' destructive
 /// transforms each run on their own clone of the optimized module).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteArtifacts {
     /// Conventional binary (no offloading).
     pub conventional: Program,

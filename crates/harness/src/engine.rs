@@ -15,6 +15,7 @@
 //! back ([`MatrixReport::from_json`]) with the hand-rolled `crate::json`
 //! reader/writer.
 
+use crate::artifact::StoreOutcome;
 use crate::cell::{run_cells, CellError, CellId, CellMode, CellSpec, WidthPreset};
 use crate::compiler::{frontend_runs, Scheme, StageTimings};
 use crate::experiments::{
@@ -22,7 +23,7 @@ use crate::experiments::{
     FUNC_FUEL, TIMING_FUEL,
 };
 use crate::json::Json;
-use crate::pipeline::{build, BuildError, CompiledWorkload};
+use crate::pipeline::{build_traced, BuildError, CompiledWorkload};
 use fpa_partition::CostParams;
 use fpa_sim::EventCounters;
 use fpa_workloads::Workload;
@@ -96,6 +97,9 @@ pub struct RunTelemetry {
     pub copies_retired: u64,
     /// Static copies the advanced partition placed (IR-level).
     pub static_copies: usize,
+    /// How the artifact store satisfied this workload's build
+    /// ([`StoreOutcome::Disabled`] when no store was configured).
+    pub store: StoreOutcome,
     /// Pipeline event counters from the advanced 4-way run (fetches,
     /// dispatches, per-class issues, writebacks, retirements), recorded
     /// by the co-simulation observer hooks.
@@ -107,8 +111,15 @@ pub struct RunTelemetry {
 pub struct MatrixReport {
     /// Worker threads used.
     pub jobs: usize,
-    /// Frontend executions the builds consumed (one per workload).
+    /// Frontend executions the builds consumed (one per uncached
+    /// workload; zero when every build hit the artifact store).
     pub frontend_runs: u64,
+    /// Builds served from the artifact store (either tier).
+    pub store_hits: u64,
+    /// Builds that ran the compiler (store misses, or store disabled).
+    pub store_misses: u64,
+    /// Builds that shared a concurrent request's in-flight compile.
+    pub store_coalesced: u64,
     /// Wall-clock seconds spent building the artifact store.
     pub build_seconds: f64,
     /// Wall-clock seconds spent on the simulation matrix.
@@ -134,6 +145,7 @@ pub struct MatrixReport {
 #[derive(Debug)]
 pub struct ExperimentContext {
     compiled: Vec<CompiledWorkload>,
+    outcomes: Vec<StoreOutcome>,
     jobs: usize,
     build_seconds: f64,
     frontend_runs: u64,
@@ -154,18 +166,28 @@ impl ExperimentContext {
     ) -> Result<ExperimentContext, BuildError> {
         let runs_before = frontend_runs();
         let t = Instant::now();
-        let built = parallel_map(set, jobs, |w| build(w, params));
+        let built = parallel_map(set, jobs, |w| build_traced(w, params));
         let build_seconds = t.elapsed().as_secs_f64();
         let mut compiled = Vec::with_capacity(built.len());
+        let mut outcomes = Vec::with_capacity(built.len());
         for (w, r) in set.iter().zip(built) {
-            compiled.push(r.map_err(|e| e.in_workload(&w.name))?);
+            let (c, outcome) = r.map_err(|e| e.in_workload(&w.name))?;
+            compiled.push(c);
+            outcomes.push(outcome);
         }
         Ok(ExperimentContext {
             compiled,
+            outcomes,
             jobs,
             build_seconds,
             frontend_runs: frontend_runs() - runs_before,
         })
+    }
+
+    /// Per-workload artifact-store outcomes, in workload order.
+    #[must_use]
+    pub fn store_outcomes(&self) -> &[StoreOutcome] {
+        &self.outcomes
     }
 
     /// The shared artifact store, in workload order.
@@ -257,7 +279,12 @@ impl ExperimentContext {
         let mut fig10 = Vec::with_capacity(n);
         let mut overheads = Vec::with_capacity(n);
         let mut telemetry = Vec::with_capacity(n);
-        for (c, r) in self.compiled.iter().zip(results.chunks_exact(10)) {
+        for ((c, outcome), r) in self
+            .compiled
+            .iter()
+            .zip(&self.outcomes)
+            .zip(results.chunks_exact(10))
+        {
             let tm = |i: usize| r[i].payload.timing().expect("timing cell");
             let fr = |i: usize| r[i].payload.functional().expect("functional cell");
             fig10.push(speedup_row_from(&c.name, tm(0), tm(1), tm(2)));
@@ -273,14 +300,20 @@ impl ExperimentContext {
                 fp_window_occupancy: adv.fp_window_occupancy(),
                 copies_retired: adv.copies_retired,
                 static_copies: c.advanced_stats.static_copies,
+                store: *outcome,
                 events: *r[5].payload.events().expect("observed cell"),
             });
             overheads.push(overhead_row_from(c, fr(9), fr(8), tm(6), adv));
             fig8.push(fig8_row_from(&c.name, fr(7), fr(8)));
         }
+        let count =
+            |f: fn(StoreOutcome) -> bool| self.outcomes.iter().filter(|o| f(**o)).count() as u64;
         Ok(MatrixReport {
             jobs: self.jobs,
             frontend_runs: self.frontend_runs,
+            store_hits: count(|o| matches!(o, StoreOutcome::MemHit | StoreOutcome::DiskHit)),
+            store_misses: count(|o| matches!(o, StoreOutcome::Miss | StoreOutcome::Disabled)),
+            store_coalesced: count(|o| matches!(o, StoreOutcome::Coalesced)),
             build_seconds: self.build_seconds,
             matrix_seconds: t.elapsed().as_secs_f64(),
             fig8,
@@ -357,6 +390,7 @@ impl RunTelemetry {
             .set("fp_window_occupancy", self.fp_window_occupancy)
             .set("copies_retired", self.copies_retired)
             .set("static_copies", self.static_copies)
+            .set("store", self.store.label())
             .set("events", events_to_json(&self.events));
         o
     }
@@ -376,6 +410,7 @@ impl RunTelemetry {
             fp_window_occupancy: v.get("fp_window_occupancy")?.as_f64()?,
             copies_retired: v.get("copies_retired")?.as_u64()?,
             static_copies: v.get("static_copies")?.as_u64()? as usize,
+            store: StoreOutcome::from_label(v.get("store")?.as_str()?)?,
             events: events_from_json(v.get("events")?)?,
         })
     }
@@ -446,8 +481,10 @@ fn overhead_from_json(v: &Json) -> Option<OverheadRow> {
 impl MatrixReport {
     /// Schema identifier written into every report.
     pub const SCHEMA: &'static str = "fpa-matrix-report";
-    /// Schema version.
-    pub const VERSION: u64 = 1;
+    /// Schema version. v2 added artifact-store observability
+    /// (`store_hits`/`store_misses`/`store_coalesced`, per-workload
+    /// `store` labels in telemetry).
+    pub const VERSION: u64 = 2;
 
     /// Serializes to the `BENCH_*.json`-compatible JSON document.
     #[must_use]
@@ -458,6 +495,9 @@ impl MatrixReport {
             .set("version", Self::VERSION)
             .set("jobs", self.jobs)
             .set("frontend_runs", self.frontend_runs)
+            .set("store_hits", self.store_hits)
+            .set("store_misses", self.store_misses)
+            .set("store_coalesced", self.store_coalesced)
             .set("build_seconds", self.build_seconds)
             .set("matrix_seconds", self.matrix_seconds)
             .set("fig8", arr(self.fig8.iter().map(fig8_to_json).collect()))
@@ -492,6 +532,9 @@ impl MatrixReport {
         Some(MatrixReport {
             jobs: v.get("jobs")?.as_u64()? as usize,
             frontend_runs: v.get("frontend_runs")?.as_u64()?,
+            store_hits: v.get("store_hits")?.as_u64()?,
+            store_misses: v.get("store_misses")?.as_u64()?,
+            store_coalesced: v.get("store_coalesced")?.as_u64()?,
             build_seconds: v.get("build_seconds")?.as_f64()?,
             matrix_seconds: v.get("matrix_seconds")?.as_f64()?,
             fig8: list(v, "fig8", fig8_from_json)?,

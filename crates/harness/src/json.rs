@@ -97,6 +97,48 @@ impl Json {
         out
     }
 
+    /// Serializes to a single line with no whitespace (and so no
+    /// embedded newlines — strings escape them), for line-delimited
+    /// protocols like the `fpa-serve` wire format. Parses back to the
+    /// same value as [`Json::render`] output.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -479,6 +521,21 @@ mod tests {
             let back = Json::parse(&v.render()).unwrap();
             assert_eq!(back.as_f64().unwrap().to_bits(), n.to_bits(), "{n}");
         }
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let mut o = Json::obj();
+        o.set("text", "a\nb").set("n", -17.125).set("z", 0u64);
+        o.set("arr", Json::Arr(vec![Json::Null, Json::Bool(false)]));
+        let v = Json::Obj(vec![("outer".to_string(), o)]);
+        let compact = v.render_compact();
+        assert!(!compact.contains('\n'), "compact output spans lines");
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        assert_eq!(
+            compact,
+            r#"{"outer":{"text":"a\nb","n":-17.125,"z":0,"arr":[null,false]}}"#
+        );
     }
 
     #[test]

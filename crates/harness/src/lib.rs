@@ -18,6 +18,7 @@
 //! fpa-report all
 //! ```
 
+pub mod artifact;
 pub mod cell;
 pub mod check;
 pub mod compiler;
@@ -27,7 +28,9 @@ pub mod json;
 pub mod lint;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
+pub use artifact::{build_suite_cached, set_ambient, ArtifactStore, StoreOutcome};
 pub use cell::{
     run_cells, CellError, CellId, CellMode, CellPayload, CellResult, CellSource, CellSpec,
     WidthPreset,
@@ -43,3 +46,4 @@ pub use experiments::{
 };
 pub use lint::{lint_matrix, lint_workload, LintRow};
 pub use pipeline::{build, BuildError, CompiledWorkload};
+pub use serve::{respond, respond_batch, serve};

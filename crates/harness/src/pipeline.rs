@@ -2,7 +2,8 @@
 //! (`crate::compiler`): one call builds a workload under all four
 //! regimes from a single frontend pass.
 
-use crate::compiler::{Compiler, Scheme, StageTimings};
+use crate::artifact::{build_suite_cached, StoreOutcome};
+use crate::compiler::{Scheme, StageTimings, SuiteArtifacts};
 use fpa_ir::{Module, Profile};
 use fpa_isa::Program;
 use fpa_partition::{Assignment, CostParams, PartitionStats};
@@ -57,6 +58,39 @@ pub struct CompiledWorkload {
 }
 
 impl CompiledWorkload {
+    /// Adapts a compiler [`SuiteArtifacts`] bundle (freshly built or
+    /// decoded from the artifact store) into the engine's workload form.
+    #[must_use]
+    pub fn from_suite(name: &str, suite: SuiteArtifacts) -> CompiledWorkload {
+        CompiledWorkload {
+            name: name.to_string(),
+            static_sizes: (
+                suite.conventional.static_size(),
+                suite.basic.static_size(),
+                suite.advanced.static_size(),
+                suite.optimal.static_size(),
+            ),
+            conventional: suite.conventional,
+            basic: suite.basic,
+            advanced: suite.advanced,
+            optimal: suite.optimal,
+            module: suite.module,
+            advanced_module: suite.advanced_module,
+            optimal_module: suite.optimal_module,
+            conv_assignment: suite.conv_assignment,
+            basic_assignment: suite.basic_assignment,
+            advanced_assignment: suite.advanced_assignment,
+            optimal_assignment: suite.optimal_assignment,
+            profile: suite.profile,
+            golden_output: suite.golden_output,
+            golden_exit: suite.golden_exit,
+            basic_stats: suite.basic_stats,
+            advanced_stats: suite.advanced_stats,
+            optimal_stats: suite.optimal_stats,
+            timings: suite.timings,
+        }
+    }
+
     /// Runs every scheme's binary through functional simulation and
     /// checks it against the golden interpreter run, propagating — not
     /// panicking on — any fault or divergence. The returned error names
@@ -144,40 +178,29 @@ impl CompiledWorkload {
 /// advanced and optimal schemes each transform a clone of the shared
 /// optimized module.
 ///
+/// Goes through the ambient artifact store when one is configured
+/// (`FPA_STORE_DIR` or [`crate::artifact::set_ambient`]); use
+/// [`build_traced`] to also observe whether the cache was hit.
+///
 /// # Errors
 ///
 /// Returns a [`BuildError`] if any stage fails.
 pub fn build(workload: &Workload, params: &CostParams) -> Result<CompiledWorkload, BuildError> {
-    let suite = Compiler::new(&workload.source)
-        .cost_params(*params)
-        .build_suite()?;
-    Ok(CompiledWorkload {
-        name: workload.name.to_string(),
-        static_sizes: (
-            suite.conventional.static_size(),
-            suite.basic.static_size(),
-            suite.advanced.static_size(),
-            suite.optimal.static_size(),
-        ),
-        conventional: suite.conventional,
-        basic: suite.basic,
-        advanced: suite.advanced,
-        optimal: suite.optimal,
-        module: suite.module,
-        advanced_module: suite.advanced_module,
-        optimal_module: suite.optimal_module,
-        conv_assignment: suite.conv_assignment,
-        basic_assignment: suite.basic_assignment,
-        advanced_assignment: suite.advanced_assignment,
-        optimal_assignment: suite.optimal_assignment,
-        profile: suite.profile,
-        golden_output: suite.golden_output,
-        golden_exit: suite.golden_exit,
-        basic_stats: suite.basic_stats,
-        advanced_stats: suite.advanced_stats,
-        optimal_stats: suite.optimal_stats,
-        timings: suite.timings,
-    })
+    build_traced(workload, params).map(|(c, _)| c)
+}
+
+/// [`build`] plus how the ambient artifact store satisfied the request
+/// ([`StoreOutcome::Disabled`] when no store is configured).
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] if any stage fails.
+pub fn build_traced(
+    workload: &Workload,
+    params: &CostParams,
+) -> Result<(CompiledWorkload, StoreOutcome), BuildError> {
+    let (suite, outcome) = build_suite_cached(&workload.source, params)?;
+    Ok((CompiledWorkload::from_suite(&workload.name, suite), outcome))
 }
 
 #[cfg(test)]

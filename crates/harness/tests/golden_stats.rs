@@ -20,14 +20,22 @@ use fpa_harness::compiler::StageTimings;
 use fpa_harness::engine::{ExperimentContext, MatrixReport};
 use fpa_partition::CostParams;
 
-/// Strips every nondeterministic (wall-clock) field.
+/// Strips every nondeterministic field: wall-clock times, plus the
+/// artifact-store counters (`frontend_runs` and the cache outcomes vary
+/// with `FPA_STORE_DIR` / prior store contents, never with the
+/// statistics under test).
 fn normalized(mut m: MatrixReport) -> MatrixReport {
     m.jobs = 0;
     m.build_seconds = 0.0;
     m.matrix_seconds = 0.0;
+    m.frontend_runs = 0;
+    m.store_hits = 0;
+    m.store_misses = 0;
+    m.store_coalesced = 0;
     for t in &mut m.telemetry {
         t.timings = StageTimings::default();
         t.sim_seconds = 0.0;
+        t.store = fpa_harness::StoreOutcome::Disabled;
     }
     m
 }

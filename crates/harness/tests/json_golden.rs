@@ -19,6 +19,9 @@ fn fixture() -> MatrixReport {
     MatrixReport {
         jobs: 4,
         frontend_runs: 2,
+        store_hits: 3,
+        store_misses: 4,
+        store_coalesced: 1,
         build_seconds: 0.125,
         matrix_seconds: 1.75,
         fig8: vec![
@@ -72,6 +75,7 @@ fn fixture() -> MatrixReport {
             fp_window_occupancy: 1.0625,
             copies_retired: 0,
             static_copies: 12,
+            store: fpa_harness::StoreOutcome::DiskHit,
             events: EventCounters {
                 fetched: 1_300_000,
                 dispatched: 1_250_000,

@@ -129,7 +129,7 @@ impl Block {
 
 /// A function: parameters, typed virtual registers, and a CFG of blocks.
 /// The entry block is [`BlockId::ENTRY`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// The function's name.
     pub name: String,
@@ -264,7 +264,7 @@ pub struct Global {
 }
 
 /// A whole program at the IR level.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Module {
     /// All functions. `main` must be present for execution.
     pub funcs: Vec<Function>,

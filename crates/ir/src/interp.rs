@@ -16,7 +16,7 @@ use crate::types::{Ty, Value};
 use std::fmt;
 
 /// Execution-count profile: `counts[func][block]`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     counts: Vec<Vec<u64>>,
 }
@@ -54,6 +54,19 @@ impl Profile {
 
     fn bump(&mut self, f: FuncId, b: BlockId) {
         self.counts[f.index()][b.index()] += 1;
+    }
+
+    /// The raw `counts[func][block]` table (for serialization).
+    #[must_use]
+    pub fn raw_counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Rebuilds a profile from a raw counts table (the inverse of
+    /// [`Profile::raw_counts`]).
+    #[must_use]
+    pub fn from_raw(counts: Vec<Vec<u64>>) -> Profile {
+        Profile { counts }
     }
 }
 

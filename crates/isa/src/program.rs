@@ -48,7 +48,7 @@ pub struct Symbol {
 /// p.code.push(Inst::bare(Op::Halt));
 /// assert_eq!(p.code.len(), 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     /// The instruction stream.
     pub code: Vec<Inst>,

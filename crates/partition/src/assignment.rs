@@ -15,7 +15,7 @@ use std::collections::HashMap;
 ///   Codegen allocates FPa-homed integer registers in the floating-point
 ///   file and emits `cp_to_fpa`/`cp_to_int` whenever a definition or use
 ///   crosses files.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncAssignment {
     /// Subsystem per instruction id (terminator branch/return ids
     /// included).
@@ -86,7 +86,7 @@ pub(crate) fn conventional_inst_side(func: &Function, inst: &fpa_ir::Inst) -> Su
 }
 
 /// A whole-module assignment, parallel to [`Module::funcs`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Per-function assignments, indexed like `module.funcs`.
     pub funcs: Vec<FuncAssignment>,

@@ -1,0 +1,105 @@
+//! Store maintenance CLI.
+//!
+//! ```text
+//! fpa-store stats --dir DIR              # entry count and total bytes
+//! fpa-store gc    --dir DIR --max-bytes N[K|M|G]
+//!                                        # shrink to N bytes, oldest first
+//! ```
+//!
+//! `gc` deletes the oldest entries (modification time, file name as the
+//! deterministic tie-break) until the directory fits the budget, and
+//! always sweeps stale tmp files left by crashed writers.
+
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: fpa-store <stats|gc> --dir DIR [--max-bytes N[K|M|G]]");
+    std::process::exit(2)
+}
+
+/// Parses a byte count with an optional K/M/G (binary) suffix.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_shl(shift)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage()
+    };
+    let mut dir: Option<PathBuf> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--max-bytes" => {
+                i += 1;
+                max_bytes = Some(
+                    parse_bytes(args.get(i).unwrap_or_else(|| usage())).unwrap_or_else(|| {
+                        eprintln!("fpa-store: bad byte count '{}'", args[i]);
+                        usage()
+                    }),
+                );
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let dir = dir.unwrap_or_else(|| usage());
+
+    match cmd {
+        "stats" => {
+            let s = fpa_store::disk_stats(&dir).unwrap_or_else(|e| {
+                eprintln!("fpa-store: {}: {e}", dir.display());
+                std::process::exit(1)
+            });
+            println!("dir:     {}", dir.display());
+            println!("entries: {}", s.entries);
+            println!("bytes:   {}", s.bytes);
+        }
+        "gc" => {
+            let max = max_bytes.unwrap_or_else(|| {
+                eprintln!("fpa-store: gc requires --max-bytes");
+                usage()
+            });
+            let r = fpa_store::gc(&dir, max).unwrap_or_else(|e| {
+                eprintln!("fpa-store: {}: {e}", dir.display());
+                std::process::exit(1)
+            });
+            println!(
+                "evicted {} entr{} ({} bytes); kept {} ({} bytes) within budget {max}",
+                r.evicted_entries,
+                if r.evicted_entries == 1 { "y" } else { "ies" },
+                r.evicted_bytes,
+                r.kept_entries,
+                r.kept_bytes
+            );
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bytes;
+
+    #[test]
+    fn byte_suffixes_parse() {
+        assert_eq!(parse_bytes("123"), Some(123));
+        assert_eq!(parse_bytes("2K"), Some(2048));
+        assert_eq!(parse_bytes("3m"), Some(3 << 20));
+        assert_eq!(parse_bytes("1G"), Some(1 << 30));
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+}

@@ -1,0 +1,290 @@
+//! A minimal, explicit binary codec for store payloads.
+//!
+//! Everything is little-endian and length-prefixed; there is no schema
+//! negotiation — the store key already pins the compiler fingerprint,
+//! so a payload is only ever decoded by the exact code revision that
+//! encoded it. Decoding is still fully checked (a corrupted entry must
+//! fail loudly, never panic or misread), and [`Decoder::finish`]
+//! rejects trailing bytes so truncation *and* padding are both errors.
+
+use std::fmt;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended mid-field.
+    Eof,
+    /// A field held an out-of-range or malformed value.
+    Invalid(&'static str),
+    /// Decoding finished with unread bytes left over.
+    Trailing,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => f.write_str("payload truncated"),
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+            CodecError::Trailing => f.write_str("trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh, empty encoder.
+    #[must_use]
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the payload.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Encoder {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) -> &mut Encoder {
+        self.u8(u8::from(v))
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) -> &mut Encoder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) -> &mut Encoder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) -> &mut Encoder {
+        self.u64(v as u64)
+    }
+
+    /// Writes an `i32` by its two's-complement bit pattern.
+    pub fn i32(&mut self, v: i32) -> &mut Encoder {
+        self.u32(v as u32)
+    }
+
+    /// Writes an `f64` by its IEEE-754 bit pattern (lossless, including
+    /// NaN payloads and signed zero).
+    pub fn f64(&mut self, v: f64) -> &mut Encoder {
+        self.u64(v.to_bits())
+    }
+
+    /// Writes a length-prefixed byte field.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Encoder {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string field.
+    pub fn str(&mut self, v: &str) -> &mut Encoder {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Checked, position-tracking decoder over a payload slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding `buf` from the beginning.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Asserts the payload was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Trailing`] if unread bytes remain.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Eof)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Eof);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] if the payload is exhausted.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool (rejecting anything but 0/1).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] or [`CodecError::Invalid`].
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] if the payload is exhausted.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] if the payload is exhausted.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (a `u64` that must fit the platform).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] or [`CodecError::Invalid`] on overflow.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+
+    /// Reads an `i32` from its two's-complement bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] if the payload is exhausted.
+    pub fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] if the payload is exhausted.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte field.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] if the prefix or body is truncated.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string field.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Eof`] or [`CodecError::Invalid`] on bad UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::Invalid("utf-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_type() {
+        let mut e = Encoder::new();
+        e.u8(7)
+            .bool(true)
+            .bool(false)
+            .u32(0xdead_beef)
+            .u64(u64::MAX)
+            .usize(42)
+            .i32(-3)
+            .f64(-0.0)
+            .f64(f64::NAN)
+            .bytes(b"\x00\x01\x02")
+            .str("héllo");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.usize().unwrap(), 42);
+        assert_eq!(d.i32().unwrap(), -3);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.bytes().unwrap(), b"\x00\x01\x02");
+        assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_errors() {
+        let mut e = Encoder::new();
+        e.u64(1).str("abc");
+        let buf = e.finish();
+        // Truncated at every prefix length: must be Eof, never a panic.
+        for cut in 0..buf.len() {
+            let mut d = Decoder::new(&buf[..cut]);
+            let r = d.u64().and_then(|_| d.str().map(str::to_owned));
+            assert!(r.is_err() || cut == buf.len(), "cut at {cut} decoded");
+        }
+        let mut d = Decoder::new(&buf);
+        d.u64().unwrap();
+        assert_eq!(d.finish().unwrap_err(), CodecError::Trailing);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let mut d = Decoder::new(&[2]);
+        assert_eq!(d.bool().unwrap_err(), CodecError::Invalid("bool"));
+        let mut e = Encoder::new();
+        e.bytes(&[0xff, 0xfe]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.str().unwrap_err(), CodecError::Invalid("utf-8"));
+    }
+}

@@ -1,0 +1,886 @@
+//! Persistent content-addressed artifact store.
+//!
+//! A [`Store`] maps 128-bit content [`Key`]s to opaque byte payloads
+//! through two tiers:
+//!
+//! * an **in-memory LRU tier** bounded by a byte budget, and
+//! * an **on-disk directory tier** of one file per entry, written with
+//!   the atomic tmp+rename idiom and verified on every read against an
+//!   embedded payload digest — a torn, truncated, or bit-rotted entry
+//!   is detected, deleted, and transparently recomputed, never served.
+//!
+//! [`Store::get_or_compute`] adds **single-flight deduplication**: when
+//! N threads request the same missing key concurrently, exactly one (the
+//! *leader*) runs the compute closure; the rest block on the flight and
+//! share the leader's result. Compute failures are never cached — the
+//! waiters wake and retry as leaders themselves, so one transient
+//! failure cannot poison a key.
+//!
+//! The store is deliberately ignorant of what it holds: payload encoding
+//! lives with the types (see `fpa_harness::artifact`), and key
+//! derivation is the caller's job. Everything here is `std`-only.
+
+pub mod codec;
+pub mod hash;
+
+pub use hash::{hash_bytes, Hasher, Key};
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// On-disk entry magic.
+const MAGIC: [u8; 4] = *b"FPAS";
+
+/// On-disk entry format version. Bump when the header layout *or* the
+/// content hash function changes.
+const DISK_VERSION: u32 = 1;
+
+/// Entry header size: magic + version + key + payload digest + length.
+const HEADER_LEN: usize = 4 + 4 + 16 + 16 + 8;
+
+/// File extension of disk entries.
+const ENTRY_EXT: &str = "art";
+
+/// How a [`Store::get_or_compute`] request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from the in-memory tier.
+    HitMem,
+    /// Served from the disk tier (and promoted to memory).
+    HitDisk,
+    /// Computed by this request (the single-flight leader).
+    Miss,
+    /// Shared another in-flight request's compute.
+    Coalesced,
+}
+
+impl Outcome {
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::HitMem => "hit-mem",
+            Outcome::HitDisk => "hit-disk",
+            Outcome::Miss => "miss",
+            Outcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Monotonic request counters (see [`Store::stats`]).
+#[derive(Debug, Default)]
+struct StatsCells {
+    hits_mem: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    corrupt_evicted: AtomicU64,
+}
+
+/// A point-in-time copy of the store's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Requests served from the memory tier.
+    pub hits_mem: u64,
+    /// Requests served from the disk tier.
+    pub hits_disk: u64,
+    /// Requests that ran the compute closure.
+    pub misses: u64,
+    /// Requests that shared another request's in-flight compute.
+    pub coalesced: u64,
+    /// Disk entries evicted for failing verification (plus caller-
+    /// reported undecodable payloads, see [`Store::evict`]).
+    pub corrupt_evicted: u64,
+}
+
+impl StoreStats {
+    /// Total requests observed.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.hits_mem + self.hits_disk + self.misses + self.coalesced
+    }
+}
+
+/// The bounded in-memory LRU tier.
+#[derive(Debug, Default)]
+struct MemTier {
+    map: HashMap<Key, (Arc<Vec<u8>>, u64)>,
+    bytes: usize,
+    budget: usize,
+    tick: u64,
+}
+
+impl MemTier {
+    fn get(&mut self, key: Key) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(v, last)| {
+            *last = tick;
+            v.clone()
+        })
+    }
+
+    fn put(&mut self, key: Key, value: Arc<Vec<u8>>) {
+        if value.len() > self.budget {
+            return; // would evict everything and still not fit
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.map.insert(key, (value.clone(), self.tick)) {
+            self.bytes -= old.len();
+        }
+        self.bytes += value.len();
+        while self.bytes > self.budget {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(k, (_, last))| (*last, **k))
+                .map(|(k, _)| *k)
+                .expect("over budget implies non-empty");
+            let (v, _) = self.map.remove(&oldest).expect("key just observed");
+            self.bytes -= v.len();
+        }
+    }
+
+    fn remove(&mut self, key: Key) {
+        if let Some((v, _)) = self.map.remove(&key) {
+            self.bytes -= v.len();
+        }
+    }
+}
+
+/// State of one in-flight compute.
+#[derive(Debug)]
+enum FlightState {
+    Running,
+    Done(Arc<Vec<u8>>),
+    Failed,
+}
+
+/// One in-flight compute: waiters block on the condvar until the leader
+/// publishes a result or failure.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Running),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Marks the flight failed if the leader unwinds (panic or early error
+/// return) without publishing, so waiters never hang on a dead leader.
+struct LeaderGuard<'a> {
+    store: &'a Store,
+    key: Key,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.store.finish_flight(self.key, None);
+        }
+    }
+}
+
+/// The two-tier store. Cheap to share: wrap in an [`Arc`] and call from
+/// any number of threads.
+#[derive(Debug)]
+pub struct Store {
+    mem: Option<Mutex<MemTier>>,
+    dir: Option<PathBuf>,
+    flights: Mutex<HashMap<Key, Arc<Flight>>>,
+    stats: StatsCells,
+    tmp_counter: AtomicU64,
+}
+
+/// Default memory-tier budget (64 MiB — the full workload-suite compile
+/// matrix fits with room to spare).
+pub const DEFAULT_MEM_BUDGET: usize = 64 << 20;
+
+impl Store {
+    /// Opens (creating if needed) a disk-backed store with the default
+    /// memory budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        Store::open_with(dir, DEFAULT_MEM_BUDGET)
+    }
+
+    /// Opens a disk-backed store with an explicit memory budget.
+    /// A budget of `0` disables the memory tier entirely (every hit is
+    /// a verified disk read — useful for benchmarking the disk path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with(dir: impl AsRef<Path>, mem_budget: usize) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Store {
+            mem: (mem_budget > 0).then(|| {
+                Mutex::new(MemTier {
+                    budget: mem_budget,
+                    ..MemTier::default()
+                })
+            }),
+            dir: Some(dir),
+            flights: Mutex::new(HashMap::new()),
+            stats: StatsCells::default(),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// A purely in-memory store (no persistence).
+    #[must_use]
+    pub fn in_memory(mem_budget: usize) -> Store {
+        Store {
+            mem: Some(Mutex::new(MemTier {
+                budget: mem_budget.max(1),
+                ..MemTier::default()
+            })),
+            dir: None,
+            flights: Mutex::new(HashMap::new()),
+            stats: StatsCells::default(),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The disk directory, if this store has a disk tier.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The on-disk path of `key`'s entry (whether or not it exists).
+    #[must_use]
+    pub fn entry_path(&self, key: Key) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.{ENTRY_EXT}", key.to_hex())))
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits_mem: self.stats.hits_mem.load(Ordering::Relaxed),
+            hits_disk: self.stats.hits_disk.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            corrupt_evicted: self.stats.corrupt_evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn mem_get(&self, key: Key) -> Option<Arc<Vec<u8>>> {
+        self.mem
+            .as_ref()
+            .and_then(|m| m.lock().expect("mem tier poisoned").get(key))
+    }
+
+    fn mem_put(&self, key: Key, value: Arc<Vec<u8>>) {
+        if let Some(m) = &self.mem {
+            m.lock().expect("mem tier poisoned").put(key, value);
+        }
+    }
+
+    /// Looks `key` up, or computes and stores its value, deduplicating
+    /// concurrent computes for the same key (single flight).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error. Errors are never cached:
+    /// concurrent waiters on a failed flight retry the compute
+    /// themselves rather than sharing the failure.
+    pub fn get_or_compute<E>(
+        &self,
+        key: Key,
+        compute: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<(Arc<Vec<u8>>, Outcome), E> {
+        let mut compute = Some(compute);
+        loop {
+            if let Some(v) = self.mem_get(key) {
+                self.stats.hits_mem.fetch_add(1, Ordering::Relaxed);
+                return Ok((v, Outcome::HitMem));
+            }
+            // Join or found the flight for this key. The memory tier is
+            // re-checked *under* the flights lock: a leader publishes by
+            // removing its flight and then filling the memory tier, so
+            // without the re-check a request arriving between our mem
+            // miss and the flights lock could start a redundant compute.
+            let existing = {
+                let mut flights = self.flights.lock().expect("flights poisoned");
+                if let Some(v) = self.mem_get(key) {
+                    self.stats.hits_mem.fetch_add(1, Ordering::Relaxed);
+                    return Ok((v, Outcome::HitMem));
+                }
+                match flights.entry(key) {
+                    Entry::Occupied(e) => Some(e.get().clone()),
+                    Entry::Vacant(e) => {
+                        e.insert(Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+
+            if let Some(flight) = existing {
+                // Follower: wait for the leader to publish or fail.
+                let mut st = flight.state.lock().expect("flight poisoned");
+                while matches!(*st, FlightState::Running) {
+                    st = flight.cv.wait(st).expect("flight poisoned");
+                }
+                match &*st {
+                    FlightState::Done(v) => {
+                        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Ok((v.clone(), Outcome::Coalesced));
+                    }
+                    // The leader failed; loop and contend to lead the
+                    // retry (errors are never shared).
+                    FlightState::Failed => continue,
+                    FlightState::Running => unreachable!("wait loop exited while running"),
+                }
+            }
+
+            // Leader. The guard fails the flight if we unwind.
+            let mut guard = LeaderGuard {
+                store: self,
+                key,
+                armed: true,
+            };
+            if let Some(bytes) = self.disk_get(key) {
+                let v = Arc::new(bytes);
+                guard.armed = false;
+                self.finish_flight(key, Some(v.clone()));
+                self.stats.hits_disk.fetch_add(1, Ordering::Relaxed);
+                return Ok((v, Outcome::HitDisk));
+            }
+            let compute = compute.take().expect("leader role won at most once");
+            match compute() {
+                Ok(bytes) => {
+                    let v = Arc::new(bytes);
+                    self.disk_put(key, &v);
+                    guard.armed = false;
+                    self.finish_flight(key, Some(v.clone()));
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return Ok((v, Outcome::Miss));
+                }
+                Err(e) => {
+                    guard.armed = false;
+                    self.finish_flight(key, None);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Removes the key's flight and publishes `value` (or failure) to
+    /// its waiters; on success the value also enters the memory tier.
+    fn finish_flight(&self, key: Key, value: Option<Arc<Vec<u8>>>) {
+        let flight = self.flights.lock().expect("flights poisoned").remove(&key);
+        if let Some(v) = &value {
+            self.mem_put(key, v.clone());
+        }
+        if let Some(f) = flight {
+            *f.state.lock().expect("flight poisoned") = match value {
+                Some(v) => FlightState::Done(v),
+                None => FlightState::Failed,
+            };
+            f.cv.notify_all();
+        }
+    }
+
+    /// Inserts a value directly into both tiers (bypassing compute) —
+    /// the recovery path after a caller-side decode failure, and the
+    /// fixture path in tests.
+    pub fn insert(&self, key: Key, bytes: Vec<u8>) {
+        let v = Arc::new(bytes);
+        self.disk_put(key, &v);
+        self.mem_put(key, v);
+    }
+
+    /// Evicts a key from both tiers, counting it corrupt. Callers use
+    /// this when a verified payload still fails their own decoder (i.e.
+    /// the entry was written by an incompatible revision despite the
+    /// fingerprint, or the encoder itself was buggy).
+    pub fn evict(&self, key: Key) {
+        if let Some(m) = &self.mem {
+            m.lock().expect("mem tier poisoned").remove(key);
+        }
+        if let Some(path) = self.entry_path(key) {
+            let _ = fs::remove_file(path);
+        }
+        self.stats.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Verified disk read: `None` on absence *or* on any verification
+    /// failure (bad magic/version/key/digest/length) — the failing entry
+    /// is deleted and counted so it is recomputed, never served.
+    fn disk_get(&self, key: Key) -> Option<Vec<u8>> {
+        let path = self.entry_path(key)?;
+        let raw = match fs::read(&path) {
+            Ok(raw) => raw,
+            Err(_) => return None,
+        };
+        match decode_entry(&raw, key) {
+            Some(payload) => Some(payload),
+            None => {
+                let _ = fs::remove_file(&path);
+                self.stats.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Atomic disk write: full entry to a private tmp file, then a
+    /// rename into place. Concurrent writers of the same key race
+    /// harmlessly — both write identical bytes — and readers only ever
+    /// see a complete entry or none. Disk errors are swallowed: the
+    /// store degrades to compute-through rather than failing the build.
+    fn disk_put(&self, key: Key, payload: &[u8]) {
+        let Some(dir) = &self.dir else { return };
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let entry = encode_entry(key, payload);
+        let ok = fs::write(&tmp, &entry).is_ok() && fs::rename(&tmp, &path).is_ok();
+        if !ok {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Serializes one disk entry: header (magic, version, key, payload
+/// digest, payload length) followed by the payload.
+fn encode_entry(key: Key, payload: &[u8]) -> Vec<u8> {
+    let digest = hash_bytes(payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&DISK_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.0);
+    out.extend_from_slice(&digest.0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies and unwraps one disk entry; `None` on any mismatch.
+fn decode_entry(raw: &[u8], key: Key) -> Option<Vec<u8>> {
+    if raw.len() < HEADER_LEN || raw[..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+    if version != DISK_VERSION {
+        return None;
+    }
+    let stored_key = Key(raw[8..24].try_into().unwrap());
+    let digest = Key(raw[24..40].try_into().unwrap());
+    let len = u64::from_le_bytes(raw[40..48].try_into().unwrap());
+    let payload = &raw[HEADER_LEN..];
+    if stored_key != key || payload.len() as u64 != len || hash_bytes(payload) != digest {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+/// Disk-tier usage summary (see [`disk_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Entry files present.
+    pub entries: u64,
+    /// Their total size in bytes (headers included).
+    pub bytes: u64,
+}
+
+/// Result of one [`gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries surviving the sweep.
+    pub kept_entries: u64,
+    /// Bytes surviving the sweep.
+    pub kept_bytes: u64,
+    /// Entries deleted.
+    pub evicted_entries: u64,
+    /// Bytes deleted.
+    pub evicted_bytes: u64,
+}
+
+/// One entry file's identity for [`gc`] ordering: oldest first, file
+/// name as the deterministic tie-break.
+fn entry_files(dir: &Path) -> io::Result<Vec<(std::time::SystemTime, String, PathBuf, u64)>> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+            continue;
+        }
+        let meta = entry.metadata()?;
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified()?;
+        files.push((mtime, name, path, meta.len()));
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Sums the disk tier's entry files.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn disk_stats(dir: &Path) -> io::Result<DiskStats> {
+    let files = entry_files(dir)?;
+    Ok(DiskStats {
+        entries: files.len() as u64,
+        bytes: files.iter().map(|(_, _, _, len)| len).sum(),
+    })
+}
+
+/// Shrinks the disk tier to at most `max_bytes`, deleting the oldest
+/// entries first (modification time, then file name — a deterministic
+/// total order). Stale tmp files are always swept.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; individual deletions that fail
+/// are skipped (their bytes count as kept).
+pub fn gc(dir: &Path, max_bytes: u64) -> io::Result<GcReport> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    let files = entry_files(dir)?;
+    let total: u64 = files.iter().map(|(_, _, _, len)| len).sum();
+    let mut report = GcReport {
+        kept_entries: files.len() as u64,
+        kept_bytes: total,
+        ..GcReport::default()
+    };
+    let mut over = total.saturating_sub(max_bytes);
+    for (_, _, path, len) in &files {
+        if over == 0 {
+            break;
+        }
+        if fs::remove_file(path).is_ok() {
+            report.evicted_entries += 1;
+            report.evicted_bytes += len;
+            report.kept_entries -= 1;
+            report.kept_bytes -= len;
+            over = over.saturating_sub(*len);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::File;
+    use std::sync::atomic::AtomicU32;
+    use std::time::{Duration, SystemTime};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fpa-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn key(n: u8) -> Key {
+        hash_bytes(&[n])
+    }
+
+    #[test]
+    fn miss_then_mem_hit_then_disk_hit() {
+        let dir = tmpdir("tiers");
+        let store = Store::open(&dir).unwrap();
+        let k = key(1);
+        let (v, o) = store
+            .get_or_compute::<()>(k, || Ok(b"payload".to_vec()))
+            .unwrap();
+        assert_eq!((v.as_slice(), o), (b"payload".as_slice(), Outcome::Miss));
+        let (v, o) = store
+            .get_or_compute::<()>(k, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((v.as_slice(), o), (b"payload".as_slice(), Outcome::HitMem));
+
+        // A fresh store over the same directory: disk hit, then mem hit.
+        let store2 = Store::open(&dir).unwrap();
+        let (v, o) = store2
+            .get_or_compute::<()>(k, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((v.as_slice(), o), (b"payload".as_slice(), Outcome::HitDisk));
+        let (_, o) = store2
+            .get_or_compute::<()>(k, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(o, Outcome::HitMem);
+        let s = store2.stats();
+        assert_eq!((s.hits_disk, s.hits_mem, s.misses), (1, 1, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_budget() {
+        let store = Store::in_memory(100);
+        let payload = vec![0u8; 40];
+        for n in 1..=2 {
+            store
+                .get_or_compute::<()>(key(n), || Ok(payload.clone()))
+                .unwrap();
+        }
+        // Touch key 1 so key 2 is the LRU victim when key 3 overflows.
+        assert_eq!(
+            store
+                .get_or_compute::<()>(key(1), || panic!("hit expected"))
+                .unwrap()
+                .1,
+            Outcome::HitMem
+        );
+        store
+            .get_or_compute::<()>(key(3), || Ok(payload.clone()))
+            .unwrap();
+        assert_eq!(
+            store.get_or_compute::<()>(key(1), || Ok(vec![])).unwrap().1,
+            Outcome::HitMem,
+            "recently-used key survived"
+        );
+        assert_eq!(
+            store
+                .get_or_compute::<()>(key(2), || Ok(payload.clone()))
+                .unwrap()
+                .1,
+            Outcome::Miss,
+            "LRU key was evicted"
+        );
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_requests() {
+        let store = Arc::new(Store::in_memory(1 << 20));
+        let computes = Arc::new(AtomicU32::new(0));
+        let k = key(9);
+        const THREADS: usize = 8;
+        let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let store = store.clone();
+                    let computes = computes.clone();
+                    scope.spawn(move || {
+                        store
+                            .get_or_compute::<()>(k, || {
+                                computes.fetch_add(1, Ordering::SeqCst);
+                                // Widen the race window so followers pile up.
+                                std::thread::sleep(Duration::from_millis(30));
+                                Ok(b"shared".to_vec())
+                            })
+                            .unwrap()
+                            .1
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert_eq!(
+            outcomes.iter().filter(|o| **o == Outcome::Miss).count(),
+            1,
+            "exactly one leader"
+        );
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Outcome::Miss | Outcome::Coalesced | Outcome::HitMem)));
+        let s = store.stats();
+        assert_eq!(s.requests(), THREADS as u64);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn failed_computes_are_not_cached_and_waiters_retry() {
+        let store = Arc::new(Store::in_memory(1 << 20));
+        let k = key(7);
+        assert!(store
+            .get_or_compute(k, || Err::<Vec<u8>, &str>("transient"))
+            .is_err());
+        // The failure must not poison the key.
+        let (v, o) = store
+            .get_or_compute::<()>(k, || Ok(b"recovered".to_vec()))
+            .unwrap();
+        assert_eq!((v.as_slice(), o), (b"recovered".as_slice(), Outcome::Miss));
+
+        // Concurrent: one failing leader, every waiter retries and one
+        // of them succeeds.
+        let k2 = key(8);
+        let attempts = Arc::new(AtomicU32::new(0));
+        let values: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = store.clone();
+                    let attempts = attempts.clone();
+                    scope.spawn(move || loop {
+                        let n = attempts.fetch_add(1, Ordering::SeqCst);
+                        let r = store.get_or_compute(k2, || {
+                            std::thread::sleep(Duration::from_millis(10));
+                            if n == 0 {
+                                Err("first leader fails")
+                            } else {
+                                Ok(b"eventually".to_vec())
+                            }
+                        });
+                        if let Ok((v, _)) = r {
+                            return v.to_vec();
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|v| v == b"eventually"));
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_evicted_and_recomputed() {
+        let dir = tmpdir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        let k = key(3);
+        store
+            .get_or_compute::<()>(k, || Ok(b"good bytes".to_vec()))
+            .unwrap();
+        let path = store.entry_path(k).unwrap();
+
+        // Corruption: flip one payload byte.
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        fs::write(&path, &raw).unwrap();
+        let fresh = Store::open(&dir).unwrap();
+        let (v, o) = fresh
+            .get_or_compute::<()>(k, || Ok(b"good bytes".to_vec()))
+            .unwrap();
+        assert_eq!((v.as_slice(), o), (b"good bytes".as_slice(), Outcome::Miss));
+        assert_eq!(fresh.stats().corrupt_evicted, 1);
+
+        // Truncation: cut the entry mid-payload.
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 4]).unwrap();
+        let fresh = Store::open(&dir).unwrap();
+        let (_, o) = fresh
+            .get_or_compute::<()>(k, || Ok(b"good bytes".to_vec()))
+            .unwrap();
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(fresh.stats().corrupt_evicted, 1);
+
+        // Wrong key under the right digest: a renamed entry is rejected.
+        let other = key(4);
+        let entry = encode_entry(other, b"other payload");
+        fs::write(store.entry_path(k).unwrap(), entry).unwrap();
+        let fresh = Store::open(&dir).unwrap();
+        let (_, o) = fresh
+            .get_or_compute::<()>(k, || Ok(b"good bytes".to_vec()))
+            .unwrap();
+        assert_eq!(o, Outcome::Miss);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evict_drops_both_tiers() {
+        let dir = tmpdir("evict");
+        let store = Store::open(&dir).unwrap();
+        let k = key(5);
+        store.get_or_compute::<()>(k, || Ok(b"x".to_vec())).unwrap();
+        store.evict(k);
+        assert!(!store.entry_path(k).unwrap().exists());
+        let (_, o) = store.get_or_compute::<()>(k, || Ok(b"x".to_vec())).unwrap();
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(store.stats().corrupt_evicted, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_to_the_byte_budget() {
+        let dir = tmpdir("gc");
+        let store = Store::open(&dir).unwrap();
+        let base = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000);
+        let mut paths = Vec::new();
+        for n in 1..=4u8 {
+            let k = key(n);
+            store.insert(k, vec![n; 100]);
+            let path = store.entry_path(k).unwrap();
+            // Deterministic ages: key(1) oldest ... key(4) newest.
+            File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(base + Duration::from_secs(u64::from(n)))
+                .unwrap();
+            paths.push(path);
+        }
+        fs::write(dir.join(".tmp-999-0"), b"stale").unwrap();
+        let entry_len = fs::metadata(&paths[0]).unwrap().len();
+        let report = gc(&dir, entry_len * 2).unwrap();
+        assert_eq!(report.evicted_entries, 2);
+        assert_eq!(report.kept_entries, 2);
+        assert_eq!(report.kept_bytes, entry_len * 2);
+        assert!(!paths[0].exists() && !paths[1].exists(), "oldest evicted");
+        assert!(paths[2].exists() && paths[3].exists(), "newest kept");
+        assert!(!dir.join(".tmp-999-0").exists(), "stale tmp swept");
+        let ds = disk_stats(&dir).unwrap();
+        assert_eq!((ds.entries, ds.bytes), (2, entry_len * 2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_mem_budget_disables_the_memory_tier() {
+        let dir = tmpdir("nomem");
+        let store = Store::open_with(&dir, 0).unwrap();
+        let k = key(6);
+        store
+            .get_or_compute::<()>(k, || Ok(b"disk only".to_vec()))
+            .unwrap();
+        let (_, o) = store
+            .get_or_compute::<()>(k, || panic!("disk hit expected"))
+            .unwrap();
+        assert_eq!(o, Outcome::HitDisk, "every repeat is a verified disk read");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_values_bypass_the_memory_tier() {
+        let store = Store::in_memory(10);
+        let k = key(2);
+        store
+            .get_or_compute::<()>(k, || Ok(vec![0u8; 100]))
+            .unwrap();
+        // No disk tier and too big for memory: recomputed every time.
+        let (_, o) = store
+            .get_or_compute::<()>(k, || Ok(vec![0u8; 100]))
+            .unwrap();
+        assert_eq!(o, Outcome::Miss);
+    }
+}
